@@ -1,0 +1,231 @@
+//! Covers witnessing asymptotic dimension, their construction for
+//! layerable graphs, and exact verification.
+
+use crate::rcomp::r_components;
+use lmds_graph::bfs;
+use lmds_graph::{Graph, Vertex};
+
+/// A cover `V(G) = B_0 ∪ … ∪ B_d` (parts may overlap; the definition
+/// only needs union coverage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cover {
+    /// The parts `B_0, …, B_d`, each a sorted vertex set.
+    pub parts: Vec<Vec<Vertex>>,
+}
+
+impl Cover {
+    /// The dimension witnessed: `parts.len() − 1`.
+    pub fn dimension(&self) -> usize {
+        self.parts.len().saturating_sub(1)
+    }
+}
+
+/// A violation found by [`verify_cover`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverViolation {
+    /// Some vertex appears in no part.
+    Uncovered {
+        /// The uncovered vertex.
+        vertex: Vertex,
+    },
+    /// An `r`-component of a part exceeds the claimed weak-diameter
+    /// bound.
+    Unbounded {
+        /// Index of the part.
+        part: usize,
+        /// The offending `r`-component.
+        component: Vec<Vertex>,
+        /// Its weak diameter (`None` = split across host components,
+        /// i.e. infinite).
+        weak_diameter: Option<u32>,
+        /// The claimed bound.
+        bound: u32,
+    },
+}
+
+/// Verifies that `cover` witnesses the asymptotic-dimension condition at
+/// scale `r` with weak-diameter bound `bound`.
+///
+/// # Errors
+///
+/// The first violation found, if any.
+pub fn verify_cover(
+    g: &Graph,
+    cover: &Cover,
+    r: u32,
+    bound: u32,
+) -> Result<(), CoverViolation> {
+    let mut covered = vec![false; g.n()];
+    for part in &cover.parts {
+        for &v in part {
+            covered[v] = true;
+        }
+    }
+    if let Some(v) = (0..g.n()).find(|&v| !covered[v]) {
+        return Err(CoverViolation::Uncovered { vertex: v });
+    }
+    for (pi, part) in cover.parts.iter().enumerate() {
+        for comp in r_components(g, part, r) {
+            let wd = bfs::weak_diameter(g, &comp);
+            match wd {
+                Some(x) if x <= bound => {}
+                _ => {
+                    return Err(CoverViolation::Unbounded {
+                        part: pi,
+                        component: comp,
+                        weak_diameter: wd,
+                        bound,
+                    })
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The best (smallest) weak-diameter bound `cover` achieves at scale
+/// `r`: the max weak diameter over all `r`-components of all parts.
+/// `None` if some component is split across host components.
+pub fn cover_quality(g: &Graph, cover: &Cover, r: u32) -> Option<u32> {
+    let mut best = 0;
+    for part in &cover.parts {
+        for comp in r_components(g, part, r) {
+            best = best.max(bfs::weak_diameter(g, &comp)?);
+        }
+    }
+    Some(best)
+}
+
+/// The classic BFS-layering cover (2 parts, witnessing asymptotic
+/// dimension ≤ 1 on trees and tree-like graphs): per host component, BFS
+/// from the smallest vertex, group depths into bands of width `2r`,
+/// alternate bands between `B_0` and `B_1`.
+///
+/// On trees this is the textbook asdim-1 construction (components end up
+/// with weak diameter `O(r)`); on general graphs it is still a valid
+/// cover whose quality [`cover_quality`] measures empirically.
+pub fn layered_cover(g: &Graph, r: u32) -> Cover {
+    assert!(r >= 1, "scale r must be ≥ 1");
+    let band = 2 * r;
+    let mut parts = vec![Vec::new(), Vec::new()];
+    let mut visited = vec![false; g.n()];
+    for root in g.vertices() {
+        if visited[root] {
+            continue;
+        }
+        let dist = bfs::bfs_distances(g, root);
+        for v in g.vertices() {
+            if let Some(d) = dist[v] {
+                if !visited[v] {
+                    visited[v] = true;
+                    let band_idx = d / band;
+                    parts[(band_idx % 2) as usize].push(v);
+                }
+            }
+        }
+    }
+    for p in &mut parts {
+        p.sort_unstable();
+    }
+    Cover { parts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmds_graph::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(n);
+        b.path(&vs);
+        b.build()
+    }
+
+    #[test]
+    fn layered_cover_covers_everything() {
+        let g = path(20);
+        let c = layered_cover(&g, 2);
+        assert_eq!(c.dimension(), 1);
+        let mut all: Vec<Vertex> = c.parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn layered_cover_on_path_is_tight() {
+        // On a path, bands of width 2r are intervals; r-components of a
+        // part are single bands (gaps of width 2r > r separate them), so
+        // weak diameter ≤ 2r − 1.
+        for r in 1..=4 {
+            let g = path(50);
+            let c = layered_cover(&g, r);
+            let q = cover_quality(&g, &c, r).unwrap();
+            assert!(q <= 2 * r - 1, "r={r}, quality={q}");
+            assert!(verify_cover(&g, &c, r, 2 * r - 1).is_ok());
+        }
+    }
+
+    #[test]
+    fn layered_cover_on_trees_is_bounded() {
+        // Complete binary tree of depth 6 (127 vertices).
+        let mut b = GraphBuilder::new();
+        let root = b.fresh_vertex();
+        let mut frontier = vec![root];
+        for _ in 0..6 {
+            let mut next = Vec::new();
+            for &p in &frontier {
+                for _ in 0..2 {
+                    let c = b.fresh_vertex();
+                    b.edge(p, c);
+                    next.push(c);
+                }
+            }
+            frontier = next;
+        }
+        let g = b.build();
+        for r in 1..=3 {
+            let c = layered_cover(&g, r);
+            let q = cover_quality(&g, &c, r).unwrap();
+            // Textbook bound is O(r); assert a generous 6r.
+            assert!(q <= 6 * r, "r={r}, quality={q}");
+        }
+    }
+
+    #[test]
+    fn verify_reports_uncovered() {
+        let g = path(4);
+        let c = Cover { parts: vec![vec![0, 1], vec![2]] };
+        assert_eq!(
+            verify_cover(&g, &c, 1, 10),
+            Err(CoverViolation::Uncovered { vertex: 3 })
+        );
+    }
+
+    #[test]
+    fn verify_reports_unbounded() {
+        let g = path(10);
+        // One part containing everything: its 1-component is the whole
+        // path, weak diameter 9.
+        let c = Cover { parts: vec![(0..10).collect()] };
+        match verify_cover(&g, &c, 1, 5) {
+            Err(CoverViolation::Unbounded { weak_diameter, bound, .. }) => {
+                assert_eq!(weak_diameter, Some(9));
+                assert_eq!(bound, 5);
+            }
+            other => panic!("expected Unbounded, got {other:?}"),
+        }
+        assert!(verify_cover(&g, &c, 1, 9).is_ok());
+        assert_eq!(cover_quality(&g, &c, 1), Some(9));
+    }
+
+    #[test]
+    fn disconnected_graphs_covered_per_component() {
+        let mut g = path(6);
+        let h = path(8);
+        g.disjoint_union(&h);
+        let c = layered_cover(&g, 1);
+        assert!(verify_cover(&g, &c, 1, 1).is_ok());
+    }
+}

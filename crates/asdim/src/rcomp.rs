@@ -1,0 +1,114 @@
+//! `r`-components of a vertex set and weak-diameter boundedness.
+
+use lmds_graph::bfs;
+use lmds_graph::{Graph, Vertex};
+
+/// The `r`-components of `set`: maximal subsets in which consecutive
+/// vertices can be chained with hops of (host-graph) distance ≤ `r`.
+/// Equivalently, connected components of the `r`-th power of `G`
+/// restricted to `set`. Returned sorted, ordered by smallest vertex.
+///
+/// # Panics
+///
+/// Panics if `r == 0` (the paper only uses `r ≥ 1`; with `r = 0` every
+/// vertex would be its own component, which is never what an experiment
+/// wants — make it explicit).
+pub fn r_components(g: &Graph, set: &[Vertex], r: u32) -> Vec<Vec<Vertex>> {
+    assert!(r >= 1, "r-components need r ≥ 1");
+    let set = lmds_graph::canonical_set(set.to_vec());
+    let mut in_set = vec![false; g.n()];
+    for &v in &set {
+        in_set[v] = true;
+    }
+    let mut assigned = vec![false; g.n()];
+    let mut comps = Vec::new();
+    for &s in &set {
+        if assigned[s] {
+            continue;
+        }
+        // BFS in the "distance ≤ r" auxiliary graph over `set`.
+        let mut comp = vec![s];
+        assigned[s] = true;
+        let mut queue = vec![s];
+        while let Some(u) = queue.pop() {
+            // All set-vertices within host distance r of u.
+            for w in bfs::ball(g, u, r) {
+                if in_set[w] && !assigned[w] {
+                    assigned[w] = true;
+                    comp.push(w);
+                    queue.push(w);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+/// Whether `set` is `D`-bounded: its weak diameter in `g` is at most
+/// `d` (paper §3). Sets split across components of `g` are unbounded.
+pub fn is_d_bounded(g: &Graph, set: &[Vertex], d: u32) -> bool {
+    match bfs::weak_diameter(g, set) {
+        Some(wd) => wd <= d,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmds_graph::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(n);
+        b.path(&vs);
+        b.build()
+    }
+
+    #[test]
+    fn r_components_on_path() {
+        let g = path(10);
+        // Set {0, 2, 7}: with r=2, {0,2} chain; 7 separate.
+        let comps = r_components(&g, &[7, 0, 2], 2);
+        assert_eq!(comps, vec![vec![0, 2], vec![7]]);
+        // With r=5, everything chains: 2→7 is distance 5.
+        let comps = r_components(&g, &[7, 0, 2], 5);
+        assert_eq!(comps, vec![vec![0, 2, 7]]);
+    }
+
+    #[test]
+    fn r_components_chaining_is_transitive() {
+        // {0, 3, 6} on a path with r=3: 0-3 and 3-6 chain even though
+        // d(0,6) = 6 > 3.
+        let g = path(7);
+        let comps = r_components(&g, &[0, 3, 6], 3);
+        assert_eq!(comps, vec![vec![0, 3, 6]]);
+    }
+
+    #[test]
+    fn r_one_matches_induced_components() {
+        let g = path(6);
+        let comps = r_components(&g, &[0, 1, 3, 4], 1);
+        assert_eq!(comps, vec![vec![0, 1], vec![3, 4]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "r ≥ 1")]
+    fn r_zero_rejected() {
+        let g = path(3);
+        let _ = r_components(&g, &[0, 1], 0);
+    }
+
+    #[test]
+    fn d_bounded_uses_host_distance() {
+        let g = path(10);
+        assert!(is_d_bounded(&g, &[0, 4], 4));
+        assert!(!is_d_bounded(&g, &[0, 5], 4));
+        // Disconnected set is never bounded.
+        let h = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!is_d_bounded(&h, &[0, 3], 100));
+        assert!(is_d_bounded(&h, &[], 0));
+    }
+}

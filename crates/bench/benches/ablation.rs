@@ -1,0 +1,29 @@
+//! Timing for the ablation variants (E10) + prints the ablation table.
+
+use criterion::{black_box, Criterion};
+use lmds_core::{algorithm1_with, PipelineOptions, Radii};
+use lmds_localsim::IdAssignment;
+
+fn benches(c: &mut Criterion) {
+    let g = lmds_gen::ding::AugmentationSpec::standard(6, 3, 2, 5).generate();
+    let ids = IdAssignment::shuffled(g.n(), 5);
+    let radii = Radii::practical(2, 3);
+    let cases = [
+        ("full", PipelineOptions::default()),
+        ("no_twin", PipelineOptions { twin_reduction: false, ..Default::default() }),
+        ("no_filter", PipelineOptions { interesting_filter: false, ..Default::default() }),
+        ("greedy_brute", PipelineOptions { exact_brute: false, ..Default::default() }),
+    ];
+    for (name, opts) in cases {
+        c.bench_function(&format!("ablation/{name}"), |b| {
+            b.iter(|| black_box(algorithm1_with(&g, &ids, radii, opts).solution))
+        });
+    }
+}
+
+fn main() {
+    print!("{}", lmds_bench::render_markdown(&lmds_bench::exp_ablation()));
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,25 @@
+//! Timing for Algorithm 1 (E5): centralized pipeline across sizes +
+//! prints the ratio/rounds table.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use lmds_core::{algorithm1, Radii};
+use lmds_localsim::IdAssignment;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1/centralized");
+    for (base, fans, strips) in [(4, 2, 1), (6, 3, 2), (8, 4, 3)] {
+        let g = lmds_gen::ding::AugmentationSpec::standard(base, fans, strips, 7).generate();
+        let ids = IdAssignment::shuffled(g.n(), 7);
+        group.bench_with_input(BenchmarkId::from_parameter(g.n()), &g, |b, g| {
+            b.iter(|| black_box(algorithm1(g, &ids, Radii::practical(2, 3)).solution))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print!("{}", lmds_bench::render_markdown(&lmds_bench::exp_alg1()));
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,22 @@
+//! Timing for Lemma 3.2 (E2) local 1-cut detection + prints the table.
+
+use criterion::{black_box, Criterion};
+use lmds_core::local_cuts;
+
+fn benches(c: &mut Criterion) {
+    let cyc = lmds_gen::basic::cycle(200);
+    c.bench_function("lemma32/local_one_cuts_cycle200_r5", |b| {
+        b.iter(|| black_box(local_cuts::local_one_cut_vertices(&cyc, 5)))
+    });
+    let aug = lmds_gen::ding::AugmentationSpec::standard(6, 3, 2, 1).generate();
+    c.bench_function("lemma32/local_one_cuts_augmentation_r3", |b| {
+        b.iter(|| black_box(local_cuts::local_one_cut_vertices(&aug, 3)))
+    });
+}
+
+fn main() {
+    print!("{}", lmds_bench::render_markdown(&lmds_bench::exp_lemma32()));
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,22 @@
+//! Timing for Lemma 3.3 (E3) interesting-vertex detection + table.
+
+use criterion::{black_box, Criterion};
+use lmds_core::local_cuts;
+
+fn benches(c: &mut Criterion) {
+    let cp = lmds_gen::adversarial::clique_with_pendants(12);
+    c.bench_function("lemma33/interesting_clique_pendants12_r4", |b| {
+        b.iter(|| black_box(local_cuts::interesting_vertices(&cp, 4)))
+    });
+    let strip = lmds_gen::ding::strip(25);
+    c.bench_function("lemma33/interesting_strip25_r3", |b| {
+        b.iter(|| black_box(local_cuts::interesting_vertices(&strip, 3)))
+    });
+}
+
+fn main() {
+    print!("{}", lmds_bench::render_markdown(&lmds_bench::exp_lemma33()));
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

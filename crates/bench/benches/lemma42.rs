@@ -1,0 +1,32 @@
+//! Timing for Lemma 4.2 (E4): the full pipeline on long-strip
+//! augmentations + prints the residual-diameter table.
+
+use criterion::{black_box, Criterion};
+use lmds_core::{algorithm1, Radii};
+use lmds_localsim::IdAssignment;
+
+fn benches(c: &mut Criterion) {
+    for len in [10usize, 30] {
+        let spec = lmds_gen::ding::AugmentationSpec {
+            base_n: 5,
+            base_density_percent: 40,
+            fans: 1,
+            fan_len: (3, 3),
+            strips: 1,
+            strip_len: (len, len),
+            seed: 11,
+        };
+        let g = spec.generate();
+        let ids = IdAssignment::sequential(g.n());
+        c.bench_function(&format!("lemma42/alg1_strip{len}"), |b| {
+            b.iter(|| black_box(algorithm1(&g, &ids, Radii::practical(2, 3)).solution))
+        });
+    }
+}
+
+fn main() {
+    print!("{}", lmds_bench::render_markdown(&lmds_bench::exp_lemma42()));
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

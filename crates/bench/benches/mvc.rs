@@ -1,0 +1,27 @@
+//! Timing for the MVC variants (E7) + prints the ratio table.
+
+use criterion::{black_box, Criterion};
+use lmds_core::mvc::algorithm1_mvc;
+use lmds_core::theorem44_mvc;
+use lmds_core::Radii;
+use lmds_localsim::IdAssignment;
+
+fn benches(c: &mut Criterion) {
+    let tree = lmds_gen::trees::random_tree(2000, 3);
+    let tree_ids = IdAssignment::shuffled(2000, 3);
+    c.bench_function("mvc/thm44_mvc_tree_n2000", |b| {
+        b.iter(|| black_box(theorem44_mvc(&tree, &tree_ids)))
+    });
+    let strip = lmds_gen::ding::strip(15);
+    let strip_ids = IdAssignment::shuffled(strip.n(), 3);
+    c.bench_function("mvc/alg1_mvc_strip15", |b| {
+        b.iter(|| black_box(algorithm1_mvc(&strip, &strip_ids, Radii::practical(2, 3)).solution))
+    });
+}
+
+fn main() {
+    print!("{}", lmds_bench::render_markdown(&lmds_bench::exp_mvc()));
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

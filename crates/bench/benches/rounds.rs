@@ -1,0 +1,34 @@
+//! Timing for the LOCAL runtimes (E9): message passing vs oracle vs
+//! parallel + prints the rounds/message table.
+
+use criterion::{black_box, Criterion};
+use lmds_core::distributed::{Algorithm1Decider, Theorem44Decider};
+use lmds_core::Radii;
+use lmds_localsim::{run_message_passing, run_oracle, run_parallel, IdAssignment};
+
+fn benches(c: &mut Criterion) {
+    let g = lmds_gen::basic::cycle(500);
+    let ids = IdAssignment::shuffled(500, 9);
+    c.bench_function("rounds/thm44_message_passing_c500", |b| {
+        b.iter(|| black_box(run_message_passing(&g, &ids, &Theorem44Decider, 10).unwrap().rounds))
+    });
+    c.bench_function("rounds/thm44_oracle_c500", |b| {
+        b.iter(|| black_box(run_oracle(&g, &ids, &Theorem44Decider, 10).unwrap().rounds))
+    });
+    c.bench_function("rounds/thm44_parallel_c500", |b| {
+        b.iter(|| black_box(run_parallel(&g, &ids, &Theorem44Decider, 10, 4).unwrap().rounds))
+    });
+    let p = lmds_gen::basic::path(60);
+    let pids = IdAssignment::shuffled(60, 2);
+    let dec = Algorithm1Decider { radii: Radii::practical(2, 2) };
+    c.bench_function("rounds/alg1_oracle_path60", |b| {
+        b.iter(|| black_box(run_oracle(&p, &pids, &dec, 200).unwrap().rounds))
+    });
+}
+
+fn main() {
+    print!("{}", lmds_bench::render_markdown(&lmds_bench::exp_rounds()));
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

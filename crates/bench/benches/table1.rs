@@ -1,0 +1,34 @@
+//! Timing for the Table 1 (E1) workloads + prints the measured table.
+
+use criterion::{black_box, Criterion};
+use lmds_core::distributed::Theorem44Decider;
+use lmds_core::{algorithm1, baselines, theorem44_mds, Radii};
+use lmds_localsim::{run_oracle, IdAssignment};
+
+fn benches(c: &mut Criterion) {
+    let tree = lmds_gen::trees::random_tree(1000, 1);
+    let tree_ids = IdAssignment::shuffled(1000, 1);
+    c.bench_function("table1/trees_folklore_n1000", |b| {
+        b.iter(|| black_box(baselines::trees_folklore(&tree, &tree_ids)))
+    });
+    let outer = lmds_gen::outerplanar::random_maximal_outerplanar(500, 2);
+    let outer_ids = IdAssignment::shuffled(500, 2);
+    c.bench_function("table1/thm44_outerplanar_n500", |b| {
+        b.iter(|| black_box(theorem44_mds(&outer, &outer_ids)))
+    });
+    c.bench_function("table1/thm44_distributed_outerplanar_n500", |b| {
+        b.iter(|| black_box(run_oracle(&outer, &outer_ids, &Theorem44Decider, 10).unwrap().rounds))
+    });
+    let aug = lmds_gen::ding::AugmentationSpec::standard(6, 3, 2, 3).generate();
+    let aug_ids = IdAssignment::shuffled(aug.n(), 3);
+    c.bench_function("table1/alg1_centralized_augmentation", |b| {
+        b.iter(|| black_box(algorithm1(&aug, &aug_ids, Radii::practical(2, 3)).solution))
+    });
+}
+
+fn main() {
+    print!("{}", lmds_bench::render_markdown(&lmds_bench::exp_table1()));
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,25 @@
+//! Timing for Theorem 4.4 (E6): D2 computation scaling + prints the
+//! ratio table.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use lmds_core::theorem44_mds;
+use lmds_localsim::IdAssignment;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem44/centralized_tree");
+    for n in [100usize, 1000, 5000] {
+        let g = lmds_gen::trees::random_tree(n, 5);
+        let ids = IdAssignment::shuffled(n, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(theorem44_mds(g, &ids)))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print!("{}", lmds_bench::render_markdown(&lmds_bench::exp_thm44()));
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,77 @@
+//! Reproduction driver: prints every experiment table (markdown) and
+//! writes CSVs under `results/`.
+//!
+//! Usage:
+//! ```text
+//! reproduce [--exp all|table1|lemma32|lemma33|lemma42|alg1|thm44|mvc|sanity|rounds] [--csv-dir results]
+//! ```
+
+use lmds_bench::{render_csv, render_markdown, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exp = "all".to_string();
+    let mut csv_dir = "results".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                exp = args.get(i).cloned().unwrap_or_else(|| "all".into());
+            }
+            "--csv-dir" => {
+                i += 1;
+                csv_dir = args.get(i).cloned().unwrap_or_else(|| "results".into());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let tables: Vec<(&str, Table)> = match exp.as_str() {
+        "all" => vec![
+            ("table1", lmds_bench::exp_table1()),
+            ("lemma32", lmds_bench::exp_lemma32()),
+            ("lemma33", lmds_bench::exp_lemma33()),
+            ("lemma42", lmds_bench::exp_lemma42()),
+            ("alg1", lmds_bench::exp_alg1()),
+            ("thm44", lmds_bench::exp_thm44()),
+            ("mvc", lmds_bench::exp_mvc()),
+            ("sanity", lmds_bench::exp_sanity()),
+            ("rounds", lmds_bench::exp_rounds()),
+            ("ablation", lmds_bench::exp_ablation()),
+            ("forest", lmds_bench::exp_forest()),
+            ("prop31", lmds_bench::exp_prop31()),
+            ("treewidth", lmds_bench::exp_treewidth()),
+        ],
+        "table1" => vec![("table1", lmds_bench::exp_table1())],
+        "lemma32" => vec![("lemma32", lmds_bench::exp_lemma32())],
+        "lemma33" => vec![("lemma33", lmds_bench::exp_lemma33())],
+        "lemma42" => vec![("lemma42", lmds_bench::exp_lemma42())],
+        "alg1" => vec![("alg1", lmds_bench::exp_alg1())],
+        "thm44" => vec![("thm44", lmds_bench::exp_thm44())],
+        "mvc" => vec![("mvc", lmds_bench::exp_mvc())],
+        "sanity" => vec![("sanity", lmds_bench::exp_sanity())],
+        "rounds" => vec![("rounds", lmds_bench::exp_rounds())],
+        "ablation" => vec![("ablation", lmds_bench::exp_ablation())],
+        "forest" => vec![("forest", lmds_bench::exp_forest())],
+        "prop31" => vec![("prop31", lmds_bench::exp_prop31())],
+        "treewidth" => vec![("treewidth", lmds_bench::exp_treewidth())],
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    };
+
+    let _ = std::fs::create_dir_all(&csv_dir);
+    for (name, table) in &tables {
+        print!("{}", render_markdown(table));
+        let path = format!("{csv_dir}/{name}.csv");
+        if let Err(e) = std::fs::write(&path, render_csv(table)) {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+    }
+}

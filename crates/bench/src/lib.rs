@@ -1,0 +1,15 @@
+//! # lmds-bench
+//!
+//! The experiment harness reproducing the paper's quantitative content:
+//! Table 1 (ratio & rounds per graph class) and the lemma-level
+//! constants (Lemmas 3.2, 3.3, 4.2; Theorem 4.4; the MVC variants).
+//!
+//! Each experiment is a pure function returning rows; the `reproduce`
+//! binary prints them as markdown tables (and CSV), and the Criterion
+//! benches time the underlying algorithms on the same workloads.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::{render_csv, render_markdown, Table};

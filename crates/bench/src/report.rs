@@ -1,0 +1,73 @@
+//! Minimal table rendering (markdown + CSV) for experiment output.
+
+/// A rendered experiment table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (experiment id + description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+}
+
+/// Renders a table as GitHub-flavored markdown.
+pub fn render_markdown(t: &Table) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n## {}\n\n", t.title));
+    out.push_str(&format!("| {} |\n", t.headers.join(" | ")));
+    out.push_str(&format!(
+        "|{}\n",
+        t.headers.iter().map(|_| "---|").collect::<String>()
+    ));
+    for row in &t.rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Renders a table as CSV (header row first).
+pub fn render_csv(t: &Table) -> String {
+    let mut out = String::new();
+    out.push_str(&t.headers.join(","));
+    out.push('\n');
+    for row in &t.rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown_and_csv() {
+        let mut t = Table::new("E0 demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = render_markdown(&t);
+        assert!(md.contains("## E0 demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        let csv = render_csv(&t);
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,468 @@
+//! LOCAL-model deciders for every algorithm, executable on the
+//! `lmds-localsim` runtimes.
+//!
+//! Each decider is a deterministic function of the node's view and is
+//! property-tested to reproduce the centralized reference *exactly*
+//! (same identifier assignment ⟹ same output set). Trust-region
+//! arithmetic follows the simulator's knowledge guarantee: after `k`
+//! rounds a node knows all vertices of `N^k[v]` and all edges incident
+//! to `N^{k-1}[v]`; hence
+//!
+//! * `N[w]` is fully known iff `d(v,w) ≤ k−1`;
+//! * the twin/kept status of `w` is computable iff `d(v,w) ≤ k−2`;
+//! * the `X`/`I`/`S` status of `w` needs `d(v,w) ≤ k−2−max(r₁, 2r₂)`;
+//! * domination and `U` statuses each cost one more hop.
+
+use crate::algorithm1::{pipeline_state, residual_components, solve_component};
+use crate::radii::Radii;
+use lmds_graph::bfs;
+use lmds_localsim::{Decider, LocalView};
+
+/// Table 1 `K_{1,t}` row: everyone joins at round 0.
+pub struct TakeAllDecider;
+
+impl Decider for TakeAllDecider {
+    type Output = bool;
+    fn decide(&self, _view: &LocalView) -> Option<bool> {
+        Some(true)
+    }
+}
+
+/// Folklore MVC on regular graphs: every non-isolated vertex joins.
+/// 1 round (a vertex must learn whether it has neighbors).
+pub struct RegularMvcDecider;
+
+impl Decider for RegularMvcDecider {
+    type Output = bool;
+    fn decide(&self, view: &LocalView) -> Option<bool> {
+        (view.rounds() >= 1).then(|| !view.neighbors_of(view.center_id()).is_empty())
+    }
+}
+
+/// Table 1 trees row (2 rounds): degree ≥ 2 joins; an isolated-edge
+/// endpoint joins iff it has the smaller identifier; isolated vertices
+/// join.
+pub struct TreesFolkloreDecider;
+
+impl Decider for TreesFolkloreDecider {
+    type Output = bool;
+    fn decide(&self, view: &LocalView) -> Option<bool> {
+        if view.rounds() < 2 {
+            return None;
+        }
+        let me = view.center_id();
+        let nb = view.neighbors_of(me);
+        Some(match nb.len() {
+            0 => true,
+            1 => {
+                let u = nb[0];
+                view.neighbors_of(u).len() == 1 && me < u
+            }
+            _ => true,
+        })
+    }
+}
+
+/// Theorem 4.4 MDS (3 rounds): kept-by-twin-reduction and `D₂`
+/// membership.
+pub struct Theorem44Decider;
+
+/// Whether, in the view, vertex `w` is kept by the minimum-identifier
+/// twin reduction. Valid when `d(center, w) ≤ rounds − 2`.
+fn view_kept(view: &LocalView, w: u64) -> bool {
+    let nw = closed_nbhd(view, w);
+    // w is dropped iff some true twin has a smaller id.
+    for &z in &nw {
+        if z != w && z < w && closed_nbhd(view, z) == nw {
+            return false;
+        }
+    }
+    true
+}
+
+fn closed_nbhd(view: &LocalView, w: u64) -> Vec<u64> {
+    let mut n = view.neighbors_of(w);
+    n.push(w);
+    n.sort_unstable();
+    n
+}
+
+impl Decider for Theorem44Decider {
+    type Output = bool;
+    fn decide(&self, view: &LocalView) -> Option<bool> {
+        if view.rounds() < 3 {
+            return None;
+        }
+        let me = view.center_id();
+        if !view_kept(view, me) {
+            return Some(false);
+        }
+        // N_R[me]: kept members of N[me] (all at distance ≤ 1, where
+        // kept-status is valid at rounds ≥ 3).
+        let nr_me: Vec<u64> = closed_nbhd(view, me)
+            .into_iter()
+            .filter(|&w| w == me || view_kept(view, w))
+            .collect();
+        // Absorbed iff some kept neighbor u has N_R[me] ⊆ N_R[u] ⟺
+        // every w ∈ N_R[me] is u itself or adjacent to u.
+        for &u in &view.neighbors_of(me) {
+            if !view_kept(view, u) {
+                continue;
+            }
+            if nr_me.iter().all(|&w| w == u || view.contains_edge(u, w)) {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+}
+
+/// Theorem 4.4 MVC variant (2 rounds): degree ≥ 2, or smaller-id
+/// endpoint of an isolated edge.
+pub struct Theorem44MvcDecider;
+
+impl Decider for Theorem44MvcDecider {
+    type Output = bool;
+    fn decide(&self, view: &LocalView) -> Option<bool> {
+        if view.rounds() < 2 {
+            return None;
+        }
+        let me = view.center_id();
+        let nb = view.neighbors_of(me);
+        Some(match nb.len() {
+            0 => false,
+            1 => view.neighbors_of(nb[0]).len() == 1 && me < nb[0],
+            _ => true,
+        })
+    }
+}
+
+/// Algorithm 1 (Theorem 4.1) as an adaptive LOCAL decider. The node
+/// keeps extending its view until (a) its own `S`/`U` status is
+/// certain, and if it is in neither, (b) its entire residual component
+/// sits inside the trusted region — at which point it reconstructs the
+/// identical brute-force instance every other component member solves.
+pub struct Algorithm1Decider {
+    /// The pipeline radii (theoretical or practical).
+    pub radii: Radii,
+}
+
+impl Decider for Algorithm1Decider {
+    type Output = bool;
+    fn decide(&self, view: &LocalView) -> Option<bool> {
+        let k = view.rounds() as i64;
+        let r1 = self.radii.one_cut as i64;
+        let r2 = self.radii.two_cut as i64;
+        let margin = r1.max(2 * r2) + 2;
+        if k < margin {
+            return None;
+        }
+        let (vg, vids) = view.to_graph();
+        let center = view.center_index();
+        let dist = bfs::bfs_distances(&vg, center);
+        let state = pipeline_state(&vg, &vids, self.radii);
+        if !state.kept_mask[center] {
+            return Some(false);
+        }
+        let cr = state
+            .reduced
+            .from_host(center)
+            .expect("kept center is in the quotient");
+        if state.s[cr] {
+            return Some(true);
+        }
+        if k < margin + 2 {
+            return None;
+        }
+        if state.u[cr] {
+            return Some(false);
+        }
+        // Residual component of the center, which must sit within the
+        // trusted depth (statuses of members and their boundary valid).
+        let limit = k - margin - 3;
+        if limit < 0 {
+            return None;
+        }
+        let comps = residual_components(&state);
+        let comp = comps
+            .into_iter()
+            .find(|c| c.binary_search(&cr).is_ok())
+            .expect("center is in some residual component");
+        for &w in &comp {
+            let host = state.reduced.to_host(w);
+            match dist[host] {
+                Some(d) if (d as i64) <= limit => {}
+                _ => return None, // component not yet fully trusted
+            }
+        }
+        let sol = solve_component(&state, &vids, &comp);
+        Some(sol.contains(&center))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm1::algorithm1;
+    use crate::baselines;
+    use crate::theorem44::{theorem44_mds, theorem44_mvc};
+    use lmds_graph::dominating::is_dominating_set;
+    use lmds_graph::Graph;
+    use lmds_localsim::{run_message_passing, run_oracle, IdAssignment};
+
+    fn outputs_to_set(outputs: &[bool]) -> Vec<usize> {
+        outputs
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &b)| b.then_some(v))
+            .collect()
+    }
+
+    fn test_graphs() -> Vec<Graph> {
+        vec![
+            lmds_gen::basic::path(10),
+            lmds_gen::basic::cycle(9),
+            lmds_gen::basic::star(5),
+            lmds_gen::basic::complete(5),
+            lmds_gen::ding::strip(5),
+            lmds_gen::ding::fan(4),
+            lmds_gen::adversarial::clique_with_pendants(5),
+            lmds_gen::trees::random_tree(14, 3),
+            lmds_gen::outerplanar::random_maximal_outerplanar(11, 7),
+        ]
+    }
+
+    #[test]
+    fn theorem44_distributed_matches_centralized() {
+        for g in &test_graphs() {
+            for seed in [0u64, 5] {
+                let ids = IdAssignment::shuffled(g.n(), seed);
+                let res = run_oracle(g, &ids, &Theorem44Decider, 10).unwrap();
+                let dist_set = outputs_to_set(&res.outputs);
+                let mut central = theorem44_mds(g, &ids);
+                central.sort_unstable();
+                assert_eq!(dist_set, central, "{g:?} seed={seed}");
+                assert!(res.rounds <= 3, "rounds = {}", res.rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn theorem44_is_exactly_three_rounds_on_nontrivial_graphs() {
+        let g = lmds_gen::basic::path(20);
+        let ids = IdAssignment::sequential(20);
+        let res = run_message_passing(&g, &ids, &Theorem44Decider, 10).unwrap();
+        assert_eq!(res.rounds, 3);
+        // Message size stays modest (LOCAL, but only 3 rounds deep).
+        assert!(res.max_message_bits > 0);
+    }
+
+    #[test]
+    fn theorem44_mvc_matches() {
+        for g in &test_graphs() {
+            let ids = IdAssignment::shuffled(g.n(), 2);
+            let res = run_oracle(g, &ids, &Theorem44MvcDecider, 10).unwrap();
+            let dist_set = outputs_to_set(&res.outputs);
+            let mut central = theorem44_mvc(g, &ids);
+            central.sort_unstable();
+            assert_eq!(dist_set, central, "{g:?}");
+            assert!(res.rounds <= 2);
+        }
+    }
+
+    #[test]
+    fn trees_folklore_matches_and_two_rounds() {
+        for seed in 0..4 {
+            let g = lmds_gen::trees::random_tree(16, seed);
+            let ids = IdAssignment::shuffled(g.n(), seed);
+            let res = run_oracle(&g, &ids, &TreesFolkloreDecider, 10).unwrap();
+            let dist_set = outputs_to_set(&res.outputs);
+            let mut central = baselines::trees_folklore(&g, &ids);
+            central.sort_unstable();
+            assert_eq!(dist_set, central);
+            assert_eq!(res.rounds, 2);
+            assert!(is_dominating_set(&g, &dist_set));
+        }
+    }
+
+    #[test]
+    fn take_all_zero_rounds() {
+        let g = lmds_gen::basic::cycle(6);
+        let ids = IdAssignment::sequential(6);
+        let res = run_oracle(&g, &ids, &TakeAllDecider, 5).unwrap();
+        assert_eq!(res.rounds, 0);
+        assert_eq!(outputs_to_set(&res.outputs).len(), 6);
+    }
+
+    #[test]
+    fn algorithm1_distributed_matches_centralized() {
+        let radii = Radii::practical(2, 2);
+        for g in &test_graphs() {
+            for seed in [1u64, 9] {
+                let ids = IdAssignment::shuffled(g.n(), seed);
+                let decider = Algorithm1Decider { radii };
+                let max_rounds = (2 * g.n() + 20) as u32;
+                let res = run_oracle(g, &ids, &decider, max_rounds).unwrap();
+                let dist_set = outputs_to_set(&res.outputs);
+                let central = algorithm1(g, &ids, radii);
+                assert_eq!(
+                    dist_set, central.solution,
+                    "{g:?} seed={seed} (rounds={})",
+                    res.rounds
+                );
+                assert!(is_dominating_set(g, &dist_set));
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm1_rounds_track_radius_plus_component_diameter() {
+        // On a long path with small radii the residual components are
+        // tiny, so rounds should stay well below n.
+        let g = lmds_gen::basic::path(40);
+        let ids = IdAssignment::sequential(40);
+        let decider = Algorithm1Decider { radii: Radii::practical(2, 2) };
+        let res = run_oracle(&g, &ids, &decider, 200).unwrap();
+        assert!(
+            res.rounds < 20,
+            "rounds = {} should be O(radius + component diameter)",
+            res.rounds
+        );
+    }
+
+    #[test]
+    fn algorithm1_message_passing_agrees_with_oracle() {
+        let g = lmds_gen::ding::strip(4);
+        let ids = IdAssignment::shuffled(g.n(), 4);
+        let decider = Algorithm1Decider { radii: Radii::practical(2, 2) };
+        let a = run_oracle(&g, &ids, &decider, 100).unwrap();
+        let b = run_message_passing(&g, &ids, &decider, 100).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.decided_at, b.decided_at);
+    }
+}
+
+/// The MVC variant of Algorithm 1 as a LOCAL decider: take all local
+/// 1-cut and local-2-cut vertices, then solve each residual component of
+/// *uncovered edges* exactly (canonical by identifier). Matches
+/// [`crate::mvc::algorithm1_mvc`] exactly.
+pub struct MvcAlgorithm1Decider {
+    /// The pipeline radii.
+    pub radii: Radii,
+}
+
+impl Decider for MvcAlgorithm1Decider {
+    type Output = bool;
+    fn decide(&self, view: &LocalView) -> Option<bool> {
+        let k = view.rounds() as i64;
+        let r1 = self.radii.one_cut as i64;
+        let r2 = self.radii.two_cut as i64;
+        let margin = r1.max(2 * r2) + 2;
+        if k < margin + 1 {
+            return None;
+        }
+        let (vg, vids) = view.to_graph();
+        let center = view.center_index();
+        let dist = bfs::bfs_distances(&vg, center);
+        // S = local 1-cuts ∪ all local-2-cut vertices (computed on the
+        // view; trusted within depth k − margin).
+        let mut in_s = vec![false; vg.n()];
+        for v in vg.vertices() {
+            in_s[v] = crate::local_cuts::is_local_one_cut(&vg, v, self.radii.one_cut);
+        }
+        for (a, b) in crate::local_cuts::local_two_cuts(&vg, self.radii.two_cut) {
+            in_s[a] = true;
+            in_s[b] = true;
+        }
+        if in_s[center] {
+            return Some(true);
+        }
+        // Uncovered incident edge?
+        let has_uncovered =
+            vg.neighbors(center).iter().any(|&u| !in_s[u]);
+        if !has_uncovered {
+            return Some(false);
+        }
+        // Residual component over uncovered edges, within trusted depth.
+        let limit = k - margin - 2;
+        if limit < 0 {
+            return None;
+        }
+        let mut comp = vec![center];
+        let mut seen = vec![false; vg.n()];
+        seen[center] = true;
+        let mut stack = vec![center];
+        while let Some(u) = stack.pop() {
+            for &w in vg.neighbors(u) {
+                if !in_s[w] && !in_s[u] && !seen[w] {
+                    seen[w] = true;
+                    match dist[w] {
+                        Some(d) if (d as i64) <= limit => {}
+                        _ => return None,
+                    }
+                    comp.push(w);
+                    stack.push(w);
+                }
+            }
+        }
+        // Canonical instance: component sorted by identifier, uncovered
+        // edges only.
+        comp.sort_by_key(|&v| vids[v]);
+        let index_of: std::collections::HashMap<usize, usize> =
+            comp.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut local = lmds_graph::Graph::new(comp.len());
+        for (li, &v) in comp.iter().enumerate() {
+            for &w in vg.neighbors(v) {
+                if in_s[v] || in_s[w] {
+                    continue;
+                }
+                if let Some(&lj) = index_of.get(&w) {
+                    if li < lj {
+                        local.add_edge(li, lj);
+                    }
+                }
+            }
+        }
+        let sol = lmds_graph::vertex_cover::exact_vertex_cover(&local);
+        let my_local = index_of[&center];
+        Some(sol.binary_search(&my_local).is_ok())
+    }
+}
+
+#[cfg(test)]
+mod mvc_decider_tests {
+    use super::*;
+    use crate::mvc::algorithm1_mvc;
+    use lmds_graph::vertex_cover::is_vertex_cover;
+    use lmds_localsim::{run_oracle, IdAssignment};
+
+    #[test]
+    fn mvc_algorithm1_distributed_matches_centralized() {
+        let radii = Radii::practical(2, 2);
+        let graphs = vec![
+            lmds_gen::basic::path(12),
+            lmds_gen::basic::cycle(9),
+            lmds_gen::ding::strip(5),
+            lmds_gen::ding::fan(4),
+            lmds_gen::composite::theta_ring(3, 2),
+            lmds_gen::outerplanar::random_maximal_outerplanar(10, 2),
+        ];
+        for g in &graphs {
+            for seed in [0u64, 7] {
+                let ids = IdAssignment::shuffled(g.n(), seed);
+                let decider = MvcAlgorithm1Decider { radii };
+                let res =
+                    run_oracle(g, &ids, &decider, (2 * g.n() + 40) as u32).unwrap();
+                let dist_set: Vec<usize> = res
+                    .outputs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(v, &b)| b.then_some(v))
+                    .collect();
+                let central = algorithm1_mvc(g, &ids, radii);
+                assert_eq!(dist_set, central.solution, "{g:?} seed={seed}");
+                assert!(is_vertex_cover(g, &dist_set), "{g:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Local cuts (Definition 2.1) and interesting vertices (§3.2).
+//!
+//! * `{v}` is an **`r`-local minimal 1-cut** iff `v` is a cut vertex of
+//!   `G[N^r[v]]`.
+//! * `{u, v}` (with `d_G(u,v) ≤ r`) is an **`r`-local minimal 2-cut**
+//!   iff it is a minimal 2-cut of `H = G[N^r[u] ∪ N^r[v]]`.
+//! * `v` is **`r`-interesting** iff some `r`-local minimal 2-cut
+//!   `c = {u, v}` has `N[v] ⊄ N[u]` and at least two components of
+//!   `H − c` each contain a vertex non-adjacent to `u`.
+//!
+//! All functions here are centralized references; the distributed
+//! algorithms recompute the same predicates from node views and are
+//! tested to agree.
+
+use lmds_graph::bfs;
+use lmds_graph::two_cuts;
+use lmds_graph::{Graph, InducedSubgraph, Vertex};
+
+/// All vertices forming `r`-local minimal 1-cuts, sorted.
+pub fn local_one_cut_vertices(g: &Graph, r: u32) -> Vec<Vertex> {
+    g.vertices()
+        .filter(|&v| is_local_one_cut(g, v, r))
+        .collect()
+}
+
+/// Whether `{v}` is an `r`-local minimal 1-cut of `g`.
+pub fn is_local_one_cut(g: &Graph, v: Vertex, r: u32) -> bool {
+    let sub = InducedSubgraph::new(g, &bfs::ball(g, v, r));
+    let local = sub.from_host(v).expect("center is in its own ball");
+    lmds_graph::articulation::cut_structure(&sub.graph).is_articulation[local]
+}
+
+/// All `r`-local minimal 2-cuts of `g`, as `(u, v)` pairs with `u < v`,
+/// sorted. Quadratic in ball sizes; intended for analysis and for the
+/// small graphs of the experiments.
+pub fn local_two_cuts(g: &Graph, r: u32) -> Vec<(Vertex, Vertex)> {
+    let mut out = Vec::new();
+    for u in g.vertices() {
+        for v in bfs::ball(g, u, r) {
+            if v > u && is_local_two_cut(g, u, v, r) {
+                out.push((u, v));
+            }
+        }
+    }
+    out
+}
+
+/// Whether `{u, v}` is an `r`-local minimal 2-cut of `g`.
+pub fn is_local_two_cut(g: &Graph, u: Vertex, v: Vertex, r: u32) -> bool {
+    if u == v {
+        return false;
+    }
+    match bfs::distance(g, u, v) {
+        Some(d) if d <= r => {}
+        _ => return false,
+    }
+    let h = cut_neighborhood(g, u, v, r);
+    let (lu, lv) = (
+        h.from_host(u).expect("u in its ball"),
+        h.from_host(v).expect("v in its ball"),
+    );
+    two_cuts::is_minimal_two_cut(&h.graph, lu, lv)
+}
+
+/// `H = G[N^r[u] ∪ N^r[v]]` with host mapping.
+fn cut_neighborhood(g: &Graph, u: Vertex, v: Vertex, r: u32) -> InducedSubgraph {
+    InducedSubgraph::new(g, &bfs::ball_of_set(g, &[u, v], r))
+}
+
+/// Whether `v` is `r`-interesting *via* the specific friend `u`
+/// (assumes nothing; checks the local-2-cut condition too).
+pub fn is_interesting_via(g: &Graph, v: Vertex, u: Vertex, r: u32) -> bool {
+    if !is_local_two_cut(g, u, v, r) {
+        return false;
+    }
+    // N[v] ⊈ N[u] in G (equivalently within the ball, since r ≥ 1).
+    let nv = g.closed_neighborhood(v);
+    let nu = g.closed_neighborhood(u);
+    if is_subset(&nv, &nu) {
+        return false;
+    }
+    // ≥ 2 components of H − {u,v} each containing a vertex non-adjacent
+    // to u.
+    let h = cut_neighborhood(g, u, v, r);
+    let (lu, lv) = (h.from_host(u).unwrap(), h.from_host(v).unwrap());
+    let comps = two_cuts::components_attached(&h.graph, lu, lv);
+    let mut witnesses = 0;
+    for comp in comps {
+        if comp
+            .iter()
+            .any(|&w| !h.graph.has_edge(w, lu) && w != lu)
+        {
+            witnesses += 1;
+            if witnesses >= 2 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Whether `v` is `r`-interesting (some friend works).
+pub fn is_interesting(g: &Graph, v: Vertex, r: u32) -> bool {
+    bfs::ball(g, v, r)
+        .into_iter()
+        .any(|u| u != v && is_interesting_via(g, v, u, r))
+}
+
+/// All `r`-interesting vertices, sorted.
+pub fn interesting_vertices(g: &Graph, r: u32) -> Vec<Vertex> {
+    g.vertices().filter(|&v| is_interesting(g, v, r)).collect()
+}
+
+fn is_subset(a: &[Vertex], b: &[Vertex]) -> bool {
+    // a, b sorted.
+    let mut ib = b.iter();
+    'outer: for x in a {
+        for y in ib.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmds_graph::GraphBuilder;
+
+    fn cycle(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(n);
+        b.cycle(&vs);
+        b.build()
+    }
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(n);
+        b.path(&vs);
+        b.build()
+    }
+
+    #[test]
+    fn long_cycle_every_vertex_is_local_one_cut() {
+        // The paper's cautionary example: on C_n with r < ~n/2, every
+        // vertex is an r-local 1-cut but no global 1-cut exists.
+        let g = cycle(20);
+        for r in [1u32, 3, 5] {
+            assert_eq!(local_one_cut_vertices(&g, r).len(), 20, "r={r}");
+        }
+        // Once the ball wraps around, no vertex is a local 1-cut.
+        assert!(local_one_cut_vertices(&g, 10).is_empty());
+        assert!(local_one_cut_vertices(&g, 100).is_empty());
+    }
+
+    #[test]
+    fn global_radius_matches_global_cuts() {
+        let g = path(7);
+        let local = local_one_cut_vertices(&g, 100);
+        let global = lmds_graph::articulation::articulation_points(&g);
+        assert_eq!(local, global);
+    }
+
+    #[test]
+    fn local_one_cuts_decrease_with_radius() {
+        // Monotonicity (paper §2): no r-local cuts ⟹ no r'-local cuts
+        // for r' > r. Equivalently, the set shrinks as r grows.
+        let g = cycle(16);
+        let mut prev = usize::MAX;
+        for r in 1..=9 {
+            let c = local_one_cut_vertices(&g, r).len();
+            assert!(c <= prev, "r={r}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn local_two_cuts_on_cycle() {
+        let g = cycle(12);
+        // With a small radius the joint ball is a *path*, where each
+        // singleton already separates — so no pair is a *minimal* local
+        // 2-cut. (This is why Algorithm 1 takes local 1-cuts first.)
+        assert!(local_two_cuts(&g, 3).is_empty());
+        // Once balls wrap around (r ≥ 6), H = C12: minimal 2-cuts are
+        // exactly the non-adjacent pairs.
+        let global = local_two_cuts(&g, 6);
+        assert_eq!(global.len(), 12 * 9 / 2);
+        assert!(global.contains(&(0, 2)));
+        assert!(!global.contains(&(0, 1)));
+        assert_eq!(local_two_cuts(&g, 100), global);
+    }
+
+    #[test]
+    fn local_two_cuts_on_subdivided_hubs() {
+        // Hubs 0,1 joined by three length-3 paths: {0,1} is a local
+        // minimal 2-cut already at radius 2 (d(0,1) = 3 > 2 fails) —
+        // use radius 3.
+        let g = lmds_gen::adversarial::subdivided_k2t(3);
+        assert!(is_local_two_cut(&g, 0, 1, 3));
+        assert!(local_two_cuts(&g, 3).contains(&(0, 1)));
+    }
+
+    #[test]
+    fn c6_opposite_cuts_are_interesting() {
+        // §5.3: on C6, the cuts {0,3}, {1,4}, {2,5} are interesting at
+        // global radius (both sides contain a vertex non-adjacent to the
+        // friend and neighborhoods are incomparable).
+        let g = cycle(6);
+        for v in 0..6 {
+            assert!(is_interesting(&g, v, 100), "vertex {v}");
+            assert!(is_interesting_via(&g, v, (v + 3) % 6, 100));
+        }
+    }
+
+    #[test]
+    fn c4_has_no_interesting_vertices() {
+        // On C4 each 2-cut {u, v} has both components being single
+        // vertices adjacent to u — no two witnesses non-adjacent to u.
+        let g = cycle(4);
+        assert!(interesting_vertices(&g, 100).is_empty());
+    }
+
+    #[test]
+    fn c5_has_no_interesting_vertices() {
+        // On C5, a 2-cut {u,v} at distance 2 splits into a single vertex
+        // (adjacent to both) and an edge; only one component carries a
+        // non-neighbor of u. (Paper: G = C_k with k ≤ 5 has no
+        // interesting vertices.)
+        let g = cycle(5);
+        assert!(interesting_vertices(&g, 100).is_empty());
+    }
+
+    #[test]
+    fn clique_pendant_hub_filtering() {
+        // The §4 example: clique vertices v ≠ u sit in minimal 2-cuts
+        // {0, v} but must NOT be interesting via 0 at global radius:
+        // the pendant component is adjacent to the hub 0, and the rest of
+        // the clique is adjacent to 0 too, so at most one witness
+        // component has a vertex non-adjacent to the *friend* — and in
+        // fact N[x_{uv}]-style checks kill these cuts.
+        let g = lmds_gen::adversarial::clique_with_pendants(6);
+        let n_interesting = interesting_vertices(&g, 100).len();
+        let mds = lmds_graph::dominating::exact_mds(&g).len();
+        assert_eq!(mds, 1);
+        // Lemma 3.3 promises O(MDS); the whole point of the example is
+        // that this stays tiny while #2-cut-vertices is ~n.
+        let two_cut_vertices: std::collections::HashSet<usize> =
+            lmds_graph::two_cuts::minimal_two_cuts(&g)
+                .into_iter()
+                .flat_map(|(a, b)| [a, b])
+                .collect();
+        assert!(two_cut_vertices.len() >= 6);
+        assert!(
+            n_interesting <= 44 * mds,
+            "interesting = {n_interesting}, mds = {mds}"
+        );
+        assert!(n_interesting < two_cut_vertices.len());
+    }
+
+    #[test]
+    fn theta_graph_interesting() {
+        // Hubs 0,1 with three length-2 paths: cut {0,1} has three
+        // components {2},{3},{4}, each a single vertex *adjacent to both*
+        // — so no witness non-adjacent to the friend; not interesting.
+        let g = Graph::from_edges(5, &[(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)]);
+        assert!(!is_interesting_via(&g, 0, 1, 100));
+        // Subdividing the paths creates non-adjacent witnesses.
+        let g2 = lmds_gen::adversarial::subdivided_k2t(3);
+        assert!(is_interesting_via(&g2, 0, 1, 100));
+        assert!(is_interesting_via(&g2, 1, 0, 100));
+    }
+
+    #[test]
+    fn is_subset_helper() {
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(is_subset(&[], &[1]));
+        assert!(!is_subset(&[0], &[]));
+    }
+
+    #[test]
+    fn local_two_cut_requires_distance() {
+        let g = path(10);
+        // Distance 5 > r = 3 → not an r-local 2-cut even though they
+        // separate globally.
+        assert!(!is_local_two_cut(&g, 2, 7, 3));
+    }
+}

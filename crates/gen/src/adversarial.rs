@@ -1,0 +1,109 @@
+//! The paper's cautionary examples.
+
+use lmds_graph::Graph;
+
+/// The §4 example showing that *all* 2-cut vertices can be `ω(MDS)`:
+/// a clique `K_n` (vertices `0..n`) with hub `u = 0`, plus a pendant
+/// vertex `x_{uv}` adjacent to exactly `{0, v}` for every other clique
+/// vertex `v`. `MDS = 1` (the hub dominates everything) while every
+/// clique vertex lies in the minimal 2-cut `{0, v}` separating `x_{uv}`.
+///
+/// The *interesting*-vertex filter of Lemma 3.3 is exactly what tames
+/// this family.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn clique_with_pendants(n: usize) -> Graph {
+    assert!(n >= 3, "needs a clique of size ≥ 3");
+    let mut g = Graph::new(n + (n - 1));
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v);
+        }
+    }
+    for v in 1..n {
+        let x = n + v - 1;
+        g.add_edge(0, x);
+        g.add_edge(v, x);
+    }
+    g
+}
+
+/// `C_6` — the paper's example (§5.3) showing that interesting 2-cuts
+/// need *three* non-crossing families, not two: the three "opposite"
+/// cuts `{0,3}, {1,4}, {2,5}` pairwise cross.
+pub fn c6() -> Graph {
+    crate::basic::cycle(6)
+}
+
+/// A long cycle: every vertex is an `r`-local 1-cut for `r < n/2` but
+/// none is a global cut vertex — the cautionary example for local
+/// 1-cuts (§4 "Intuition").
+pub fn long_cycle(n: usize) -> Graph {
+    crate::basic::cycle(n)
+}
+
+/// Two hubs with `t` petals *plus* a pendant path, realizing a graph
+/// where Theorem 4.4's `D_2` output is near its `(2t−1)` bound
+/// territory: `K_{2,t}` with each petal subdivided once.
+pub fn subdivided_k2t(t: usize) -> Graph {
+    // hubs 0, 1; petal i has two vertices 2+2i (adj hub 0), 3+2i (adj hub 1).
+    let mut g = Graph::new(2 + 2 * t);
+    for i in 0..t {
+        let a = 2 + 2 * i;
+        let b = 3 + 2 * i;
+        g.add_edge(0, a);
+        g.add_edge(a, b);
+        g.add_edge(b, 1);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmds_graph::dominating::{exact_mds, is_dominating_set};
+    use lmds_graph::two_cuts::{is_minimal_two_cut, minimal_two_cuts};
+
+    #[test]
+    fn clique_with_pendants_has_mds_one() {
+        for n in [3, 5, 8] {
+            let g = clique_with_pendants(n);
+            assert!(is_dominating_set(&g, &[0]));
+            assert_eq!(exact_mds(&g).len(), 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn clique_with_pendants_has_linear_two_cut_vertices() {
+        let n = 6;
+        let g = clique_with_pendants(n);
+        // Every {0, v} is a minimal 2-cut (separates x_{uv}).
+        for v in 1..n {
+            assert!(is_minimal_two_cut(&g, 0, v), "cut {{0,{v}}}");
+        }
+        let cuts = minimal_two_cuts(&g);
+        assert!(cuts.len() >= n - 1);
+    }
+
+    #[test]
+    fn c6_opposite_cuts() {
+        let g = c6();
+        for (u, v) in [(0, 3), (1, 4), (2, 5)] {
+            assert!(is_minimal_two_cut(&g, u, v));
+        }
+    }
+
+    #[test]
+    fn subdivided_k2t_structure() {
+        let g = subdivided_k2t(4);
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 12);
+        // MDS = 2: the two hubs.
+        assert_eq!(exact_mds(&g).len(), 2);
+        assert!(is_dominating_set(&g, &[0, 1]));
+        // It contains K_{2,4} as a minor (contract each petal edge).
+        assert_eq!(lmds_graph::minor::max_k2_minor(&g, 100_000_000).value(), 4);
+    }
+}

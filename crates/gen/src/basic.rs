@@ -1,0 +1,150 @@
+//! Elementary graph families.
+
+use lmds_graph::{Graph, GraphBuilder};
+
+/// The path `P_n` on vertices `0..n`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_vertices(n);
+    for i in 1..n {
+        b.edge(i - 1, i);
+    }
+    b.build()
+}
+
+/// The cycle `C_n` (`n ≥ 3`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs n ≥ 3");
+    let mut b = GraphBuilder::with_vertices(n);
+    let vs: Vec<usize> = (0..n).collect();
+    b.cycle(&vs);
+    b.build()
+}
+
+/// The star `K_{1,k}`: center 0, leaves `1..=k`.
+pub fn star(k: usize) -> Graph {
+    let mut b = GraphBuilder::with_vertices(k + 1);
+    for leaf in 1..=k {
+        b.edge(0, leaf);
+    }
+    b.build()
+}
+
+/// A spider: center 0 with `legs` paths of length `leg_len` attached.
+pub fn spider(legs: usize, leg_len: usize) -> Graph {
+    let mut b = GraphBuilder::with_vertices(1);
+    for _ in 0..legs {
+        let mut prev = 0;
+        for _ in 0..leg_len {
+            let v = b.fresh_vertex();
+            b.edge(prev, v);
+            prev = v;
+        }
+    }
+    b.build()
+}
+
+/// A caterpillar: a spine path of length `spine`, with `legs_per_vertex`
+/// pendant leaves on every spine vertex.
+pub fn caterpillar(spine: usize, legs_per_vertex: usize) -> Graph {
+    let mut b = GraphBuilder::with_vertices(spine);
+    for i in 1..spine {
+        b.edge(i - 1, i);
+    }
+    for i in 0..spine {
+        for _ in 0..legs_per_vertex {
+            let leaf = b.fresh_vertex();
+            b.edge(i, leaf);
+        }
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// The `w × h` grid (vertex `(x, y)` is `y*w + x`). A negative control:
+/// large grids contain large `K_{2,t}` minors.
+pub fn grid(w: usize, h: usize) -> Graph {
+    let mut g = Graph::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            if x + 1 < w {
+                g.add_edge(v, v + 1);
+            }
+            if y + 1 < h {
+                g.add_edge(v, v + w);
+            }
+        }
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{s,t}`: side A = `0..s`,
+/// side B = `s..s+t`.
+pub fn complete_bipartite(s: usize, t: usize) -> Graph {
+    let mut g = Graph::new(s + t);
+    for a in 0..s {
+        for b in 0..t {
+            g.add_edge(a, s + b);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmds_graph::properties;
+
+    #[test]
+    fn shapes_have_expected_sizes() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert_eq!(star(4).m(), 4);
+        assert_eq!(spider(3, 2).n(), 7);
+        assert_eq!(spider(3, 2).m(), 6);
+        assert_eq!(caterpillar(4, 2).n(), 12);
+        assert_eq!(complete(5).m(), 10);
+        assert_eq!(grid(3, 4).n(), 12);
+        assert_eq!(grid(3, 4).m(), 2 * 12 - 3 - 4);
+        assert_eq!(complete_bipartite(2, 3).m(), 6);
+    }
+
+    #[test]
+    fn trees_are_trees() {
+        assert!(properties::is_tree(&path(7)));
+        assert!(properties::is_tree(&star(5)));
+        assert!(properties::is_tree(&spider(4, 3)));
+        assert!(properties::is_tree(&caterpillar(5, 2)));
+        assert!(!properties::is_forest(&cycle(4)));
+    }
+
+    #[test]
+    fn grid_is_bipartite_lattice() {
+        let g = grid(4, 3);
+        // Corner degrees 2, edge degrees 3, interior 4.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn k2t_is_complete_bipartite() {
+        let g = complete_bipartite(2, 4);
+        use lmds_graph::minor::max_k2_minor;
+        assert_eq!(max_k2_minor(&g, 1_000_000).value(), 4);
+    }
+}

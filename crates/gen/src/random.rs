@@ -1,0 +1,131 @@
+//! Random-graph controls: G(n, p) and bounded-degree graphs.
+
+use lmds_graph::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, p)` with `p` in percent. A negative control (dense
+/// instances contain large `K_{2,t}` minors).
+pub fn gnp(n: usize, p_percent: u32, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_range(0..100) < p_percent {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A connected `G(n, p)`-style graph: `gnp` plus a spanning path over
+/// the components.
+pub fn connected_gnp(n: usize, p_percent: u32, seed: u64) -> Graph {
+    let mut g = gnp(n, p_percent, seed);
+    for v in 1..n {
+        if lmds_graph::bfs::distance(&g, v - 1, v).is_none() {
+            g.add_edge(v - 1, v);
+        }
+    }
+    g
+}
+
+/// A random graph with maximum degree ≤ `max_deg`: sample random pairs,
+/// insert when both endpoints have slack. The workload for the folklore
+/// `K_{1,t}` row of Table 1 (whose 0-round `t`-approximation only uses
+/// `Δ ≤ t − 1`).
+pub fn random_bounded_degree(n: usize, max_deg: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    if n < 2 {
+        return g;
+    }
+    let attempts = 4 * n * max_deg.max(1);
+    for _ in 0..attempts {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && g.degree(u) < max_deg && g.degree(v) < max_deg {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// A random `d`-regular-ish graph that is exactly regular when the
+/// pairing succeeds; used for the regular-graph MVC folklore row. Falls
+/// back to near-regular (degree `d` or `d−1`) if the last pairing is
+/// stuck.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Pairing model with retries.
+    'retry: for attempt in 0..64 {
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        // Shuffle stubs.
+        for i in (1..stubs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            stubs.swap(i, j);
+        }
+        let mut g = Graph::new(n);
+        for pair in stubs.chunks(2) {
+            if pair.len() < 2 {
+                break;
+            }
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || g.has_edge(u, v) {
+                if attempt < 63 {
+                    continue 'retry;
+                } else {
+                    continue; // accept near-regular on final attempt
+                }
+            }
+            g.add_edge(u, v);
+        }
+        return g;
+    }
+    unreachable!("loop always returns");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmds_graph::properties;
+
+    #[test]
+    fn gnp_determinism_and_density() {
+        let g = gnp(30, 20, 1);
+        assert_eq!(g, gnp(30, 20, 1));
+        assert_ne!(g, gnp(30, 20, 2));
+        let dense = gnp(30, 100, 0);
+        assert_eq!(dense.m(), 30 * 29 / 2);
+        let empty = gnp(30, 0, 0);
+        assert_eq!(empty.m(), 0);
+    }
+
+    #[test]
+    fn connected_gnp_is_connected() {
+        for seed in 0..5 {
+            let g = connected_gnp(40, 5, seed);
+            assert!(lmds_graph::connectivity::is_connected(&g), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn bounded_degree_respects_cap() {
+        for seed in 0..5 {
+            let g = random_bounded_degree(50, 4, seed);
+            assert!(properties::max_degree(&g) <= 4, "seed={seed}");
+            assert!(g.m() > 0);
+        }
+    }
+
+    #[test]
+    fn regular_graphs_are_regular() {
+        for seed in 0..3 {
+            let g = random_regular(20, 3, seed);
+            // Even n·d: pairing usually succeeds; assert near-regularity.
+            assert!(properties::max_degree(&g) <= 3);
+            assert!(properties::min_degree(&g) + 1 >= 3, "seed={seed}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Random and structured trees.
+
+use lmds_graph::{Graph, GraphBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A uniform random recursive tree: vertex `i` attaches to a uniformly
+/// random earlier vertex. Deterministic in `seed`.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    assert!(n >= 1, "tree needs at least one vertex");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_vertices(n);
+    for i in 1..n {
+        let p = rng.gen_range(0..i);
+        b.edge(p, i);
+    }
+    b.build()
+}
+
+/// The complete `k`-ary tree of the given depth (depth 0 = single root).
+pub fn complete_kary_tree(k: usize, depth: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    let root = b.fresh_vertex();
+    let mut frontier = vec![root];
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for &p in &frontier {
+            for _ in 0..k {
+                let c = b.fresh_vertex();
+                b.edge(p, c);
+                next.push(c);
+            }
+        }
+        frontier = next;
+    }
+    b.build()
+}
+
+/// A "broom": a path of length `handle` whose far end carries `bristles`
+/// pendant leaves. Stresses the leaf-greedy MDS and twin reduction
+/// (bristles are *false* twins, not true twins).
+pub fn broom(handle: usize, bristles: usize) -> Graph {
+    let mut b = GraphBuilder::with_vertices(handle.max(1));
+    for i in 1..handle {
+        b.edge(i - 1, i);
+    }
+    let tip = handle.saturating_sub(1);
+    for _ in 0..bristles {
+        let leaf = b.fresh_vertex();
+        b.edge(tip, leaf);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmds_graph::properties;
+
+    #[test]
+    fn random_tree_is_tree_and_deterministic() {
+        for n in [1, 2, 10, 50] {
+            let t = random_tree(n, 7);
+            assert!(properties::is_tree(&t), "n={n}");
+            assert_eq!(t, random_tree(n, 7));
+        }
+        assert_ne!(random_tree(30, 1), random_tree(30, 2));
+    }
+
+    #[test]
+    fn kary_tree_sizes() {
+        let t = complete_kary_tree(2, 3);
+        assert_eq!(t.n(), 15);
+        assert!(properties::is_tree(&t));
+        let t3 = complete_kary_tree(3, 2);
+        assert_eq!(t3.n(), 1 + 3 + 9);
+    }
+
+    #[test]
+    fn broom_shape() {
+        let g = broom(4, 3);
+        assert_eq!(g.n(), 7);
+        assert!(properties::is_tree(&g));
+        assert_eq!(g.degree(3), 4); // tip: 1 path edge + 3 bristles
+    }
+}

@@ -1,0 +1,194 @@
+//! Articulation points (cut vertices) and bridges, via an iterative
+//! Tarjan lowpoint DFS (iterative so million-vertex paths cannot blow the
+//! stack — local 1-cut detection runs this on every ball).
+
+use crate::graph::{Graph, Vertex};
+
+/// Result of the lowpoint DFS: articulation points and bridges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutStructure {
+    /// `true` for every articulation point (1-cut vertex).
+    pub is_articulation: Vec<bool>,
+    /// All bridges `(u, v)` with `u < v`, sorted.
+    pub bridges: Vec<(Vertex, Vertex)>,
+}
+
+/// Computes articulation points and bridges of `g` (over all components).
+pub fn cut_structure(g: &Graph) -> CutStructure {
+    let n = g.n();
+    let mut disc = vec![u32::MAX; n];
+    let mut low = vec![u32::MAX; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut is_art = vec![false; n];
+    let mut bridges = Vec::new();
+    let mut timer: u32 = 0;
+
+    // Iterative DFS frame: (vertex, neighbor index).
+    let mut stack: Vec<(Vertex, usize)> = Vec::new();
+    for root in g.vertices() {
+        if disc[root] != u32::MAX {
+            continue;
+        }
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        let mut root_children = 0usize;
+        stack.push((root, 0));
+        while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+            if *i < g.degree(u) {
+                let v = g.neighbors(u)[*i];
+                *i += 1;
+                if disc[v] == u32::MAX {
+                    parent[v] = u;
+                    disc[v] = timer;
+                    low[v] = timer;
+                    timer += 1;
+                    if u == root {
+                        root_children += 1;
+                    }
+                    stack.push((v, 0));
+                } else if v != parent[u] {
+                    low[u] = low[u].min(disc[v]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p] = low[p].min(low[u]);
+                    if low[u] >= disc[p] && p != root {
+                        is_art[p] = true;
+                    }
+                    if low[u] > disc[p] {
+                        bridges.push((p.min(u), p.max(u)));
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_art[root] = true;
+        }
+    }
+    bridges.sort_unstable();
+    CutStructure { is_articulation: is_art, bridges }
+}
+
+/// All articulation points, sorted.
+pub fn articulation_points(g: &Graph) -> Vec<Vertex> {
+    cut_structure(g)
+        .is_articulation
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &a)| a.then_some(v))
+        .collect()
+}
+
+/// Whether `v` is a cut vertex of `g`, i.e. `{v}` is a 1-cut: removing it
+/// increases the number of connected components.
+pub fn is_cut_vertex(g: &Graph, v: Vertex) -> bool {
+    cut_structure(g).is_articulation[v]
+}
+
+/// Whether the graph is 2-connected: connected, `n ≥ 3`, and without
+/// articulation points.
+pub fn is_biconnected(g: &Graph) -> bool {
+    g.n() >= 3 && crate::connectivity::is_connected(g) && articulation_points(g).is_empty()
+}
+
+/// Reference implementation of [`is_cut_vertex`] by explicit removal;
+/// used by tests and kept public for cross-validation in property tests.
+pub fn is_cut_vertex_naive(g: &Graph, v: Vertex) -> bool {
+    if g.degree(v) == 0 {
+        // Removing an isolated vertex merely deletes its own component.
+        return false;
+    }
+    let before = crate::connectivity::num_components(g);
+    let mut removed = vec![false; g.n()];
+    removed[v] = true;
+    let after = crate::connectivity::num_components_avoiding(g, &removed);
+    after >= before + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn path_interior_vertices_are_cuts() {
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(5);
+        b.path(&vs);
+        let g = b.build();
+        assert_eq!(articulation_points(&g), vec![1, 2, 3]);
+        assert_eq!(
+            cut_structure(&g).bridges,
+            vec![(0, 1), (1, 2), (2, 3), (3, 4)]
+        );
+    }
+
+    #[test]
+    fn cycle_has_no_cuts() {
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(6);
+        b.cycle(&vs);
+        let g = b.build();
+        assert!(articulation_points(&g).is_empty());
+        assert!(cut_structure(&g).bridges.is_empty());
+        assert!(is_biconnected(&g));
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        // Bowtie: triangles {0,1,2} and {2,3,4} share vertex 2.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        assert_eq!(articulation_points(&g), vec![2]);
+        assert!(cut_structure(&g).bridges.is_empty());
+        assert!(!is_biconnected(&g));
+    }
+
+    #[test]
+    fn star_center_is_cut() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(articulation_points(&g), vec![0]);
+        assert!(is_cut_vertex(&g, 0));
+        assert!(!is_cut_vertex(&g, 1));
+        let cs = cut_structure(&g);
+        assert_eq!(cs.bridges.len(), 4);
+    }
+
+    #[test]
+    fn disconnected_graph_handled_per_component() {
+        // Two paths: 0-1-2 and 3-4-5.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        assert_eq!(articulation_points(&g), vec![1, 4]);
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        let n = 200_000;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(n, &edges);
+        let aps = articulation_points(&g);
+        assert_eq!(aps.len(), n - 2);
+    }
+
+    #[test]
+    fn matches_naive_on_small_graphs() {
+        // Exhaustive-ish cross-check on a few structured graphs.
+        let graphs = vec![
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]),
+            Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]),
+            Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]),
+            Graph::from_edges(1, &[]),
+        ];
+        for g in &graphs {
+            let cs = cut_structure(g);
+            for v in g.vertices() {
+                assert_eq!(
+                    cs.is_articulation[v],
+                    is_cut_vertex_naive(g, v),
+                    "vertex {v} in {g:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Breadth-first traversal and metric queries: distances, balls `N^r[v]`,
+//! eccentricity, diameter, radius, and weak diameter.
+//!
+//! Balls are the central object of the paper: an `r`-round LOCAL algorithm
+//! is exactly a function of `G[N^r[v]]` (plus identifiers), so every
+//! "local" notion (local cuts, locally-`C` classes, …) is phrased in terms
+//! of [`ball`] / [`ball_of_set`].
+
+use crate::graph::{Graph, Vertex};
+use std::collections::VecDeque;
+
+/// BFS distances from `src`; `None` for unreachable vertices.
+///
+/// # Panics
+///
+/// Panics if `src` is out of range.
+pub fn bfs_distances(g: &Graph, src: Vertex) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.n()];
+    dist[src] = Some(0);
+    let mut q = VecDeque::new();
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u].unwrap();
+        for &v in g.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Multi-source BFS distances: distance from the nearest source.
+pub fn multi_source_distances(g: &Graph, sources: &[Vertex]) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.n()];
+    let mut q = VecDeque::new();
+    for &s in sources {
+        if dist[s].is_none() {
+            dist[s] = Some(0);
+            q.push_back(s);
+        }
+    }
+    while let Some(u) = q.pop_front() {
+        let du = dist[u].unwrap();
+        for &v in g.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The distance between `u` and `v`, or `None` if disconnected.
+pub fn distance(g: &Graph, u: Vertex, v: Vertex) -> Option<u32> {
+    if u == v {
+        return Some(0);
+    }
+    // Early-exit BFS.
+    let mut dist = vec![None; g.n()];
+    dist[u] = Some(0);
+    let mut q = VecDeque::new();
+    q.push_back(u);
+    while let Some(x) = q.pop_front() {
+        let dx = dist[x].unwrap();
+        for &y in g.neighbors(x) {
+            if dist[y].is_none() {
+                if y == v {
+                    return Some(dx + 1);
+                }
+                dist[y] = Some(dx + 1);
+                q.push_back(y);
+            }
+        }
+    }
+    None
+}
+
+/// The ball `N^r[v]`: all vertices at distance at most `r` from `v`,
+/// sorted ascending.
+pub fn ball(g: &Graph, v: Vertex, r: u32) -> Vec<Vertex> {
+    ball_of_set(g, &[v], r)
+}
+
+/// The ball `N^r[S]` around a set `S`, sorted ascending.
+///
+/// `r = 0` returns `S` itself (deduplicated, sorted).
+pub fn ball_of_set(g: &Graph, set: &[Vertex], r: u32) -> Vec<Vertex> {
+    let mut dist: Vec<Option<u32>> = vec![None; g.n()];
+    let mut q = VecDeque::new();
+    let mut out = Vec::new();
+    for &s in set {
+        if dist[s].is_none() {
+            dist[s] = Some(0);
+            q.push_back(s);
+            out.push(s);
+        }
+    }
+    while let Some(u) = q.pop_front() {
+        let du = dist[u].unwrap();
+        if du == r {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                out.push(v);
+                q.push_back(v);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Eccentricity of `v` within its connected component.
+pub fn eccentricity(g: &Graph, v: Vertex) -> u32 {
+    bfs_distances(g, v).into_iter().flatten().max().unwrap_or(0)
+}
+
+/// Diameter of the graph.
+///
+/// Returns `None` if the graph is disconnected or empty (the diameter is
+/// then conventionally infinite/undefined). Runs `n` BFS traversals.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    if g.n() == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for v in g.vertices() {
+        let d = bfs_distances(g, v);
+        let mut ecc = 0;
+        for dv in &d {
+            match dv {
+                Some(x) => ecc = ecc.max(*x),
+                None => return None,
+            }
+        }
+        best = best.max(ecc);
+    }
+    Some(best)
+}
+
+/// Radius of the graph: `min_v ecc(v)`. `None` if disconnected or empty.
+pub fn radius(g: &Graph) -> Option<u32> {
+    if g.n() == 0 {
+        return None;
+    }
+    let mut best = u32::MAX;
+    for v in g.vertices() {
+        let d = bfs_distances(g, v);
+        let mut ecc = 0;
+        for dv in &d {
+            match dv {
+                Some(x) => ecc = ecc.max(*x),
+                None => return None,
+            }
+        }
+        best = best.min(ecc);
+    }
+    Some(best)
+}
+
+/// Weak diameter of `set` in `g`: the largest distance **in `g`** between
+/// two vertices of `set` (paper, §2). Returns `None` if two vertices of
+/// the set are in different components of `g`, `Some(0)` for sets of size
+/// ≤ 1.
+pub fn weak_diameter(g: &Graph, set: &[Vertex]) -> Option<u32> {
+    let mut best = 0;
+    for (i, &u) in set.iter().enumerate() {
+        let d = bfs_distances(g, u);
+        for &v in &set[i + 1..] {
+            match d[v] {
+                Some(x) => best = best.max(x),
+                None => return None,
+            }
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(n);
+        b.path(&vs);
+        b.build()
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(n);
+        b.cycle(&vs);
+        b.build()
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+        assert_eq!(distance(&g, 0, 4), Some(4));
+        assert_eq!(distance(&g, 2, 2), Some(0));
+    }
+
+    #[test]
+    fn distances_disconnected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(distance(&g, 0, 3), None);
+        assert_eq!(bfs_distances(&g, 0)[3], None);
+    }
+
+    #[test]
+    fn ball_on_cycle() {
+        let g = cycle(8);
+        assert_eq!(ball(&g, 0, 0), vec![0]);
+        assert_eq!(ball(&g, 0, 1), vec![0, 1, 7]);
+        assert_eq!(ball(&g, 0, 2), vec![0, 1, 2, 6, 7]);
+        assert_eq!(ball(&g, 0, 4), (0..8).collect::<Vec<_>>());
+        assert_eq!(ball(&g, 0, 100), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ball_of_set_merges() {
+        let g = path(7);
+        assert_eq!(ball_of_set(&g, &[0, 6], 1), vec![0, 1, 5, 6]);
+        assert_eq!(ball_of_set(&g, &[3], 2), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn diameter_radius_path_cycle() {
+        assert_eq!(diameter(&path(5)), Some(4));
+        assert_eq!(radius(&path(5)), Some(2));
+        assert_eq!(diameter(&cycle(8)), Some(4));
+        assert_eq!(radius(&cycle(8)), Some(4));
+        let disc = Graph::from_edges(3, &[(0, 1)]);
+        assert_eq!(diameter(&disc), None);
+        assert_eq!(radius(&disc), None);
+    }
+
+    #[test]
+    fn eccentricity_center_vs_leaf() {
+        let g = path(5);
+        assert_eq!(eccentricity(&g, 2), 2);
+        assert_eq!(eccentricity(&g, 0), 4);
+    }
+
+    #[test]
+    fn weak_diameter_uses_host_distances() {
+        // On a cycle C8, the set {0, 4} has weak diameter 4 (host
+        // distance), even though the induced subgraph on {0,4} is edgeless.
+        let g = cycle(8);
+        assert_eq!(weak_diameter(&g, &[0, 4]), Some(4));
+        assert_eq!(weak_diameter(&g, &[0]), Some(0));
+        assert_eq!(weak_diameter(&g, &[]), Some(0));
+        let disc = Graph::from_edges(2, &[]);
+        assert_eq!(weak_diameter(&disc, &[0, 1]), None);
+    }
+
+    #[test]
+    fn multi_source() {
+        let g = path(6);
+        let d = multi_source_distances(&g, &[0, 5]);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(2), Some(1), Some(0)]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Biconnected components and the block–cut tree.
+//!
+//! The block–cut tree `T` (used in the proof of Lemma 3.2 / Claim 5.3)
+//! is the bipartite graph on (maximal 2-connected blocks) ∪ (cut
+//! vertices), with an edge `(b, c)` whenever cut vertex `c` belongs to
+//! block `b`. Per connected component of `G` it is a tree whose leaves
+//! are blocks.
+
+use crate::graph::{Graph, Vertex};
+
+/// The block–cut decomposition of a graph.
+#[derive(Debug, Clone)]
+pub struct BlockCutTree {
+    /// Maximal biconnected blocks, each a sorted vertex list. A bridge
+    /// edge forms a block of size 2; an isolated vertex forms a block of
+    /// size 1.
+    pub blocks: Vec<Vec<Vertex>>,
+    /// Cut vertices (articulation points), sorted.
+    pub cut_vertices: Vec<Vertex>,
+    /// Tree edges as `(block_index, cut_vertex_index)` pairs, where the
+    /// second index points into `cut_vertices`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl BlockCutTree {
+    /// Computes the block–cut tree of `g` (all components).
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.n();
+        let mut disc = vec![u32::MAX; n];
+        let mut low = vec![u32::MAX; n];
+        let mut parent = vec![usize::MAX; n];
+        let mut is_art = vec![false; n];
+        let mut timer: u32 = 0;
+        let mut edge_stack: Vec<(Vertex, Vertex)> = Vec::new();
+        let mut blocks: Vec<Vec<Vertex>> = Vec::new();
+
+        let mut stack: Vec<(Vertex, usize)> = Vec::new();
+        for root in g.vertices() {
+            if disc[root] != u32::MAX {
+                continue;
+            }
+            if g.degree(root) == 0 {
+                disc[root] = timer;
+                timer += 1;
+                blocks.push(vec![root]);
+                continue;
+            }
+            disc[root] = timer;
+            low[root] = timer;
+            timer += 1;
+            let mut root_children = 0usize;
+            stack.push((root, 0));
+            while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+                if *i < g.degree(u) {
+                    let v = g.neighbors(u)[*i];
+                    *i += 1;
+                    if disc[v] == u32::MAX {
+                        parent[v] = u;
+                        disc[v] = timer;
+                        low[v] = timer;
+                        timer += 1;
+                        edge_stack.push((u, v));
+                        if u == root {
+                            root_children += 1;
+                        }
+                        stack.push((v, 0));
+                    } else if v != parent[u] && disc[v] < disc[u] {
+                        edge_stack.push((u, v));
+                        low[u] = low[u].min(disc[v]);
+                    }
+                } else {
+                    stack.pop();
+                    if let Some(&(p, _)) = stack.last() {
+                        low[p] = low[p].min(low[u]);
+                        if low[u] >= disc[p] {
+                            // p is an articulation point (or the root);
+                            // pop the block containing edge (p, u).
+                            if p != root || root_children >= 1 {
+                                let mut verts = Vec::new();
+                                while let Some(&(a, b)) = edge_stack.last() {
+                                    if disc[a] >= disc[u] || (a == p && b == u) {
+                                        edge_stack.pop();
+                                        verts.push(a);
+                                        verts.push(b);
+                                        if a == p && b == u {
+                                            break;
+                                        }
+                                    } else {
+                                        break;
+                                    }
+                                }
+                                verts.sort_unstable();
+                                verts.dedup();
+                                if !verts.is_empty() {
+                                    blocks.push(verts);
+                                }
+                            }
+                            if p != root {
+                                is_art[p] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if root_children >= 2 {
+                is_art[root] = true;
+            }
+        }
+
+        let cut_vertices: Vec<Vertex> =
+            (0..n).filter(|&v| is_art[v]).collect();
+        let cut_index: std::collections::HashMap<Vertex, usize> =
+            cut_vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut edges = Vec::new();
+        for (bi, block) in blocks.iter().enumerate() {
+            for &v in block {
+                if let Some(&ci) = cut_index.get(&v) {
+                    edges.push((bi, ci));
+                }
+            }
+        }
+        BlockCutTree { blocks, cut_vertices, edges }
+    }
+
+    /// Number of tree nodes (blocks + cut vertices).
+    pub fn num_nodes(&self) -> usize {
+        self.blocks.len() + self.cut_vertices.len()
+    }
+
+    /// Checks the tree property per host component: `#nodes = #edges +
+    /// #components`. Exposed for tests/verification harnesses.
+    pub fn is_forest_of(&self, g: &Graph) -> bool {
+        let comps = crate::connectivity::num_components(g);
+        self.num_nodes() == self.edges.len() + comps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn bowtie_blocks() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        let bct = BlockCutTree::compute(&g);
+        assert_eq!(bct.cut_vertices, vec![2]);
+        let mut blocks = bct.blocks.clone();
+        blocks.sort();
+        assert_eq!(blocks, vec![vec![0, 1, 2], vec![2, 3, 4]]);
+        assert_eq!(bct.edges.len(), 2);
+        assert!(bct.is_forest_of(&g));
+    }
+
+    #[test]
+    fn path_every_edge_is_a_block() {
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(5);
+        b.path(&vs);
+        let g = b.build();
+        let bct = BlockCutTree::compute(&g);
+        assert_eq!(bct.blocks.len(), 4);
+        assert_eq!(bct.cut_vertices, vec![1, 2, 3]);
+        assert!(bct.is_forest_of(&g));
+    }
+
+    #[test]
+    fn biconnected_graph_single_block() {
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(6);
+        b.cycle(&vs);
+        let g = b.build();
+        let bct = BlockCutTree::compute(&g);
+        assert_eq!(bct.blocks.len(), 1);
+        assert_eq!(bct.blocks[0], (0..6).collect::<Vec<_>>());
+        assert!(bct.cut_vertices.is_empty());
+        assert!(bct.is_forest_of(&g));
+    }
+
+    #[test]
+    fn isolated_vertices_are_singleton_blocks() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let bct = BlockCutTree::compute(&g);
+        let mut blocks = bct.blocks.clone();
+        blocks.sort();
+        assert_eq!(blocks, vec![vec![0, 1], vec![2]]);
+        assert!(bct.is_forest_of(&g));
+    }
+
+    #[test]
+    fn two_cycles_sharing_vertex_and_pendant() {
+        // C4 on {0,1,2,3}, C3 on {3,4,5}, pendant 6 on 0.
+        let g = Graph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (5, 3), (0, 6)],
+        );
+        let bct = BlockCutTree::compute(&g);
+        assert_eq!(bct.cut_vertices, vec![0, 3]);
+        assert_eq!(bct.blocks.len(), 3);
+        assert!(bct.is_forest_of(&g));
+        // Every block containing a cut vertex is linked to it.
+        for (bi, block) in bct.blocks.iter().enumerate() {
+            for (ci, &c) in bct.cut_vertices.iter().enumerate() {
+                let linked = bct.edges.contains(&(bi, ci));
+                assert_eq!(linked, block.contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_are_blocks() {
+        // Proof of Claim 5.3 uses "all leaves of T are in B". Verify on a
+        // caterpillar-ish graph.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (1, 4), (2, 5)]);
+        let bct = BlockCutTree::compute(&g);
+        // Compute degrees of tree nodes.
+        let mut block_deg = vec![0usize; bct.blocks.len()];
+        let mut cut_deg = vec![0usize; bct.cut_vertices.len()];
+        for &(b, c) in &bct.edges {
+            block_deg[b] += 1;
+            cut_deg[c] += 1;
+        }
+        // Cut vertices always have degree ≥ 2 in the block-cut tree.
+        for d in cut_deg {
+            assert!(d >= 2);
+        }
+        let _ = block_deg;
+    }
+}

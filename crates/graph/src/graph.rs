@@ -1,0 +1,456 @@
+//! The core undirected simple graph type.
+
+use crate::errors::GraphError;
+
+/// Index of a vertex in a [`Graph`].
+///
+/// Vertices are always `0..n`. LOCAL-model identifiers (arbitrary
+/// `O(log n)`-bit labels) are a separate concept layered on top by the
+/// `lmds-localsim` crate.
+pub type Vertex = usize;
+
+/// An undirected simple graph with sorted adjacency lists.
+///
+/// Invariants maintained by all constructors and mutators:
+/// * no self-loops, no parallel edges;
+/// * every adjacency list is sorted ascending (so `has_edge` is a binary
+///   search and iteration order is deterministic).
+///
+/// # Example
+///
+/// ```
+/// use lmds_graph::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 4);
+/// assert!(g.has_edge(0, 3));
+/// assert!(!g.has_edge(0, 2));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<Vertex>>,
+    m: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n], m: 0 }
+    }
+
+    /// Creates a graph with `n` vertices and the given edges.
+    ///
+    /// Duplicate edges are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n` or an edge is a self-loop. Use
+    /// [`Graph::try_from_edges`] for a fallible variant.
+    pub fn from_edges(n: usize, edges: &[(Vertex, Vertex)]) -> Self {
+        Self::try_from_edges(n, edges.iter().copied()).expect("invalid edge list")
+    }
+
+    /// Fallible variant of [`Graph::from_edges`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] or [`GraphError::SelfLoop`]
+    /// on the first offending edge.
+    pub fn try_from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (Vertex, Vertex)>,
+    {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.try_add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Returns `true` if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds a new isolated vertex and returns its index.
+    pub fn add_vertex(&mut self) -> Vertex {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `true` if the edge was
+    /// new, `false` if it already existed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: Vertex, v: Vertex) -> bool {
+        self.try_add_edge(u, v).expect("invalid edge")
+    }
+
+    /// Fallible variant of [`Graph::add_edge`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `u == v` and
+    /// [`GraphError::VertexOutOfRange`] if an endpoint is out of range.
+    pub fn try_add_edge(&mut self, u: Vertex, v: Vertex) -> Result<bool, GraphError> {
+        let n = self.n();
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        if u >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: u, n });
+        }
+        if v >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, n });
+        }
+        match self.adj[u].binary_search(&v) {
+            Ok(_) => Ok(false),
+            Err(pos_u) => {
+                self.adj[u].insert(pos_u, v);
+                let pos_v = self.adj[v].binary_search(&u).unwrap_err();
+                self.adj[v].insert(pos_v, u);
+                self.m += 1;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Removes the edge `{u, v}` if present. Returns `true` if removed.
+    pub fn remove_edge(&mut self, u: Vertex, v: Vertex) -> bool {
+        if u >= self.n() || v >= self.n() || u == v {
+            return false;
+        }
+        if let Ok(pos) = self.adj[u].binary_search(&v) {
+            self.adj[u].remove(pos);
+            let pos_v = self.adj[v].binary_search(&u).unwrap();
+            self.adj[v].remove(pos_v);
+            self.m -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.adj[v].len()
+    }
+
+    /// The (sorted) open neighborhood of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.adj[v]
+    }
+
+    /// The closed neighborhood `N[v]` as a sorted vector.
+    pub fn closed_neighborhood(&self, v: Vertex) -> Vec<Vertex> {
+        let mut out = Vec::with_capacity(self.degree(v) + 1);
+        let mut inserted = false;
+        for &u in &self.adj[v] {
+            if !inserted && u > v {
+                out.push(v);
+                inserted = true;
+            }
+            out.push(u);
+        }
+        if !inserted {
+            out.push(v);
+        }
+        out
+    }
+
+    /// Whether the edge `{u, v}` exists. Out-of-range arguments yield
+    /// `false`.
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        u < self.n() && v < self.n() && self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all vertices `0..n`.
+    pub fn vertices(&self) -> std::ops::Range<Vertex> {
+        0..self.n()
+    }
+
+    /// Iterator over all edges as `(u, v)` with `u < v`, in lexicographic
+    /// order.
+    pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nb)| nb.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+    }
+
+    /// Returns `true` if `u` and `v` are *true twins*, i.e.
+    /// `N[u] == N[v]` (which requires `uv ∈ E`).
+    pub fn are_true_twins(&self, u: Vertex, v: Vertex) -> bool {
+        if u == v || !self.has_edge(u, v) {
+            return false;
+        }
+        // N[u] == N[v]  ⟺  N(u) \ {v} == N(v) \ {u}.
+        if self.degree(u) != self.degree(v) {
+            return false;
+        }
+        let mut iu = self.adj[u].iter().filter(|&&x| x != v);
+        let mut iv = self.adj[v].iter().filter(|&&x| x != u);
+        loop {
+            match (iu.next(), iv.next()) {
+                (None, None) => return true,
+                (Some(a), Some(b)) if a == b => continue,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Builds the disjoint union of `self` and `other`; vertices of
+    /// `other` are shifted by `self.n()`. Returns the shift offset.
+    pub fn disjoint_union(&mut self, other: &Graph) -> usize {
+        let offset = self.n();
+        for v in other.vertices() {
+            self.adj.push(other.adj[v].iter().map(|&u| u + offset).collect());
+        }
+        self.m += other.m;
+        offset
+    }
+
+    /// Degree sequence, sorted descending.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut d: Vec<usize> = self.adj.iter().map(Vec::len).collect();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        d
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.n(), self.m())?;
+        if self.n() <= 16 {
+            write!(f, " edges={:?}", self.edges().collect::<Vec<_>>())?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder that grows the vertex set on demand.
+///
+/// Useful for generators that discover vertices as they emit edges.
+///
+/// # Example
+///
+/// ```
+/// use lmds_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// let u = b.fresh_vertex();
+/// let v = b.fresh_vertex();
+/// b.edge(u, v);
+/// let g = b.build();
+/// assert_eq!(g.n(), 2);
+/// assert!(g.has_edge(0, 1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(Vertex, Vertex)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized with `n` vertices.
+    pub fn with_vertices(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Allocates and returns a fresh vertex.
+    pub fn fresh_vertex(&mut self) -> Vertex {
+        self.n += 1;
+        self.n - 1
+    }
+
+    /// Allocates `k` fresh vertices and returns them.
+    pub fn fresh_vertices(&mut self, k: usize) -> Vec<Vertex> {
+        (0..k).map(|_| self.fresh_vertex()).collect()
+    }
+
+    /// Records the edge `{u, v}`, growing the vertex set if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v`.
+    pub fn edge(&mut self, u: Vertex, v: Vertex) -> &mut Self {
+        assert_ne!(u, v, "self-loop in builder");
+        self.n = self.n.max(u + 1).max(v + 1);
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Records a path through the listed vertices.
+    pub fn path(&mut self, verts: &[Vertex]) -> &mut Self {
+        for w in verts.windows(2) {
+            self.edge(w[0], w[1]);
+        }
+        self
+    }
+
+    /// Records a cycle through the listed vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 3 vertices are given.
+    pub fn cycle(&mut self, verts: &[Vertex]) -> &mut Self {
+        assert!(verts.len() >= 3, "cycle needs at least 3 vertices");
+        self.path(verts);
+        self.edge(verts[verts.len() - 1], verts[0]);
+        self
+    }
+
+    /// Number of vertices allocated so far.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Finalizes the builder into a [`Graph`].
+    pub fn build(&self) -> Graph {
+        Graph::from_edges(self.n, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn add_edge_dedups_and_sorts() {
+        let mut g = Graph::new(4);
+        assert!(g.add_edge(2, 0));
+        assert!(!g.add_edge(0, 2));
+        assert!(g.add_edge(2, 1));
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = Graph::new(3);
+        assert_eq!(g.try_add_edge(1, 1), Err(GraphError::SelfLoop { vertex: 1 }));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut g = Graph::new(3);
+        assert_eq!(
+            g.try_add_edge(0, 9),
+            Err(GraphError::VertexOutOfRange { vertex: 9, n: 3 })
+        );
+    }
+
+    #[test]
+    fn remove_edge_roundtrip() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(g.remove_edge(1, 0));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.m(), 1);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn closed_neighborhood_is_sorted_and_contains_self() {
+        let g = Graph::from_edges(5, &[(2, 0), (2, 4), (2, 3)]);
+        assert_eq!(g.closed_neighborhood(2), vec![0, 2, 3, 4]);
+        assert_eq!(g.closed_neighborhood(1), vec![1]);
+        assert_eq!(g.closed_neighborhood(0), vec![0, 2]);
+        // Self is the largest element.
+        let g2 = Graph::from_edges(5, &[(4, 0), (4, 1)]);
+        assert_eq!(g2.closed_neighborhood(4), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn edges_are_lexicographic() {
+        let g = Graph::from_edges(4, &[(3, 1), (0, 2), (0, 1)]);
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 1), (0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn true_twins_triangle() {
+        // In a triangle every pair is a pair of true twins.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!(g.are_true_twins(0, 1));
+        assert!(g.are_true_twins(1, 2));
+        // In a path, endpoints are not twins (no edge / different N[·]).
+        let p = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(!p.are_true_twins(0, 2));
+        assert!(!p.are_true_twins(0, 1));
+    }
+
+    #[test]
+    fn true_twins_require_edge() {
+        // Two vertices with the same open neighborhood but no edge are
+        // *false* twins, not true twins.
+        let g = Graph::from_edges(4, &[(0, 2), (1, 2), (0, 3), (1, 3)]);
+        assert!(!g.are_true_twins(0, 1));
+    }
+
+    #[test]
+    fn disjoint_union_shifts() {
+        let mut g = Graph::from_edges(2, &[(0, 1)]);
+        let h = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let off = g.disjoint_union(&h);
+        assert_eq!(off, 2);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 3);
+        assert!(g.has_edge(2, 3));
+        assert!(g.has_edge(3, 4));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn builder_shapes() {
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(5);
+        b.cycle(&vs);
+        let g = b.build();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 5);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn degree_sequence_sorted_desc() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.degree_sequence(), vec![3, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Plain-text graph interchange: edge lists and Graphviz DOT export.
+
+use crate::errors::GraphError;
+use crate::graph::{Graph, Vertex};
+
+/// Serializes the graph as an edge list: first line `n m`, then one
+/// `u v` line per edge (lexicographic order). Comment lines start `#`.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} {}\n", g.n(), g.m()));
+    for (u, v) in g.edges() {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+/// Parses the format produced by [`to_edge_list`]. Blank lines and lines
+/// starting with `#` are skipped.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed lines and the underlying
+/// construction error on invalid edges.
+pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty() && !l.trim_start().starts_with('#'));
+    let (lno, header) = lines.next().ok_or(GraphError::Parse { line: 1, content: String::new() })?;
+    let mut it = header.split_whitespace();
+    let n: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| GraphError::Parse { line: lno + 1, content: header.to_string() })?;
+    let _m: Option<usize> = it.next().and_then(|s| s.parse().ok());
+    let mut g = Graph::new(n);
+    for (lno, line) in lines {
+        let mut it = line.split_whitespace();
+        let parse = |s: Option<&str>| -> Result<Vertex, GraphError> {
+            s.and_then(|x| x.parse().ok())
+                .ok_or_else(|| GraphError::Parse { line: lno + 1, content: line.to_string() })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        g.try_add_edge(u, v)?;
+    }
+    Ok(g)
+}
+
+/// Graphviz DOT export; `highlight` vertices are filled (e.g. a computed
+/// dominating set).
+pub fn to_dot(g: &Graph, highlight: &[Vertex]) -> String {
+    let mut marked = vec![false; g.n()];
+    for &v in highlight {
+        marked[v] = true;
+    }
+    let mut out = String::from("graph G {\n  node [shape=circle];\n");
+    for v in g.vertices() {
+        if marked[v] {
+            out.push_str(&format!("  {v} [style=filled fillcolor=gold];\n"));
+        } else {
+            out.push_str(&format!("  {v};\n"));
+        }
+    }
+    for (u, v) in g.edges() {
+        out.push_str(&format!("  {u} -- {v};\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let text = to_edge_list(&g);
+        let h = from_edge_list(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# a comment\n\n4 2\n0 1\n# another\n2 3\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(from_edge_list("").is_err());
+        assert!(from_edge_list("3 1\n0 x\n").is_err());
+        let err = from_edge_list("2 1\n0 5\n").unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn dot_contains_highlights() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let dot = to_dot(&g, &[1]);
+        assert!(dot.contains("1 [style=filled"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.starts_with("graph G {"));
+    }
+}

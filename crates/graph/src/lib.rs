@@ -1,0 +1,71 @@
+//! # lmds-graph
+//!
+//! Graph substrate for the reproduction of *"Local Constant Approximation
+//! for Dominating Set on Graphs Excluding Large Minors"* (PODC 2025).
+//!
+//! This crate is self-contained (no graph-library dependency) and provides
+//! every centralized primitive the paper's LOCAL algorithms and their
+//! analysis need:
+//!
+//! * a compact undirected [`Graph`] with sorted adjacency lists,
+//! * traversal and metric queries ([`bfs`]: balls `N^r[v]`, distances,
+//!   diameter, radius, weak diameter),
+//! * the connectivity stack ([`connectivity`], [`articulation`],
+//!   [`block_cut`], [`two_cuts`], [`spqr`]),
+//! * true-twin reduction ([`twins`]),
+//! * dominating-set and vertex-cover toolkits with exact solvers
+//!   ([`dominating`], [`vertex_cover`]),
+//! * exact `K_{2,t}`-minor detection via hub-pair enumeration plus
+//!   Menger-style petal counting ([`minor`]).
+//!
+//! # Example
+//!
+//! ```
+//! use lmds_graph::Graph;
+//! use lmds_graph::dominating::{greedy_dominating_set, is_dominating_set};
+//!
+//! let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+//! let ds = greedy_dominating_set(&g);
+//! assert!(is_dominating_set(&g, &ds));
+//! ```
+
+pub mod articulation;
+pub mod bfs;
+pub mod block_cut;
+pub mod connectivity;
+pub mod dominating;
+pub mod errors;
+pub mod graph;
+pub mod io;
+pub mod minor;
+pub mod properties;
+pub mod spqr;
+pub mod subgraph;
+pub mod treewidth;
+pub mod twins;
+pub mod two_cuts;
+pub mod vertex_cover;
+
+pub use errors::GraphError;
+pub use graph::{Graph, GraphBuilder, Vertex};
+pub use subgraph::InducedSubgraph;
+
+/// A set of vertices represented as a sorted, deduplicated vector.
+///
+/// Most APIs in this workspace exchange vertex sets in this canonical form
+/// so that equality comparisons and set operations are deterministic.
+pub type VertexSet = Vec<Vertex>;
+
+/// Canonicalizes a vertex collection into a sorted, deduplicated
+/// [`VertexSet`].
+///
+/// ```
+/// let s = lmds_graph::canonical_set(vec![3, 1, 3, 2]);
+/// assert_eq!(s, vec![1, 2, 3]);
+/// ```
+pub fn canonical_set<I: IntoIterator<Item = Vertex>>(verts: I) -> VertexSet {
+    let mut v: Vec<Vertex> = verts.into_iter().collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}

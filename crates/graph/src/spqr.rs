@@ -1,0 +1,545 @@
+//! SPQR-style triconnected decomposition of a biconnected graph.
+//!
+//! Used by the paper's Lemma 3.3 analysis (§5.3), where interesting
+//! 2-cuts are organized into three pairwise non-crossing families read
+//! off an SPQR tree. We implement the decomposition by recursive
+//! splitting at separation pairs with virtual-edge bookkeeping, followed
+//! by the canonical merge of adjacent S-nodes and adjacent P-nodes. The
+//! construction is quadratic (not the linear-time Hopcroft–Tarjan /
+//! Gutwenger–Mutzel algorithm), which is ample for the analysis
+//! experiments.
+
+use crate::graph::{Graph, Vertex};
+use std::collections::HashMap;
+
+/// Kind of an SPQR tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Cycle ("series") node.
+    S,
+    /// Dipole ("parallel") node: two vertices with ≥ 3 edges.
+    P,
+    /// 3-connected ("rigid") node.
+    R,
+}
+
+/// Identifier of a virtual-edge pairing: the two tree nodes sharing a
+/// pair id are adjacent in the SPQR tree.
+pub type PairId = u64;
+
+/// An edge of a skeleton graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkeletonEdge {
+    /// An edge of the host graph.
+    Real(Vertex, Vertex),
+    /// A virtual edge standing for the rest of the graph.
+    Virtual(Vertex, Vertex, PairId),
+}
+
+impl SkeletonEdge {
+    /// The endpoints of the edge.
+    pub fn endpoints(&self) -> (Vertex, Vertex) {
+        match *self {
+            SkeletonEdge::Real(u, v) | SkeletonEdge::Virtual(u, v, _) => (u, v),
+        }
+    }
+
+    /// Whether the edge is virtual.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, SkeletonEdge::Virtual(..))
+    }
+}
+
+/// A node of the SPQR tree: its kind and its skeleton multigraph.
+#[derive(Debug, Clone)]
+pub struct SpqrNode {
+    /// S, P, or R.
+    pub kind: NodeKind,
+    /// Host vertices appearing in this skeleton, sorted.
+    pub vertices: Vec<Vertex>,
+    /// Skeleton edges (real and virtual).
+    pub edges: Vec<SkeletonEdge>,
+}
+
+/// The SPQR tree of a biconnected graph.
+#[derive(Debug, Clone)]
+pub struct SpqrTree {
+    /// The tree nodes.
+    pub nodes: Vec<SpqrNode>,
+    /// Tree edges: `(node_a, node_b, pair_id)`.
+    pub tree_edges: Vec<(usize, usize, PairId)>,
+}
+
+#[derive(Debug, Clone)]
+struct MultiGraph {
+    verts: Vec<Vertex>,
+    edges: Vec<SkeletonEdge>,
+}
+
+impl MultiGraph {
+    fn parallel_count(&self, u: Vertex, v: Vertex) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| {
+                let (a, b) = e.endpoints();
+                (a, b) == (u, v) || (a, b) == (v, u)
+            })
+            .count()
+    }
+
+    /// Components of the vertex set after removing `u` and `v`
+    /// (underlying simple adjacency).
+    fn components_without(&self, u: Vertex, v: Vertex) -> Vec<Vec<Vertex>> {
+        let rest: Vec<Vertex> =
+            self.verts.iter().copied().filter(|&x| x != u && x != v).collect();
+        if rest.is_empty() {
+            return Vec::new();
+        }
+        let idx: HashMap<Vertex, usize> =
+            rest.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+        let mut uf = crate::connectivity::UnionFind::new(rest.len());
+        for e in &self.edges {
+            let (a, b) = e.endpoints();
+            if let (Some(&ia), Some(&ib)) = (idx.get(&a), idx.get(&b)) {
+                uf.union(ia, ib);
+            }
+        }
+        let mut groups: HashMap<usize, Vec<Vertex>> = HashMap::new();
+        for (i, &x) in rest.iter().enumerate() {
+            groups.entry(uf.find(i)).or_default().push(x);
+        }
+        let mut out: Vec<Vec<Vertex>> = groups.into_values().collect();
+        for c in &mut out {
+            c.sort_unstable();
+        }
+        out.sort();
+        out
+    }
+
+    /// The lexicographically smallest separation pair, if any: either a
+    /// pair with ≥ 2 parallel edges (and a third vertex present), or a
+    /// pair whose removal leaves ≥ 2 components.
+    fn separation_pair(&self) -> Option<(Vertex, Vertex)> {
+        if self.verts.len() < 3 {
+            return None;
+        }
+        for (i, &u) in self.verts.iter().enumerate() {
+            for &v in &self.verts[i + 1..] {
+                if self.parallel_count(u, v) >= 2 {
+                    return Some((u, v));
+                }
+                if self.components_without(u, v).len() >= 2 {
+                    return Some((u, v));
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the underlying multigraph is a simple cycle.
+    fn is_cycle(&self) -> bool {
+        if self.verts.len() < 3 || self.edges.len() != self.verts.len() {
+            return false;
+        }
+        let mut deg: HashMap<Vertex, usize> = HashMap::new();
+        for e in &self.edges {
+            let (a, b) = e.endpoints();
+            if a == b {
+                return false;
+            }
+            *deg.entry(a).or_default() += 1;
+            *deg.entry(b).or_default() += 1;
+        }
+        if !self.verts.iter().all(|v| deg.get(v) == Some(&2)) {
+            return false;
+        }
+        // Degree-2 everywhere with |E| = |V|: connected ⟺ single cycle.
+        self.components_without(usize::MAX, usize::MAX).len() == 1
+    }
+}
+
+impl SpqrTree {
+    /// Computes the SPQR tree of `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not biconnected with at least 3 vertices (the
+    /// decomposition is defined for 2-connected graphs; split at the
+    /// block–cut tree first).
+    pub fn compute(g: &Graph) -> Self {
+        assert!(
+            crate::articulation::is_biconnected(g),
+            "SPQR tree requires a biconnected graph on ≥ 3 vertices"
+        );
+        let mg = MultiGraph {
+            verts: g.vertices().collect(),
+            edges: g.edges().map(|(u, v)| SkeletonEdge::Real(u, v)).collect(),
+        };
+        let mut builder = Builder { nodes: Vec::new(), next_pair: 0 };
+        builder.decompose(mg);
+        let mut tree = SpqrTree { nodes: builder.nodes, tree_edges: Vec::new() };
+        tree.rebuild_tree_edges();
+        tree.merge_same_kind();
+        tree
+    }
+
+    /// Recomputes `tree_edges` from the virtual pair ids found in node
+    /// skeletons (each pair id appears in exactly two nodes).
+    fn rebuild_tree_edges(&mut self) {
+        let mut owners: HashMap<PairId, Vec<usize>> = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for e in &node.edges {
+                if let SkeletonEdge::Virtual(_, _, p) = e {
+                    owners.entry(*p).or_default().push(i);
+                }
+            }
+        }
+        self.tree_edges.clear();
+        for (p, nodes) in owners {
+            debug_assert_eq!(nodes.len(), 2, "pair id {p} must link exactly two nodes");
+            self.tree_edges.push((nodes[0], nodes[1], p));
+        }
+        self.tree_edges.sort_unstable();
+    }
+
+    /// Merge adjacent S–S and P–P node pairs (canonicalization).
+    fn merge_same_kind(&mut self) {
+        loop {
+            let Some(pos) = self.tree_edges.iter().position(|&(a, b, _)| {
+                self.nodes[a].kind == self.nodes[b].kind
+                    && matches!(self.nodes[a].kind, NodeKind::S | NodeKind::P)
+            }) else {
+                break;
+            };
+            let (a, b, pid) = self.tree_edges[pos];
+            // Merge node b into node a: drop the shared virtual edges,
+            // union everything else.
+            let mut edges: Vec<SkeletonEdge> = Vec::new();
+            for node in [a, b] {
+                for e in &self.nodes[node].edges {
+                    match e {
+                        SkeletonEdge::Virtual(_, _, p) if *p == pid => {}
+                        other => edges.push(*other),
+                    }
+                }
+            }
+            let mut vertices = self.nodes[a].vertices.clone();
+            vertices.extend_from_slice(&self.nodes[b].vertices);
+            vertices.sort_unstable();
+            vertices.dedup();
+            self.nodes[a] = SpqrNode { kind: self.nodes[a].kind, vertices, edges };
+            // Rewire tree edges touching b.
+            self.tree_edges.remove(pos);
+            for te in &mut self.tree_edges {
+                if te.0 == b {
+                    te.0 = a;
+                }
+                if te.1 == b {
+                    te.1 = a;
+                }
+            }
+            // Remove node b (swap-remove and fix indices).
+            let last = self.nodes.len() - 1;
+            self.nodes.swap_remove(b);
+            if b != last {
+                for te in &mut self.tree_edges {
+                    if te.0 == last {
+                        te.0 = b;
+                    }
+                    if te.1 == last {
+                        te.1 = b;
+                    }
+                }
+            }
+            // A merge can orphan duplicate edges between the same nodes
+            // if ids collided; drop self-loops and duplicates defensively.
+            self.tree_edges.retain(|te| te.0 != te.1);
+            self.tree_edges.sort_unstable();
+            self.tree_edges.dedup();
+        }
+    }
+
+    /// All separation pairs *displayed* by the tree: endpoints of virtual
+    /// edges plus vertex pairs of P nodes (cf. Proposition 5.7).
+    pub fn displayed_pairs(&self) -> Vec<(Vertex, Vertex)> {
+        let mut out = Vec::new();
+        for node in &self.nodes {
+            for e in &node.edges {
+                if e.is_virtual() {
+                    let (u, v) = e.endpoints();
+                    out.push((u.min(v), u.max(v)));
+                }
+            }
+            if node.kind == NodeKind::P {
+                let (u, v) = (node.vertices[0], node.vertices[1]);
+                out.push((u.min(v), u.max(v)));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Non-adjacent vertex pairs of S nodes (the remaining case of
+    /// Proposition 5.7).
+    pub fn s_node_nonadjacent_pairs(&self) -> Vec<(Vertex, Vertex)> {
+        let mut out = Vec::new();
+        for node in &self.nodes {
+            if node.kind != NodeKind::S {
+                continue;
+            }
+            let mut adj: HashMap<(Vertex, Vertex), bool> = HashMap::new();
+            for e in &node.edges {
+                let (u, v) = e.endpoints();
+                adj.insert((u.min(v), u.max(v)), true);
+            }
+            for (i, &u) in node.vertices.iter().enumerate() {
+                for &v in &node.vertices[i + 1..] {
+                    if !adj.contains_key(&(u, v)) {
+                        out.push((u, v));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+struct Builder {
+    nodes: Vec<SpqrNode>,
+    next_pair: PairId,
+}
+
+impl Builder {
+    fn fresh_pair(&mut self) -> PairId {
+        self.next_pair += 1;
+        self.next_pair
+    }
+
+    fn push_node(&mut self, kind: NodeKind, mg: MultiGraph) -> usize {
+        let mut vertices = mg.verts;
+        vertices.sort_unstable();
+        self.nodes.push(SpqrNode { kind, vertices, edges: mg.edges });
+        self.nodes.len() - 1
+    }
+
+    /// Decomposes `mg` into leaf skeleton nodes; tree edges are derived
+    /// afterwards from shared virtual pair ids.
+    fn decompose(&mut self, mg: MultiGraph) {
+        if mg.verts.len() == 2 {
+            self.push_node(NodeKind::P, mg);
+            return;
+        }
+        match mg.separation_pair() {
+            None => {
+                let kind = if mg.is_cycle() { NodeKind::S } else { NodeKind::R };
+                self.push_node(kind, mg);
+            }
+            Some((u, v)) => self.split(mg, u, v),
+        }
+    }
+
+    fn split(&mut self, mg: MultiGraph, u: Vertex, v: Vertex) {
+        let comps = mg.components_without(u, v);
+        // Edges directly between u and v stay at the hub.
+        let hub_uv_edges: Vec<SkeletonEdge> = mg
+            .edges
+            .iter()
+            .copied()
+            .filter(|e| {
+                let (a, b) = e.endpoints();
+                (a, b) == (u, v) || (a, b) == (v, u)
+            })
+            .collect();
+        // One child per component.
+        let mut children: Vec<(MultiGraph, PairId)> = Vec::new();
+        for comp in &comps {
+            let mut verts = comp.clone();
+            verts.push(u);
+            verts.push(v);
+            verts.sort_unstable();
+            let inset: std::collections::HashSet<Vertex> = verts.iter().copied().collect();
+            let mut edges: Vec<SkeletonEdge> = mg
+                .edges
+                .iter()
+                .copied()
+                .filter(|e| {
+                    let (a, b) = e.endpoints();
+                    // Exclude hub u-v edges; keep edges within the part.
+                    let is_uv = (a, b) == (u, v) || (a, b) == (v, u);
+                    !is_uv && inset.contains(&a) && inset.contains(&b)
+                        // Edge must touch the component (not u-v internal):
+                        && (comp.binary_search(&a).is_ok() || comp.binary_search(&b).is_ok())
+                })
+                .collect();
+            let pid = self.fresh_pair();
+            edges.push(SkeletonEdge::Virtual(u, v, pid));
+            children.push((MultiGraph { verts, edges }, pid));
+        }
+        let parts = children.len() + hub_uv_edges.len();
+        if children.len() == 2 && hub_uv_edges.is_empty() {
+            // No hub needed: link the two children directly, sharing one
+            // pair id.
+            let shared = children[0].1;
+            // Rewrite child 1's virtual pair id to the shared one.
+            if let Some(SkeletonEdge::Virtual(_, _, p)) = children[1].0.edges.last_mut() {
+                *p = shared;
+            }
+            for (child, _) in children {
+                self.decompose(child);
+            }
+        } else {
+            debug_assert!(parts >= 3, "separation pair must yield ≥ 3 parts");
+            // Hub P node on {u, v}: the u-v edges plus one virtual per
+            // child.
+            let mut hub_edges = hub_uv_edges;
+            for &(_, p) in &children {
+                hub_edges.push(SkeletonEdge::Virtual(u, v, p));
+            }
+            self.push_node(
+                NodeKind::P,
+                MultiGraph { verts: vec![u.min(v), u.max(v)], edges: hub_edges },
+            );
+            for (child, _) in children {
+                self.decompose(child);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn cycle(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(n);
+        b.cycle(&vs);
+        b.build()
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn k4_is_single_r_node() {
+        let t = SpqrTree::compute(&complete(4));
+        assert_eq!(t.nodes.len(), 1);
+        assert_eq!(t.nodes[0].kind, NodeKind::R);
+        assert!(t.tree_edges.is_empty());
+    }
+
+    #[test]
+    fn cycle_is_single_s_node() {
+        for n in [3, 4, 6, 9] {
+            let t = SpqrTree::compute(&cycle(n));
+            assert_eq!(t.nodes.len(), 1, "C_{n}: {:?}", t.nodes);
+            assert_eq!(t.nodes[0].kind, NodeKind::S);
+            assert_eq!(t.nodes[0].vertices.len(), n);
+            assert_eq!(t.nodes[0].edges.len(), n);
+            assert!(t.nodes[0].edges.iter().all(|e| !e.is_virtual()));
+        }
+    }
+
+    #[test]
+    fn theta_graph_is_p_with_three_s_children() {
+        // Vertices 0,1 joined by three length-2 paths through 2, 3, 4.
+        let g = Graph::from_edges(5, &[(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)]);
+        let t = SpqrTree::compute(&g);
+        let p_nodes: Vec<_> = t.nodes.iter().filter(|n| n.kind == NodeKind::P).collect();
+        let s_nodes: Vec<_> = t.nodes.iter().filter(|n| n.kind == NodeKind::S).collect();
+        assert_eq!(p_nodes.len(), 1);
+        assert_eq!(s_nodes.len(), 3);
+        assert_eq!(p_nodes[0].vertices, vec![0, 1]);
+        assert_eq!(t.tree_edges.len(), 3);
+        assert!(t.displayed_pairs().contains(&(0, 1)));
+    }
+
+    #[test]
+    fn k4_minus_edge() {
+        // Two triangles sharing edge {1, 2}: P node with one real + two
+        // virtual edges, two S (triangle) children.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let t = SpqrTree::compute(&g);
+        let p: Vec<_> = t.nodes.iter().filter(|n| n.kind == NodeKind::P).collect();
+        let s: Vec<_> = t.nodes.iter().filter(|n| n.kind == NodeKind::S).collect();
+        assert_eq!(p.len(), 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(p[0].vertices, vec![1, 2]);
+        let real_in_p = p[0].edges.iter().filter(|e| !e.is_virtual()).count();
+        assert_eq!(real_in_p, 1);
+    }
+
+    #[test]
+    fn proposition_5_7_every_two_cut_is_displayed() {
+        // Every minimal 2-cut must be a displayed pair or a non-adjacent
+        // S-node pair.
+        let graphs = vec![
+            cycle(6),
+            Graph::from_edges(5, &[(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)]),
+            Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]),
+            // Prism (C3 × K2) is 3-connected: no 2-cuts at all.
+            Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (0, 3), (1, 4), (2, 5)]),
+        ];
+        for g in &graphs {
+            let t = SpqrTree::compute(g);
+            let mut displayed = t.displayed_pairs();
+            displayed.extend(t.s_node_nonadjacent_pairs());
+            displayed.sort_unstable();
+            displayed.dedup();
+            for cut in crate::two_cuts::minimal_two_cuts(g) {
+                assert!(
+                    displayed.contains(&cut),
+                    "cut {cut:?} of {g:?} not displayed (displayed: {displayed:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn three_connected_graphs_are_single_r() {
+        // Prism and wheel are 3-connected.
+        let prism = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (0, 3), (1, 4), (2, 5)],
+        );
+        let t = SpqrTree::compute(&prism);
+        assert_eq!(t.nodes.len(), 1);
+        assert_eq!(t.nodes[0].kind, NodeKind::R);
+        let mut wheel = cycle(5);
+        let c = wheel.add_vertex();
+        for r in 0..5 {
+            wheel.add_edge(c, r);
+        }
+        let t = SpqrTree::compute(&wheel);
+        assert_eq!(t.nodes.len(), 1);
+        assert_eq!(t.nodes[0].kind, NodeKind::R);
+    }
+
+    #[test]
+    #[should_panic(expected = "biconnected")]
+    fn rejects_non_biconnected() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let _ = SpqrTree::compute(&g);
+    }
+
+    #[test]
+    fn tree_structure_is_consistent() {
+        // #tree_edges = #nodes − 1 for every decomposition of a connected
+        // biconnected graph.
+        for g in [cycle(8), Graph::from_edges(5, &[(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)])] {
+            let t = SpqrTree::compute(&g);
+            assert_eq!(t.tree_edges.len(), t.nodes.len() - 1, "{g:?}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Induced subgraphs with vertex mappings back to the host graph.
+
+use crate::graph::{Graph, Vertex};
+
+/// An induced subgraph `G[S]` together with the mapping between its own
+/// vertex indices (`0..|S|`) and the host graph's vertices.
+///
+/// # Example
+///
+/// ```
+/// use lmds_graph::{Graph, InducedSubgraph};
+///
+/// let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+/// let sub = InducedSubgraph::new(&g, &[1, 2, 3]);
+/// assert_eq!(sub.graph.n(), 3);
+/// assert_eq!(sub.graph.m(), 2);
+/// assert_eq!(sub.to_host(0), 1);
+/// assert_eq!(sub.from_host(3), Some(2));
+/// assert_eq!(sub.from_host(4), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    /// The induced subgraph, on vertices `0..|S|`.
+    pub graph: Graph,
+    /// `to_host[i]` is the host vertex for subgraph vertex `i`
+    /// (sorted ascending).
+    to_host: Vec<Vertex>,
+    /// Inverse mapping: `from_host[v]` is the subgraph index of host
+    /// vertex `v`, if present.
+    from_host: Vec<Option<Vertex>>,
+}
+
+impl InducedSubgraph {
+    /// Builds `G[S]`. `s` may be unsorted and contain duplicates; it is
+    /// canonicalized first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex of `s` is out of range for `g`.
+    pub fn new(g: &Graph, s: &[Vertex]) -> Self {
+        let verts = crate::canonical_set(s.to_vec());
+        let mut from_host = vec![None; g.n()];
+        for (i, &v) in verts.iter().enumerate() {
+            from_host[v] = Some(i);
+        }
+        let mut sub = Graph::new(verts.len());
+        for (i, &v) in verts.iter().enumerate() {
+            for &u in g.neighbors(v) {
+                if let Some(j) = from_host[u] {
+                    if i < j {
+                        sub.add_edge(i, j);
+                    }
+                }
+            }
+        }
+        InducedSubgraph { graph: sub, to_host: verts, from_host }
+    }
+
+    /// Host vertex corresponding to subgraph vertex `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn to_host(&self, i: Vertex) -> Vertex {
+        self.to_host[i]
+    }
+
+    /// Subgraph index of host vertex `v`, if `v` is in the subgraph.
+    pub fn from_host(&self, v: Vertex) -> Option<Vertex> {
+        self.from_host.get(v).copied().flatten()
+    }
+
+    /// The host vertices of the subgraph, sorted ascending.
+    pub fn host_vertices(&self) -> &[Vertex] {
+        &self.to_host
+    }
+
+    /// Maps a set of subgraph vertices to host vertices (sorted).
+    pub fn set_to_host(&self, s: &[Vertex]) -> Vec<Vertex> {
+        crate::canonical_set(s.iter().map(|&i| self.to_host[i]))
+    }
+
+    /// Maps a set of host vertices into subgraph indices, dropping
+    /// vertices not present (sorted).
+    pub fn set_from_host(&self, s: &[Vertex]) -> Vec<Vertex> {
+        crate::canonical_set(s.iter().filter_map(|&v| self.from_host(v)))
+    }
+}
+
+/// Convenience: the induced subgraph on the ball `N^r[v]`, as used by
+/// every "local" predicate of the paper.
+pub fn ball_subgraph(g: &Graph, v: Vertex, r: u32) -> InducedSubgraph {
+    InducedSubgraph::new(g, &crate::bfs::ball(g, v, r))
+}
+
+/// Convenience: the induced subgraph on `N^r[S]`.
+pub fn ball_subgraph_of_set(g: &Graph, s: &[Vertex], r: u32) -> InducedSubgraph {
+    InducedSubgraph::new(g, &crate::bfs::ball_of_set(g, s, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn induced_cycle_segment() {
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(6);
+        b.cycle(&vs);
+        let g = b.build();
+        let sub = InducedSubgraph::new(&g, &[0, 1, 2]);
+        assert_eq!(sub.graph.n(), 3);
+        assert_eq!(sub.graph.m(), 2); // the chord 0-2 does not exist in C6
+        assert!(sub.graph.has_edge(0, 1));
+        assert!(sub.graph.has_edge(1, 2));
+        assert!(!sub.graph.has_edge(0, 2));
+    }
+
+    #[test]
+    fn mapping_roundtrip() {
+        let g = Graph::from_edges(6, &[(0, 3), (3, 5), (5, 1)]);
+        let sub = InducedSubgraph::new(&g, &[5, 3, 1]);
+        assert_eq!(sub.host_vertices(), &[1, 3, 5]);
+        for i in 0..3 {
+            assert_eq!(sub.from_host(sub.to_host(i)), Some(i));
+        }
+        assert_eq!(sub.set_to_host(&[0, 2]), vec![1, 5]);
+        assert_eq!(sub.set_from_host(&[5, 0, 1]), vec![0, 2]);
+    }
+
+    #[test]
+    fn duplicates_are_canonicalized() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let sub = InducedSubgraph::new(&g, &[1, 1, 0]);
+        assert_eq!(sub.graph.n(), 2);
+        assert!(sub.graph.has_edge(0, 1));
+    }
+
+    #[test]
+    fn ball_subgraph_matches_manual() {
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(8);
+        b.path(&vs);
+        let g = b.build();
+        let sub = ball_subgraph(&g, 4, 2);
+        assert_eq!(sub.host_vertices(), &[2, 3, 4, 5, 6]);
+        assert_eq!(sub.graph.m(), 4);
+        let sub2 = ball_subgraph_of_set(&g, &[0, 7], 1);
+        assert_eq!(sub2.host_vertices(), &[0, 1, 6, 7]);
+    }
+}

@@ -1,0 +1,660 @@
+//! Tree decompositions via the min-fill elimination heuristic.
+//!
+//! The paper's asymptotic-dimension step rests on "`K_{2,t}` is planar,
+//! so `K_{2,t}`-minor-free graphs have bounded treewidth by the grid
+//! minor theorem" (§4). This module makes that quantitative: it builds
+//! tree decompositions of the workloads, validates them, and reports
+//! widths (the E8/E13 experiments show the workloads' widths stay small
+//! and independent of size).
+//!
+//! Also provides an exact MDS solver by dynamic programming over the
+//! decomposition — `O(4^w)` per bag — used to cross-check the
+//! branch-and-bound solver and to handle long skinny instances where
+//! B&B struggles.
+
+use crate::graph::{Graph, Vertex};
+use std::collections::HashSet;
+
+/// A tree decomposition: bags and tree edges over bag indices.
+#[derive(Debug, Clone)]
+pub struct TreeDecomposition {
+    /// Bags, each a sorted vertex set.
+    pub bags: Vec<Vec<Vertex>>,
+    /// Tree edges (bag indices).
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// Violations reported by [`TreeDecomposition::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompositionError {
+    /// A vertex appears in no bag.
+    VertexMissing(Vertex),
+    /// An edge has no bag containing both endpoints.
+    EdgeMissing(Vertex, Vertex),
+    /// A vertex's bags do not form a connected subtree.
+    NotConnected(Vertex),
+    /// The bag graph is not a tree (`#edges != #bags − 1` or cyclic).
+    NotATree,
+}
+
+impl TreeDecomposition {
+    /// The width: `max |bag| − 1` (0 for the empty decomposition).
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(Vec::len).max().unwrap_or(1).saturating_sub(1)
+    }
+
+    /// Full validation of the three tree-decomposition axioms plus
+    /// treeness.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found.
+    pub fn validate(&self, g: &Graph) -> Result<(), DecompositionError> {
+        let b = self.bags.len();
+        if b == 0 {
+            return if g.n() == 0 { Ok(()) } else { Err(DecompositionError::VertexMissing(0)) };
+        }
+        // Treeness.
+        if self.edges.len() != b - 1 {
+            return Err(DecompositionError::NotATree);
+        }
+        let mut uf = crate::connectivity::UnionFind::new(b);
+        for &(x, y) in &self.edges {
+            if x >= b || y >= b || !uf.union(x, y) {
+                return Err(DecompositionError::NotATree);
+            }
+        }
+        // Vertex coverage + connectivity of occurrences.
+        let mut occurs: Vec<Vec<usize>> = vec![Vec::new(); g.n()];
+        for (i, bag) in self.bags.iter().enumerate() {
+            for &v in bag {
+                occurs[v].push(i);
+            }
+        }
+        // Adjacency of the bag tree.
+        let mut tadj: Vec<Vec<usize>> = vec![Vec::new(); b];
+        for &(x, y) in &self.edges {
+            tadj[x].push(y);
+            tadj[y].push(x);
+        }
+        for v in g.vertices() {
+            if occurs[v].is_empty() {
+                return Err(DecompositionError::VertexMissing(v));
+            }
+            // BFS within bags containing v.
+            let inset: HashSet<usize> = occurs[v].iter().copied().collect();
+            let mut seen = HashSet::new();
+            let mut stack = vec![occurs[v][0]];
+            seen.insert(occurs[v][0]);
+            while let Some(x) = stack.pop() {
+                for &y in &tadj[x] {
+                    if inset.contains(&y) && seen.insert(y) {
+                        stack.push(y);
+                    }
+                }
+            }
+            if seen.len() != inset.len() {
+                return Err(DecompositionError::NotConnected(v));
+            }
+        }
+        // Edge coverage.
+        for (u, v) in g.edges() {
+            let ok = self
+                .bags
+                .iter()
+                .any(|bag| bag.binary_search(&u).is_ok() && bag.binary_search(&v).is_ok());
+            if !ok {
+                return Err(DecompositionError::EdgeMissing(u, v));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds a tree decomposition by min-fill elimination. Always valid;
+/// width is a heuristic upper bound on the true treewidth (exact on
+/// chordal graphs and most of the small structured workloads here).
+pub fn min_fill_decomposition(g: &Graph) -> TreeDecomposition {
+    let n = g.n();
+    if n == 0 {
+        return TreeDecomposition { bags: vec![], edges: vec![] };
+    }
+    // Working fill graph as adjacency sets.
+    let mut adj: Vec<HashSet<Vertex>> = (0..n)
+        .map(|v| g.neighbors(v).iter().copied().collect())
+        .collect();
+    let mut eliminated = vec![false; n];
+    let mut order: Vec<Vertex> = Vec::with_capacity(n);
+    let mut position = vec![usize::MAX; n];
+    let mut higher: Vec<Vec<Vertex>> = vec![Vec::new(); n];
+
+    for step in 0..n {
+        // Pick the non-eliminated vertex with minimum fill.
+        let mut best = usize::MAX;
+        let mut best_fill = usize::MAX;
+        for v in 0..n {
+            if eliminated[v] {
+                continue;
+            }
+            let nb: Vec<Vertex> =
+                adj[v].iter().copied().filter(|&u| !eliminated[u]).collect();
+            let mut fill = 0;
+            for (i, &a) in nb.iter().enumerate() {
+                for &b in &nb[i + 1..] {
+                    if !adj[a].contains(&b) {
+                        fill += 1;
+                    }
+                }
+            }
+            if fill < best_fill || (fill == best_fill && v < best) {
+                best = v;
+                best_fill = fill;
+            }
+        }
+        let v = best;
+        let nb: Vec<Vertex> = adj[v].iter().copied().filter(|&u| !eliminated[u]).collect();
+        // Make the neighborhood a clique.
+        for (i, &a) in nb.iter().enumerate() {
+            for &b in &nb[i + 1..] {
+                adj[a].insert(b);
+                adj[b].insert(a);
+            }
+        }
+        higher[v] = nb;
+        eliminated[v] = true;
+        position[v] = step;
+        order.push(v);
+    }
+
+    // Bags: bag(v) = {v} ∪ higher(v); tree edge to the bag of the
+    // earliest-eliminated higher neighbor.
+    let mut bags: Vec<Vec<Vertex>> = Vec::with_capacity(n);
+    let mut bag_of = vec![usize::MAX; n];
+    for &v in &order {
+        let mut bag = higher[v].clone();
+        bag.push(v);
+        bag.sort_unstable();
+        bag_of[v] = bags.len();
+        bags.push(bag);
+    }
+    let mut edges = Vec::new();
+    for &v in &order {
+        if let Some(&u) = higher[v].iter().min_by_key(|&&u| position[u]) {
+            edges.push((bag_of[v], bag_of[u]));
+        }
+    }
+    // Components without higher neighbors start new subtrees; join all
+    // subtrees into one tree by linking their roots (bags may be
+    // disjoint — allowed: an edge between disjoint bags keeps all three
+    // axioms intact).
+    let mut uf = crate::connectivity::UnionFind::new(bags.len());
+    for &(x, y) in &edges {
+        uf.union(x, y);
+    }
+    let mut root: Option<usize> = None;
+    for i in 0..bags.len() {
+        if uf.find(i) == i {
+            if let Some(r) = root {
+                edges.push((r, i));
+                uf.union(r, i);
+            } else {
+                root = Some(i);
+            }
+        }
+    }
+    TreeDecomposition { bags, edges }
+}
+
+/// Heuristic treewidth upper bound: width of the min-fill decomposition.
+pub fn treewidth_upper_bound(g: &Graph) -> usize {
+    min_fill_decomposition(g).width()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn check(g: &Graph) -> TreeDecomposition {
+        let td = min_fill_decomposition(g);
+        td.validate(g).unwrap_or_else(|e| panic!("invalid decomposition for {g:?}: {e:?}"));
+        td
+    }
+
+    #[test]
+    fn tree_has_width_one() {
+        let g = Graph::from_edges(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]);
+        assert_eq!(check(&g).width(), 1);
+    }
+
+    #[test]
+    fn cycle_has_width_two() {
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(9);
+        b.cycle(&vs);
+        let g = b.build();
+        assert_eq!(check(&g).width(), 2);
+    }
+
+    #[test]
+    fn complete_graph_width() {
+        let mut g = Graph::new(5);
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                g.add_edge(u, v);
+            }
+        }
+        assert_eq!(check(&g).width(), 4);
+    }
+
+    #[test]
+    fn outerplanar_has_width_two() {
+        // Maximal outerplanar graphs are 2-trees: treewidth exactly 2.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 2), (0, 3), (3, 5)],
+        );
+        assert_eq!(check(&g).width(), 2);
+    }
+
+    #[test]
+    fn disconnected_graphs_are_joined() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+        let td = check(&g);
+        assert_eq!(td.width(), 1);
+        assert_eq!(td.edges.len(), td.bags.len() - 1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let td = min_fill_decomposition(&Graph::new(0));
+        assert!(td.validate(&Graph::new(0)).is_ok());
+        let g1 = Graph::new(1);
+        let td1 = check(&g1);
+        assert_eq!(td1.width(), 0);
+    }
+
+    #[test]
+    fn validation_catches_violations() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        // Missing vertex 2.
+        let bad = TreeDecomposition { bags: vec![vec![0, 1]], edges: vec![] };
+        assert_eq!(bad.validate(&g), Err(DecompositionError::VertexMissing(2)));
+        // Missing edge (1,2).
+        let bad = TreeDecomposition {
+            bags: vec![vec![0, 1], vec![2]],
+            edges: vec![(0, 1)],
+        };
+        assert_eq!(bad.validate(&g), Err(DecompositionError::EdgeMissing(1, 2)));
+        // Disconnected occurrences of vertex 0.
+        let bad = TreeDecomposition {
+            bags: vec![vec![0, 1], vec![1, 2], vec![0]],
+            edges: vec![(0, 1), (1, 2)],
+        };
+        assert_eq!(bad.validate(&g), Err(DecompositionError::NotConnected(0)));
+        // Not a tree.
+        let bad = TreeDecomposition {
+            bags: vec![vec![0, 1], vec![1, 2]],
+            edges: vec![(0, 1), (0, 1)],
+        };
+        assert_eq!(bad.validate(&g), Err(DecompositionError::NotATree));
+    }
+
+    #[test]
+    fn grid_width_grows_with_side() {
+        // Negative control: k×k grids have treewidth k; the heuristic
+        // must report a growing width (grids contain big K_{2,t} minors,
+        // matching the paper's scope boundary).
+        let small = {
+            let mut g = Graph::new(9);
+            for y in 0..3 {
+                for x in 0..3 {
+                    let v = y * 3 + x;
+                    if x + 1 < 3 {
+                        g.add_edge(v, v + 1);
+                    }
+                    if y + 1 < 3 {
+                        g.add_edge(v, v + 3);
+                    }
+                }
+            }
+            g
+        };
+        let w3 = check(&small).width();
+        assert!(w3 >= 3, "3x3 grid width {w3}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exact MDS by dynamic programming over the decomposition.
+// ---------------------------------------------------------------------
+
+/// Vertex colors of the domination DP, with *exact* semantics relative
+/// to the processed part `P` and chosen set `X ⊆ P`:
+/// `S` = in `X`; `D` = not in `X` but dominated by `X`;
+/// `U` = not in `X` and **not** dominated by `X`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    S = 0,
+    D = 1,
+    U = 2,
+}
+
+const COLORS: [Color; 3] = [Color::S, Color::D, Color::U];
+const INF: u64 = u64::MAX / 4;
+
+/// A DP table over a fixed (sorted) bag: `values[state]` where `state`
+/// encodes colors base-3 in bag order.
+#[derive(Debug, Clone)]
+struct DpTable {
+    bag: Vec<Vertex>,
+    values: Vec<u64>,
+}
+
+fn pow3(k: usize) -> usize {
+    3usize.pow(k as u32)
+}
+
+fn color_at(state: usize, i: usize) -> Color {
+    COLORS[(state / pow3(i)) % 3]
+}
+
+fn with_color(state: usize, i: usize, c: Color) -> usize {
+    let cur = (state / pow3(i)) % 3;
+    state - cur * pow3(i) + (c as usize) * pow3(i)
+}
+
+impl DpTable {
+    fn empty() -> Self {
+        DpTable { bag: Vec::new(), values: vec![0] }
+    }
+
+    /// Introduce `v` (not currently in the bag): extends every state by
+    /// a color for `v`, enforcing exact semantics against bag edges.
+    fn introduce(&self, g: &Graph, v: Vertex) -> DpTable {
+        debug_assert!(!self.bag.contains(&v));
+        let mut bag = self.bag.clone();
+        let pos = bag.binary_search(&v).unwrap_err();
+        bag.insert(pos, v);
+        let k = bag.len();
+        let mut values = vec![INF; pow3(k)];
+        // Indices of old bag members in the new bag.
+        let old_pos: Vec<usize> = (0..k).filter(|&i| i != pos).collect();
+        let nbrs_in_bag: Vec<usize> = (0..k)
+            .filter(|&i| i != pos && g.has_edge(bag[i], v))
+            .collect();
+        for (old_state, &val) in self.values.iter().enumerate() {
+            if val >= INF {
+                continue;
+            }
+            // Rebuild the base new-state with v's slot set to U for now.
+            let mut base = 0usize;
+            for (oi, &ni) in old_pos.iter().enumerate() {
+                base = with_color(base, ni, color_at(old_state, oi));
+            }
+            // Case 1: v ∈ X. Neighbors that were U become D; v = S.
+            {
+                let mut s = with_color(base, pos, Color::S);
+                for &ni in &nbrs_in_bag {
+                    if color_at(s, ni) == Color::U {
+                        s = with_color(s, ni, Color::D);
+                    }
+                }
+                values[s] = values[s].min(val + 1);
+            }
+            // Case 2: v dominated by a bag neighbor in X.
+            let has_s_neighbor =
+                nbrs_in_bag.iter().any(|&ni| color_at(base, ni) == Color::S);
+            if has_s_neighbor {
+                let s = with_color(base, pos, Color::D);
+                values[s] = values[s].min(val);
+            } else {
+                // Case 3: v undominated (exact: only valid when no
+                // bag neighbor is in X).
+                let s = with_color(base, pos, Color::U);
+                values[s] = values[s].min(val);
+            }
+        }
+        DpTable { bag, values }
+    }
+
+    /// Forget `v`: project out its slot, requiring `v ∈ {S, D}`.
+    fn forget(&self, v: Vertex) -> DpTable {
+        let pos = self.bag.binary_search(&v).expect("forgotten vertex is in bag");
+        let mut bag = self.bag.clone();
+        bag.remove(pos);
+        let k = bag.len();
+        let mut values = vec![INF; pow3(k)];
+        for (state, &val) in self.values.iter().enumerate() {
+            if val >= INF {
+                continue;
+            }
+            if color_at(state, pos) == Color::U {
+                continue; // forgotten vertices must be dominated
+            }
+            // Project the state.
+            let mut s = 0usize;
+            let mut ni = 0usize;
+            for i in 0..self.bag.len() {
+                if i == pos {
+                    continue;
+                }
+                s = with_color(s, ni, color_at(state, i));
+                ni += 1;
+            }
+            values[s] = values[s].min(val);
+        }
+        DpTable { bag, values }
+    }
+
+    /// Join with another table over the identical bag.
+    fn join(&self, other: &DpTable) -> DpTable {
+        debug_assert_eq!(self.bag, other.bag);
+        let k = self.bag.len();
+        let mut values = vec![INF; pow3(k)];
+        // For exactness: the combined color is S iff both S; D iff
+        // exactly (D,D), (D,U) or (U,D); U iff both U. Enumerate pairs.
+        for (sa, &va) in self.values.iter().enumerate() {
+            if va >= INF {
+                continue;
+            }
+            for (sb, &vb) in other.values.iter().enumerate() {
+                if vb >= INF {
+                    continue;
+                }
+                let mut s = 0usize;
+                let mut in_set = 0u64;
+                let mut ok = true;
+                for i in 0..k {
+                    let (ca, cb) = (color_at(sa, i), color_at(sb, i));
+                    let c = match (ca, cb) {
+                        (Color::S, Color::S) => {
+                            in_set += 1;
+                            Color::S
+                        }
+                        (Color::S, _) | (_, Color::S) => {
+                            ok = false; // X ∩ bag must agree on both sides
+                            break;
+                        }
+                        (Color::D, _) | (_, Color::D) => Color::D,
+                        (Color::U, Color::U) => Color::U,
+                    };
+                    s = with_color(s, i, c);
+                }
+                if !ok {
+                    continue;
+                }
+                let v = va + vb - in_set;
+                values[s] = values[s].min(v);
+            }
+        }
+        DpTable { bag: self.bag.clone(), values }
+    }
+}
+
+/// Exact domination number via DP over a (min-fill) tree decomposition:
+/// `O(3^w · 3^w)` per join. Cross-checked against the branch-and-bound
+/// solver; preferable on long, skinny instances.
+///
+/// Returns `None` if the decomposition width exceeds `max_width`
+/// (protects against accidental exponential blow-ups on dense inputs).
+pub fn treewidth_mds_size(g: &Graph, max_width: usize) -> Option<usize> {
+    if g.n() == 0 {
+        return Some(0);
+    }
+    let td = min_fill_decomposition(g);
+    if td.width() > max_width {
+        return None;
+    }
+    // Root the tree at bag 0; iterative post-order.
+    let b = td.bags.len();
+    let mut tadj: Vec<Vec<usize>> = vec![Vec::new(); b];
+    for &(x, y) in &td.edges {
+        tadj[x].push(y);
+        tadj[y].push(x);
+    }
+    let mut parent = vec![usize::MAX; b];
+    let mut order = Vec::with_capacity(b);
+    let mut stack = vec![0usize];
+    let mut seen = vec![false; b];
+    seen[0] = true;
+    while let Some(x) = stack.pop() {
+        order.push(x);
+        for &y in &tadj[x] {
+            if !seen[y] {
+                seen[y] = true;
+                parent[y] = x;
+                stack.push(y);
+            }
+        }
+    }
+    let mut tables: Vec<Option<DpTable>> = vec![None; b];
+    for &node in order.iter().rev() {
+        // Base table for this bag: introduce every bag vertex from ∅.
+        let mut acc = DpTable::empty();
+        for &v in &td.bags[node] {
+            acc = acc.introduce(g, v);
+        }
+        for &child in &tadj[node] {
+            if parent[child] != node {
+                continue;
+            }
+            let mut ct = tables[child].take().expect("child processed first");
+            // Adapt child table to this bag: forget extras, introduce
+            // missing.
+            let extras: Vec<Vertex> = ct
+                .bag
+                .iter()
+                .copied()
+                .filter(|v| td.bags[node].binary_search(v).is_err())
+                .collect();
+            for v in extras {
+                ct = ct.forget(v);
+            }
+            let missing: Vec<Vertex> = td.bags[node]
+                .iter()
+                .copied()
+                .filter(|v| ct.bag.binary_search(v).is_err())
+                .collect();
+            for v in missing {
+                ct = ct.introduce(g, v);
+            }
+            acc = acc.join(&ct);
+        }
+        tables[node] = Some(acc);
+    }
+    let root = tables[0].take().expect("root processed");
+    let k = root.bag.len();
+    let mut best = INF;
+    for (state, &val) in root.values.iter().enumerate() {
+        if (0..k).all(|i| color_at(state, i) != Color::U) {
+            best = best.min(val);
+        }
+    }
+    (best < INF).then_some(best as usize)
+}
+
+#[cfg(test)]
+mod dp_tests {
+    use super::*;
+    use crate::dominating::exact_mds;
+    use crate::graph::GraphBuilder;
+
+    fn cross_check(g: &Graph) {
+        let dp = treewidth_mds_size(g, 12).expect("width within cap");
+        let bb = exact_mds(g).len();
+        assert_eq!(dp, bb, "DP vs B&B disagree on {g:?}");
+    }
+
+    #[test]
+    fn matches_bb_on_paths_and_cycles() {
+        for n in [1usize, 2, 3, 7, 12] {
+            let edges: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+            cross_check(&Graph::from_edges(n, &edges));
+        }
+        for n in [3usize, 5, 9, 12] {
+            let mut b = GraphBuilder::new();
+            let vs = b.fresh_vertices(n);
+            b.cycle(&vs);
+            cross_check(&b.build());
+        }
+    }
+
+    #[test]
+    fn matches_bb_on_structured_graphs() {
+        let graphs = vec![
+            Graph::from_edges(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]),
+            Graph::from_edges(5, &[(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)]),
+            Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]),
+            Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]),
+            Graph::from_edges(4, &[(0, 1), (2, 3)]),
+            Graph::new(3),
+        ];
+        for g in &graphs {
+            cross_check(g);
+        }
+    }
+
+    #[test]
+    fn matches_bb_on_random_sparse_graphs() {
+        // Deterministic pseudo-random sparse graphs.
+        let mut s: u64 = 12345;
+        for trial in 0..12 {
+            let n = 8 + (trial % 5);
+            let mut g = Graph::new(n);
+            for i in 1..n {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                g.add_edge((s >> 33) as usize % i, i);
+            }
+            for _ in 0..3 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = (s >> 20) as usize % n;
+                let v = (s >> 45) as usize % n;
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+            cross_check(&g);
+        }
+    }
+
+    #[test]
+    fn width_cap_refuses_dense_graphs() {
+        let mut g = Graph::new(10);
+        for u in 0..10 {
+            for v in (u + 1)..10 {
+                g.add_edge(u, v);
+            }
+        }
+        assert_eq!(treewidth_mds_size(&g, 4), None);
+        assert_eq!(treewidth_mds_size(&g, 9), Some(1));
+    }
+
+    #[test]
+    fn long_skinny_instance() {
+        // A 400-vertex path: B&B would crawl; the DP is linear.
+        let edges: Vec<(usize, usize)> = (0..399).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(400, &edges);
+        assert_eq!(treewidth_mds_size(&g, 4), Some(134)); // ceil(400/3)
+    }
+}

@@ -1,0 +1,148 @@
+//! True-twin classes and the canonical twin-free quotient.
+//!
+//! Both of the paper's algorithms begin by replacing `G` with "the
+//! true-twin-less graph associated to `G`": a largest induced subgraph
+//! without true twins (`N[u] = N[v]`). Keeping the minimum-index vertex
+//! of each twin class makes the quotient canonical and, in the LOCAL
+//! model, computable in 2 rounds (each vertex learns `N[u]` for all its
+//! neighbors and drops out if a smaller-ID twin exists).
+//!
+//! The key invariant (used in both Theorem 4.1 and Theorem 4.4) is
+//! `MDS(G⁻) = MDS(G)`, tested here and property-tested downstream.
+
+use crate::graph::{Graph, Vertex};
+use crate::subgraph::InducedSubgraph;
+use std::collections::HashMap;
+
+/// The partition of `V(G)` into true-twin classes.
+///
+/// Every vertex is in exactly one class; non-twin vertices form singleton
+/// classes. Classes are sorted internally and ordered by their minimum
+/// vertex.
+pub fn twin_classes(g: &Graph) -> Vec<Vec<Vertex>> {
+    // Group by closed neighborhood. Two vertices share a closed
+    // neighborhood iff they are true twins (or identical).
+    let mut groups: HashMap<Vec<Vertex>, Vec<Vertex>> = HashMap::new();
+    for v in g.vertices() {
+        groups.entry(g.closed_neighborhood(v)).or_default().push(v);
+    }
+    let mut classes: Vec<Vec<Vertex>> = groups.into_values().collect();
+    for c in &mut classes {
+        c.sort_unstable();
+    }
+    classes.sort_unstable_by_key(|c| c[0]);
+    classes
+}
+
+/// The canonical twin-free reduction of a graph.
+#[derive(Debug, Clone)]
+pub struct TwinReduction {
+    /// The quotient: `G` induced on the minimum vertex of every twin
+    /// class.
+    pub reduced: InducedSubgraph,
+    /// `representative[v]` is the kept host vertex of `v`'s twin class.
+    pub representative: Vec<Vertex>,
+}
+
+impl TwinReduction {
+    /// Computes the canonical twin-free quotient of `g`.
+    pub fn compute(g: &Graph) -> Self {
+        let classes = twin_classes(g);
+        let mut representative = vec![0; g.n()];
+        let mut kept = Vec::with_capacity(classes.len());
+        for class in &classes {
+            let rep = class[0];
+            kept.push(rep);
+            for &v in class {
+                representative[v] = rep;
+            }
+        }
+        let reduced = InducedSubgraph::new(g, &kept);
+        TwinReduction { reduced, representative }
+    }
+
+    /// Lifts a dominating set of the reduced graph (given in *host*
+    /// vertex indices) back to the original graph. Because every dropped
+    /// vertex is a true twin of its kept representative, the same set
+    /// dominates `G`; this is the identity, provided callers work in host
+    /// indices. Exposed for symmetry and documentation.
+    pub fn lift(&self, host_set: &[Vertex]) -> Vec<Vertex> {
+        crate::canonical_set(host_set.to_vec())
+    }
+}
+
+/// Whether `g` contains no pair of true twins.
+pub fn is_twin_free(g: &Graph) -> bool {
+    twin_classes(g).iter().all(|c| c.len() == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominating::{exact_mds, is_dominating_set};
+
+    #[test]
+    fn triangle_collapses_to_single_vertex() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let classes = twin_classes(&g);
+        assert_eq!(classes, vec![vec![0, 1, 2]]);
+        let red = TwinReduction::compute(&g);
+        assert_eq!(red.reduced.graph.n(), 1);
+        assert_eq!(red.representative, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn path_is_twin_free() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(is_twin_free(&g));
+        let red = TwinReduction::compute(&g);
+        assert_eq!(red.reduced.graph.n(), 4);
+    }
+
+    #[test]
+    fn k4_minus_edge_has_one_twin_pair() {
+        // K4 minus edge {0,3}: vertices 1 and 2 are adjacent to everything
+        // (including each other) → true twins. 0 and 3 are false twins.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let classes = twin_classes(&g);
+        assert!(classes.contains(&vec![1, 2]));
+        assert!(classes.contains(&vec![0]));
+        assert!(classes.contains(&vec![3]));
+        let red = TwinReduction::compute(&g);
+        assert_eq!(red.reduced.graph.n(), 3);
+        assert_eq!(red.representative[2], 1);
+    }
+
+    #[test]
+    fn mds_preserved_by_reduction() {
+        // Paper §2: MDS(G⁻) = MDS(G). Check on several graphs.
+        let graphs = vec![
+            Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]),
+            Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]),
+            Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]),
+            // Two triangles joined by an edge.
+            Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]),
+        ];
+        for g in &graphs {
+            let red = TwinReduction::compute(g);
+            let mds_g = exact_mds(g).len();
+            let mds_r = exact_mds(&red.reduced.graph).len();
+            assert_eq!(mds_g, mds_r, "MDS changed under twin reduction for {g:?}");
+            // A reduced-graph optimum dominates the original graph.
+            let sol_host = red.reduced.set_to_host(&exact_mds(&red.reduced.graph));
+            assert!(is_dominating_set(g, &red.lift(&sol_host)));
+        }
+    }
+
+    #[test]
+    fn quotient_is_twin_free() {
+        let graphs = vec![
+            Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]),
+            Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]),
+        ];
+        for g in &graphs {
+            let red = TwinReduction::compute(g);
+            assert!(is_twin_free(&red.reduced.graph), "{g:?}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! # lmds-localsim
+//!
+//! A deterministic synchronous **LOCAL-model** simulator.
+//!
+//! The LOCAL model (Linial): the network is an undirected graph; vertices
+//! are processors with unique `O(log n)`-bit identifiers; computation
+//! proceeds in synchronous rounds; in each round every vertex exchanges
+//! unbounded messages with its neighbors and performs arbitrary local
+//! computation. The complexity measure is the number of rounds.
+//!
+//! The fundamental fact the simulator is built around: after `k` rounds a
+//! vertex `v` can know exactly
+//!
+//! * the identifiers of all vertices in `N^k[v]`, and
+//! * all edges incident to `N^{k-1}[v]`,
+//!
+//! and nothing more. A LOCAL algorithm is therefore a function from this
+//! *view* to an output, plus a stopping rule. Algorithms implement the
+//! [`Decider`] trait: given the current [`LocalView`] they either decide
+//! or wait another round.
+//!
+//! Three interchangeable runtimes execute a [`Decider`]:
+//!
+//! * [`run_message_passing`] — a real message-passing execution (views are
+//!   merged along edges each round; message sizes are accounted),
+//! * [`run_oracle`] — computes each round's views directly from the graph
+//!   (provably the same views; property-tested against the above),
+//! * [`run_parallel`] — the oracle semantics executed on a thread pool
+//!   (crossbeam), bit-identical outputs.
+//!
+//! # Example
+//!
+//! ```
+//! use lmds_graph::Graph;
+//! use lmds_localsim::{Decider, IdAssignment, LocalView, run_oracle};
+//!
+//! /// Decide the degree: needs 1 round (vertices start without it).
+//! struct DegreeAlgo;
+//! impl Decider for DegreeAlgo {
+//!     type Output = usize;
+//!     fn decide(&self, view: &LocalView) -> Option<usize> {
+//!         (view.rounds() >= 1).then(|| view.neighbors_of(view.center_id()).len())
+//!     }
+//! }
+//!
+//! let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+//! let ids = IdAssignment::sequential(4);
+//! let res = run_oracle(&g, &ids, &DegreeAlgo, 16).unwrap();
+//! assert_eq!(res.rounds, 1);
+//! assert_eq!(res.outputs, vec![1, 2, 2, 1]);
+//! ```
+
+pub mod ids;
+pub mod runtime;
+pub mod view;
+
+pub use ids::IdAssignment;
+pub use runtime::{fits_congest, run_message_passing, run_oracle, run_parallel, RunResult, RuntimeError};
+pub use view::LocalView;
+
+/// A LOCAL algorithm expressed as a view-to-decision function.
+///
+/// `decide` is called after every round (including round 0, when the view
+/// contains only the vertex itself). Returning `Some` fixes the node's
+/// output; the runtime keeps the node relaying messages afterwards (as a
+/// real network would) but records its decision round.
+///
+/// Implementations must be deterministic functions of the view — this is
+/// what makes the three runtimes interchangeable.
+pub trait Decider: Sync {
+    /// Per-node output type.
+    type Output: Clone + Send;
+
+    /// Decide from the current view, or return `None` to wait a round.
+    fn decide(&self, view: &LocalView) -> Option<Self::Output>;
+}

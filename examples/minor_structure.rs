@@ -1,0 +1,87 @@
+//! Structure-theory tour: the objects behind the paper's analysis.
+//!
+//! Walks through (1) exact `K_{2,t}`-minor detection, (2) Ding's fans
+//! and strips, (3) local cuts and interesting vertices on the paper's
+//! own examples (long cycle, `C_6`, clique-with-pendants), and (4) an
+//! SPQR decomposition.
+//!
+//! Run with: `cargo run --release --example minor_structure`
+
+use lmds_core::local_cuts;
+use lmds_graph::minor::max_k2_minor;
+use lmds_graph::spqr::SpqrTree;
+
+fn main() {
+    println!("== 1. Exact K_2,t minor numbers ==");
+    for (name, g) in [
+        ("tree (P7)", lmds_gen::basic::path(7)),
+        ("cycle C8", lmds_gen::basic::cycle(8)),
+        ("fan(4)", lmds_gen::ding::fan(4)),
+        ("strip(4)", lmds_gen::ding::strip(4)),
+        ("K4", lmds_gen::basic::complete(4)),
+        ("K_{2,4}", lmds_gen::basic::complete_bipartite(2, 4)),
+    ] {
+        let ans = max_k2_minor(&g, 100_000_000);
+        println!(
+            "  {name:<12} n={:<3} largest K_2,t minor: t = {}{}",
+            g.n(),
+            ans.value(),
+            if ans.is_exact() { "" } else { " (lower bound)" }
+        );
+    }
+
+    println!("\n== 2. Ding's building blocks stay minor-free as they grow ==");
+    for k in [3usize, 6, 9] {
+        let s = lmds_gen::ding::strip(k);
+        let ans = max_k2_minor(&s, 500_000_000);
+        println!(
+            "  strip({k}): n={:<3} diameter={:<3} largest K_2,t minor t = {} (Ding: < 5)",
+            s.n(),
+            lmds_graph::bfs::diameter(&s).unwrap(),
+            ans.value()
+        );
+    }
+
+    println!("\n== 3. Local cuts: the paper's cautionary examples ==");
+    let c20 = lmds_gen::basic::cycle(20);
+    for r in [2u32, 5, 10] {
+        println!(
+            "  C20, r={r:<2}: {} r-local 1-cuts (global cut vertices: 0)",
+            local_cuts::local_one_cut_vertices(&c20, r).len()
+        );
+    }
+    let cp = lmds_gen::adversarial::clique_with_pendants(8);
+    let two_cut_vertices: std::collections::BTreeSet<usize> =
+        lmds_graph::two_cuts::minimal_two_cuts(&cp)
+            .into_iter()
+            .flat_map(|(a, b)| [a, b])
+            .collect();
+    println!(
+        "  clique+pendants(8): {} vertices in minimal 2-cuts, but only {} interesting (MDS = 1)",
+        two_cut_vertices.len(),
+        local_cuts::interesting_vertices(&cp, 4).len()
+    );
+    let c6 = lmds_gen::adversarial::c6();
+    println!(
+        "  C6: interesting vertices = {:?} (all six; they pack into 3 non-crossing families)",
+        local_cuts::interesting_vertices(&c6, 10)
+    );
+
+    println!("\n== 4. SPQR decomposition (used by Lemma 3.3's 2-cut forests) ==");
+    let theta = lmds_graph::Graph::from_edges(5, &[(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)]);
+    let tree = SpqrTree::compute(&theta);
+    println!("  theta graph: {} SPQR nodes:", tree.nodes.len());
+    for node in &tree.nodes {
+        println!(
+            "    {:?} on vertices {:?} ({} edges, {} virtual)",
+            node.kind,
+            node.vertices,
+            node.edges.len(),
+            node.edges.iter().filter(|e| e.is_virtual()).count()
+        );
+    }
+    println!(
+        "  displayed separation pairs: {:?} (Proposition 5.7)",
+        tree.displayed_pairs()
+    );
+}
