@@ -1,0 +1,185 @@
+//! The batch engine: fan a set of solvers across many instances on a
+//! thread pool, deterministically.
+
+use crate::{Instance, Solution, SolveConfig, SolveError, SolverRegistry};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One unit of batch work: solver key + config, applied to one instance
+/// of the batch.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Registry key of the solver to run.
+    pub solver: String,
+    /// The configuration to run it under.
+    pub config: SolveConfig,
+}
+
+impl BatchJob {
+    /// A job for `solver` under `config`.
+    pub fn new(solver: impl Into<String>, config: SolveConfig) -> Self {
+        BatchJob { solver: solver.into(), config }
+    }
+}
+
+/// The outcome of one (job × instance) cell.
+#[derive(Debug, Clone)]
+pub struct BatchRecord {
+    /// Name of the instance.
+    pub instance: String,
+    /// Solver key.
+    pub solver: String,
+    /// The solve outcome.
+    pub result: Result<Solution, SolveError>,
+}
+
+/// Fans (job × instance) cells across worker threads. Output order is
+/// deterministic — `records[j * instances.len() + i]` is job `j` on
+/// instance `i` — regardless of scheduling.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRunner {
+    threads: usize,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchRunner {
+    /// A runner sized to the machine (`available_parallelism`, capped
+    /// at 8 — solves are short; more threads just thrash).
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(8);
+        BatchRunner { threads }
+    }
+
+    /// A runner with an explicit thread count (≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        BatchRunner { threads: threads.max(1) }
+    }
+
+    /// The worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job against every instance. Errors are per-record
+    /// (an unknown key or unsupported mode fails that cell only).
+    pub fn run(
+        &self,
+        registry: &SolverRegistry,
+        jobs: &[BatchJob],
+        instances: &[Instance],
+    ) -> Vec<BatchRecord> {
+        let total = jobs.len() * instances.len();
+        let slots: Mutex<Vec<Option<BatchRecord>>> = Mutex::new((0..total).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(total.max(1)) {
+                scope.spawn(|| loop {
+                    let cell = next.fetch_add(1, Ordering::Relaxed);
+                    if cell >= total {
+                        break;
+                    }
+                    let (j, i) = (cell / instances.len(), cell % instances.len());
+                    let job = &jobs[j];
+                    let inst = &instances[i];
+                    let result = registry.solve(&job.solver, inst, &job.config);
+                    let record = BatchRecord {
+                        instance: inst.name.clone(),
+                        solver: job.solver.clone(),
+                        result,
+                    };
+                    slots.lock().expect("batch mutex")[cell] = Some(record);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("batch mutex")
+            .into_iter()
+            .map(|r| r.expect("every cell filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecutionMode, Problem};
+
+    fn corpus() -> Vec<Instance> {
+        vec![
+            Instance::shuffled("path12", lmds_gen::basic::path(12), 1),
+            Instance::shuffled("cycle9", lmds_gen::basic::cycle(9), 2),
+            Instance::shuffled("tree14", lmds_gen::trees::random_tree(14, 3), 3),
+        ]
+    }
+
+    #[test]
+    fn cross_product_order_is_deterministic() {
+        let registry = SolverRegistry::with_defaults();
+        let jobs = vec![
+            BatchJob::new("mds/theorem44", SolveConfig::mds()),
+            BatchJob::new(
+                "mds/trees-folklore",
+                SolveConfig::mds().mode(ExecutionMode::LocalOracle),
+            ),
+        ];
+        let instances = corpus();
+        let a = BatchRunner::with_threads(4).run(&registry, &jobs, &instances);
+        let b = BatchRunner::with_threads(1).run(&registry, &jobs, &instances);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.instance, y.instance);
+            assert_eq!(x.solver, y.solver);
+            let (sx, sy) = (x.result.as_ref().unwrap(), y.result.as_ref().unwrap());
+            assert_eq!(sx.vertices, sy.vertices, "thread count must not change results");
+        }
+        // Row-major: job 0 covers the instances first.
+        assert_eq!(a[0].solver, "mds/theorem44");
+        assert_eq!(a[0].instance, "path12");
+        assert_eq!(a[3].solver, "mds/trees-folklore");
+    }
+
+    #[test]
+    fn per_cell_errors_do_not_poison_the_batch() {
+        let registry = SolverRegistry::with_defaults();
+        let jobs = vec![
+            BatchJob::new("mds/unknown", SolveConfig::mds()),
+            BatchJob::new("mds/theorem44", SolveConfig::mds()),
+        ];
+        let instances = corpus();
+        let records = BatchRunner::new().run(&registry, &jobs, &instances);
+        assert_eq!(records.len(), 6);
+        assert!(records[..3].iter().all(|r| r.result.is_err()));
+        assert!(records[3..].iter().all(|r| r.result.is_ok()));
+    }
+
+    #[test]
+    fn batch_solutions_are_valid_across_modes() {
+        let registry = SolverRegistry::with_defaults();
+        let mut jobs = Vec::new();
+        for mode in
+            [ExecutionMode::Centralized, ExecutionMode::LocalOracle, ExecutionMode::Parallel]
+        {
+            jobs.push(BatchJob::new("mds/algorithm1", SolveConfig::mds().mode(mode)));
+            jobs.push(BatchJob::new("mvc/theorem44", SolveConfig::mvc().mode(mode)));
+        }
+        let instances = corpus();
+        for rec in BatchRunner::new().run(&registry, &jobs, &instances) {
+            let sol = rec.result.unwrap_or_else(|e| panic!("{}/{}: {e}", rec.solver, rec.instance));
+            assert!(sol.is_valid(), "{}/{}", rec.solver, rec.instance);
+            assert_eq!(
+                sol.problem,
+                if rec.solver.starts_with("mds") {
+                    Problem::MinDominatingSet
+                } else {
+                    Problem::MinVertexCover
+                }
+            );
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The uniform solve configuration: problem, execution mode, radii,
+//! ablation options, round cap — one builder shared by every solver.
+
+use lmds_asdim::ControlFunction;
+use lmds_core::{PipelineOptions, Radii};
+
+/// The optimization problem an [`crate::Solver`] targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Problem {
+    /// Minimum Dominating Set.
+    MinDominatingSet,
+    /// Minimum Vertex Cover.
+    MinVertexCover,
+}
+
+impl Problem {
+    /// The stable key prefix used by registry keys (`mds/...`,
+    /// `mvc/...`).
+    pub fn key_prefix(self) -> &'static str {
+        match self {
+            Problem::MinDominatingSet => "mds",
+            Problem::MinVertexCover => "mvc",
+        }
+    }
+}
+
+impl std::fmt::Display for Problem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Problem::MinDominatingSet => write!(f, "MDS"),
+            Problem::MinVertexCover => write!(f, "MVC"),
+        }
+    }
+}
+
+/// How a solver executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutionMode {
+    /// Centralized reference implementation (no simulator).
+    Centralized,
+    /// LOCAL simulation with oracle views (fast, no message accounting).
+    LocalOracle,
+    /// Faithful synchronous message passing (message bits accounted).
+    LocalMessagePassing,
+    /// Oracle semantics on a thread pool (bit-identical outputs).
+    Parallel,
+}
+
+impl ExecutionMode {
+    /// All modes, in the order batch sweeps iterate them.
+    pub const ALL: [ExecutionMode; 4] = [
+        ExecutionMode::Centralized,
+        ExecutionMode::LocalOracle,
+        ExecutionMode::LocalMessagePassing,
+        ExecutionMode::Parallel,
+    ];
+
+    /// Whether this mode runs on the LOCAL simulator (and therefore
+    /// reports a round count).
+    pub fn is_distributed(self) -> bool {
+        !matches!(self, ExecutionMode::Centralized)
+    }
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ExecutionMode::Centralized => "centralized",
+            ExecutionMode::LocalOracle => "local-oracle",
+            ExecutionMode::LocalMessagePassing => "local-message-passing",
+            ExecutionMode::Parallel => "parallel",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The uniform configuration every [`crate::Solver::solve`] call takes.
+///
+/// Built fluently:
+///
+/// ```
+/// use lmds_api::{ExecutionMode, SolveConfig};
+/// use lmds_core::Radii;
+///
+/// let cfg = SolveConfig::mds()
+///     .mode(ExecutionMode::LocalOracle)
+///     .radii(Radii::practical(2, 3))
+///     .measure_ratio(true);
+/// assert!(cfg.measure_ratio);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SolveConfig {
+    /// Which problem to solve; solvers reject a mismatch.
+    pub problem: Problem,
+    /// Execution mode; solvers reject unsupported modes.
+    pub mode: ExecutionMode,
+    /// Pipeline radii for the Algorithm 1/2 family (ignored by the
+    /// 3-round and folklore solvers). [`SolveConfig::radii`] and
+    /// [`SolveConfig::control`] set the same knob — the last call wins
+    /// for every pipeline solver.
+    pub radii: Radii,
+    /// Ablation switches for the Algorithm 1 pipeline.
+    pub options: PipelineOptions,
+    /// Control function for Algorithm 2 (`None` ⟹ Algorithm 2 uses
+    /// the explicit [`SolveConfig::radii`], like Algorithm 1).
+    pub control: Option<ControlFunction>,
+    /// Upper bound on simulated rounds; `None` ⟹ a solver-specific
+    /// safe default.
+    pub round_cap: Option<u32>,
+    /// Worker threads for [`ExecutionMode::Parallel`] (and batch runs).
+    pub threads: usize,
+    /// Whether to measure the approximation ratio against an exact
+    /// optimum / certified bound after solving.
+    pub measure_ratio: bool,
+    /// Branch-and-bound node budget for optimum measurement and for the
+    /// exact solvers.
+    pub opt_budget: u64,
+}
+
+/// Default branch-and-bound budget (matches the bench harness).
+pub const DEFAULT_OPT_BUDGET: u64 = 3_000_000;
+
+impl SolveConfig {
+    /// A fresh config for the given problem (centralized, practical
+    /// radii `(2, 3)`, paper-default options, no ratio measurement).
+    pub fn new(problem: Problem) -> Self {
+        SolveConfig {
+            problem,
+            mode: ExecutionMode::Centralized,
+            radii: Radii::practical(2, 3),
+            options: PipelineOptions::default(),
+            control: None,
+            round_cap: None,
+            threads: 4,
+            measure_ratio: false,
+            opt_budget: DEFAULT_OPT_BUDGET,
+        }
+    }
+
+    /// Shorthand for [`SolveConfig::new`] with
+    /// [`Problem::MinDominatingSet`].
+    pub fn mds() -> Self {
+        Self::new(Problem::MinDominatingSet)
+    }
+
+    /// Shorthand for [`SolveConfig::new`] with
+    /// [`Problem::MinVertexCover`].
+    pub fn mvc() -> Self {
+        Self::new(Problem::MinVertexCover)
+    }
+
+    /// Sets the execution mode.
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the pipeline radii explicitly. Clears any control function
+    /// so the radii/control knob stays consistent across solvers (last
+    /// setter wins).
+    pub fn radii(mut self, radii: Radii) -> Self {
+        self.radii = radii;
+        self.control = None;
+        self
+    }
+
+    /// Sets the ablation options.
+    pub fn options(mut self, options: PipelineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the Algorithm 2 control function (also derives the radii
+    /// from it, as Theorem 4.3 prescribes).
+    pub fn control(mut self, f: ControlFunction) -> Self {
+        self.radii = Radii::from_control(&f);
+        self.control = Some(f);
+        self
+    }
+
+    /// Caps the number of simulated rounds.
+    pub fn round_cap(mut self, cap: u32) -> Self {
+        self.round_cap = Some(cap);
+        self
+    }
+
+    /// Sets the worker-thread count for parallel execution.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables ratio measurement.
+    pub fn measure_ratio(mut self, yes: bool) -> Self {
+        self.measure_ratio = yes;
+        self
+    }
+
+    /// Sets the optimum-measurement budget.
+    pub fn opt_budget(mut self, budget: u64) -> Self {
+        self.opt_budget = budget;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let cfg =
+            SolveConfig::mvc().mode(ExecutionMode::Parallel).threads(0).round_cap(7).opt_budget(10);
+        assert_eq!(cfg.problem, Problem::MinVertexCover);
+        assert_eq!(cfg.mode, ExecutionMode::Parallel);
+        assert_eq!(cfg.threads, 1, "threads clamp to ≥ 1");
+        assert_eq!(cfg.round_cap, Some(7));
+        assert_eq!(cfg.opt_budget, 10);
+    }
+
+    #[test]
+    fn control_derives_radii() {
+        let f = ControlFunction::Affine { a: 1, b: 0, dim: 1 };
+        let cfg = SolveConfig::mds().control(f);
+        assert_eq!(cfg.radii, Radii::from_control(&f));
+    }
+
+    #[test]
+    fn radii_and_control_are_one_knob_last_setter_wins() {
+        let f = ControlFunction::Affine { a: 1, b: 0, dim: 1 };
+        // control then radii: explicit radii win, control is cleared.
+        let cfg = SolveConfig::mds().control(f).radii(Radii::practical(2, 3));
+        assert_eq!(cfg.control, None);
+        assert_eq!(cfg.radii, Radii::practical(2, 3));
+        // radii then control: control wins and re-derives the radii.
+        let cfg2 = SolveConfig::mds().radii(Radii::practical(2, 3)).control(f);
+        assert_eq!(cfg2.control, Some(f));
+        assert_eq!(cfg2.radii, Radii::from_control(&f));
+    }
+
+    #[test]
+    fn display_strings_are_stable() {
+        assert_eq!(Problem::MinDominatingSet.to_string(), "MDS");
+        assert_eq!(ExecutionMode::LocalMessagePassing.to_string(), "local-message-passing");
+        assert_eq!(Problem::MinVertexCover.key_prefix(), "mvc");
+    }
+}

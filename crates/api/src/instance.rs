@@ -1,0 +1,105 @@
+//! A solvable instance: graph + identifier assignment + optional ground
+//! truth.
+
+use crate::Problem;
+use lmds_graph::Graph;
+use lmds_localsim::IdAssignment;
+
+/// Known optima for an instance (when the generator or an offline exact
+/// solve established them). A `None` entry means "unknown", not "no
+/// solution".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Exact Minimum Dominating Set size, if known.
+    pub mds: Option<usize>,
+    /// Exact Minimum Vertex Cover size, if known.
+    pub mvc: Option<usize>,
+}
+
+impl GroundTruth {
+    /// The known optimum for `problem`, if any.
+    pub fn for_problem(&self, problem: Problem) -> Option<usize> {
+        match problem {
+            Problem::MinDominatingSet => self.mds,
+            Problem::MinVertexCover => self.mvc,
+        }
+    }
+}
+
+/// One problem instance, the uniform input of every
+/// [`crate::Solver::solve`] call.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Human-readable name (used in batch reports).
+    pub name: String,
+    /// The network graph.
+    pub graph: Graph,
+    /// The LOCAL-model identifier assignment.
+    pub ids: IdAssignment,
+    /// Optional known optima.
+    pub ground_truth: GroundTruth,
+}
+
+impl Instance {
+    /// Builds an instance with an explicit identifier assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment size does not match the graph.
+    pub fn new(name: impl Into<String>, graph: Graph, ids: IdAssignment) -> Self {
+        assert_eq!(graph.n(), ids.n(), "one identifier per vertex");
+        Instance { name: name.into(), graph, ids, ground_truth: GroundTruth::default() }
+    }
+
+    /// Builds an instance with the sequential assignment `id(v) = v`.
+    pub fn sequential(name: impl Into<String>, graph: Graph) -> Self {
+        let ids = IdAssignment::sequential(graph.n());
+        Self::new(name, graph, ids)
+    }
+
+    /// Builds an instance with a deterministically shuffled assignment.
+    pub fn shuffled(name: impl Into<String>, graph: Graph, seed: u64) -> Self {
+        let ids = IdAssignment::shuffled(graph.n(), seed);
+        Self::new(name, graph, ids)
+    }
+
+    /// Attaches a known exact MDS size.
+    pub fn with_mds_optimum(mut self, opt: usize) -> Self {
+        self.ground_truth.mds = Some(opt);
+        self
+    }
+
+    /// Attaches a known exact MVC size.
+    pub fn with_mvc_optimum(mut self, opt: usize) -> Self {
+        self.ground_truth.mvc = Some(opt);
+        self
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_ground_truth() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let inst = Instance::sequential("p3", g.clone()).with_mds_optimum(1).with_mvc_optimum(1);
+        assert_eq!(inst.n(), 3);
+        assert_eq!(inst.ground_truth.for_problem(Problem::MinDominatingSet), Some(1));
+        assert_eq!(inst.ground_truth.for_problem(Problem::MinVertexCover), Some(1));
+        let shuffled = Instance::shuffled("p3", g, 5);
+        assert_eq!(shuffled.ground_truth.for_problem(Problem::MinDominatingSet), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "one identifier per vertex")]
+    fn size_mismatch_rejected() {
+        let g = Graph::new(3);
+        let _ = Instance::new("bad", g, IdAssignment::sequential(2));
+    }
+}

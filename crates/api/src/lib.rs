@@ -1,0 +1,53 @@
+//! # lmds-api
+//!
+//! The unified service-facing API of the workspace: one [`Solver`]
+//! trait, a [`SolverRegistry`] naming every algorithm under a stable
+//! string key, and a [`BatchRunner`] that fans solver sets across many
+//! instances on a thread pool.
+//!
+//! Everything upstream of this crate (graph substrate, the paper's
+//! algorithms, the LOCAL simulator, workload generators) is exposed
+//! downstream (experiments, the `reproduce` binary, examples, service
+//! frontends) exclusively through three types:
+//!
+//! * [`Instance`] — graph + identifier assignment + optional ground
+//!   truth,
+//! * [`SolveConfig`] — problem ([`Problem::MinDominatingSet`] or
+//!   [`Problem::MinVertexCover`]), [`ExecutionMode`], radii, ablation
+//!   options, round cap,
+//! * [`Solution`] — vertex set, validity [`Certificate`], measured
+//!   ratio, round count, [`MessageStats`], wall time, and
+//!   [`PipelineDiagnostics`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lmds_api::{ExecutionMode, Instance, SolveConfig, SolverRegistry};
+//!
+//! let registry = SolverRegistry::with_defaults();
+//! let instance = Instance::shuffled("demo", lmds_gen::basic::cycle(12), 7);
+//!
+//! // Same call shape for every algorithm, centralized or simulated.
+//! let cfg = SolveConfig::mds().mode(ExecutionMode::LocalOracle).measure_ratio(true);
+//! let sol = registry.solve("mds/theorem44", &instance, &cfg).unwrap();
+//! assert!(sol.is_valid());
+//! assert_eq!(sol.rounds, Some(3));
+//! assert!(sol.ratio().unwrap() >= 1.0);
+//!
+//! // Enumerate what is available.
+//! assert!(registry.keys().len() >= 8);
+//! ```
+
+pub mod batch;
+pub mod config;
+pub mod instance;
+pub mod registry;
+pub mod solution;
+pub mod solver;
+
+pub use batch::{BatchJob, BatchRecord, BatchRunner};
+pub use config::{ExecutionMode, Problem, SolveConfig, DEFAULT_OPT_BUDGET};
+pub use instance::{GroundTruth, Instance};
+pub use registry::SolverRegistry;
+pub use solution::{Certificate, MessageStats, Optimum, PipelineDiagnostics, Solution};
+pub use solver::{SolveError, Solver};

@@ -1,0 +1,151 @@
+//! The solver registry: every algorithm under a stable string key.
+
+use crate::solver::{
+    Algorithm1MvcSolver, Algorithm1Solver, Algorithm2Solver, ExactMdsSolver, ExactMvcSolver,
+    RegularMvcSolver, Solver, TakeAllSolver, Theorem44MdsSolver, Theorem44MvcSolver,
+    TreesFolkloreSolver,
+};
+use crate::{Instance, Problem, Solution, SolveConfig, SolveError};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A keyed collection of [`Solver`]s. Iteration order is the key order
+/// (BTreeMap), so sweeps are deterministic.
+#[derive(Clone, Default)]
+pub struct SolverRegistry {
+    solvers: BTreeMap<&'static str, Arc<dyn Solver>>,
+}
+
+impl SolverRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        SolverRegistry { solvers: BTreeMap::new() }
+    }
+
+    /// The registry with every built-in algorithm registered: the
+    /// Algorithm 1/2 pipeline, Theorem 4.4 (MDS + MVC), the Algorithm 1
+    /// MVC variant, the folklore baselines, and the exact reference
+    /// solvers.
+    pub fn with_defaults() -> Self {
+        let mut r = Self::empty();
+        r.register(Arc::new(Algorithm1Solver));
+        r.register(Arc::new(Algorithm2Solver));
+        r.register(Arc::new(Theorem44MdsSolver));
+        r.register(Arc::new(TreesFolkloreSolver));
+        r.register(Arc::new(TakeAllSolver));
+        r.register(Arc::new(ExactMdsSolver));
+        r.register(Arc::new(Theorem44MvcSolver));
+        r.register(Arc::new(Algorithm1MvcSolver));
+        r.register(Arc::new(RegularMvcSolver));
+        r.register(Arc::new(ExactMvcSolver));
+        r
+    }
+
+    /// Registers (or replaces) a solver under its own key.
+    pub fn register(&mut self, solver: Arc<dyn Solver>) {
+        self.solvers.insert(solver.key(), solver);
+    }
+
+    /// Looks a solver up by key.
+    pub fn get(&self, key: &str) -> Option<Arc<dyn Solver>> {
+        self.solvers.get(key).cloned()
+    }
+
+    /// All registered keys, sorted.
+    pub fn keys(&self) -> Vec<&'static str> {
+        self.solvers.keys().copied().collect()
+    }
+
+    /// All solvers targeting `problem`, in key order.
+    pub fn solvers_for(&self, problem: Problem) -> Vec<Arc<dyn Solver>> {
+        self.solvers.values().filter(|s| s.problem() == problem).cloned().collect()
+    }
+
+    /// Number of registered solvers.
+    pub fn len(&self) -> usize {
+        self.solvers.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.solvers.is_empty()
+    }
+
+    /// Convenience: look up by key and solve in one call.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::UnknownSolver`] for an unregistered key, plus
+    /// whatever the solver itself returns.
+    pub fn solve(
+        &self,
+        key: &str,
+        inst: &Instance,
+        cfg: &SolveConfig,
+    ) -> Result<Solution, SolveError> {
+        let solver =
+            self.get(key).ok_or_else(|| SolveError::UnknownSolver { key: key.to_string() })?;
+        solver.solve(inst, cfg)
+    }
+}
+
+impl std::fmt::Debug for SolverRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverRegistry").field("keys", &self.keys()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExecutionMode;
+
+    #[test]
+    fn defaults_cover_both_problems_with_at_least_eight_solvers() {
+        let r = SolverRegistry::with_defaults();
+        assert!(r.len() >= 8, "{:?}", r.keys());
+        assert!(!r.solvers_for(Problem::MinDominatingSet).is_empty());
+        assert!(!r.solvers_for(Problem::MinVertexCover).is_empty());
+        for key in r.keys() {
+            let s = r.get(key).unwrap();
+            assert_eq!(s.key(), key);
+            assert!(key.starts_with(s.problem().key_prefix()), "{key}");
+            assert!(!s.modes().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let r = SolverRegistry::with_defaults();
+        let inst = Instance::sequential("k1", lmds_graph::Graph::new(1));
+        let err = r.solve("mds/nope", &inst, &SolveConfig::mds()).unwrap_err();
+        assert!(matches!(err, SolveError::UnknownSolver { .. }));
+    }
+
+    #[test]
+    fn every_solver_solves_a_small_instance_centralized() {
+        let r = SolverRegistry::with_defaults();
+        let g = lmds_gen::basic::path(6);
+        let inst = Instance::sequential("p6", g);
+        for key in r.keys() {
+            let solver = r.get(key).unwrap();
+            let cfg = SolveConfig::new(solver.problem());
+            let sol = r.solve(key, &inst, &cfg).unwrap_or_else(|e| panic!("{key}: {e}"));
+            assert!(sol.is_valid(), "{key} produced an invalid solution");
+            assert_eq!(sol.mode, ExecutionMode::Centralized);
+            assert_eq!(sol.solver, key);
+        }
+    }
+
+    #[test]
+    fn problem_mismatch_is_rejected() {
+        let r = SolverRegistry::with_defaults();
+        let inst = Instance::sequential("p3", lmds_gen::basic::path(3));
+        let err = r.solve("mds/theorem44", &inst, &SolveConfig::mvc()).unwrap_err();
+        assert!(matches!(err, SolveError::UnsupportedProblem { .. }));
+        let err2 = r
+            .solve("mds/exact", &inst, &SolveConfig::mds().mode(ExecutionMode::LocalOracle))
+            .unwrap_err();
+        assert!(matches!(err2, SolveError::UnsupportedMode { .. }));
+    }
+}

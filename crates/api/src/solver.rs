@@ -1,0 +1,635 @@
+//! The [`Solver`] trait and its implementations: every algorithm in the
+//! workspace behind one `solve(&Instance, &SolveConfig) -> Solution`
+//! contract.
+
+use crate::{
+    ExecutionMode, Instance, MessageStats, Optimum, PipelineDiagnostics, Problem, Solution,
+    SolveConfig,
+};
+use lmds_core::distributed::{
+    Algorithm1Decider, MvcAlgorithm1Decider, RegularMvcDecider, TakeAllDecider, Theorem44Decider,
+    Theorem44MvcDecider, TreesFolkloreDecider,
+};
+use lmds_core::mvc::algorithm1_mvc;
+use lmds_core::theorem44::{theorem44_mds, theorem44_mvc};
+use lmds_core::{algorithm1_with, baselines, PipelineOptions, Radii};
+use lmds_graph::Vertex;
+use lmds_localsim::{
+    run_message_passing, run_oracle, run_parallel, Decider, RunResult, RuntimeError,
+};
+use std::time::Instant;
+
+/// Why a solve call failed.
+#[derive(Debug, Clone)]
+pub enum SolveError {
+    /// No solver is registered under the requested key.
+    UnknownSolver {
+        /// The key that was looked up.
+        key: String,
+    },
+    /// The config's problem does not match the solver's.
+    UnsupportedProblem {
+        /// The solver's key.
+        solver: &'static str,
+        /// What the config asked for.
+        requested: Problem,
+    },
+    /// The solver cannot run under the requested execution mode.
+    UnsupportedMode {
+        /// The solver's key.
+        solver: &'static str,
+        /// What the config asked for.
+        requested: ExecutionMode,
+    },
+    /// The solver cannot honor part of the configuration.
+    UnsupportedOptions {
+        /// The solver's key.
+        solver: &'static str,
+        /// What was wrong.
+        reason: String,
+    },
+    /// An exact solver exhausted its search budget.
+    BudgetExhausted {
+        /// The solver's key.
+        solver: &'static str,
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+    /// The LOCAL simulation failed (round cap, malformed instance).
+    Runtime(RuntimeError),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::UnknownSolver { key } => write!(f, "no solver registered as {key:?}"),
+            SolveError::UnsupportedProblem { solver, requested } => {
+                write!(f, "solver {solver} does not solve {requested}")
+            }
+            SolveError::UnsupportedMode { solver, requested } => {
+                write!(f, "solver {solver} does not support {requested} execution")
+            }
+            SolveError::UnsupportedOptions { solver, reason } => {
+                write!(f, "solver {solver}: {reason}")
+            }
+            SolveError::BudgetExhausted { solver, budget } => {
+                write!(f, "solver {solver} exhausted its search budget of {budget} nodes")
+            }
+            SolveError::Runtime(e) => write!(f, "LOCAL runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<RuntimeError> for SolveError {
+    fn from(e: RuntimeError) -> Self {
+        SolveError::Runtime(e)
+    }
+}
+
+/// A uniform algorithm: every MDS/MVC algorithm in the workspace
+/// implements this one trait, and all consumers (experiments, the
+/// `reproduce` binary, examples, batch sweeps) invoke algorithms only
+/// through it.
+pub trait Solver: Send + Sync {
+    /// Stable registry key, `"<problem>/<algorithm>"`
+    /// (e.g. `"mds/algorithm1"`).
+    fn key(&self) -> &'static str;
+
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// The problem this solver targets.
+    fn problem(&self) -> Problem;
+
+    /// Where in the paper (or folklore) the algorithm comes from.
+    fn paper_ref(&self) -> &'static str;
+
+    /// The execution modes this solver supports.
+    fn modes(&self) -> &'static [ExecutionMode];
+
+    /// Solves `inst` under `cfg`, returning the structured solution.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError`] on problem/mode/config mismatch or simulator
+    /// failure; never panics on well-formed instances.
+    fn solve(&self, inst: &Instance, cfg: &SolveConfig) -> Result<Solution, SolveError>;
+}
+
+/// All four modes (shared constant for solvers with full support).
+const ALL_MODES: &[ExecutionMode] = &ExecutionMode::ALL;
+
+/// Centralized only (exact solvers).
+const CENTRALIZED_ONLY: &[ExecutionMode] = &[ExecutionMode::Centralized];
+
+/// Validates problem + mode, in every solver's preamble.
+fn check(
+    solver: &'static str,
+    problem: Problem,
+    modes: &'static [ExecutionMode],
+    cfg: &SolveConfig,
+) -> Result<(), SolveError> {
+    if cfg.problem != problem {
+        return Err(SolveError::UnsupportedProblem { solver, requested: cfg.problem });
+    }
+    if !modes.contains(&cfg.mode) {
+        return Err(SolveError::UnsupportedMode { solver, requested: cfg.mode });
+    }
+    Ok(())
+}
+
+/// A generous round cap for the adaptive Algorithm 1 deciders: view
+/// margin + residual-component reach + slack.
+fn adaptive_round_cap(radii: Radii, n: usize) -> u32 {
+    radii.one_cut.max(2 * radii.two_cut) + 5 + n as u32 + 10
+}
+
+/// What a distributed run hands back to `finish`: vertices, rounds,
+/// and (for message passing) message stats.
+type DeciderRun = (Vec<Vertex>, Option<u32>, Option<MessageStats>);
+
+/// Runs a boolean decider under a distributed mode and converts the
+/// outputs to (vertices, rounds, message stats).
+fn run_decider<D: Decider<Output = bool>>(
+    inst: &Instance,
+    decider: &D,
+    mode: ExecutionMode,
+    cap: u32,
+    threads: usize,
+) -> Result<DeciderRun, SolveError> {
+    let res: RunResult<bool> = match mode {
+        ExecutionMode::LocalOracle => run_oracle(&inst.graph, &inst.ids, decider, cap)?,
+        ExecutionMode::LocalMessagePassing => {
+            run_message_passing(&inst.graph, &inst.ids, decider, cap)?
+        }
+        // max(1): SolveConfig's fields are public, so a hand-built
+        // threads: 0 must not turn into a div_ceil panic downstream.
+        ExecutionMode::Parallel => {
+            run_parallel(&inst.graph, &inst.ids, decider, cap, threads.max(1))?
+        }
+        ExecutionMode::Centralized => unreachable!("run_decider is only called distributed"),
+    };
+    let vertices: Vec<Vertex> =
+        res.outputs.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect();
+    let messages = (mode == ExecutionMode::LocalMessagePassing).then_some(MessageStats {
+        max_message_bits: res.max_message_bits,
+        total_message_bits: res.total_message_bits,
+    });
+    Ok((vertices, Some(res.rounds), messages))
+}
+
+/// Attaches a measured optimum when the config asks for one and ground
+/// truth did not already provide it.
+fn measure_optimum(inst: &Instance, cfg: &SolveConfig, sol: &mut Solution) {
+    if !cfg.measure_ratio || sol.optimum.is_some() {
+        return;
+    }
+    let rep = match sol.problem {
+        Problem::MinDominatingSet => {
+            lmds_core::analysis::mds_report(&inst.graph, sol.size(), cfg.opt_budget)
+        }
+        Problem::MinVertexCover => {
+            lmds_core::analysis::vc_report(&inst.graph, sol.size(), cfg.opt_budget)
+        }
+    };
+    sol.optimum = Some(Optimum {
+        value: rep.opt,
+        exact: rep.kind == lmds_core::analysis::OptimumKind::Exact,
+    });
+}
+
+/// Shared tail of every solve: assemble, measure, stamp wall time.
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    solver: &'static str,
+    inst: &Instance,
+    cfg: &SolveConfig,
+    started: Instant,
+    vertices: Vec<Vertex>,
+    rounds: Option<u32>,
+    messages: Option<MessageStats>,
+    diagnostics: Option<PipelineDiagnostics>,
+) -> Solution {
+    let mut sol = Solution::assemble(
+        solver,
+        inst,
+        cfg.problem,
+        cfg.mode,
+        vertices,
+        rounds,
+        messages,
+        started.elapsed(),
+    );
+    sol.diagnostics = diagnostics;
+    measure_optimum(inst, cfg, &mut sol);
+    sol
+}
+
+/// [`finish`] for the exact solvers: the result *is* the optimum, so
+/// attach it directly instead of re-running the search under
+/// `measure_ratio`.
+fn finish_exact(
+    solver: &'static str,
+    inst: &Instance,
+    cfg: &SolveConfig,
+    started: Instant,
+    vertices: Vec<Vertex>,
+) -> Solution {
+    let mut sol = Solution::assemble(
+        solver,
+        inst,
+        cfg.problem,
+        cfg.mode,
+        vertices,
+        None,
+        None,
+        started.elapsed(),
+    );
+    sol.optimum = Some(Optimum { value: sol.size(), exact: true });
+    sol
+}
+
+// ---------------------------------------------------------------------
+// MDS solvers
+// ---------------------------------------------------------------------
+
+/// The shared solve body of the Algorithm 1/2 pipeline family:
+/// centralized run with diagnostics, or the adaptive LOCAL decider at
+/// the given radii.
+fn solve_pipeline(
+    key: &'static str,
+    inst: &Instance,
+    cfg: &SolveConfig,
+    radii: Radii,
+) -> Result<Solution, SolveError> {
+    let started = Instant::now();
+    if cfg.mode == ExecutionMode::Centralized {
+        let out = algorithm1_with(&inst.graph, &inst.ids, radii, cfg.options);
+        let diagnostics = PipelineDiagnostics {
+            kept: out.kept,
+            x_set: out.x_set,
+            i_set: out.i_set,
+            u_set: out.u_set,
+            brute_selected: out.brute_selected,
+            residual_components: out.residual_components,
+        };
+        return Ok(finish(key, inst, cfg, started, out.solution, None, None, Some(diagnostics)));
+    }
+    if cfg.options != PipelineOptions::default() {
+        return Err(SolveError::UnsupportedOptions {
+            solver: key,
+            reason: "ablation options are centralized-only (the LOCAL decider runs the \
+                     paper-default pipeline)"
+                .into(),
+        });
+    }
+    let cap = cfg.round_cap.unwrap_or_else(|| adaptive_round_cap(radii, inst.n()));
+    let decider = Algorithm1Decider { radii };
+    let (vertices, rounds, messages) = run_decider(inst, &decider, cfg.mode, cap, cfg.threads)?;
+    Ok(finish(key, inst, cfg, started, vertices, rounds, messages, None))
+}
+
+/// Algorithm 1 / Theorem 4.1: the `O_t(1)`-round constant-approximation
+/// pipeline (twin reduction → local 1-cuts → interesting 2-cuts → exact
+/// brute force on bounded residuals).
+pub struct Algorithm1Solver;
+
+impl Solver for Algorithm1Solver {
+    fn key(&self) -> &'static str {
+        "mds/algorithm1"
+    }
+    fn name(&self) -> &'static str {
+        "Algorithm 1 pipeline"
+    }
+    fn problem(&self) -> Problem {
+        Problem::MinDominatingSet
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Theorem 4.1"
+    }
+    fn modes(&self) -> &'static [ExecutionMode] {
+        ALL_MODES
+    }
+    fn solve(&self, inst: &Instance, cfg: &SolveConfig) -> Result<Solution, SolveError> {
+        check(self.key(), self.problem(), self.modes(), cfg)?;
+        solve_pipeline(self.key(), inst, cfg, cfg.radii)
+    }
+}
+
+/// Algorithm 2 / Theorem 4.3: the same pipeline with radii derived from
+/// an asymptotic-dimension control function ([`SolveConfig::control`]).
+/// Without a control function it degenerates to Algorithm 1's explicit
+/// radii, as the builder's last-setter-wins semantics prescribe.
+pub struct Algorithm2Solver;
+
+impl Solver for Algorithm2Solver {
+    fn key(&self) -> &'static str {
+        "mds/algorithm2"
+    }
+    fn name(&self) -> &'static str {
+        "Algorithm 2 (control-function pipeline)"
+    }
+    fn problem(&self) -> Problem {
+        Problem::MinDominatingSet
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Theorem 4.3"
+    }
+    fn modes(&self) -> &'static [ExecutionMode] {
+        ALL_MODES
+    }
+    fn solve(&self, inst: &Instance, cfg: &SolveConfig) -> Result<Solution, SolveError> {
+        check(self.key(), self.problem(), self.modes(), cfg)?;
+        let radii = cfg.control.map_or(cfg.radii, |f| Radii::from_control(&f));
+        solve_pipeline(self.key(), inst, cfg, radii)
+    }
+}
+
+/// Theorem 4.4: the 3-round `(2t−1)`-approximation (`D₂` of the
+/// twin-free quotient).
+pub struct Theorem44MdsSolver;
+
+impl Solver for Theorem44MdsSolver {
+    fn key(&self) -> &'static str {
+        "mds/theorem44"
+    }
+    fn name(&self) -> &'static str {
+        "Theorem 4.4 (3-round D₂)"
+    }
+    fn problem(&self) -> Problem {
+        Problem::MinDominatingSet
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Theorem 4.4"
+    }
+    fn modes(&self) -> &'static [ExecutionMode] {
+        ALL_MODES
+    }
+    fn solve(&self, inst: &Instance, cfg: &SolveConfig) -> Result<Solution, SolveError> {
+        check(self.key(), self.problem(), self.modes(), cfg)?;
+        let started = Instant::now();
+        if cfg.mode == ExecutionMode::Centralized {
+            let sol = theorem44_mds(&inst.graph, &inst.ids);
+            return Ok(finish(self.key(), inst, cfg, started, sol, None, None, None));
+        }
+        let cap = cfg.round_cap.unwrap_or(10);
+        let (vertices, rounds, messages) =
+            run_decider(inst, &Theorem44Decider, cfg.mode, cap, cfg.threads)?;
+        Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
+    }
+}
+
+/// Table 1 trees row: the folklore 2-round 3-approximation (degree ≥ 2
+/// plus small-component rules).
+pub struct TreesFolkloreSolver;
+
+impl Solver for TreesFolkloreSolver {
+    fn key(&self) -> &'static str {
+        "mds/trees-folklore"
+    }
+    fn name(&self) -> &'static str {
+        "trees folklore (degree ≥ 2)"
+    }
+    fn problem(&self) -> Problem {
+        Problem::MinDominatingSet
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Table 1 (trees row, folklore)"
+    }
+    fn modes(&self) -> &'static [ExecutionMode] {
+        ALL_MODES
+    }
+    fn solve(&self, inst: &Instance, cfg: &SolveConfig) -> Result<Solution, SolveError> {
+        check(self.key(), self.problem(), self.modes(), cfg)?;
+        let started = Instant::now();
+        if cfg.mode == ExecutionMode::Centralized {
+            let sol = baselines::trees_folklore(&inst.graph, &inst.ids);
+            return Ok(finish(self.key(), inst, cfg, started, sol, None, None, None));
+        }
+        let cap = cfg.round_cap.unwrap_or(10);
+        let (vertices, rounds, messages) =
+            run_decider(inst, &TreesFolkloreDecider, cfg.mode, cap, cfg.threads)?;
+        Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
+    }
+}
+
+/// Table 1 `K_{1,t}` row: every vertex joins at round 0
+/// (`Δ ≤ t−1 ⟹ n ≤ t·MDS`).
+pub struct TakeAllSolver;
+
+impl Solver for TakeAllSolver {
+    fn key(&self) -> &'static str {
+        "mds/take-all"
+    }
+    fn name(&self) -> &'static str {
+        "take all (0 rounds)"
+    }
+    fn problem(&self) -> Problem {
+        Problem::MinDominatingSet
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Table 1 (K_{1,t} row, folklore)"
+    }
+    fn modes(&self) -> &'static [ExecutionMode] {
+        ALL_MODES
+    }
+    fn solve(&self, inst: &Instance, cfg: &SolveConfig) -> Result<Solution, SolveError> {
+        check(self.key(), self.problem(), self.modes(), cfg)?;
+        let started = Instant::now();
+        if cfg.mode == ExecutionMode::Centralized {
+            let sol = baselines::take_all(&inst.graph);
+            return Ok(finish(self.key(), inst, cfg, started, sol, None, None, None));
+        }
+        let cap = cfg.round_cap.unwrap_or(5);
+        let (vertices, rounds, messages) =
+            run_decider(inst, &TakeAllDecider, cfg.mode, cap, cfg.threads)?;
+        Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
+    }
+}
+
+/// Exact MDS via tree DP or branch and bound (centralized reference
+/// baseline; budget-capped).
+pub struct ExactMdsSolver;
+
+impl Solver for ExactMdsSolver {
+    fn key(&self) -> &'static str {
+        "mds/exact"
+    }
+    fn name(&self) -> &'static str {
+        "exact MDS (tree DP / branch & bound)"
+    }
+    fn problem(&self) -> Problem {
+        Problem::MinDominatingSet
+    }
+    fn paper_ref(&self) -> &'static str {
+        "baseline (exact)"
+    }
+    fn modes(&self) -> &'static [ExecutionMode] {
+        CENTRALIZED_ONLY
+    }
+    fn solve(&self, inst: &Instance, cfg: &SolveConfig) -> Result<Solution, SolveError> {
+        check(self.key(), self.problem(), self.modes(), cfg)?;
+        let started = Instant::now();
+        let sol = if let Some(t) = lmds_graph::dominating::tree_mds(&inst.graph) {
+            t
+        } else {
+            lmds_graph::dominating::exact_mds_capped(&inst.graph, cfg.opt_budget)
+                .ok_or(SolveError::BudgetExhausted { solver: self.key(), budget: cfg.opt_budget })?
+        };
+        Ok(finish_exact(self.key(), inst, cfg, started, sol))
+    }
+}
+
+// ---------------------------------------------------------------------
+// MVC solvers
+// ---------------------------------------------------------------------
+
+/// Theorem 4.4's MVC variant: degree ≥ 2 plus smaller-id endpoints of
+/// isolated edges (`t`-approximation).
+pub struct Theorem44MvcSolver;
+
+impl Solver for Theorem44MvcSolver {
+    fn key(&self) -> &'static str {
+        "mvc/theorem44"
+    }
+    fn name(&self) -> &'static str {
+        "Theorem 4.4 MVC variant"
+    }
+    fn problem(&self) -> Problem {
+        Problem::MinVertexCover
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Theorem 4.4 (MVC extension)"
+    }
+    fn modes(&self) -> &'static [ExecutionMode] {
+        ALL_MODES
+    }
+    fn solve(&self, inst: &Instance, cfg: &SolveConfig) -> Result<Solution, SolveError> {
+        check(self.key(), self.problem(), self.modes(), cfg)?;
+        let started = Instant::now();
+        if cfg.mode == ExecutionMode::Centralized {
+            let sol = theorem44_mvc(&inst.graph, &inst.ids);
+            return Ok(finish(self.key(), inst, cfg, started, sol, None, None, None));
+        }
+        let cap = cfg.round_cap.unwrap_or(10);
+        let (vertices, rounds, messages) =
+            run_decider(inst, &Theorem44MvcDecider, cfg.mode, cap, cfg.threads)?;
+        Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
+    }
+}
+
+/// The MVC variant of Algorithm 1 (§4 closing remark): take *all*
+/// local-2-cut vertices, then exact vertex cover per residual component
+/// of uncovered edges.
+pub struct Algorithm1MvcSolver;
+
+impl Solver for Algorithm1MvcSolver {
+    fn key(&self) -> &'static str {
+        "mvc/algorithm1"
+    }
+    fn name(&self) -> &'static str {
+        "Algorithm 1 MVC variant (take-all 2-cuts)"
+    }
+    fn problem(&self) -> Problem {
+        Problem::MinVertexCover
+    }
+    fn paper_ref(&self) -> &'static str {
+        "§4 closing remark"
+    }
+    fn modes(&self) -> &'static [ExecutionMode] {
+        ALL_MODES
+    }
+    fn solve(&self, inst: &Instance, cfg: &SolveConfig) -> Result<Solution, SolveError> {
+        check(self.key(), self.problem(), self.modes(), cfg)?;
+        let started = Instant::now();
+        if cfg.mode == ExecutionMode::Centralized {
+            let out = algorithm1_mvc(&inst.graph, &inst.ids, cfg.radii);
+            let diagnostics = PipelineDiagnostics {
+                kept: inst.graph.vertices().collect(),
+                x_set: out.x_set,
+                i_set: out.two_cut_set,
+                u_set: Vec::new(),
+                brute_selected: Vec::new(),
+                residual_components: out.residual_components,
+            };
+            return Ok(finish(
+                self.key(),
+                inst,
+                cfg,
+                started,
+                out.solution,
+                None,
+                None,
+                Some(diagnostics),
+            ));
+        }
+        let cap = cfg.round_cap.unwrap_or_else(|| adaptive_round_cap(cfg.radii, inst.n()));
+        let decider = MvcAlgorithm1Decider { radii: cfg.radii };
+        let (vertices, rounds, messages) = run_decider(inst, &decider, cfg.mode, cap, cfg.threads)?;
+        Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
+    }
+}
+
+/// Folklore 2-approximation for MVC on regular graphs: every
+/// non-isolated vertex joins (1 round).
+pub struct RegularMvcSolver;
+
+impl Solver for RegularMvcSolver {
+    fn key(&self) -> &'static str {
+        "mvc/regular-take-all"
+    }
+    fn name(&self) -> &'static str {
+        "regular-graph take-all MVC"
+    }
+    fn problem(&self) -> Problem {
+        Problem::MinVertexCover
+    }
+    fn paper_ref(&self) -> &'static str {
+        "§1 (folklore)"
+    }
+    fn modes(&self) -> &'static [ExecutionMode] {
+        ALL_MODES
+    }
+    fn solve(&self, inst: &Instance, cfg: &SolveConfig) -> Result<Solution, SolveError> {
+        check(self.key(), self.problem(), self.modes(), cfg)?;
+        let started = Instant::now();
+        if cfg.mode == ExecutionMode::Centralized {
+            let sol = baselines::regular_mvc_take_all(&inst.graph);
+            return Ok(finish(self.key(), inst, cfg, started, sol, None, None, None));
+        }
+        let cap = cfg.round_cap.unwrap_or(5);
+        let (vertices, rounds, messages) =
+            run_decider(inst, &RegularMvcDecider, cfg.mode, cap, cfg.threads)?;
+        Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
+    }
+}
+
+/// Exact MVC via branch and bound (centralized baseline; budget-capped).
+pub struct ExactMvcSolver;
+
+impl Solver for ExactMvcSolver {
+    fn key(&self) -> &'static str {
+        "mvc/exact"
+    }
+    fn name(&self) -> &'static str {
+        "exact MVC (branch & bound)"
+    }
+    fn problem(&self) -> Problem {
+        Problem::MinVertexCover
+    }
+    fn paper_ref(&self) -> &'static str {
+        "baseline (exact)"
+    }
+    fn modes(&self) -> &'static [ExecutionMode] {
+        CENTRALIZED_ONLY
+    }
+    fn solve(&self, inst: &Instance, cfg: &SolveConfig) -> Result<Solution, SolveError> {
+        check(self.key(), self.problem(), self.modes(), cfg)?;
+        let started = Instant::now();
+        let sol = lmds_graph::vertex_cover::exact_vertex_cover_capped(&inst.graph, cfg.opt_budget)
+            .ok_or(SolveError::BudgetExhausted { solver: self.key(), budget: cfg.opt_budget })?;
+        Ok(finish_exact(self.key(), inst, cfg, started, sol))
+    }
+}

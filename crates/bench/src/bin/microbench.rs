@@ -1,0 +1,110 @@
+//! Dependency-free micro-benchmark harness (replaces the former
+//! Criterion benches, which cannot be vendored offline): times every
+//! registry solver on representative workloads via the uniform
+//! `Solver::solve` path and prints a markdown table.
+//!
+//! Usage:
+//! ```text
+//! microbench [--iters <n>]
+//! ```
+
+use lmds_api::{ExecutionMode, Instance, SolveConfig, SolverRegistry};
+use lmds_bench::{render_markdown, Table};
+use lmds_core::Radii;
+use std::time::Instant;
+
+fn time_case(
+    registry: &SolverRegistry,
+    key: &str,
+    inst: &Instance,
+    cfg: &SolveConfig,
+    iters: u32,
+) -> (f64, f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut total = 0f64;
+    let mut size = 0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let sol = registry.solve(key, inst, cfg).unwrap_or_else(|e| panic!("{key}: {e}"));
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        assert!(sol.is_valid(), "{key} on {}", inst.name);
+        best = best.min(us);
+        total += us;
+        size = sol.size();
+    }
+    (best, total / iters as f64, size)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iters = 10u32;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iters" => {
+                i += 1;
+                iters =
+                    args.get(i).and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(
+                        || {
+                            eprintln!("usage: microbench [--iters <n>]  (n ≥ 1)");
+                            std::process::exit(2);
+                        },
+                    );
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let registry = SolverRegistry::with_defaults();
+    let tree = Instance::shuffled("tree1000", lmds_gen::trees::random_tree(1000, 1), 1);
+    let outer = Instance::shuffled(
+        "outerplanar500",
+        lmds_gen::outerplanar::random_maximal_outerplanar(500, 2),
+        2,
+    );
+    let aug = Instance::shuffled(
+        "augmentation",
+        lmds_gen::ding::AugmentationSpec::standard(6, 3, 2, 3).generate(),
+        3,
+    );
+    let small = Instance::shuffled("path40", lmds_gen::basic::path(40), 5);
+
+    let radii = Radii::practical(2, 3);
+    let cases: Vec<(&str, &Instance, SolveConfig)> = vec![
+        ("mds/trees-folklore", &tree, SolveConfig::mds()),
+        ("mds/trees-folklore", &tree, SolveConfig::mds().mode(ExecutionMode::LocalOracle)),
+        ("mds/theorem44", &outer, SolveConfig::mds()),
+        ("mds/theorem44", &outer, SolveConfig::mds().mode(ExecutionMode::LocalOracle)),
+        ("mds/theorem44", &outer, SolveConfig::mds().mode(ExecutionMode::Parallel).threads(4)),
+        ("mds/algorithm1", &aug, SolveConfig::mds().radii(radii)),
+        ("mds/algorithm1", &aug, SolveConfig::mds().radii(radii).mode(ExecutionMode::LocalOracle)),
+        ("mds/take-all", &aug, SolveConfig::mds()),
+        ("mvc/theorem44", &outer, SolveConfig::mvc()),
+        ("mvc/algorithm1", &aug, SolveConfig::mvc().radii(radii)),
+        ("mvc/regular-take-all", &outer, SolveConfig::mvc()),
+        ("mds/exact", &small, SolveConfig::mds()),
+        ("mvc/exact", &small, SolveConfig::mvc()),
+    ];
+
+    let mut t = Table::new(
+        &format!("microbench — registry solvers, {iters} iterations (µs)"),
+        &["solver", "mode", "instance", "n", "|S|", "best (µs)", "mean (µs)"],
+    );
+    for (key, inst, cfg) in &cases {
+        let (best, mean, size) = time_case(&registry, key, inst, cfg, iters);
+        t.push_row(vec![
+            key.to_string(),
+            cfg.mode.to_string(),
+            inst.name.clone(),
+            inst.n().to_string(),
+            size.to_string(),
+            format!("{best:.1}"),
+            format!("{mean:.1}"),
+        ]);
+    }
+    print!("{}", render_markdown(&t));
+}

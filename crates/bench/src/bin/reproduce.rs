@@ -1,70 +1,84 @@
-//! Reproduction driver: prints every experiment table (markdown) and
-//! writes CSVs under `results/`.
+//! Reproduction driver: prints experiment tables (markdown), writes
+//! CSVs, and optionally a JSON document.
 //!
 //! Usage:
 //! ```text
-//! reproduce [--exp all|table1|lemma32|lemma33|lemma42|alg1|thm44|mvc|sanity|rounds] [--csv-dir results]
+//! reproduce [--experiment <name>[,<name>...]] [--json <path>]
+//!           [--csv-dir <dir>] [--list]
 //! ```
+//!
+//! `--experiment` (alias `--exp`) filters which experiments run;
+//! default is `all`. `--list` prints the available names and exits.
+//! `--json <path>` additionally writes every selected table as a JSON
+//! document. Experiments resolve algorithms exclusively through the
+//! `lmds-api` registry; the `registry` experiment is the batch sweep of
+//! every registered solver.
 
-use lmds_bench::{render_csv, render_markdown, Table};
+use lmds_bench::{render_csv, render_json, render_markdown, Table, EXPERIMENTS};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reproduce [--experiment <name>[,<name>...]] [--json <path>] [--csv-dir <dir>] [--list]"
+    );
+    eprintln!("experiments: all, {}", names().join(", "));
+    std::process::exit(2);
+}
+
+fn names() -> Vec<&'static str> {
+    EXPERIMENTS.iter().map(|(n, _)| *n).collect()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut exp = "all".to_string();
+    let mut selected: Vec<String> = vec!["all".into()];
     let mut csv_dir = "results".to_string();
+    let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--exp" => {
+            "--experiment" | "--exp" => {
                 i += 1;
-                exp = args.get(i).cloned().unwrap_or_else(|| "all".into());
+                let Some(v) = args.get(i) else { usage() };
+                selected = v.split(',').map(|s| s.trim().to_string()).collect();
             }
             "--csv-dir" => {
                 i += 1;
-                csv_dir = args.get(i).cloned().unwrap_or_else(|| "results".into());
+                let Some(v) = args.get(i) else { usage() };
+                csv_dir = v.clone();
             }
+            "--json" => {
+                i += 1;
+                let Some(v) = args.get(i) else { usage() };
+                json_path = Some(v.clone());
+            }
+            "--list" => {
+                for (name, _) in EXPERIMENTS {
+                    println!("{name}");
+                }
+                return;
+            }
+            "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
-                std::process::exit(2);
+                usage();
             }
         }
         i += 1;
     }
 
-    let tables: Vec<(&str, Table)> = match exp.as_str() {
-        "all" => vec![
-            ("table1", lmds_bench::exp_table1()),
-            ("lemma32", lmds_bench::exp_lemma32()),
-            ("lemma33", lmds_bench::exp_lemma33()),
-            ("lemma42", lmds_bench::exp_lemma42()),
-            ("alg1", lmds_bench::exp_alg1()),
-            ("thm44", lmds_bench::exp_thm44()),
-            ("mvc", lmds_bench::exp_mvc()),
-            ("sanity", lmds_bench::exp_sanity()),
-            ("rounds", lmds_bench::exp_rounds()),
-            ("ablation", lmds_bench::exp_ablation()),
-            ("forest", lmds_bench::exp_forest()),
-            ("prop31", lmds_bench::exp_prop31()),
-            ("treewidth", lmds_bench::exp_treewidth()),
-        ],
-        "table1" => vec![("table1", lmds_bench::exp_table1())],
-        "lemma32" => vec![("lemma32", lmds_bench::exp_lemma32())],
-        "lemma33" => vec![("lemma33", lmds_bench::exp_lemma33())],
-        "lemma42" => vec![("lemma42", lmds_bench::exp_lemma42())],
-        "alg1" => vec![("alg1", lmds_bench::exp_alg1())],
-        "thm44" => vec![("thm44", lmds_bench::exp_thm44())],
-        "mvc" => vec![("mvc", lmds_bench::exp_mvc())],
-        "sanity" => vec![("sanity", lmds_bench::exp_sanity())],
-        "rounds" => vec![("rounds", lmds_bench::exp_rounds())],
-        "ablation" => vec![("ablation", lmds_bench::exp_ablation())],
-        "forest" => vec![("forest", lmds_bench::exp_forest())],
-        "prop31" => vec![("prop31", lmds_bench::exp_prop31())],
-        "treewidth" => vec![("treewidth", lmds_bench::exp_treewidth())],
-        other => {
-            eprintln!("unknown experiment: {other}");
-            std::process::exit(2);
+    let run_all = selected.iter().any(|s| s == "all");
+    for name in &selected {
+        if name != "all" && !names().contains(&name.as_str()) {
+            eprintln!("unknown experiment: {name}");
+            usage();
         }
-    };
+    }
+
+    let tables: Vec<(String, Table)> = EXPERIMENTS
+        .iter()
+        .filter(|(name, _)| run_all || selected.iter().any(|s| s == name))
+        .map(|(name, build)| (name.to_string(), build()))
+        .collect();
 
     let _ = std::fs::create_dir_all(&csv_dir);
     for (name, table) in &tables {
@@ -73,5 +87,12 @@ fn main() {
         if let Err(e) = std::fs::write(&path, render_csv(table)) {
             eprintln!("warning: could not write {path}: {e}");
         }
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, render_json(&tables)) {
+            eprintln!("error: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} experiment(s) as JSON to {path}", tables.len());
     }
 }

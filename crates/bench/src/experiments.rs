@@ -1,36 +1,59 @@
-//! The experiment suite (E1–E9 of DESIGN.md). Every paper table/figure
-//! and lemma-level constant becomes a measured table here.
+//! The experiment suite (E1–E13 plus the S0 registry sweep). Every
+//! paper table/figure and lemma-level constant becomes a measured table
+//! here.
+//!
+//! Every *algorithm* invocation goes through the [`lmds_api`] registry —
+//! experiments never call an algorithm entry point directly. Direct
+//! calls that remain are lemma-level *measurements* (local-cut counts,
+//! covers, cut forests, treewidth), which are analysis primitives, not
+//! algorithms.
 
 use crate::report::Table;
-use lmds_core::algorithm1::algorithm1;
-use lmds_core::analysis::{mds_report, vc_report, OptimumKind};
-use lmds_core::distributed::{
-    Algorithm1Decider, TakeAllDecider, Theorem44Decider, TreesFolkloreDecider,
+use lmds_api::{
+    BatchJob, BatchRunner, ExecutionMode, Instance, Solution, SolveConfig, SolverRegistry,
 };
 use lmds_core::local_cuts;
-use lmds_core::mvc::algorithm1_mvc;
-use lmds_core::theorem44::theorem44_mvc;
-use lmds_core::{baselines, Radii};
+use lmds_core::{PipelineOptions, Radii};
 use lmds_gen::ding::AugmentationSpec;
 use lmds_graph::Graph;
-use lmds_localsim::{run_message_passing, run_oracle, IdAssignment};
+use std::sync::OnceLock;
 
 /// Branch-and-bound node budget for exact optima in experiments.
 pub const OPT_BUDGET: u64 = 3_000_000;
+
+/// The shared solver registry every experiment resolves algorithms
+/// from.
+pub fn registry() -> &'static SolverRegistry {
+    static REG: OnceLock<SolverRegistry> = OnceLock::new();
+    REG.get_or_init(SolverRegistry::with_defaults)
+}
 
 fn fmt_ratio(r: f64) -> String {
     format!("{r:.2}")
 }
 
-fn opt_tag(kind: OptimumKind) -> &'static str {
-    match kind {
-        OptimumKind::Exact => "exact",
-        OptimumKind::LowerBound => "lower-bound",
+fn opt_tag(sol: &Solution) -> &'static str {
+    match sol.optimum {
+        Some(o) if o.exact => "exact",
+        Some(_) => "lower-bound",
+        None => "unmeasured",
     }
 }
 
-fn ids_for(g: &Graph, seed: u64) -> IdAssignment {
-    IdAssignment::shuffled(g.n(), seed)
+/// Runs `key` on `inst` under `cfg`, panicking with context on failure
+/// (experiments are fixed workloads; failure is a bug).
+fn solve(key: &str, inst: &Instance, cfg: &SolveConfig) -> Solution {
+    registry()
+        .solve(key, inst, cfg)
+        .unwrap_or_else(|e| panic!("solver {key} on {}: {e}", inst.name))
+}
+
+fn measured_mds() -> SolveConfig {
+    SolveConfig::mds().measure_ratio(true).opt_budget(OPT_BUDGET)
+}
+
+fn measured_mvc() -> SolveConfig {
+    SolveConfig::mvc().measure_ratio(true).opt_budget(OPT_BUDGET)
 }
 
 /// E1 — Table 1 reproduction: measured ratio and rounds per class row.
@@ -43,161 +66,149 @@ pub fn exp_table1() -> Table {
         ],
     );
 
-    // Trees (K3-minor-free), folklore degree ≥ 2, ratio 3, 2 rounds.
-    {
-        let mut worst = 0f64;
-        let mut rounds = 0;
-        let mut kind = OptimumKind::Exact;
-        let n = 200;
-        for seed in 0..5 {
-            let g = lmds_gen::trees::random_tree(n, seed);
-            let ids = ids_for(&g, seed);
-            let res = run_oracle(&g, &ids, &TreesFolkloreDecider, 10).unwrap();
-            let size = res.outputs.iter().filter(|&&b| b).count();
-            let rep = mds_report(&g, size, OPT_BUDGET);
-            worst = worst.max(rep.ratio());
-            rounds = rounds.max(res.rounds);
-            kind = rep.kind;
-        }
-        t.push_row(vec![
-            "trees (K3)".into(),
-            "folklore deg≥2".into(),
-            "3".into(),
-            "2".into(),
-            n.to_string(),
-            fmt_ratio(worst),
-            rounds.to_string(),
-            opt_tag(kind).into(),
-        ]);
+    struct Row {
+        class: &'static str,
+        algorithm: &'static str,
+        paper_ratio: &'static str,
+        paper_rounds: &'static str,
+        n_label: String,
+        solver: &'static str,
+        radii: Option<Radii>,
+        instances: Vec<Instance>,
     }
 
-    // Outerplanar (K4, K_{2,3}): Theorem 4.4 at t = 3 gives the same
-    // ratio 5 as [4]; 3 rounds.
-    {
-        let mut worst = 0f64;
-        let mut rounds = 0;
-        let mut kind = OptimumKind::Exact;
-        let n = 40;
-        for seed in 0..5 {
-            let g = lmds_gen::outerplanar::random_maximal_outerplanar(n, seed);
-            let ids = ids_for(&g, seed);
-            let res = run_oracle(&g, &ids, &Theorem44Decider, 10).unwrap();
-            let size = res.outputs.iter().filter(|&&b| b).count();
-            let rep = mds_report(&g, size, OPT_BUDGET);
-            worst = worst.max(rep.ratio());
-            rounds = rounds.max(res.rounds);
-            if rep.kind == OptimumKind::LowerBound {
-                kind = rep.kind;
-            }
-        }
-        t.push_row(vec![
-            "outerplanar (K4,K2,3)".into(),
-            "Thm 4.4 (t=3)".into(),
-            "5".into(),
-            "3".into(),
-            n.to_string(),
-            fmt_ratio(worst),
-            rounds.to_string(),
-            opt_tag(kind).into(),
-        ]);
-    }
+    let rows = vec![
+        // Trees (K3-minor-free), folklore degree ≥ 2, ratio 3, 2 rounds.
+        Row {
+            class: "trees (K3)",
+            algorithm: "folklore deg≥2",
+            paper_ratio: "3",
+            paper_rounds: "2",
+            n_label: "200".into(),
+            solver: "mds/trees-folklore",
+            radii: None,
+            instances: (0..5)
+                .map(|seed| {
+                    Instance::shuffled(
+                        format!("tree_s{seed}"),
+                        lmds_gen::trees::random_tree(200, seed),
+                        seed,
+                    )
+                })
+                .collect(),
+        },
+        // Outerplanar (K4, K_{2,3}): Theorem 4.4 at t = 3, ratio 5, 3 rounds.
+        Row {
+            class: "outerplanar (K4,K2,3)",
+            algorithm: "Thm 4.4 (t=3)",
+            paper_ratio: "5",
+            paper_rounds: "3",
+            n_label: "40".into(),
+            solver: "mds/theorem44",
+            radii: None,
+            instances: (0..5)
+                .map(|seed| {
+                    Instance::shuffled(
+                        format!("outer_s{seed}"),
+                        lmds_gen::outerplanar::random_maximal_outerplanar(40, seed),
+                        seed,
+                    )
+                })
+                .collect(),
+        },
+        // K_{1,t}-minor-free (t = 5): take all, ratio t, 0 rounds.
+        Row {
+            class: "K1,5-minor-free (Δ≤4)",
+            algorithm: "take all",
+            paper_ratio: "5",
+            paper_rounds: "0",
+            n_label: "40".into(),
+            solver: "mds/take-all",
+            radii: None,
+            instances: (0..5)
+                .map(|seed| {
+                    Instance::shuffled(
+                        format!("bdeg_s{seed}"),
+                        lmds_gen::random::random_bounded_degree(40, 4, seed),
+                        seed,
+                    )
+                })
+                .collect(),
+        },
+        // K_{2,t}-minor-free, Theorem 4.4: ratio 2t−1, 3 rounds.
+        Row {
+            class: "K2,t-minor-free (aug.)",
+            algorithm: "Thm 4.4",
+            paper_ratio: "2t-1",
+            paper_rounds: "3",
+            n_label: "~45".into(),
+            solver: "mds/theorem44",
+            radii: None,
+            instances: (0..5)
+                .map(|seed| {
+                    Instance::shuffled(
+                        format!("aug_s{seed}"),
+                        AugmentationSpec::standard(5, 2, 2, seed).generate(),
+                        seed,
+                    )
+                })
+                .collect(),
+        },
+        // K_{2,t}-minor-free, Algorithm 1 (practical radii).
+        Row {
+            class: "K2,t-minor-free (aug.)",
+            algorithm: "Alg 1 (r=(2,3))",
+            paper_ratio: "50",
+            paper_rounds: "O_t(1)",
+            n_label: "~45".into(),
+            solver: "mds/algorithm1",
+            radii: Some(Radii::practical(2, 3)),
+            instances: (0..4)
+                .map(|seed| {
+                    Instance::shuffled(
+                        format!("aug_s{seed}"),
+                        AugmentationSpec::standard(5, 2, 2, seed).generate(),
+                        seed,
+                    )
+                })
+                .collect(),
+        },
+    ];
 
-    // K_{1,t}-minor-free (t = 5): take all, ratio t, 0 rounds.
-    {
+    for row in rows {
+        let mut cfg = measured_mds().mode(ExecutionMode::LocalOracle);
+        if let Some(radii) = row.radii {
+            cfg = cfg.radii(radii);
+        }
         let mut worst = 0f64;
         let mut rounds = 0;
-        let mut kind = OptimumKind::Exact;
-        let n = 40;
-        for seed in 0..5 {
-            let g = lmds_gen::random::random_bounded_degree(n, 4, seed);
-            let ids = ids_for(&g, seed);
-            let res = run_oracle(&g, &ids, &TakeAllDecider, 10).unwrap();
-            let size = res.outputs.iter().filter(|&&b| b).count();
-            let rep = mds_report(&g, size, OPT_BUDGET);
-            worst = worst.max(rep.ratio());
-            rounds = rounds.max(res.rounds);
-            if rep.kind == OptimumKind::LowerBound {
-                kind = rep.kind;
-            }
+        let mut exact = true;
+        for inst in &row.instances {
+            let sol = solve(row.solver, inst, &cfg);
+            worst = worst.max(sol.ratio().expect("ratio measured"));
+            rounds = rounds.max(sol.rounds.expect("distributed run"));
+            exact &= sol.optimum.expect("measured").exact;
         }
         t.push_row(vec![
-            "K1,5-minor-free (Δ≤4)".into(),
-            "take all".into(),
-            "5".into(),
-            "0".into(),
-            n.to_string(),
+            row.class.into(),
+            row.algorithm.into(),
+            row.paper_ratio.into(),
+            row.paper_rounds.into(),
+            row.n_label,
             fmt_ratio(worst),
             rounds.to_string(),
-            opt_tag(kind).into(),
-        ]);
-    }
-
-    // K_{2,t}-minor-free, Theorem 4.4 (t = 4): ratio 2t−1 = 7, 3 rounds.
-    {
-        let mut worst = 0f64;
-        let mut rounds = 0;
-        let mut kind = OptimumKind::Exact;
-        for seed in 0..5 {
-            let g = AugmentationSpec::standard(5, 2, 2, seed).generate();
-            let ids = ids_for(&g, seed);
-            let res = run_oracle(&g, &ids, &Theorem44Decider, 10).unwrap();
-            let size = res.outputs.iter().filter(|&&b| b).count();
-            let rep = mds_report(&g, size, OPT_BUDGET);
-            worst = worst.max(rep.ratio());
-            rounds = rounds.max(res.rounds);
-            if rep.kind == OptimumKind::LowerBound {
-                kind = rep.kind;
-            }
-        }
-        t.push_row(vec![
-            "K2,t-minor-free (aug.)".into(),
-            "Thm 4.4".into(),
-            "2t-1".into(),
-            "3".into(),
-            "~45".into(),
-            fmt_ratio(worst),
-            rounds.to_string(),
-            opt_tag(kind).into(),
-        ]);
-    }
-
-    // K_{2,t}-minor-free, Algorithm 1 (practical radii): ratio ≤ 50
-    // (paper, at theoretical radii), O_t(1) rounds.
-    {
-        let mut worst = 0f64;
-        let mut rounds = 0;
-        let mut kind = OptimumKind::Exact;
-        let radii = Radii::practical(2, 3);
-        for seed in 0..4 {
-            let g = AugmentationSpec::standard(5, 2, 2, seed).generate();
-            let ids = ids_for(&g, seed);
-            let decider = Algorithm1Decider { radii };
-            let res = run_oracle(&g, &ids, &decider, (2 * g.n() + 40) as u32).unwrap();
-            let size = res.outputs.iter().filter(|&&b| b).count();
-            let rep = mds_report(&g, size, OPT_BUDGET);
-            worst = worst.max(rep.ratio());
-            rounds = rounds.max(res.rounds);
-            if rep.kind == OptimumKind::LowerBound {
-                kind = rep.kind;
-            }
-        }
-        t.push_row(vec![
-            "K2,t-minor-free (aug.)".into(),
-            "Alg 1 (r=(2,3))".into(),
-            "50".into(),
-            "O_t(1)".into(),
-            "~45".into(),
-            fmt_ratio(worst),
-            rounds.to_string(),
-            opt_tag(kind).into(),
+            if exact { "exact" } else { "lower-bound" }.into(),
         ]);
     }
     t
 }
 
 /// E2 — Lemma 3.2: #(r-local 1-cuts) ≤ c_{3.2}(d)·MDS with
-/// `c_{3.2}(1) = 6`.
+/// `c_{3.2}(1) = 6`. (Lemma-level measurement: counts local cuts
+/// directly; the only algorithm run is the exact-optimum reference
+/// inside `mds_report`.)
 pub fn exp_lemma32() -> Table {
+    use lmds_core::analysis::{mds_report, OptimumKind};
     let mut t = Table::new(
         "E2 / Lemma 3.2 — r-local 1-cuts vs MDS (paper bound c=3(d+1)=6 at the theoretical radius)",
         &["family", "n", "r", "#local 1-cuts", "MDS", "ratio", "optimum"],
@@ -212,7 +223,7 @@ pub fn exp_lemma32() -> Table {
             cuts.to_string(),
             rep.opt.to_string(),
             fmt_ratio(rep.ratio()),
-            opt_tag(rep.kind).into(),
+            if rep.kind == OptimumKind::Exact { "exact" } else { "lower-bound" }.into(),
         ]);
     };
     for r in [2, 5, 10, 29, 30] {
@@ -230,6 +241,7 @@ pub fn exp_lemma32() -> Table {
 /// E3 — Lemma 3.3: interesting vertices stay O(MDS) while raw 2-cut
 /// vertices can be Θ(n) (clique-with-pendants example from §4).
 pub fn exp_lemma33() -> Table {
+    use lmds_core::analysis::{mds_report, OptimumKind};
     let mut t = Table::new(
         "E3 / Lemma 3.3 — interesting vertices vs all 2-cut vertices vs MDS (paper bound c=22(d+1)=44)",
         &[
@@ -239,10 +251,7 @@ pub fn exp_lemma33() -> Table {
     );
     let mut push = |name: &str, g: &Graph, r: u32| {
         let two_cut_vertices: std::collections::BTreeSet<usize> =
-            local_cuts::local_two_cuts(g, r)
-                .into_iter()
-                .flat_map(|(a, b)| [a, b])
-                .collect();
+            local_cuts::local_two_cuts(g, r).into_iter().flat_map(|(a, b)| [a, b]).collect();
         let interesting = local_cuts::interesting_vertices(g, r).len();
         let rep = mds_report(g, interesting, OPT_BUDGET);
         t.push_row(vec![
@@ -253,15 +262,11 @@ pub fn exp_lemma33() -> Table {
             interesting.to_string(),
             rep.opt.to_string(),
             fmt_ratio(rep.ratio()),
-            opt_tag(rep.kind).into(),
+            if rep.kind == OptimumKind::Exact { "exact" } else { "lower-bound" }.into(),
         ]);
     };
     for n in [5, 10, 15] {
-        push(
-            &format!("clique+pendants({n})"),
-            &lmds_gen::adversarial::clique_with_pendants(n),
-            4,
-        );
+        push(&format!("clique+pendants({n})"), &lmds_gen::adversarial::clique_with_pendants(n), 4);
     }
     push("C6", &lmds_gen::adversarial::c6(), 3);
     push("C12 (wrapped)", &lmds_gen::basic::cycle(12), 6);
@@ -274,16 +279,24 @@ pub fn exp_lemma33() -> Table {
 }
 
 /// E4 — Lemma 4.2: residual components of `R − (S ∪ U)` keep bounded
-/// diameter even as the host graph's diameter grows (long strips).
+/// diameter even as the host graph's diameter grows (long strips). Uses
+/// the registry solver's pipeline diagnostics.
 pub fn exp_lemma42() -> Table {
     let mut t = Table::new(
         "E4 / Lemma 4.2 — residual component diameter stays bounded as strips grow",
         &[
-            "strip length", "n", "graph diameter", "radii", "max residual diameter",
-            "#residual components", "|X|", "|I|",
+            "strip length",
+            "n",
+            "graph diameter",
+            "radii",
+            "max residual diameter",
+            "#residual components",
+            "|X|",
+            "|I|",
         ],
     );
     let radii = Radii::practical(2, 3);
+    let cfg = SolveConfig::mds().radii(radii);
     for len in [5usize, 10, 20, 40] {
         let spec = AugmentationSpec {
             base_n: 5,
@@ -295,24 +308,25 @@ pub fn exp_lemma42() -> Table {
             seed: 11,
         };
         let g = spec.generate();
-        let ids = IdAssignment::sequential(g.n());
-        let out = algorithm1(&g, &ids, radii);
+        let inst = Instance::sequential(format!("strip{len}"), g);
+        let sol = solve("mds/algorithm1", &inst, &cfg);
+        let diag = sol.diagnostics.as_ref().expect("centralized pipeline diagnostics");
         let mut max_diam = 0;
-        for comp in &out.residual_components {
-            let sub = lmds_graph::InducedSubgraph::new(&g, comp);
+        for comp in &diag.residual_components {
+            let sub = lmds_graph::InducedSubgraph::new(&inst.graph, comp);
             if let Some(d) = lmds_graph::bfs::diameter(&sub.graph) {
                 max_diam = max_diam.max(d);
             }
         }
         t.push_row(vec![
             len.to_string(),
-            g.n().to_string(),
-            lmds_graph::bfs::diameter(&g).map_or("inf".into(), |d| d.to_string()),
+            inst.n().to_string(),
+            lmds_graph::bfs::diameter(&inst.graph).map_or("inf".into(), |d| d.to_string()),
             format!("({},{})", radii.one_cut, radii.two_cut),
             max_diam.to_string(),
-            out.residual_components.len().to_string(),
-            out.x_set.len().to_string(),
-            out.i_set.len().to_string(),
+            diag.residual_components.len().to_string(),
+            diag.x_set.len().to_string(),
+            diag.i_set.len().to_string(),
         ]);
     }
     t
@@ -325,25 +339,21 @@ pub fn exp_alg1() -> Table {
         "E5 / Theorem 4.1 — Algorithm 1: ratio far below the proved 50; rounds track radius, not n",
         &["workload", "n", "radii", "|solution|", "MDS", "ratio", "rounds", "optimum"],
     );
-    for (base, fans, strips, seed) in
-        [(4, 1, 1, 1u64), (5, 2, 2, 2), (6, 3, 2, 3), (8, 4, 3, 4)]
-    {
+    for (base, fans, strips, seed) in [(4, 1, 1, 1u64), (5, 2, 2, 2), (6, 3, 2, 3), (8, 4, 3, 4)] {
         let g = AugmentationSpec::standard(base, fans, strips, seed).generate();
-        let ids = ids_for(&g, seed);
+        let inst = Instance::shuffled(format!("aug(b{base},f{fans},s{strips})"), g, seed);
         for radii in [Radii::practical(1, 2), Radii::practical(2, 3), Radii::practical(3, 5)] {
-            let decider = Algorithm1Decider { radii };
-            let res = run_oracle(&g, &ids, &decider, (2 * g.n() + 60) as u32).unwrap();
-            let size = res.outputs.iter().filter(|&&b| b).count();
-            let rep = mds_report(&g, size, OPT_BUDGET);
+            let cfg = measured_mds().mode(ExecutionMode::LocalOracle).radii(radii);
+            let sol = solve("mds/algorithm1", &inst, &cfg);
             t.push_row(vec![
-                format!("aug(b{base},f{fans},s{strips})"),
-                g.n().to_string(),
+                inst.name.clone(),
+                inst.n().to_string(),
                 format!("({},{})", radii.one_cut, radii.two_cut),
-                size.to_string(),
-                rep.opt.to_string(),
-                fmt_ratio(rep.ratio()),
-                res.rounds.to_string(),
-                opt_tag(rep.kind).into(),
+                sol.size().to_string(),
+                sol.optimum.expect("measured").value.to_string(),
+                fmt_ratio(sol.ratio().expect("measured")),
+                sol.rounds.expect("distributed").to_string(),
+                opt_tag(&sol).into(),
             ]);
         }
     }
@@ -356,61 +366,56 @@ pub fn exp_thm44() -> Table {
         "E6 / Theorem 4.4 — (2t-1)-approximation in 3 rounds, across t",
         &["workload", "t", "n", "|D2|", "MDS", "ratio", "bound 2t-1", "rounds"],
     );
+    let cfg = measured_mds().mode(ExecutionMode::LocalOracle);
     // Subdivided K_{2,t}: the tight-ish family.
     for tt in [3usize, 4, 5, 6] {
         let g = lmds_gen::adversarial::subdivided_k2t(tt);
-        let ids = IdAssignment::sequential(g.n());
-        let res = run_oracle(&g, &ids, &Theorem44Decider, 10).unwrap();
-        let size = res.outputs.iter().filter(|&&b| b).count();
-        let rep = mds_report(&g, size, OPT_BUDGET);
+        let inst = Instance::sequential("subdivided K2,t", g);
+        let sol = solve("mds/theorem44", &inst, &cfg);
         t.push_row(vec![
-            "subdivided K2,t".into(),
+            inst.name.clone(),
             (tt + 1).to_string(), // graph is K_{2,t}-minor-free for t+1
-            g.n().to_string(),
-            size.to_string(),
-            rep.opt.to_string(),
-            fmt_ratio(rep.ratio()),
+            inst.n().to_string(),
+            sol.size().to_string(),
+            sol.optimum.expect("measured").value.to_string(),
+            fmt_ratio(sol.ratio().expect("measured")),
             (2 * (tt + 1) - 1).to_string(),
-            res.rounds.to_string(),
+            sol.rounds.expect("distributed").to_string(),
         ]);
     }
     // Trees (t = 2) and outerplanar (t = 3).
     for seed in 0..3 {
         let g = lmds_gen::trees::random_tree(60, seed);
-        let ids = ids_for(&g, seed);
-        let res = run_oracle(&g, &ids, &Theorem44Decider, 10).unwrap();
-        let size = res.outputs.iter().filter(|&&b| b).count();
-        let rep = mds_report(&g, size, OPT_BUDGET);
+        let inst = Instance::shuffled(format!("random tree s{seed}"), g, seed);
+        let sol = solve("mds/theorem44", &inst, &cfg);
         t.push_row(vec![
-            format!("random tree s{seed}"),
+            inst.name.clone(),
             "2".into(),
             "60".into(),
-            size.to_string(),
-            rep.opt.to_string(),
-            fmt_ratio(rep.ratio()),
+            sol.size().to_string(),
+            sol.optimum.expect("measured").value.to_string(),
+            fmt_ratio(sol.ratio().expect("measured")),
             "3".into(),
-            res.rounds.to_string(),
+            sol.rounds.expect("distributed").to_string(),
         ]);
     }
     for seed in 0..3 {
         let g = lmds_gen::outerplanar::random_maximal_outerplanar(30, seed);
-        let ids = ids_for(&g, seed);
-        let res = run_oracle(&g, &ids, &Theorem44Decider, 10).unwrap();
-        let size = res.outputs.iter().filter(|&&b| b).count();
-        let rep = mds_report(&g, size, OPT_BUDGET);
+        let inst = Instance::shuffled(format!("outerplanar s{seed}"), g, seed);
+        let sol = solve("mds/theorem44", &inst, &cfg);
         t.push_row(vec![
-            format!("outerplanar s{seed}"),
+            inst.name.clone(),
             "3".into(),
             "30".into(),
-            size.to_string(),
-            rep.opt.to_string(),
-            fmt_ratio(rep.ratio()),
+            sol.size().to_string(),
+            sol.optimum.expect("measured").value.to_string(),
+            fmt_ratio(sol.ratio().expect("measured")),
             "5".into(),
-            res.rounds.to_string(),
+            sol.rounds.expect("distributed").to_string(),
         ]);
     }
     // Lemma 5.18 rows (the Figure 1/2 content): measured |A| vs s·|B|
-    // with the exact minor parameter s.
+    // with the exact minor parameter s. (Analysis, not an algorithm.)
     for tt in [2usize, 3, 4] {
         let g = lmds_gen::basic::complete_bipartite(2, tt);
         let inst = lmds_core::bipartite_minor::BipartiteInstance {
@@ -439,63 +444,62 @@ pub fn exp_mvc() -> Table {
         "E7 / MVC extensions — Thm 4.4 (t-approx) and Algorithm 1 MVC variant",
         &["workload", "algorithm", "n", "|cover|", "MVC", "ratio", "paper bound"],
     );
+    let quick = measured_mvc();
     for seed in 0..3 {
         let g = lmds_gen::trees::random_tree(50, seed);
-        let ids = ids_for(&g, seed);
-        let sol = theorem44_mvc(&g, &ids);
-        let rep = vc_report(&g, sol.len(), OPT_BUDGET);
+        let inst = Instance::shuffled(format!("random tree s{seed}"), g, seed);
+        let sol = solve("mvc/theorem44", &inst, &quick);
         t.push_row(vec![
-            format!("random tree s{seed}"),
+            inst.name.clone(),
             "Thm 4.4 MVC".into(),
             "50".into(),
-            sol.len().to_string(),
-            rep.opt.to_string(),
-            fmt_ratio(rep.ratio()),
+            sol.size().to_string(),
+            sol.optimum.expect("measured").value.to_string(),
+            fmt_ratio(sol.ratio().expect("measured")),
             "t = 2".into(),
         ]);
     }
     for seed in 0..3 {
         let g = lmds_gen::outerplanar::random_maximal_outerplanar(30, seed);
-        let ids = ids_for(&g, seed);
-        let sol = theorem44_mvc(&g, &ids);
-        let rep = vc_report(&g, sol.len(), OPT_BUDGET);
+        let inst = Instance::shuffled(format!("outerplanar s{seed}"), g, seed);
+        let sol = solve("mvc/theorem44", &inst, &quick);
         t.push_row(vec![
-            format!("outerplanar s{seed}"),
+            inst.name.clone(),
             "Thm 4.4 MVC".into(),
             "30".into(),
-            sol.len().to_string(),
-            rep.opt.to_string(),
-            fmt_ratio(rep.ratio()),
+            sol.size().to_string(),
+            sol.optimum.expect("measured").value.to_string(),
+            fmt_ratio(sol.ratio().expect("measured")),
             "t = 3".into(),
         ]);
     }
+    let careful = measured_mvc().radii(Radii::practical(2, 3));
     for seed in 0..3 {
         let g = AugmentationSpec::standard(5, 2, 2, seed).generate();
-        let ids = ids_for(&g, seed);
-        let out = algorithm1_mvc(&g, &ids, Radii::practical(2, 3));
-        let rep = vc_report(&g, out.solution.len(), OPT_BUDGET);
+        let inst = Instance::shuffled(format!("augmentation s{seed}"), g, seed);
+        let sol = solve("mvc/algorithm1", &inst, &careful);
         t.push_row(vec![
-            format!("augmentation s{seed}"),
+            inst.name.clone(),
             "Alg 1 MVC".into(),
-            g.n().to_string(),
-            out.solution.len().to_string(),
-            rep.opt.to_string(),
-            fmt_ratio(rep.ratio()),
+            inst.n().to_string(),
+            sol.size().to_string(),
+            sol.optimum.expect("measured").value.to_string(),
+            fmt_ratio(sol.ratio().expect("measured")),
             "O(1)".into(),
         ]);
     }
     // Regular-graph folklore row.
     for seed in 0..2 {
         let g = lmds_gen::random::random_regular(30, 3, seed);
-        let sol = baselines::regular_mvc_take_all(&g);
-        let rep = vc_report(&g, sol.len(), OPT_BUDGET);
+        let inst = Instance::sequential(format!("3-regular s{seed}"), g);
+        let sol = solve("mvc/regular-take-all", &inst, &quick);
         t.push_row(vec![
-            format!("3-regular s{seed}"),
+            inst.name.clone(),
             "take non-isolated".into(),
             "30".into(),
-            sol.len().to_string(),
-            rep.opt.to_string(),
-            fmt_ratio(rep.ratio()),
+            sol.size().to_string(),
+            sol.optimum.expect("measured").value.to_string(),
+            fmt_ratio(sol.ratio().expect("measured")),
             "2".into(),
         ]);
     }
@@ -505,6 +509,7 @@ pub fn exp_mvc() -> Table {
 /// E8 — substrate sanity: Ore's bound (Lemma 5.16), asymptotic-dimension
 /// covers, and the paper's derived radii per `t`.
 pub fn exp_sanity() -> Table {
+    use lmds_core::analysis::mds_report;
     let mut t = Table::new(
         "E8 / sanity — Ore bound, asdim covers, theoretical radii",
         &["check", "instance", "value", "bound/expected", "ok"],
@@ -560,31 +565,32 @@ pub fn exp_rounds() -> Table {
         "E9 / LOCAL accounting — rounds are independent of n; message growth documents LOCAL (not CONGEST)",
         &["algorithm", "workload", "n", "rounds", "max msg (bits)", "total bits"],
     );
+    let msg = SolveConfig::mds().mode(ExecutionMode::LocalMessagePassing);
     for n in [20usize, 40, 80, 160] {
-        let g = lmds_gen::trees::random_tree(n, 3);
-        let ids = IdAssignment::shuffled(n, 3);
-        let res = run_message_passing(&g, &ids, &Theorem44Decider, 10).unwrap();
+        let inst = Instance::shuffled("random tree", lmds_gen::trees::random_tree(n, 3), 3);
+        let sol = solve("mds/theorem44", &inst, &msg);
+        let stats = sol.messages.expect("message-passing stats");
         t.push_row(vec![
             "Thm 4.4".into(),
-            "random tree".into(),
+            inst.name.clone(),
             n.to_string(),
-            res.rounds.to_string(),
-            res.max_message_bits.to_string(),
-            res.total_message_bits.to_string(),
+            sol.rounds.expect("distributed").to_string(),
+            stats.max_message_bits.to_string(),
+            stats.total_message_bits.to_string(),
         ]);
     }
     for n in [20usize, 40, 80] {
-        let g = lmds_gen::basic::path(n);
-        let ids = IdAssignment::shuffled(n, 5);
-        let decider = Algorithm1Decider { radii: Radii::practical(2, 2) };
-        let res = run_message_passing(&g, &ids, &decider, (2 * n + 40) as u32).unwrap();
+        let inst = Instance::shuffled("path", lmds_gen::basic::path(n), 5);
+        let cfg = msg.clone().radii(Radii::practical(2, 2));
+        let sol = solve("mds/algorithm1", &inst, &cfg);
+        let stats = sol.messages.expect("message-passing stats");
         t.push_row(vec![
             "Alg 1 r=(2,2)".into(),
-            "path".into(),
+            inst.name.clone(),
             n.to_string(),
-            res.rounds.to_string(),
-            res.max_message_bits.to_string(),
-            res.total_message_bits.to_string(),
+            sol.rounds.expect("distributed").to_string(),
+            stats.max_message_bits.to_string(),
+            stats.total_message_bits.to_string(),
         ]);
     }
     for len in [5usize, 10, 20] {
@@ -597,62 +603,20 @@ pub fn exp_rounds() -> Table {
             strip_len: (len, len),
             seed: 2,
         };
-        let g = spec.generate();
-        let ids = IdAssignment::shuffled(g.n(), 7);
-        let decider = Algorithm1Decider { radii: Radii::practical(2, 3) };
-        let res = run_message_passing(&g, &ids, &decider, (2 * g.n() + 60) as u32).unwrap();
+        let inst = Instance::shuffled(format!("aug strip({len})"), spec.generate(), 7);
+        let cfg = msg.clone().radii(Radii::practical(2, 3));
+        let sol = solve("mds/algorithm1", &inst, &cfg);
+        let stats = sol.messages.expect("message-passing stats");
         t.push_row(vec![
             "Alg 1 r=(2,3)".into(),
-            format!("aug strip({len})"),
-            g.n().to_string(),
-            res.rounds.to_string(),
-            res.max_message_bits.to_string(),
-            res.total_message_bits.to_string(),
+            inst.name.clone(),
+            inst.n().to_string(),
+            sol.rounds.expect("distributed").to_string(),
+            stats.max_message_bits.to_string(),
+            stats.total_message_bits.to_string(),
         ]);
     }
     t
-}
-
-/// Runs every experiment (the `reproduce --exp all` path).
-pub fn all_experiments() -> Vec<Table> {
-    vec![
-        exp_table1(),
-        exp_lemma32(),
-        exp_lemma33(),
-        exp_lemma42(),
-        exp_alg1(),
-        exp_thm44(),
-        exp_mvc(),
-        exp_sanity(),
-        exp_rounds(),
-        exp_ablation(),
-        exp_forest(),
-        exp_prop31(),
-        exp_treewidth(),
-    ]
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn sanity_experiment_is_all_ok() {
-        let t = exp_sanity();
-        for row in &t.rows {
-            assert_eq!(row.last().unwrap(), "true", "row failed: {row:?}");
-        }
-    }
-
-    #[test]
-    fn lemma42_residual_diameter_is_bounded() {
-        let t = exp_lemma42();
-        // Column 4 = max residual diameter must not grow with strip
-        // length (column 0).
-        let diams: Vec<u32> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
-        let max = diams.iter().copied().max().unwrap();
-        assert!(max <= 16, "residual diameter grew: {diams:?}");
-    }
 }
 
 /// E10 — ablations: what each design decision of Algorithm 1 buys.
@@ -660,10 +624,17 @@ mod tests {
 /// the cost of dropping twin reduction, the interesting filter, or the
 /// exact brute force.
 pub fn exp_ablation() -> Table {
-    use lmds_core::{algorithm1_with, PipelineOptions};
     let mut t = Table::new(
         "E10 / ablations — Algorithm 1 design decisions (MDS size per variant; lower is better)",
-        &["workload", "n", "MDS", "full", "no twin reduction", "no interesting filter", "greedy brute"],
+        &[
+            "workload",
+            "n",
+            "MDS",
+            "full",
+            "no twin reduction",
+            "no interesting filter",
+            "greedy brute",
+        ],
     );
     let variants = [
         PipelineOptions::default(),
@@ -673,16 +644,25 @@ pub fn exp_ablation() -> Table {
     ];
     let radii = Radii::practical(2, 3);
     let mut push = |name: &str, g: &Graph| {
-        let ids = ids_for(g, 5);
-        let sizes: Vec<usize> = variants
-            .iter()
-            .map(|&opts| algorithm1_with(g, &ids, radii, opts).solution.len())
-            .collect();
-        let rep = mds_report(g, sizes[0], OPT_BUDGET);
+        let inst = Instance::shuffled(name, g.clone(), 5);
+        let mut sizes = Vec::new();
+        let mut opt = 0;
+        for (i, &opts) in variants.iter().enumerate() {
+            let mut cfg = SolveConfig::mds().radii(radii).options(opts);
+            if i == 0 {
+                cfg = cfg.measure_ratio(true).opt_budget(OPT_BUDGET);
+            }
+            let sol = solve("mds/algorithm1", &inst, &cfg);
+            assert!(sol.is_valid(), "ablation variant must stay a dominating set");
+            if i == 0 {
+                opt = sol.optimum.expect("measured").value;
+            }
+            sizes.push(sol.size());
+        }
         t.push_row(vec![
             name.into(),
-            g.n().to_string(),
-            rep.opt.to_string(),
+            inst.n().to_string(),
+            opt.to_string(),
             sizes[0].to_string(),
             sizes[1].to_string(),
             sizes[2].to_string(),
@@ -704,7 +684,7 @@ pub fn exp_ablation() -> Table {
 
 /// E11 — Proposition 5.8 / Corollary 5.9: the interesting-cut forest:
 /// three pairwise non-crossing families displaying the interesting
-/// vertices of a 2-connected graph.
+/// vertices of a 2-connected graph. (Structure analysis, no algorithm.)
 pub fn exp_forest() -> Table {
     use lmds_core::forest::{interesting_cut_families, verify_families};
     let mut t = Table::new(
@@ -750,13 +730,14 @@ pub fn exp_prop31() -> Table {
     for seed in 0..3u64 {
         cases.push((format!("random tree s{seed}"), lmds_gen::trees::random_tree(45, seed)));
     }
+    let cfg = SolveConfig::mds();
     for (name, g) in cases {
-        let ids = IdAssignment::sequential(g.n());
-        let out = baselines::trees_folklore(&g, &ids);
-        let rep = lmds_asdim::prop31_report(&g, &out, 1, None, OPT_BUDGET);
+        let inst = Instance::sequential(name, g);
+        let sol = solve("mds/trees-folklore", &inst, &cfg);
+        let rep = lmds_asdim::prop31_report(&inst.graph, &sol.vertices, 1, None, OPT_BUDGET);
         t.push_row(vec![
-            name,
-            g.n().to_string(),
+            inst.name.clone(),
+            inst.n().to_string(),
             rep.components.to_string(),
             fmt_ratio(rep.max_component_charge),
             fmt_ratio(rep.global_ratio),
@@ -769,6 +750,7 @@ pub fn exp_prop31() -> Table {
 
 /// E13 — bounded treewidth of `K_{2,t}`-minor-free workloads (the grid
 /// minor theorem step of §4), plus DP-vs-B&B exact-solver agreement.
+/// (Substrate analysis comparing two exact solvers.)
 pub fn exp_treewidth() -> Table {
     use lmds_graph::treewidth::{min_fill_decomposition, treewidth_mds_size};
     let mut t = Table::new(
@@ -803,14 +785,136 @@ pub fn exp_treewidth() -> Table {
             (Some(a), Some(b)) => (*a == b.len()).to_string(),
             _ => "n/a".into(),
         };
+        t.push_row(vec![name, g.n().to_string(), td.width().to_string(), dps, bbs, agree]);
+    }
+    t
+}
+
+/// S0 — the registry sweep: every registered solver, run through the
+/// uniform `Solver::solve` path by the [`BatchRunner`] across a shared
+/// instance corpus. The service-facing view of the whole workspace.
+pub fn exp_registry_sweep() -> Table {
+    let mut t = Table::new(
+        "S0 / registry sweep — every registered solver through the uniform Solver::solve path",
+        &["solver", "mode", "instance", "n", "|S|", "valid", "rounds", "ratio", "wall (µs)"],
+    );
+    let reg = registry();
+    let instances = vec![
+        Instance::shuffled("path20", lmds_gen::basic::path(20), 1),
+        Instance::shuffled("tree30", lmds_gen::trees::random_tree(30, 2), 2),
+        Instance::shuffled(
+            "outerplanar16",
+            lmds_gen::outerplanar::random_maximal_outerplanar(16, 3),
+            3,
+        ),
+        Instance::shuffled("augmentation", AugmentationSpec::standard(5, 2, 1, 4).generate(), 4),
+    ];
+    let sizes: std::collections::HashMap<String, usize> =
+        instances.iter().map(|i| (i.name.clone(), i.n())).collect();
+    let jobs: Vec<BatchJob> = reg
+        .keys()
+        .into_iter()
+        .map(|key| {
+            let solver = reg.get(key).expect("registered");
+            // Prefer a distributed run when the solver supports one.
+            let mode = if solver.modes().contains(&ExecutionMode::LocalOracle) {
+                ExecutionMode::LocalOracle
+            } else {
+                ExecutionMode::Centralized
+            };
+            let mut cfg = SolveConfig::new(solver.problem())
+                .mode(mode)
+                .radii(Radii::practical(2, 2))
+                .measure_ratio(true)
+                .opt_budget(OPT_BUDGET);
+            if key == "mds/algorithm2" {
+                // A small affine control function keeps the derived
+                // radii simulable on the sweep corpus (the default
+                // K_{2,t} control yields radius 151).
+                cfg = cfg.control(lmds_asdim::ControlFunction::Affine { a: 1, b: 1, dim: 1 });
+            }
+            BatchJob::new(key, cfg)
+        })
+        .collect();
+    for rec in BatchRunner::new().run(reg, &jobs, &instances) {
+        let sol =
+            rec.result.unwrap_or_else(|e| panic!("sweep {}/{}: {e}", rec.solver, rec.instance));
+        let n = sizes[&rec.instance];
         t.push_row(vec![
-            name,
-            g.n().to_string(),
-            td.width().to_string(),
-            dps,
-            bbs,
-            agree,
+            rec.solver,
+            sol.mode.to_string(),
+            rec.instance,
+            n.to_string(),
+            sol.size().to_string(),
+            sol.is_valid().to_string(),
+            sol.rounds.map_or("-".into(), |r| r.to_string()),
+            sol.ratio().map_or("-".into(), fmt_ratio),
+            sol.wall.as_micros().to_string(),
         ]);
     }
     t
+}
+
+/// A table-building experiment entry point.
+pub type ExperimentFn = fn() -> Table;
+
+/// The experiment catalog: stable name → table builder. The single
+/// source of truth shared by `reproduce` (`--list`, `--experiment`)
+/// and [`all_experiments`].
+pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
+    ("registry", exp_registry_sweep),
+    ("table1", exp_table1),
+    ("lemma32", exp_lemma32),
+    ("lemma33", exp_lemma33),
+    ("lemma42", exp_lemma42),
+    ("alg1", exp_alg1),
+    ("thm44", exp_thm44),
+    ("mvc", exp_mvc),
+    ("sanity", exp_sanity),
+    ("rounds", exp_rounds),
+    ("ablation", exp_ablation),
+    ("forest", exp_forest),
+    ("prop31", exp_prop31),
+    ("treewidth", exp_treewidth),
+];
+
+/// Runs every experiment (the `reproduce --experiment all` path).
+pub fn all_experiments() -> Vec<Table> {
+    EXPERIMENTS.iter().map(|(_, build)| build()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanity_experiment_is_all_ok() {
+        let t = exp_sanity();
+        for row in &t.rows {
+            assert_eq!(row.last().unwrap(), "true", "row failed: {row:?}");
+        }
+    }
+
+    #[test]
+    fn lemma42_residual_diameter_is_bounded() {
+        let t = exp_lemma42();
+        // Column 4 = max residual diameter must not grow with strip
+        // length (column 0).
+        let diams: Vec<u32> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        let max = diams.iter().copied().max().unwrap();
+        assert!(max <= 16, "residual diameter grew: {diams:?}");
+    }
+
+    #[test]
+    fn registry_sweep_covers_every_solver_and_stays_valid() {
+        let t = exp_registry_sweep();
+        let keys = registry().keys();
+        assert_eq!(t.rows.len(), keys.len() * 4, "every solver × every instance");
+        for key in keys {
+            assert!(t.rows.iter().any(|r| r[0] == key), "missing {key}");
+        }
+        for row in &t.rows {
+            assert_eq!(row[5], "true", "invalid solution in sweep: {row:?}");
+        }
+    }
 }

@@ -5,11 +5,15 @@
 //! constants (Lemmas 3.2, 3.3, 4.2; Theorem 4.4; the MVC variants).
 //!
 //! Each experiment is a pure function returning rows; the `reproduce`
-//! binary prints them as markdown tables (and CSV), and the Criterion
-//! benches time the underlying algorithms on the same workloads.
+//! binary prints them as markdown tables (CSV and JSON on request), and
+//! the `microbench` binary times the registry solvers on the same
+//! workloads.
+//!
+//! All algorithm invocations go through the [`lmds_api`] solver
+//! registry — see [`experiments::registry`].
 
 pub mod experiments;
 pub mod report;
 
 pub use experiments::*;
-pub use report::{render_csv, render_markdown, Table};
+pub use report::{render_csv, render_json, render_markdown, Table};

@@ -33,14 +33,54 @@ pub fn render_markdown(t: &Table) -> String {
     let mut out = String::new();
     out.push_str(&format!("\n## {}\n\n", t.title));
     out.push_str(&format!("| {} |\n", t.headers.join(" | ")));
-    out.push_str(&format!(
-        "|{}\n",
-        t.headers.iter().map(|_| "---|").collect::<String>()
-    ));
+    out.push_str(&format!("|{}\n", t.headers.iter().map(|_| "---|").collect::<String>()));
     for row in &t.rows {
         out.push_str(&format!("| {} |\n", row.join(" | ")));
     }
     out
+}
+
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_array(items: impl IntoIterator<Item = String>) -> String {
+    let body: Vec<String> = items.into_iter().collect();
+    format!("[{}]", body.join(","))
+}
+
+fn json_string_array(items: &[String]) -> String {
+    json_array(items.iter().map(|s| format!("\"{}\"", json_escape(s))))
+}
+
+/// Renders named tables as a JSON document:
+/// `[{"experiment":..., "title":..., "headers":[...], "rows":[[...]]}]`.
+/// Hand-rolled (no serde in the dependency-free workspace); cells stay
+/// strings, as in the CSV output.
+pub fn render_json(tables: &[(String, Table)]) -> String {
+    let entries = tables.iter().map(|(name, t)| {
+        format!(
+            "{{\"experiment\":\"{}\",\"title\":\"{}\",\"headers\":{},\"rows\":{}}}",
+            json_escape(name),
+            json_escape(&t.title),
+            json_string_array(&t.headers),
+            json_array(t.rows.iter().map(|r| json_string_array(r))),
+        )
+    });
+    format!("{}\n", json_array(entries))
 }
 
 /// Renders a table as CSV (header row first).
@@ -69,5 +109,16 @@ mod tests {
         assert!(md.contains("| 1 | 2 |"));
         let csv = render_csv(&t);
         assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn renders_json() {
+        let mut t = Table::new("E0 \"demo\"", &["a", "b"]);
+        t.push_row(vec!["1".into(), "x\ny".into()]);
+        let json = render_json(&[("e0".into(), t)]);
+        assert_eq!(
+            json,
+            "[{\"experiment\":\"e0\",\"title\":\"E0 \\\"demo\\\"\",\"headers\":[\"a\",\"b\"],\"rows\":[[\"1\",\"x\\ny\"]]}]\n"
+        );
     }
 }

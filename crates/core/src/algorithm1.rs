@@ -113,11 +113,8 @@ pub fn pipeline_state_with(
     if opts.twin_reduction {
         kept_mask.fill(false);
         for class in lmds_graph::twins::twin_classes(g) {
-            let rep = class
-                .iter()
-                .copied()
-                .min_by_key(|&v| ids[v])
-                .expect("twin classes are nonempty");
+            let rep =
+                class.iter().copied().min_by_key(|&v| ids[v]).expect("twin classes are nonempty");
             kept_mask[rep] = true;
         }
     }
@@ -127,13 +124,13 @@ pub fn pipeline_state_with(
     let rn = rg.n();
 
     let mut x = vec![false; rn];
-    for v in 0..rn {
-        x[v] = local_cuts::is_local_one_cut(rg, v, radii.one_cut);
+    for (v, xv) in x.iter_mut().enumerate() {
+        *xv = local_cuts::is_local_one_cut(rg, v, radii.one_cut);
     }
     let mut i = vec![false; rn];
     if opts.interesting_filter {
-        for v in 0..rn {
-            i[v] = local_cuts::is_interesting(rg, v, radii.two_cut);
+        for (v, iv) in i.iter_mut().enumerate() {
+            *iv = local_cuts::is_interesting(rg, v, radii.two_cut);
         }
     } else {
         for (a, b) in local_cuts::local_two_cuts(rg, radii.two_cut) {
@@ -154,8 +151,7 @@ pub fn pipeline_state_with(
     let mut u = vec![false; rn];
     for v in 0..rn {
         if dominated[v] && !s[v] {
-            u[v] = dominated[v]
-                && rg.neighbors(v).iter().all(|&w| dominated[w]);
+            u[v] = dominated[v] && rg.neighbors(v).iter().all(|&w| dominated[w]);
         }
     }
     PipelineState { kept_mask, reduced, x, i, s, dominated, u }
@@ -167,11 +163,7 @@ pub fn pipeline_state_with(
 ///
 /// `comp` is given in `R`-local indices; the result is in host indices
 /// of the graph `pipeline_state` ran on.
-pub fn solve_component(
-    state: &PipelineState,
-    ids: &[u64],
-    comp: &[Vertex],
-) -> Vec<Vertex> {
+pub fn solve_component(state: &PipelineState, ids: &[u64], comp: &[Vertex]) -> Vec<Vertex> {
     solve_component_with(state, ids, comp, true)
 }
 
@@ -184,11 +176,7 @@ pub fn solve_component_with(
     exact: bool,
 ) -> Vec<Vertex> {
     let rg = &state.reduced.graph;
-    let targets_r: Vec<Vertex> = comp
-        .iter()
-        .copied()
-        .filter(|&v| !state.dominated[v])
-        .collect();
+    let targets_r: Vec<Vertex> = comp.iter().copied().filter(|&v| !state.dominated[v]).collect();
     if targets_r.is_empty() {
         return Vec::new();
     }
@@ -207,18 +195,14 @@ pub fn solve_component_with(
             }
         }
     }
-    let targets_local: Vec<Vertex> =
-        targets_r.iter().map(|v| index_of[v]).collect();
+    let targets_local: Vec<Vertex> = targets_r.iter().map(|v| index_of[v]).collect();
     let sol_local = if exact {
         exact_b_dominating(&local, &targets_local, None)
             .expect("component instance is feasible: targets dominate themselves")
     } else {
         lmds_graph::dominating::greedy_b_dominating(&local, &targets_local, None)
     };
-    sol_local
-        .into_iter()
-        .map(|li| state.reduced.to_host(order[li]))
-        .collect()
+    sol_local.into_iter().map(|li| state.reduced.to_host(order[li])).collect()
 }
 
 /// The residual components of `R − (S ∪ U)` in `R`-local indices.
@@ -247,13 +231,9 @@ pub fn algorithm1_with(
     let id_vec: Vec<u64> = g.vertices().map(|v| ids.id_of(v)).collect();
     let state = pipeline_state_with(g, &id_vec, radii, opts);
     let rg_n = state.reduced.graph.n();
-    let to_host =
-        |mask: &[bool]| -> Vec<Vertex> {
-            (0..rg_n)
-                .filter(|&v| mask[v])
-                .map(|v| state.reduced.to_host(v))
-                .collect()
-        };
+    let to_host = |mask: &[bool]| -> Vec<Vertex> {
+        (0..rg_n).filter(|&v| mask[v]).map(|v| state.reduced.to_host(v)).collect()
+    };
     let x_set = to_host(&state.x);
     let i_set = to_host(&state.i);
     let u_set = to_host(&state.u);
@@ -277,8 +257,7 @@ pub fn algorithm1_with(
     let residual_host: Vec<Vec<Vertex>> = comps
         .iter()
         .map(|c| {
-            let mut h: Vec<Vertex> =
-                c.iter().map(|&v| state.reduced.to_host(v)).collect();
+            let mut h: Vec<Vertex> = c.iter().map(|&v| state.reduced.to_host(v)).collect();
             h.sort_unstable();
             h
         })
@@ -369,11 +348,7 @@ mod tests {
             let g = lmds_gen::adversarial::clique_with_pendants(n);
             let out = run(&g, 3, 4);
             assert!(is_dominating_set(&g, &out.solution));
-            assert!(
-                out.solution.len() <= 5,
-                "n={n}: solution {:?}",
-                out.solution
-            );
+            assert!(out.solution.len() <= 5, "n={n}: solution {:?}", out.solution);
         }
     }
 

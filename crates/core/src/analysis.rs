@@ -62,11 +62,9 @@ pub fn mds_report(g: &Graph, alg_size: usize, budget: u64) -> RatioReport {
 pub fn vc_report(g: &Graph, alg_size: usize, budget: u64) -> RatioReport {
     match exact_vertex_cover_capped(g, budget) {
         Some(opt) => RatioReport { alg: alg_size, opt: opt.len(), kind: OptimumKind::Exact },
-        None => RatioReport {
-            alg: alg_size,
-            opt: vc_lower_bound(g),
-            kind: OptimumKind::LowerBound,
-        },
+        None => {
+            RatioReport { alg: alg_size, opt: vc_lower_bound(g), kind: OptimumKind::LowerBound }
+        }
     }
 }
 

@@ -34,8 +34,7 @@ impl BipartiteInstance {
             m
         };
         self.a_side.iter().all(|&a| {
-            self.graph.degree(a) >= 2
-                && self.graph.neighbors(a).iter().all(|&u| !in_a[u])
+            self.graph.degree(a) >= 2 && self.graph.neighbors(a).iter().all(|&u| !in_a[u])
         })
     }
 
@@ -130,8 +129,7 @@ pub fn contract_detached(inst: &BipartiteInstance) -> (BipartiteInstance, usize)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use lmds_gen::rng::SmallRng;
 
     const BUDGET: u64 = 500_000_000;
 

@@ -99,10 +99,8 @@ impl Decider for Theorem44Decider {
         }
         // N_R[me]: kept members of N[me] (all at distance ≤ 1, where
         // kept-status is valid at rounds ≥ 3).
-        let nr_me: Vec<u64> = closed_nbhd(view, me)
-            .into_iter()
-            .filter(|&w| w == me || view_kept(view, w))
-            .collect();
+        let nr_me: Vec<u64> =
+            closed_nbhd(view, me).into_iter().filter(|&w| w == me || view_kept(view, w)).collect();
         // Absorbed iff some kept neighbor u has N_R[me] ⊆ N_R[u] ⟺
         // every w ∈ N_R[me] is u itself or adjacent to u.
         for &u in &view.neighbors_of(me) {
@@ -164,10 +162,7 @@ impl Decider for Algorithm1Decider {
         if !state.kept_mask[center] {
             return Some(false);
         }
-        let cr = state
-            .reduced
-            .from_host(center)
-            .expect("kept center is in the quotient");
+        let cr = state.reduced.from_host(center).expect("kept center is in the quotient");
         if state.s[cr] {
             return Some(true);
         }
@@ -211,11 +206,7 @@ mod tests {
     use lmds_localsim::{run_message_passing, run_oracle, IdAssignment};
 
     fn outputs_to_set(outputs: &[bool]) -> Vec<usize> {
-        outputs
-            .iter()
-            .enumerate()
-            .filter_map(|(v, &b)| b.then_some(v))
-            .collect()
+        outputs.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect()
     }
 
     fn test_graphs() -> Vec<Graph> {
@@ -305,11 +296,7 @@ mod tests {
                 let res = run_oracle(g, &ids, &decider, max_rounds).unwrap();
                 let dist_set = outputs_to_set(&res.outputs);
                 let central = algorithm1(g, &ids, radii);
-                assert_eq!(
-                    dist_set, central.solution,
-                    "{g:?} seed={seed} (rounds={})",
-                    res.rounds
-                );
+                assert_eq!(dist_set, central.solution, "{g:?} seed={seed} (rounds={})", res.rounds);
                 assert!(is_dominating_set(g, &dist_set));
             }
         }
@@ -378,8 +365,7 @@ impl Decider for MvcAlgorithm1Decider {
             return Some(true);
         }
         // Uncovered incident edge?
-        let has_uncovered =
-            vg.neighbors(center).iter().any(|&u| !in_s[u]);
+        let has_uncovered = vg.neighbors(center).iter().any(|&u| !in_s[u]);
         if !has_uncovered {
             return Some(false);
         }
@@ -451,14 +437,9 @@ mod mvc_decider_tests {
             for seed in [0u64, 7] {
                 let ids = IdAssignment::shuffled(g.n(), seed);
                 let decider = MvcAlgorithm1Decider { radii };
-                let res =
-                    run_oracle(g, &ids, &decider, (2 * g.n() + 40) as u32).unwrap();
-                let dist_set: Vec<usize> = res
-                    .outputs
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(v, &b)| b.then_some(v))
-                    .collect();
+                let res = run_oracle(g, &ids, &decider, (2 * g.n() + 40) as u32).unwrap();
+                let dist_set: Vec<usize> =
+                    res.outputs.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect();
                 let central = algorithm1_mvc(g, &ids, radii);
                 assert_eq!(dist_set, central.solution, "{g:?} seed={seed}");
                 assert!(is_vertex_cover(g, &dist_set), "{g:?}");

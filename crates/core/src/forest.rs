@@ -67,8 +67,7 @@ pub fn interesting_cut_families(g: &Graph) -> CutForest {
                 }
             }
             NodeKind::P => {
-                let virtuals =
-                    node.edges.iter().filter(|e| e.is_virtual()).count();
+                let virtuals = node.edges.iter().filter(|e| e.is_virtual()).count();
                 if virtuals >= 2 || node.edges.len() >= 3 {
                     let (u, v) = (node.vertices[0], node.vertices[1]);
                     families[0].push((u.min(v), u.max(v)));
@@ -157,10 +156,7 @@ pub fn verify_families(g: &Graph, forest: &CutForest, r: u32) -> FamilyReport {
     }
     let interesting = crate::local_cuts::interesting_vertices(g, r);
     let displayed_set = forest.displayed_vertices();
-    let displayed = interesting
-        .iter()
-        .filter(|v| displayed_set.binary_search(v).is_ok())
-        .count();
+    let displayed = interesting.iter().filter(|v| displayed_set.binary_search(v).is_ok()).count();
     FamilyReport {
         families_used: forest.families.iter().filter(|f| !f.is_empty()).count(),
         noncrossing,

@@ -18,9 +18,7 @@ use lmds_graph::{Graph, InducedSubgraph, Vertex};
 
 /// All vertices forming `r`-local minimal 1-cuts, sorted.
 pub fn local_one_cut_vertices(g: &Graph, r: u32) -> Vec<Vertex> {
-    g.vertices()
-        .filter(|&v| is_local_one_cut(g, v, r))
-        .collect()
+    g.vertices().filter(|&v| is_local_one_cut(g, v, r)).collect()
 }
 
 /// Whether `{v}` is an `r`-local minimal 1-cut of `g`.
@@ -55,10 +53,7 @@ pub fn is_local_two_cut(g: &Graph, u: Vertex, v: Vertex, r: u32) -> bool {
         _ => return false,
     }
     let h = cut_neighborhood(g, u, v, r);
-    let (lu, lv) = (
-        h.from_host(u).expect("u in its ball"),
-        h.from_host(v).expect("v in its ball"),
-    );
+    let (lu, lv) = (h.from_host(u).expect("u in its ball"), h.from_host(v).expect("v in its ball"));
     two_cuts::is_minimal_two_cut(&h.graph, lu, lv)
 }
 
@@ -86,10 +81,7 @@ pub fn is_interesting_via(g: &Graph, v: Vertex, u: Vertex, r: u32) -> bool {
     let comps = two_cuts::components_attached(&h.graph, lu, lv);
     let mut witnesses = 0;
     for comp in comps {
-        if comp
-            .iter()
-            .any(|&w| !h.graph.has_edge(w, lu) && w != lu)
-        {
+        if comp.iter().any(|&w| !h.graph.has_edge(w, lu) && w != lu) {
             witnesses += 1;
             if witnesses >= 2 {
                 return true;
@@ -101,9 +93,7 @@ pub fn is_interesting_via(g: &Graph, v: Vertex, u: Vertex, r: u32) -> bool {
 
 /// Whether `v` is `r`-interesting (some friend works).
 pub fn is_interesting(g: &Graph, v: Vertex, r: u32) -> bool {
-    bfs::ball(g, v, r)
-        .into_iter()
-        .any(|u| u != v && is_interesting_via(g, v, u, r))
+    bfs::ball(g, v, r).into_iter().any(|u| u != v && is_interesting_via(g, v, u, r))
 }
 
 /// All `r`-interesting vertices, sorted.
@@ -256,10 +246,7 @@ mod tests {
                 .flat_map(|(a, b)| [a, b])
                 .collect();
         assert!(two_cut_vertices.len() >= 6);
-        assert!(
-            n_interesting <= 44 * mds,
-            "interesting = {n_interesting}, mds = {mds}"
-        );
+        assert!(n_interesting <= 44 * mds, "interesting = {n_interesting}, mds = {mds}");
         assert!(n_interesting < two_cut_vertices.len());
     }
 

@@ -84,8 +84,7 @@ pub fn algorithm1_mvc(g: &Graph, ids: &IdAssignment, radii: Radii) -> MvcOutput 
             }
             let sol = exact_vertex_cover(&local);
             brute.extend(sol.into_iter().map(|li| sub.to_host(order[li])));
-            residual_components
-                .push(comp.iter().map(|&v| sub.to_host(v)).collect::<Vec<_>>());
+            residual_components.push(comp.iter().map(|&v| sub.to_host(v)).collect::<Vec<_>>());
         }
     }
     let mut solution: Vec<Vertex> = Vec::new();

@@ -58,7 +58,7 @@ mod tests {
         let r = Radii::theoretical(2);
         assert_eq!(r.one_cut, (5 * 5 + 18) * 2 + 2); // f(5)+2 = 88
         assert_eq!(r.two_cut, (5 * 11 + 18) * 2 + 5); // f(11)+5 = 151
-        // Linear in t.
+                                                      // Linear in t.
         let r4 = Radii::theoretical(4);
         assert_eq!(r4.one_cut - 2, 2 * (r.one_cut - 2));
     }

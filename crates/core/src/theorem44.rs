@@ -30,9 +30,7 @@ use lmds_localsim::IdAssignment;
 /// itself).
 pub fn neighborhood_absorbed(rg: &Graph, v: Vertex) -> bool {
     let nv = rg.closed_neighborhood(v);
-    rg.neighbors(v)
-        .iter()
-        .any(|&u| nv.iter().all(|&w| w == u || rg.has_edge(u, w)))
+    rg.neighbors(v).iter().any(|&u| nv.iter().all(|&w| w == u || rg.has_edge(u, w)))
 }
 
 /// `D₂` of a (twin-free) graph: vertices not absorbed by any neighbor.
@@ -48,19 +46,12 @@ pub fn theorem44_mds(g: &Graph, ids: &IdAssignment) -> Vec<Vertex> {
     // Twin reduction by minimum identifier.
     let mut kept_mask = vec![false; g.n()];
     for class in lmds_graph::twins::twin_classes(g) {
-        let rep = class
-            .iter()
-            .copied()
-            .min_by_key(|&v| ids.id_of(v))
-            .expect("nonempty class");
+        let rep = class.iter().copied().min_by_key(|&v| ids.id_of(v)).expect("nonempty class");
         kept_mask[rep] = true;
     }
     let kept: Vec<Vertex> = g.vertices().filter(|&v| kept_mask[v]).collect();
     let reduced = lmds_graph::InducedSubgraph::new(g, &kept);
-    d2_set(&reduced.graph)
-        .into_iter()
-        .map(|v| reduced.to_host(v))
-        .collect()
+    d2_set(&reduced.graph).into_iter().map(|v| reduced.to_host(v)).collect()
 }
 
 /// Theorem 4.4 MVC variant, centralized reference: degree-≥2 vertices
@@ -139,11 +130,7 @@ mod tests {
             let g = lmds_gen::outerplanar::random_maximal_outerplanar(14, seed);
             let sol = theorem44_mds(&g, &seq(g.n()));
             let opt = exact_mds(&g).len();
-            assert!(
-                sol.len() <= 5 * opt,
-                "seed={seed}: |D2|={} opt={opt}",
-                sol.len()
-            );
+            assert!(sol.len() <= 5 * opt, "seed={seed}: |D2|={} opt={opt}", sol.len());
         }
         // Trees are K_{2,2}-minor-free: ratio ≤ 3.
         for seed in 0..6 {

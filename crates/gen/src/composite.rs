@@ -129,11 +129,7 @@ mod tests {
         let g = theta_ring(3, 3);
         assert!(articulation::is_biconnected(&g));
         let tree = lmds_graph::spqr::SpqrTree::compute(&g);
-        let p_nodes = tree
-            .nodes
-            .iter()
-            .filter(|n| n.kind == lmds_graph::spqr::NodeKind::P)
-            .count();
+        let p_nodes = tree.nodes.iter().filter(|n| n.kind == lmds_graph::spqr::NodeKind::P).count();
         assert_eq!(p_nodes, 3);
         // Every hub pair is a minimal 2-cut of the ring.
         for i in 0..3 {
@@ -164,9 +160,7 @@ mod tests {
         // Fans keep the graph K_{2,3}-minor... fan graphs are
         // outerplanar; attached at a single vertex the whole thing stays
         // K_{2,3}-minor-free.
-        assert!(
-            lmds_graph::minor::is_k2t_minor_free(&g, 3, 500_000_000).unwrap_or(true)
-        );
+        assert!(lmds_graph::minor::is_k2t_minor_free(&g, 3, 500_000_000).unwrap_or(true));
     }
 
     #[test]

@@ -10,9 +10,8 @@
 //! workload Algorithm 1's round-complexity argument (Lemma 4.2) is
 //! about — long strips/fans force many local 1- and 2-cuts.
 
+use crate::rng::SmallRng;
 use lmds_graph::{Graph, Vertex};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// The fan `F_len`: center `0`, path `1..=len+1`, center adjacent to
 /// every path vertex. `len` is the number of chords (paper: the fan's
@@ -114,7 +113,7 @@ pub fn augmentation(spec: &AugmentationSpec) -> Graph {
     // Random base.
     for u in 0..n0 {
         for v in (u + 1)..n0 {
-            if rng.gen_range(0..100) < spec.base_density_percent {
+            if rng.gen_range(0..100) < spec.base_density_percent as usize {
                 g.add_edge(u, v);
             }
         }

@@ -24,10 +24,11 @@ pub mod composite;
 pub mod ding;
 pub mod outerplanar;
 pub mod random;
+pub mod rng;
 pub mod trees;
 
 pub use basic::{caterpillar, complete, cycle, grid, path, spider, star};
+pub use composite::{fan_caterpillar, necklace, theta_chain, theta_ring};
 pub use ding::{augmentation, fan, strip, AugmentationSpec};
 pub use outerplanar::random_outerplanar;
-pub use composite::{fan_caterpillar, necklace, theta_chain, theta_ring};
 pub use trees::random_tree;

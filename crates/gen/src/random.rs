@@ -1,8 +1,7 @@
 //! Random-graph controls: G(n, p) and bounded-degree graphs.
 
+use crate::rng::SmallRng;
 use lmds_graph::Graph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Erdős–Rényi `G(n, p)` with `p` in percent. A negative control (dense
 /// instances contain large `K_{2,t}` minors).
@@ -11,7 +10,7 @@ pub fn gnp(n: usize, p_percent: u32, seed: u64) -> Graph {
     let mut g = Graph::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
-            if rng.gen_range(0..100) < p_percent {
+            if rng.gen_range(0..100) < p_percent as usize {
                 g.add_edge(u, v);
             }
         }
@@ -60,7 +59,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     let mut rng = SmallRng::seed_from_u64(seed);
     // Pairing model with retries.
     'retry: for attempt in 0..64 {
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         // Shuffle stubs.
         for i in (1..stubs.len()).rev() {
             let j = rng.gen_range(0..=i);

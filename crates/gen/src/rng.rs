@@ -1,0 +1,102 @@
+//! A tiny deterministic PRNG with the subset of the `rand::SmallRng`
+//! surface the generators use (`seed_from_u64`, `gen_range`), so the
+//! crate stays dependency-free.
+//!
+//! The stream is splitmix64 — statistically plenty for workload
+//! generation, and stable across platforms and releases, which is what
+//! the reproduction actually needs (generators are deterministic
+//! functions of their parameters).
+
+/// Deterministic splitmix64 generator.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seeds the generator from a `u64` (same name as rand's
+    /// `SeedableRng::seed_from_u64` so call sites read identically).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample from a half-open or inclusive `usize` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    pub fn gen_range<R: UniformRange>(&mut self, range: R) -> usize {
+        range.sample(self)
+    }
+}
+
+/// Ranges [`SmallRng::gen_range`] can sample from.
+pub trait UniformRange {
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut SmallRng) -> usize;
+}
+
+impl UniformRange for std::ops::Range<usize> {
+    fn sample(self, rng: &mut SmallRng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        let len = (self.end - self.start) as u64;
+        self.start + (rng.next_u64() % len) as usize
+    }
+}
+
+impl UniformRange for std::ops::RangeInclusive<usize> {
+    fn sample(self, rng: &mut SmallRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let len = (hi - lo) as u64 + 1;
+        lo + (rng.next_u64() % len) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..10);
+            assert!((3..10).contains(&x));
+            let y = rng.gen_range(5..=5);
+            assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[rng.gen_range(0..4)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "{counts:?}");
+        }
+    }
+}

@@ -1,8 +1,7 @@
 //! Random and structured trees.
 
+use crate::rng::SmallRng;
 use lmds_graph::{Graph, GraphBuilder};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// A uniform random recursive tree: vertex `i` attaches to a uniformly
 /// random earlier vertex. Deterministic in `seed`.

@@ -107,8 +107,7 @@ impl BlockCutTree {
             }
         }
 
-        let cut_vertices: Vec<Vertex> =
-            (0..n).filter(|&v| is_art[v]).collect();
+        let cut_vertices: Vec<Vertex> = (0..n).filter(|&v| is_art[v]).collect();
         let cut_index: std::collections::HashMap<Vertex, usize> =
             cut_vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let mut edges = Vec::new();
@@ -190,10 +189,8 @@ mod tests {
     #[test]
     fn two_cycles_sharing_vertex_and_pendant() {
         // C4 on {0,1,2,3}, C3 on {3,4,5}, pendant 6 on 0.
-        let g = Graph::from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (5, 3), (0, 6)],
-        );
+        let g =
+            Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (5, 3), (0, 6)]);
         let bct = BlockCutTree::compute(&g);
         assert_eq!(bct.cut_vertices, vec![0, 3]);
         assert_eq!(bct.blocks.len(), 3);

@@ -97,10 +97,7 @@ pub fn exact_b_dominating(
     targets: &[Vertex],
     candidates: Option<&[Vertex]>,
 ) -> Option<Vec<Vertex>> {
-    match exact_b_dominating_capped(g, targets, candidates, u64::MAX) {
-        Some(sol) => Some(sol),
-        None => None,
-    }
+    exact_b_dominating_capped(g, targets, candidates, u64::MAX)
 }
 
 /// Budgeted variant of [`exact_b_dominating`]. Returns `None` on budget
@@ -185,8 +182,8 @@ impl CoverInstance {
         while remaining > 0 {
             let mut best = NONE;
             let mut best_gain = 0usize;
-            for ci in 0..self.candidates.len() {
-                if chosen_mask[ci] {
+            for (ci, &already) in chosen_mask.iter().enumerate() {
+                if already {
                     continue;
                 }
                 let gain = self.covers[ci].iter().filter(|&&t| undom[t]).count();
@@ -262,8 +259,7 @@ impl CoverInstance {
         let remaining = undom.iter().filter(|&&u| u).count();
         if remaining == 0 {
             if current.len() < best.len() {
-                let mut sol: Vec<Vertex> =
-                    current.iter().map(|&ci| self.candidates[ci]).collect();
+                let mut sol: Vec<Vertex> = current.iter().map(|&ci| self.candidates[ci]).collect();
                 sol.sort_unstable();
                 *best = sol;
             }
@@ -275,8 +271,8 @@ impl CoverInstance {
         // Pick the undominated target with the fewest covering candidates.
         let mut pick = NONE;
         let mut pick_count = usize::MAX;
-        for t in 0..self.targets.len() {
-            if undom[t] && self.covered_by[t].len() < pick_count {
+        for (t, &is_undom) in undom.iter().enumerate().take(self.targets.len()) {
+            if is_undom && self.covered_by[t].len() < pick_count {
                 pick = t;
                 pick_count = self.covered_by[t].len();
             }
@@ -436,10 +432,8 @@ mod tests {
 
     #[test]
     fn exact_output_is_dominating_and_minimum() {
-        let g = Graph::from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (1, 5)],
-        );
+        let g =
+            Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (1, 5)]);
         let sol = exact_mds(&g);
         assert!(is_dominating_set(&g, &sol));
         // Cross-check: no single vertex dominates this graph.

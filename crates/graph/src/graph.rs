@@ -369,10 +369,7 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let mut g = Graph::new(3);
-        assert_eq!(
-            g.try_add_edge(0, 9),
-            Err(GraphError::VertexOutOfRange { vertex: 9, n: 3 })
-        );
+        assert_eq!(g.try_add_edge(0, 9), Err(GraphError::VertexOutOfRange { vertex: 9, n: 3 }));
     }
 
     #[test]

@@ -26,7 +26,8 @@ pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
         .lines()
         .enumerate()
         .filter(|(_, l)| !l.trim().is_empty() && !l.trim_start().starts_with('#'));
-    let (lno, header) = lines.next().ok_or(GraphError::Parse { line: 1, content: String::new() })?;
+    let (lno, header) =
+        lines.next().ok_or(GraphError::Parse { line: 1, content: String::new() })?;
     let mut it = header.split_whitespace();
     let n: usize = it
         .next()

@@ -120,9 +120,7 @@ impl<'g> Search<'g> {
         let mut in_a = vec![false; n];
         for a in 0..n {
             let mut excluded = vec![false; n];
-            for v in 0..a {
-                excluded[v] = true; // min(A) = a
-            }
+            excluded[..a].fill(true); // min(A) = a
             in_a[a] = true;
             let frontier: Vec<Vertex> =
                 self.g.neighbors(a).iter().copied().filter(|&v| !excluded[v]).collect();
@@ -161,18 +159,9 @@ impl<'g> Search<'g> {
                 continue;
             }
             in_a[v] = true;
-            let mut nf: Vec<Vertex> = frontier[i + 1..]
-                .iter()
-                .copied()
-                .filter(|&u| !excluded[u] && !in_a[u])
-                .collect();
-            nf.extend(
-                self.g
-                    .neighbors(v)
-                    .iter()
-                    .copied()
-                    .filter(|&u| !excluded[u] && !in_a[u]),
-            );
+            let mut nf: Vec<Vertex> =
+                frontier[i + 1..].iter().copied().filter(|&u| !excluded[u] && !in_a[u]).collect();
+            nf.extend(self.g.neighbors(v).iter().copied().filter(|&u| !excluded[u] && !in_a[u]));
             ok = self.extend_a(min_a, in_a, nf, excluded);
             in_a[v] = false;
             if !ok || self.best >= self.target {
@@ -195,9 +184,7 @@ impl<'g> Search<'g> {
                 continue;
             }
             let mut excluded: Vec<bool> = in_a.to_vec();
-            for v in 0..b {
-                excluded[v] = true; // min(B) = b, and B avoids A
-            }
+            excluded[..b].fill(true); // min(B) = b, and B avoids A
             in_b[b] = true;
             let frontier: Vec<Vertex> =
                 self.g.neighbors(b).iter().copied().filter(|&v| !excluded[v]).collect();
@@ -244,18 +231,9 @@ impl<'g> Search<'g> {
                 continue;
             }
             in_b[v] = true;
-            let mut nf: Vec<Vertex> = frontier[i + 1..]
-                .iter()
-                .copied()
-                .filter(|&u| !excluded[u] && !in_b[u])
-                .collect();
-            nf.extend(
-                self.g
-                    .neighbors(v)
-                    .iter()
-                    .copied()
-                    .filter(|&u| !excluded[u] && !in_b[u]),
-            );
+            let mut nf: Vec<Vertex> =
+                frontier[i + 1..].iter().copied().filter(|&u| !excluded[u] && !in_b[u]).collect();
+            nf.extend(self.g.neighbors(v).iter().copied().filter(|&u| !excluded[u] && !in_b[u]));
             ok = self.extend_b(in_a, in_b, nf, excluded);
             in_b[v] = false;
             if !ok || self.best >= self.target {
@@ -322,9 +300,9 @@ fn count_petals(g: &Graph, a_set: &[Vertex], b_set: &[Vertex], blocked: &[bool])
 
 /// Minimal augmenting-path max-flow for the unit-capacity networks above.
 struct FlowNet {
-    to: Vec<Vec<usize>>,   // edge indices per node
-    head: Vec<usize>,      // edge -> target node
-    cap: Vec<i32>,         // edge -> residual capacity
+    to: Vec<Vec<usize>>, // edge indices per node
+    head: Vec<usize>,    // edge -> target node
+    cap: Vec<i32>,       // edge -> residual capacity
 }
 
 impl FlowNet {
@@ -474,9 +452,17 @@ mod tests {
         let g = Graph::from_edges(
             9,
             &[
-                (0, 1), (1, 2), (2, 3), // path
-                (0, 4), (1, 5), (2, 6), (3, 7), // petals on the path
-                (4, 8), (5, 8), (6, 8), (7, 8), // petals to hub b
+                (0, 1),
+                (1, 2),
+                (2, 3), // path
+                (0, 4),
+                (1, 5),
+                (2, 6),
+                (3, 7), // petals on the path
+                (4, 8),
+                (5, 8),
+                (6, 8),
+                (7, 8), // petals to hub b
             ],
         );
         let exact = max_k2_minor(&g, BUDGET);

@@ -35,9 +35,7 @@ pub fn is_tree(g: &Graph) -> bool {
 
 /// Whether the graph is a simple cycle `C_n` (connected, 2-regular).
 pub fn is_cycle_graph(g: &Graph) -> bool {
-    g.n() >= 3
-        && crate::connectivity::is_connected(g)
-        && g.vertices().all(|v| g.degree(v) == 2)
+    g.n() >= 3 && crate::connectivity::is_connected(g) && g.vertices().all(|v| g.degree(v) == 2)
 }
 
 /// The degeneracy of the graph and a degeneracy ordering (repeatedly
@@ -49,10 +47,8 @@ pub fn degeneracy(g: &Graph) -> (usize, Vec<Vertex>) {
     let mut order = Vec::with_capacity(n);
     let mut degeneracy = 0;
     for _ in 0..n {
-        let v = (0..n)
-            .filter(|&v| !removed[v])
-            .min_by_key(|&v| (deg[v], v))
-            .expect("vertices remain");
+        let v =
+            (0..n).filter(|&v| !removed[v]).min_by_key(|&v| (deg[v], v)).expect("vertices remain");
         degeneracy = degeneracy.max(deg[v]);
         removed[v] = true;
         order.push(v);

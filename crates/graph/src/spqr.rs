@@ -90,13 +90,11 @@ impl MultiGraph {
     /// Components of the vertex set after removing `u` and `v`
     /// (underlying simple adjacency).
     fn components_without(&self, u: Vertex, v: Vertex) -> Vec<Vec<Vertex>> {
-        let rest: Vec<Vertex> =
-            self.verts.iter().copied().filter(|&x| x != u && x != v).collect();
+        let rest: Vec<Vertex> = self.verts.iter().copied().filter(|&x| x != u && x != v).collect();
         if rest.is_empty() {
             return Vec::new();
         }
-        let idx: HashMap<Vertex, usize> =
-            rest.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+        let idx: HashMap<Vertex, usize> = rest.iter().enumerate().map(|(i, &x)| (x, i)).collect();
         let mut uf = crate::connectivity::UnionFind::new(rest.len());
         for e in &self.edges {
             let (a, b) = e.endpoints();
@@ -204,13 +202,10 @@ impl SpqrTree {
 
     /// Merge adjacent S–S and P–P node pairs (canonicalization).
     fn merge_same_kind(&mut self) {
-        loop {
-            let Some(pos) = self.tree_edges.iter().position(|&(a, b, _)| {
-                self.nodes[a].kind == self.nodes[b].kind
-                    && matches!(self.nodes[a].kind, NodeKind::S | NodeKind::P)
-            }) else {
-                break;
-            };
+        while let Some(pos) = self.tree_edges.iter().position(|&(a, b, _)| {
+            self.nodes[a].kind == self.nodes[b].kind
+                && matches!(self.nodes[a].kind, NodeKind::S | NodeKind::P)
+        }) {
             let (a, b, pid) = self.tree_edges[pos];
             // Merge node b into node a: drop the shared virtual edges,
             // union everything else.
@@ -489,7 +484,10 @@ mod tests {
             Graph::from_edges(5, &[(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)]),
             Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]),
             // Prism (C3 × K2) is 3-connected: no 2-cuts at all.
-            Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (0, 3), (1, 4), (2, 5)]),
+            Graph::from_edges(
+                6,
+                &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (0, 3), (1, 4), (2, 5)],
+            ),
         ];
         for g in &graphs {
             let t = SpqrTree::compute(g);
@@ -537,7 +535,8 @@ mod tests {
     fn tree_structure_is_consistent() {
         // #tree_edges = #nodes − 1 for every decomposition of a connected
         // biconnected graph.
-        for g in [cycle(8), Graph::from_edges(5, &[(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)])] {
+        for g in [cycle(8), Graph::from_edges(5, &[(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)])]
+        {
             let t = SpqrTree::compute(&g);
             assert_eq!(t.tree_edges.len(), t.nodes.len() - 1, "{g:?}");
         }

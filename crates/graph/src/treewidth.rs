@@ -120,9 +120,8 @@ pub fn min_fill_decomposition(g: &Graph) -> TreeDecomposition {
         return TreeDecomposition { bags: vec![], edges: vec![] };
     }
     // Working fill graph as adjacency sets.
-    let mut adj: Vec<HashSet<Vertex>> = (0..n)
-        .map(|v| g.neighbors(v).iter().copied().collect())
-        .collect();
+    let mut adj: Vec<HashSet<Vertex>> =
+        (0..n).map(|v| g.neighbors(v).iter().copied().collect()).collect();
     let mut eliminated = vec![false; n];
     let mut order: Vec<Vertex> = Vec::with_capacity(n);
     let mut position = vec![usize::MAX; n];
@@ -136,8 +135,7 @@ pub fn min_fill_decomposition(g: &Graph) -> TreeDecomposition {
             if eliminated[v] {
                 continue;
             }
-            let nb: Vec<Vertex> =
-                adj[v].iter().copied().filter(|&u| !eliminated[u]).collect();
+            let nb: Vec<Vertex> = adj[v].iter().copied().filter(|&u| !eliminated[u]).collect();
             let mut fill = 0;
             for (i, &a) in nb.iter().enumerate() {
                 for &b in &nb[i + 1..] {
@@ -281,10 +279,7 @@ mod tests {
         let bad = TreeDecomposition { bags: vec![vec![0, 1]], edges: vec![] };
         assert_eq!(bad.validate(&g), Err(DecompositionError::VertexMissing(2)));
         // Missing edge (1,2).
-        let bad = TreeDecomposition {
-            bags: vec![vec![0, 1], vec![2]],
-            edges: vec![(0, 1)],
-        };
+        let bad = TreeDecomposition { bags: vec![vec![0, 1], vec![2]], edges: vec![(0, 1)] };
         assert_eq!(bad.validate(&g), Err(DecompositionError::EdgeMissing(1, 2)));
         // Disconnected occurrences of vertex 0.
         let bad = TreeDecomposition {
@@ -293,10 +288,8 @@ mod tests {
         };
         assert_eq!(bad.validate(&g), Err(DecompositionError::NotConnected(0)));
         // Not a tree.
-        let bad = TreeDecomposition {
-            bags: vec![vec![0, 1], vec![1, 2]],
-            edges: vec![(0, 1), (0, 1)],
-        };
+        let bad =
+            TreeDecomposition { bags: vec![vec![0, 1], vec![1, 2]], edges: vec![(0, 1), (0, 1)] };
         assert_eq!(bad.validate(&g), Err(DecompositionError::NotATree));
     }
 
@@ -380,9 +373,8 @@ impl DpTable {
         let mut values = vec![INF; pow3(k)];
         // Indices of old bag members in the new bag.
         let old_pos: Vec<usize> = (0..k).filter(|&i| i != pos).collect();
-        let nbrs_in_bag: Vec<usize> = (0..k)
-            .filter(|&i| i != pos && g.has_edge(bag[i], v))
-            .collect();
+        let nbrs_in_bag: Vec<usize> =
+            (0..k).filter(|&i| i != pos && g.has_edge(bag[i], v)).collect();
         for (old_state, &val) in self.values.iter().enumerate() {
             if val >= INF {
                 continue;
@@ -403,8 +395,7 @@ impl DpTable {
                 values[s] = values[s].min(val + 1);
             }
             // Case 2: v dominated by a bag neighbor in X.
-            let has_s_neighbor =
-                nbrs_in_bag.iter().any(|&ni| color_at(base, ni) == Color::S);
+            let has_s_neighbor = nbrs_in_bag.iter().any(|&ni| color_at(base, ni) == Color::S);
             if has_s_neighbor {
                 let s = with_color(base, pos, Color::D);
                 values[s] = values[s].min(val);

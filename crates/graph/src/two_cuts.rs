@@ -56,7 +56,8 @@ pub fn separates(g: &Graph, s: &[Vertex]) -> bool {
         // Different G-components: compare within each; handled by grouping.
     }
     // Group boundary by G-component and check each group for a split.
-    let mut groups: std::collections::HashMap<usize, Vec<Vertex>> = std::collections::HashMap::new();
+    let mut groups: std::collections::HashMap<usize, Vec<Vertex>> =
+        std::collections::HashMap::new();
     for &b in &boundary {
         groups.entry(gids[b]).or_default().push(b);
     }
@@ -95,8 +96,8 @@ pub fn minimal_two_cuts(g: &Graph) -> Vec<(Vertex, Vertex)> {
         if arts[u] {
             continue;
         }
-        for v in (u + 1)..n {
-            if arts[v] {
+        for (v, &v_is_art) in arts.iter().enumerate().skip(u + 1) {
+            if v_is_art {
                 continue;
             }
             if separates(g, &[u, v]) {
@@ -226,10 +227,7 @@ pub fn cuts_cross(g: &Graph, c1: (Vertex, Vertex), c2: (Vertex, Vertex)) -> bool
 /// (first-fit). The paper's Corollary 5.9 shows three families always
 /// suffice for interesting cuts (via SPQR trees); this greedy
 /// constructive check is what the Lemma 3.3 experiments verify against.
-pub fn partition_noncrossing(
-    g: &Graph,
-    cuts: &[(Vertex, Vertex)],
-) -> Vec<Vec<(Vertex, Vertex)>> {
+pub fn partition_noncrossing(g: &Graph, cuts: &[(Vertex, Vertex)]) -> Vec<Vec<(Vertex, Vertex)>> {
     let mut families: Vec<Vec<(Vertex, Vertex)>> = Vec::new();
     for &c in cuts {
         let mut placed = false;
@@ -315,8 +313,7 @@ mod crossing_tests {
                 let (a, b) = (i, k - 3 - i);
                 p1.push((a.min(b), a.max(b)));
             }
-            let p2: Vec<(Vertex, Vertex)> =
-                vec![(k / 2 - 2, k - 1), (k / 2 - 1, k - 2)];
+            let p2: Vec<(Vertex, Vertex)> = vec![(k / 2 - 2, k - 1), (k / 2 - 1, k - 2)];
             for fam in [&p1, &p2] {
                 for (i, &a) in fam.iter().enumerate() {
                     for &b in &fam[i + 1..] {
@@ -333,8 +330,7 @@ mod crossing_tests {
             assert!(covered.iter().all(|&c| c), "C_{k}: {covered:?}");
             // The greedy packing of the union uses ≤ 3 families
             // (Corollary 5.9's budget).
-            let union: Vec<(Vertex, Vertex)> =
-                p1.iter().chain(&p2).copied().collect();
+            let union: Vec<(Vertex, Vertex)> = p1.iter().chain(&p2).copied().collect();
             let fams = partition_noncrossing(&g, &union);
             assert!(fams.len() <= 3, "C_{k}: {} families", fams.len());
         }

@@ -145,10 +145,7 @@ fn branch_vc(
         return true;
     }
     // Branch on a live vertex of maximum live degree.
-    let v = *live
-        .iter()
-        .max_by_key(|&&v| live_degree(g, &alive, v))
-        .expect("nonempty");
+    let v = *live.iter().max_by_key(|&&v| live_degree(g, &alive, v)).expect("nonempty");
     // Branch A: take v.
     {
         let mut a2 = alive.clone();

@@ -55,7 +55,9 @@ pub mod runtime;
 pub mod view;
 
 pub use ids::IdAssignment;
-pub use runtime::{fits_congest, run_message_passing, run_oracle, run_parallel, RunResult, RuntimeError};
+pub use runtime::{
+    fits_congest, run_message_passing, run_oracle, run_parallel, RunResult, RuntimeError,
+};
 pub use view::LocalView;
 
 /// A LOCAL algorithm expressed as a view-to-decision function.

@@ -26,7 +26,12 @@ impl LocalView {
     }
 
     /// Constructs a view directly (used by the oracle runtime and tests).
-    pub fn from_parts(center: u64, rounds: u32, mut verts: Vec<u64>, mut edges: Vec<(u64, u64)>) -> Self {
+    pub fn from_parts(
+        center: u64,
+        rounds: u32,
+        mut verts: Vec<u64>,
+        mut edges: Vec<(u64, u64)>,
+    ) -> Self {
         verts.sort_unstable();
         verts.dedup();
         for e in &mut edges {

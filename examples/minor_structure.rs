@@ -52,10 +52,7 @@ fn main() {
     }
     let cp = lmds_gen::adversarial::clique_with_pendants(8);
     let two_cut_vertices: std::collections::BTreeSet<usize> =
-        lmds_graph::two_cuts::minimal_two_cuts(&cp)
-            .into_iter()
-            .flat_map(|(a, b)| [a, b])
-            .collect();
+        lmds_graph::two_cuts::minimal_two_cuts(&cp).into_iter().flat_map(|(a, b)| [a, b]).collect();
     println!(
         "  clique+pendants(8): {} vertices in minimal 2-cuts, but only {} interesting (MDS = 1)",
         two_cut_vertices.len(),
@@ -80,8 +77,5 @@ fn main() {
             node.edges.iter().filter(|e| e.is_virtual()).count()
         );
     }
-    println!(
-        "  displayed separation pairs: {:?} (Proposition 5.7)",
-        tree.displayed_pairs()
-    );
+    println!("  displayed separation pairs: {:?} (Proposition 5.7)", tree.displayed_pairs());
 }

@@ -1,49 +1,61 @@
-//! Quickstart: compute approximate dominating sets of a
-//! `K_{2,t}`-minor-free graph with both of the paper's algorithms and
-//! compare against the exact optimum.
+//! Quickstart: the unified `lmds-api` surface. One registry, one
+//! `solve` call shape for every algorithm — centralized or simulated —
+//! with structured solutions (certificate, ratio, rounds, wall time).
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use lmds_core::{algorithm1, theorem44_mds, Radii};
-use lmds_graph::dominating::{exact_mds, is_dominating_set};
-use lmds_localsim::IdAssignment;
+use lmds_api::{ExecutionMode, Instance, SolveConfig, SolverRegistry};
+use lmds_core::Radii;
 
 fn main() {
     // A K_{2,t}-minor-free workload: a small base graph augmented with
     // fans and strips (Ding's structure theorem, paper §5.4).
     let graph = lmds_gen::ding::AugmentationSpec::standard(5, 2, 2, 42).generate();
-    let ids = IdAssignment::shuffled(graph.n(), 42);
+    let instance = Instance::shuffled("quickstart", graph, 42);
     println!(
         "graph: n = {}, m = {}, diameter = {:?}",
-        graph.n(),
-        graph.m(),
-        lmds_graph::bfs::diameter(&graph)
+        instance.n(),
+        instance.graph.m(),
+        lmds_graph::bfs::diameter(&instance.graph)
     );
 
-    // Theorem 4.4: 3 rounds, ratio ≤ 2t−1.
-    let d2 = theorem44_mds(&graph, &ids);
-    assert!(is_dominating_set(&graph, &d2));
-    println!("Theorem 4.4 (3-round) solution: {} vertices", d2.len());
+    let registry = SolverRegistry::with_defaults();
+    println!("registered solvers: {:?}", registry.keys());
 
-    // Algorithm 1 (Theorem 4.1): constant ratio at the theoretical
-    // radii; here with practical radii (any radii stay correct).
-    let out = algorithm1(&graph, &ids, Radii::practical(2, 3));
-    assert!(is_dominating_set(&graph, &out.solution));
+    // Theorem 4.4: 3 rounds, ratio ≤ 2t−1 — run on the LOCAL simulator.
+    let cfg44 = SolveConfig::mds().mode(ExecutionMode::LocalOracle).measure_ratio(true);
+    let d2 = registry.solve("mds/theorem44", &instance, &cfg44).expect("thm 4.4");
+    assert!(d2.is_valid());
     println!(
-        "Algorithm 1 solution: {} vertices ({} local 1-cut, {} interesting, {} brute-forced over {} components)",
-        out.solution.len(),
-        out.x_set.len(),
-        out.i_set.len(),
-        out.brute_selected.len(),
-        out.residual_components.len()
+        "Theorem 4.4: {} vertices in {} rounds (ratio {:.2}, {} µs)",
+        d2.size(),
+        d2.rounds.unwrap(),
+        d2.ratio().unwrap(),
+        d2.wall.as_micros()
     );
 
-    // Exact optimum for reference.
-    let opt = exact_mds(&graph);
-    println!("exact optimum: {} vertices", opt.len());
+    // Algorithm 1 (Theorem 4.1): same call shape, different key; the
+    // centralized run exposes the pipeline internals.
+    let cfg1 = SolveConfig::mds().radii(Radii::practical(2, 3)).measure_ratio(true);
+    let alg1 = registry.solve("mds/algorithm1", &instance, &cfg1).expect("algorithm 1");
+    assert!(alg1.is_valid());
+    let diag = alg1.diagnostics.as_ref().expect("centralized diagnostics");
+    println!(
+        "Algorithm 1: {} vertices ({} local 1-cut, {} interesting, {} brute-forced over {} components), ratio {:.2}",
+        alg1.size(),
+        diag.x_set.len(),
+        diag.i_set.len(),
+        diag.brute_selected.len(),
+        diag.residual_components.len(),
+        alg1.ratio().unwrap()
+    );
+
+    // Exact optimum for reference — also just a solver.
+    let exact = registry.solve("mds/exact", &instance, &SolveConfig::mds()).expect("exact MDS");
+    println!("exact optimum: {} vertices", exact.size());
     println!(
         "measured ratios: thm4.4 = {:.2}, alg1 = {:.2} (paper bounds: 2t-1 and 50)",
-        d2.len() as f64 / opt.len() as f64,
-        out.solution.len() as f64 / opt.len() as f64
+        d2.size() as f64 / exact.size() as f64,
+        alg1.size() as f64 / exact.size() as f64
     );
 }

@@ -3,15 +3,13 @@
 //! awake so every sensor has an awake neighbor — a dominating set —
 //! and must elect it by local radio rounds only.
 //!
-//! We simulate the full LOCAL execution of Theorem 4.4 (3 radio rounds)
-//! with real message passing and report rounds, message sizes, and the
-//! energy win versus keeping everything awake.
+//! We run Theorem 4.4 through the unified API in message-passing mode
+//! (3 radio rounds, message bits accounted) and report the energy win
+//! versus keeping everything awake.
 //!
 //! Run with: `cargo run --release --example sensor_network`
 
-use lmds_core::distributed::Theorem44Decider;
-use lmds_graph::dominating::is_dominating_set;
-use lmds_localsim::{run_message_passing, IdAssignment};
+use lmds_api::{ExecutionMode, Instance, SolveConfig, SolverRegistry};
 
 fn main() {
     // The "field": a long corridor deployment — an augmentation with
@@ -26,38 +24,41 @@ fn main() {
         seed: 7,
     }
     .generate();
-    let ids = IdAssignment::shuffled(field.n(), 7);
+    let instance = Instance::shuffled("sensor-field", field, 7);
     println!(
         "sensor field: {} sensors, {} radio links, diameter {:?}",
-        field.n(),
-        field.m(),
-        lmds_graph::bfs::diameter(&field)
+        instance.n(),
+        instance.graph.m(),
+        lmds_graph::bfs::diameter(&instance.graph)
     );
 
-    let run = run_message_passing(&field, &ids, &Theorem44Decider, 10)
+    let registry = SolverRegistry::with_defaults();
+    let cfg = SolveConfig::mds().mode(ExecutionMode::LocalMessagePassing);
+    let run = registry
+        .solve("mds/theorem44", &instance, &cfg)
         .expect("theorem 4.4 terminates in 3 rounds");
-    let coordinators: Vec<usize> = run
-        .outputs
-        .iter()
-        .enumerate()
-        .filter_map(|(v, &awake)| awake.then_some(v))
-        .collect();
-    assert!(is_dominating_set(&field, &coordinators));
+    assert!(run.is_valid(), "certificate: every sensor has an awake neighbor");
+    let coordinators = &run.vertices;
+    let stats = run.messages.expect("message-passing accounting");
 
-    println!("elected {} coordinators in {} synchronous radio rounds", coordinators.len(), run.rounds);
+    println!(
+        "elected {} coordinators in {} synchronous radio rounds",
+        coordinators.len(),
+        run.rounds.unwrap()
+    );
     println!(
         "largest single message: {} bits; total radio traffic: {} bits",
-        run.max_message_bits, run.total_message_bits
+        stats.max_message_bits, stats.total_message_bits
     );
     println!(
         "duty-cycle win: {:.1}% of sensors can sleep",
-        100.0 * (1.0 - coordinators.len() as f64 / field.n() as f64)
+        100.0 * (1.0 - coordinators.len() as f64 / instance.n() as f64)
     );
 
     // Every sleeping sensor can verify locally that a neighbor is awake.
-    for v in field.vertices() {
+    for v in instance.graph.vertices() {
         let ok = coordinators.contains(&v)
-            || field.neighbors(v).iter().any(|u| coordinators.contains(u));
+            || instance.graph.neighbors(v).iter().any(|u| coordinators.contains(u));
         assert!(ok, "sensor {v} has no awake neighbor");
     }
     println!("coverage verified: every sleeping sensor has an awake neighbor");

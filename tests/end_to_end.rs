@@ -49,12 +49,8 @@ fn theorem44_end_to_end() {
             };
             assert!(is_dominating_set(&g, &central), "{name}: centralized invalid");
             let res = run_oracle(&g, &ids, &Theorem44Decider, 10).unwrap();
-            let distributed: Vec<usize> = res
-                .outputs
-                .iter()
-                .enumerate()
-                .filter_map(|(v, &b)| b.then_some(v))
-                .collect();
+            let distributed: Vec<usize> =
+                res.outputs.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect();
             assert_eq!(central, distributed, "{name} seed={seed}");
             assert!(res.rounds <= 3, "{name}: {} rounds", res.rounds);
         }
@@ -70,12 +66,8 @@ fn algorithm1_end_to_end() {
         assert!(is_dominating_set(&g, &central.solution), "{name}");
         let decider = Algorithm1Decider { radii };
         let res = run_oracle(&g, &ids, &decider, (2 * g.n() + 40) as u32).unwrap();
-        let distributed: Vec<usize> = res
-            .outputs
-            .iter()
-            .enumerate()
-            .filter_map(|(v, &b)| b.then_some(v))
-            .collect();
+        let distributed: Vec<usize> =
+            res.outputs.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect();
         assert_eq!(central.solution, distributed, "{name}");
     }
 }
@@ -102,12 +94,8 @@ fn mvc_end_to_end() {
         let quick = theorem44_mvc(&g, &ids);
         assert!(is_vertex_cover(&g, &quick), "{name}: thm44 mvc invalid");
         let res = run_oracle(&g, &ids, &Theorem44MvcDecider, 10).unwrap();
-        let distributed: Vec<usize> = res
-            .outputs
-            .iter()
-            .enumerate()
-            .filter_map(|(v, &b)| b.then_some(v))
-            .collect();
+        let distributed: Vec<usize> =
+            res.outputs.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect();
         let mut central = quick.clone();
         central.sort_unstable();
         assert_eq!(central, distributed, "{name}");
@@ -122,12 +110,8 @@ fn trees_folklore_end_to_end() {
         let g = lmds_gen::trees::random_tree(40, seed);
         let ids = IdAssignment::shuffled(g.n(), seed);
         let res = run_oracle(&g, &ids, &TreesFolkloreDecider, 10).unwrap();
-        let sol: Vec<usize> = res
-            .outputs
-            .iter()
-            .enumerate()
-            .filter_map(|(v, &b)| b.then_some(v))
-            .collect();
+        let sol: Vec<usize> =
+            res.outputs.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect();
         assert!(is_dominating_set(&g, &sol));
         assert_eq!(res.rounds, 2);
         // Folklore ratio 3 against the exact tree optimum.

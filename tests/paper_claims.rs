@@ -94,11 +94,7 @@ fn claim_algorithm1_ratio() {
         let out = algorithm1(&g, &ids, Radii::practical(2, 3));
         assert!(is_dominating_set(&g, &out.solution));
         let opt = exact_mds(&g).len();
-        assert!(
-            out.solution.len() <= 50 * opt,
-            "seed={seed}: {} vs 50·{opt}",
-            out.solution.len()
-        );
+        assert!(out.solution.len() <= 50 * opt, "seed={seed}: {} vs 50·{opt}", out.solution.len());
     }
 }
 
@@ -131,10 +127,7 @@ fn claim_lemma42_bounded_residual() {
         diameters.push(max_d);
     }
     // Bounded (no growth with strip length).
-    assert!(
-        diameters.iter().all(|&d| d <= 16),
-        "residual diameters grew: {diameters:?}"
-    );
+    assert!(diameters.iter().all(|&d| d <= 16), "residual diameters grew: {diameters:?}");
 }
 
 /// Footnote 2: a diameter-`D` graph is solved exactly after `D` rounds —

@@ -1,141 +1,175 @@
-//! Property-based tests (proptest) on the core invariants, with random
-//! structured inputs.
+//! Property-style tests on the core invariants, run over a
+//! deterministic corpus of seeded random structured inputs (the
+//! workspace is dependency-free, so no proptest; the corpus plays the
+//! same role with reproducible failures).
 
 use lmds_core::{algorithm1, theorem44_mds, theorem44_mvc, Radii};
+use lmds_gen::rng::SmallRng;
 use lmds_graph::dominating::{exact_mds, is_dominating_set};
 use lmds_graph::vertex_cover::is_vertex_cover;
 use lmds_graph::Graph;
 use lmds_localsim::IdAssignment;
-use proptest::prelude::*;
 
-/// Strategy: a random connected graph from a Prüfer-ish tree plus a few
-/// extra edges (stays sparse; sizes kept small so exact solvers finish).
-fn sparse_connected_graph() -> impl Strategy<Value = Graph> {
-    (4usize..18, any::<u64>(), 0usize..6).prop_map(|(n, seed, extra)| {
-        let mut g = lmds_gen::trees::random_tree(n, seed);
-        let mut s = seed;
-        for _ in 0..extra {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let u = (s >> 16) as usize % n;
-            let v = (s >> 40) as usize % n;
-            if u != v {
-                g.add_edge(u, v);
-            }
+/// A random connected graph: a random tree plus a few extra edges
+/// (stays sparse; sizes kept small so exact solvers finish).
+fn sparse_connected_graph(seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rng.gen_range(4..18);
+    let extra = rng.gen_range(0..6);
+    let mut g = lmds_gen::trees::random_tree(n, seed);
+    for _ in 0..extra {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            g.add_edge(u, v);
         }
-        g
-    })
+    }
+    g
 }
 
-fn tree() -> impl Strategy<Value = Graph> {
-    (2usize..30, any::<u64>()).prop_map(|(n, seed)| lmds_gen::trees::random_tree(n, seed))
+/// The shared corpus of sparse connected graphs with per-case id seeds.
+fn corpus() -> Vec<(u64, Graph)> {
+    (0..48).map(|seed| (seed, sparse_connected_graph(seed))).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn tree_corpus() -> Vec<(u64, Graph)> {
+    (0..32)
+        .map(|seed| {
+            let n = 2 + (seed as usize * 7) % 28;
+            (seed, lmds_gen::trees::random_tree(n, seed))
+        })
+        .collect()
+}
 
-    #[test]
-    fn theorem44_always_dominates(g in sparse_connected_graph(), seed in any::<u64>()) {
+fn outerplanar_corpus() -> Vec<(u64, Graph)> {
+    (0..24)
+        .map(|seed| {
+            let n = 5 + (seed as usize) % 9;
+            (seed, lmds_gen::outerplanar::random_maximal_outerplanar(n, seed))
+        })
+        .collect()
+}
+
+#[test]
+fn theorem44_always_dominates() {
+    for (seed, g) in corpus() {
         let ids = IdAssignment::shuffled(g.n(), seed);
         let sol = theorem44_mds(&g, &ids);
-        prop_assert!(is_dominating_set(&g, &sol));
+        assert!(is_dominating_set(&g, &sol), "seed={seed}");
     }
+}
 
-    #[test]
-    fn theorem44_mvc_always_covers(g in sparse_connected_graph(), seed in any::<u64>()) {
+#[test]
+fn theorem44_mvc_always_covers() {
+    for (seed, g) in corpus() {
         let ids = IdAssignment::shuffled(g.n(), seed);
         let sol = theorem44_mvc(&g, &ids);
-        prop_assert!(is_vertex_cover(&g, &sol));
+        assert!(is_vertex_cover(&g, &sol), "seed={seed}");
     }
+}
 
-    #[test]
-    fn algorithm1_always_dominates(g in sparse_connected_graph(), seed in any::<u64>()) {
+#[test]
+fn algorithm1_always_dominates() {
+    for (seed, g) in corpus() {
         let ids = IdAssignment::shuffled(g.n(), seed);
         let out = algorithm1(&g, &ids, Radii::practical(2, 2));
-        prop_assert!(is_dominating_set(&g, &out.solution));
+        assert!(is_dominating_set(&g, &out.solution), "seed={seed}");
     }
+}
 
-    #[test]
-    fn twin_reduction_preserves_mds(g in sparse_connected_graph()) {
+#[test]
+fn twin_reduction_preserves_mds() {
+    for (seed, g) in corpus() {
         let red = lmds_graph::twins::TwinReduction::compute(&g);
-        prop_assert_eq!(
-            exact_mds(&g).len(),
-            exact_mds(&red.reduced.graph).len()
-        );
+        assert_eq!(exact_mds(&g).len(), exact_mds(&red.reduced.graph).len(), "seed={seed}");
     }
+}
 
-    #[test]
-    fn trees_ratio_bounds_hold(g in tree(), seed in any::<u64>()) {
+#[test]
+fn trees_ratio_bounds_hold() {
+    for (seed, g) in tree_corpus() {
         // Trees are K_{2,2}-minor-free: Theorem 4.4 gives 2t−1 = 3.
         let ids = IdAssignment::shuffled(g.n(), seed);
         let sol = theorem44_mds(&g, &ids);
         let opt = lmds_graph::dominating::tree_mds(&g).unwrap().len().max(1);
-        prop_assert!(sol.len() <= 3 * opt, "|D2| = {} > 3·{}", sol.len(), opt);
+        assert!(sol.len() <= 3 * opt, "seed={seed}: |D2| = {} > 3·{}", sol.len(), opt);
         // MVC variant: ratio ≤ t = 2.
         let cover = theorem44_mvc(&g, &ids);
         let vc_opt = lmds_graph::vertex_cover::exact_vertex_cover(&g).len();
-        prop_assert!(cover.len() <= 2 * vc_opt.max(1));
+        assert!(cover.len() <= 2 * vc_opt.max(1), "seed={seed}");
     }
+}
 
-    #[test]
-    fn exact_mds_is_minimal_and_dominating(g in sparse_connected_graph()) {
+#[test]
+fn exact_mds_is_minimal_and_dominating() {
+    for (seed, g) in corpus() {
         let sol = exact_mds(&g);
-        prop_assert!(is_dominating_set(&g, &sol));
+        assert!(is_dominating_set(&g, &sol), "seed={seed}");
         // No single vertex can be dropped.
         for i in 0..sol.len() {
             let mut smaller = sol.clone();
             smaller.remove(i);
-            prop_assert!(!is_dominating_set(&g, &smaller));
+            assert!(!is_dominating_set(&g, &smaller), "seed={seed}");
         }
         // Ore's bound (Lemma 5.16) when there are no isolated vertices.
         if lmds_graph::properties::min_degree(&g) >= 1 {
-            prop_assert!(2 * sol.len() <= g.n());
+            assert!(2 * sol.len() <= g.n(), "seed={seed}");
         }
     }
+}
 
-    #[test]
-    fn local_cuts_at_full_radius_match_global(g in sparse_connected_graph()) {
+#[test]
+fn local_cuts_at_full_radius_match_global() {
+    for (seed, g) in corpus() {
         let r = g.n() as u32;
         let local = lmds_core::local_cuts::local_one_cut_vertices(&g, r);
         let global = lmds_graph::articulation::articulation_points(&g);
-        prop_assert_eq!(local, global);
+        assert_eq!(local, global, "seed={seed}");
     }
+}
 
-    #[test]
-    fn oracle_views_match_message_passing(g in sparse_connected_graph(), seed in any::<u64>()) {
-        // The core simulator invariant, on random graphs.
-        use lmds_localsim::runtime::oracle_view;
-        use lmds_localsim::LocalView;
+#[test]
+fn oracle_views_match_message_passing() {
+    // The core simulator invariant, on random graphs.
+    use lmds_localsim::runtime::oracle_view;
+    use lmds_localsim::LocalView;
+    for (seed, g) in corpus().into_iter().step_by(3) {
         let ids = IdAssignment::shuffled(g.n(), seed);
         let n = g.n();
-        let mut views: Vec<LocalView> =
-            (0..n).map(|v| LocalView::initial(ids.id_of(v))).collect();
+        let mut views: Vec<LocalView> = (0..n).map(|v| LocalView::initial(ids.id_of(v))).collect();
         for k in 1..=3u32 {
             let snapshot = views.clone();
-            for v in 0..n {
+            for (v, view) in views.iter_mut().enumerate() {
                 for &u in g.neighbors(v) {
-                    views[v].learn_edge(ids.id_of(v), ids.id_of(u));
+                    view.learn_edge(ids.id_of(v), ids.id_of(u));
                     let s = snapshot[u].clone();
-                    views[v].merge(&s);
+                    view.merge(&s);
                 }
-                views[v].advance_round();
+                view.advance_round();
             }
-            for v in 0..n {
-                prop_assert_eq!(&views[v], &oracle_view(&g, &ids, v, k));
+            for (v, view) in views.iter().enumerate() {
+                assert_eq!(view, &oracle_view(&g, &ids, v, k), "seed={seed} v={v} k={k}");
             }
         }
     }
+}
 
-    #[test]
-    fn two_packing_lower_bounds_exact(g in sparse_connected_graph()) {
+#[test]
+fn two_packing_lower_bounds_exact() {
+    for (seed, g) in corpus() {
         let packing = lmds_graph::dominating::two_packing(&g);
-        prop_assert!(packing.len() <= exact_mds(&g).len());
+        assert!(packing.len() <= exact_mds(&g).len(), "seed={seed}");
     }
+}
 
-    #[test]
-    fn asdim_layered_cover_is_valid_on_trees(g in tree(), r in 1u32..4) {
-        let cover = lmds_asdim::layered_cover(&g, r);
-        // Valid cover with O(r) weak diameter on trees.
-        prop_assert!(lmds_asdim::verify_cover(&g, &cover, r, 6 * r).is_ok());
+#[test]
+fn asdim_layered_cover_is_valid_on_trees() {
+    for (seed, g) in tree_corpus() {
+        for r in 1u32..4 {
+            let cover = lmds_asdim::layered_cover(&g, r);
+            // Valid cover with O(r) weak diameter on trees.
+            assert!(lmds_asdim::verify_cover(&g, &cover, r, 6 * r).is_ok(), "seed={seed} r={r}");
+        }
     }
 }
 
@@ -143,83 +177,82 @@ proptest! {
 // Structure-theory invariants (SPQR, treewidth, minors, cut forests).
 // ---------------------------------------------------------------------
 
-fn biconnected_outerplanar() -> impl Strategy<Value = Graph> {
-    (5usize..14, any::<u64>())
-        .prop_map(|(n, seed)| lmds_gen::outerplanar::random_maximal_outerplanar(n, seed))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn spqr_displays_every_minimal_two_cut(g in biconnected_outerplanar()) {
-        // Proposition 5.7 on random maximal outerplanar graphs.
+#[test]
+fn spqr_displays_every_minimal_two_cut() {
+    // Proposition 5.7 on random maximal outerplanar graphs.
+    for (seed, g) in outerplanar_corpus() {
         let tree = lmds_graph::spqr::SpqrTree::compute(&g);
         let mut displayed = tree.displayed_pairs();
         displayed.extend(tree.s_node_nonadjacent_pairs());
         displayed.sort_unstable();
         displayed.dedup();
         for cut in lmds_graph::two_cuts::minimal_two_cuts(&g) {
-            prop_assert!(displayed.contains(&cut), "cut {cut:?} missing");
+            assert!(displayed.contains(&cut), "seed={seed}: cut {cut:?} missing");
         }
     }
+}
 
-    #[test]
-    fn min_fill_decomposition_is_always_valid(g in sparse_connected_graph()) {
+#[test]
+fn min_fill_decomposition_is_always_valid() {
+    for (seed, g) in corpus() {
         let td = lmds_graph::treewidth::min_fill_decomposition(&g);
-        prop_assert!(td.validate(&g).is_ok());
+        assert!(td.validate(&g).is_ok(), "seed={seed}");
         // Outerplanar-ish sparse graphs stay narrow.
-        prop_assert!(td.width() < g.n().max(1));
+        assert!(td.width() < g.n().max(1), "seed={seed}");
     }
+}
 
-    #[test]
-    fn treewidth_dp_matches_branch_and_bound(g in sparse_connected_graph()) {
+#[test]
+fn treewidth_dp_matches_branch_and_bound() {
+    for (seed, g) in corpus() {
         if let Some(dp) = lmds_graph::treewidth::treewidth_mds_size(&g, 8) {
-            prop_assert_eq!(dp, exact_mds(&g).len());
+            assert_eq!(dp, exact_mds(&g).len(), "seed={seed}");
         }
     }
+}
 
-    #[test]
-    fn minor_number_is_subgraph_monotone(g in sparse_connected_graph()) {
+#[test]
+fn minor_number_is_subgraph_monotone() {
+    for (seed, g) in corpus().into_iter().step_by(2) {
         // Removing an edge cannot create a larger K_{2,t} minor.
         let full = lmds_graph::minor::max_k2_minor(&g, 30_000_000);
         if !full.is_exact() {
-            return Ok(()); // budget; skip rare heavy cases
+            continue; // budget; skip rare heavy cases
         }
         let mut h = g.clone();
         if let Some((u, v)) = g.edges().next() {
             h.remove_edge(u, v);
             let sub = lmds_graph::minor::max_k2_minor(&h, 30_000_000);
             if sub.is_exact() {
-                prop_assert!(sub.value() <= full.value());
+                assert!(sub.value() <= full.value(), "seed={seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn interesting_cut_families_are_legal(g in biconnected_outerplanar()) {
+#[test]
+fn interesting_cut_families_are_legal() {
+    for (seed, g) in outerplanar_corpus() {
         let forest = lmds_core::forest::interesting_cut_families(&g);
         let report = lmds_core::forest::verify_families(&g, &forest, g.n() as u32);
-        prop_assert!(report.families_used <= 3);
-        prop_assert!(report.noncrossing);
-        prop_assert!(report.displayed <= report.interesting);
+        assert!(report.families_used <= 3, "seed={seed}");
+        assert!(report.noncrossing, "seed={seed}");
+        assert!(report.displayed <= report.interesting, "seed={seed}");
     }
+}
 
-    #[test]
-    fn mvc_distributed_matches_centralized(g in sparse_connected_graph(), seed in any::<u64>()) {
-        use lmds_core::distributed::MvcAlgorithm1Decider;
-        use lmds_localsim::run_oracle;
-        let radii = Radii::practical(2, 2);
+#[test]
+fn mvc_distributed_matches_centralized() {
+    use lmds_core::distributed::MvcAlgorithm1Decider;
+    use lmds_localsim::run_oracle;
+    let radii = Radii::practical(2, 2);
+    for (seed, g) in corpus().into_iter().step_by(2) {
         let ids = IdAssignment::shuffled(g.n(), seed);
         let decider = MvcAlgorithm1Decider { radii };
         let res = run_oracle(&g, &ids, &decider, (2 * g.n() + 40) as u32).unwrap();
-        let dist: Vec<usize> = res
-            .outputs
-            .iter()
-            .enumerate()
-            .filter_map(|(v, &b)| b.then_some(v))
-            .collect();
+        let dist: Vec<usize> =
+            res.outputs.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect();
         let central = lmds_core::mvc::algorithm1_mvc(&g, &ids, radii);
-        prop_assert_eq!(dist, central.solution);
+        assert_eq!(dist, central.solution, "seed={seed}");
     }
 }
