@@ -67,6 +67,12 @@ impl BatchRunner {
 
     /// Runs every job against every instance. Errors are per-record
     /// (an unknown key or unsupported mode fails that cell only).
+    ///
+    /// Each worker thread owns a pooled `lmds_graph::Scratch` (the
+    /// thread-local pool behind every ball/component/domination query),
+    /// pre-sized here to the largest instance of the batch — so the
+    /// solver loop reuses one set of traversal buffers per worker
+    /// instead of allocating per call.
     pub fn run(
         &self,
         registry: &SolverRegistry,
@@ -74,25 +80,29 @@ impl BatchRunner {
         instances: &[Instance],
     ) -> Vec<BatchRecord> {
         let total = jobs.len() * instances.len();
+        let max_n = instances.iter().map(Instance::n).max().unwrap_or(0);
         let slots: Mutex<Vec<Option<BatchRecord>>> = Mutex::new((0..total).map(|_| None).collect());
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(total.max(1)) {
-                scope.spawn(|| loop {
-                    let cell = next.fetch_add(1, Ordering::Relaxed);
-                    if cell >= total {
-                        break;
+                scope.spawn(|| {
+                    lmds_graph::scratch::with_thread_scratch(|s| s.reserve(max_n));
+                    loop {
+                        let cell = next.fetch_add(1, Ordering::Relaxed);
+                        if cell >= total {
+                            break;
+                        }
+                        let (j, i) = (cell / instances.len(), cell % instances.len());
+                        let job = &jobs[j];
+                        let inst = &instances[i];
+                        let result = registry.solve(&job.solver, inst, &job.config);
+                        let record = BatchRecord {
+                            instance: inst.name.clone(),
+                            solver: job.solver.clone(),
+                            result,
+                        };
+                        slots.lock().expect("batch mutex")[cell] = Some(record);
                     }
-                    let (j, i) = (cell / instances.len(), cell % instances.len());
-                    let job = &jobs[j];
-                    let inst = &instances[i];
-                    let result = registry.solve(&job.solver, inst, &job.config);
-                    let record = BatchRecord {
-                        instance: inst.name.clone(),
-                        solver: job.solver.clone(),
-                        result,
-                    };
-                    slots.lock().expect("batch mutex")[cell] = Some(record);
                 });
             }
         });

@@ -3,12 +3,17 @@
 //! registry solver on representative workloads via the uniform
 //! `Solver::solve` path and prints a markdown table.
 //!
+//! `--kernel` switches to the graph-kernel benches (ball queries, twin
+//! reduction, full registry sweep) used to track the CSR/scratch
+//! substrate; their before/after numbers are recorded in
+//! `results/kernel_speedup.md`.
+//!
 //! Usage:
 //! ```text
-//! microbench [--iters <n>]
+//! microbench [--iters <n>] [--kernel]
 //! ```
 
-use lmds_api::{ExecutionMode, Instance, SolveConfig, SolverRegistry};
+use lmds_api::{BatchJob, BatchRunner, ExecutionMode, Instance, SolveConfig, SolverRegistry};
 use lmds_bench::{render_markdown, Table};
 use lmds_core::Radii;
 use std::time::Instant;
@@ -35,9 +40,126 @@ fn time_case(
     (best, total / iters as f64, size)
 }
 
+/// Times `f` for `iters` repetitions; returns (best µs, mean µs).
+fn time_fn(iters: u32, mut f: impl FnMut() -> usize) -> (f64, f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut total = 0f64;
+    let mut checksum = 0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        checksum = f();
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        best = best.min(us);
+        total += us;
+    }
+    (best, total / iters as f64, checksum)
+}
+
+/// A graph of `k` disjoint triangles (3k vertices): every triangle is a
+/// true-twin class, stressing the grouping step of the twin reduction.
+fn triangles(k: usize) -> lmds_graph::Graph {
+    let mut edges = Vec::with_capacity(3 * k);
+    for t in 0..k {
+        let b = 3 * t;
+        edges.push((b, b + 1));
+        edges.push((b + 1, b + 2));
+        edges.push((b, b + 2));
+    }
+    lmds_graph::Graph::from_edges(3 * k, &edges)
+}
+
+/// The graph-kernel benches: ball queries (`N^r[v]`), twin reduction,
+/// and a full registry sweep through the `BatchRunner`. These are the
+/// substrate hot paths behind Lemmas 3.2/3.3, Lemma 4.2, and Theorem
+/// 4.4; their before/after numbers live in `results/kernel_speedup.md`.
+fn kernel_benches(iters: u32) -> Table {
+    let mut t = Table::new(
+        &format!("microbench --kernel — graph-kernel hot paths, {iters} iterations (µs)"),
+        &["bench", "workload", "n", "checksum", "best (µs)", "mean (µs)"],
+    );
+    let tree = lmds_gen::trees::random_tree(20_000, 1);
+    for r in [2u32, 4] {
+        let (best, mean, sum) = time_fn(iters, || {
+            let mut acc = 0usize;
+            let mut v = 0;
+            while v < tree.n() {
+                acc += lmds_graph::bfs::ball(&tree, v, r).len();
+                v += 10;
+            }
+            acc
+        });
+        t.push_row(vec![
+            format!("ball r={r} (2000 queries)"),
+            "random_tree(20000)".into(),
+            tree.n().to_string(),
+            sum.to_string(),
+            format!("{best:.1}"),
+            format!("{mean:.1}"),
+        ]);
+    }
+    let tri = triangles(3000);
+    let (best, mean, sum) =
+        time_fn(iters, || lmds_graph::twins::TwinReduction::compute(&tri).reduced.graph.n());
+    t.push_row(vec![
+        "twin reduction".into(),
+        "3000 triangles".into(),
+        tri.n().to_string(),
+        sum.to_string(),
+        format!("{best:.1}"),
+        format!("{mean:.1}"),
+    ]);
+    let cat = lmds_gen::basic::caterpillar(4000, 2);
+    let (best, mean, sum) = time_fn(iters, || lmds_graph::twins::twin_classes(&cat).len());
+    t.push_row(vec![
+        "twin classes".into(),
+        "caterpillar(4000,2)".into(),
+        cat.n().to_string(),
+        sum.to_string(),
+        format!("{best:.1}"),
+        format!("{mean:.1}"),
+    ]);
+    // Full registry sweep through the batch engine (S0-style corpus).
+    let registry = SolverRegistry::with_defaults();
+    let instances = vec![
+        Instance::shuffled("path60", lmds_gen::basic::path(60), 1),
+        Instance::shuffled("tree80", lmds_gen::trees::random_tree(80, 2), 2),
+        Instance::shuffled(
+            "outerplanar40",
+            lmds_gen::outerplanar::random_maximal_outerplanar(40, 3),
+            3,
+        ),
+    ];
+    let jobs: Vec<BatchJob> = registry
+        .keys()
+        .into_iter()
+        .map(|key| {
+            let solver = registry.get(key).expect("registered");
+            BatchJob::new(key, SolveConfig::new(solver.problem()).radii(Radii::practical(2, 2)))
+        })
+        .collect();
+    let sweep_iters = iters.min(5);
+    let (best, mean, sum) = time_fn(sweep_iters, || {
+        BatchRunner::with_threads(4)
+            .run(&registry, &jobs, &instances)
+            .iter()
+            .map(|r| r.result.as_ref().expect("sweep solve").size())
+            .sum()
+    });
+    t.push_row(vec![
+        format!("registry sweep ({} solvers × 3, {sweep_iters} it)", registry.len()),
+        "batch corpus".into(),
+        "60/80/40".into(),
+        sum.to_string(),
+        format!("{best:.1}"),
+        format!("{mean:.1}"),
+    ]);
+    t
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iters = 10u32;
+    let mut kernel = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -46,17 +168,23 @@ fn main() {
                 iters =
                     args.get(i).and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(
                         || {
-                            eprintln!("usage: microbench [--iters <n>]  (n ≥ 1)");
+                            eprintln!("usage: microbench [--iters <n>] [--kernel]  (n ≥ 1)");
                             std::process::exit(2);
                         },
                     );
             }
+            "--kernel" => kernel = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+
+    if kernel {
+        print!("{}", render_markdown(&kernel_benches(iters)));
+        return;
     }
 
     let registry = SolverRegistry::with_defaults();

@@ -13,8 +13,39 @@
 //! document. Experiments resolve algorithms exclusively through the
 //! `lmds-api` registry; the `registry` experiment is the batch sweep of
 //! every registered solver.
+//!
+//! Every CSV is stamped with a `#`-comment provenance header
+//! (experiment key, seed policy, `git describe` of the generating
+//! tree), so the committed `results/` artifacts carry their origin.
+//! The JSON document stays header-free (it is byte-compared by the
+//! golden-file test).
 
 use lmds_bench::{render_csv, render_json, render_markdown, Table, EXPERIMENTS};
+
+/// `git describe --always --dirty` of the generating tree, or
+/// "unknown" outside a git checkout.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// The provenance comment block stamped at the top of every CSV.
+fn provenance_header(experiment: &str, git: &str) -> String {
+    format!(
+        "# experiment: {experiment}\n\
+         # seeds: fixed deterministic seeds (see crates/bench/src/experiments.rs)\n\
+         # git: {git}\n\
+         # generated-by: reproduce v{}\n",
+        env!("CARGO_PKG_VERSION")
+    )
+}
 
 fn usage() -> ! {
     eprintln!(
@@ -81,10 +112,12 @@ fn main() {
         .collect();
 
     let _ = std::fs::create_dir_all(&csv_dir);
+    let git = git_describe();
     for (name, table) in &tables {
         print!("{}", render_markdown(table));
         let path = format!("{csv_dir}/{name}.csv");
-        if let Err(e) = std::fs::write(&path, render_csv(table)) {
+        let content = format!("{}{}", provenance_header(name, &git), render_csv(table));
+        if let Err(e) = std::fs::write(&path, content) {
             eprintln!("warning: could not write {path}: {e}");
         }
     }

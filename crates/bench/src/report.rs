@@ -83,13 +83,27 @@ pub fn render_json(tables: &[(String, Table)]) -> String {
     format!("{}\n", json_array(entries))
 }
 
-/// Renders a table as CSV (header row first).
+/// RFC-4180 field quoting: wrap in double quotes (doubling any inner
+/// quote) when the cell contains a comma, quote, or newline.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn csv_row(cells: &[String]) -> String {
+    cells.iter().map(|c| csv_field(c)).collect::<Vec<_>>().join(",")
+}
+
+/// Renders a table as CSV (header row first, RFC-4180 quoting).
 pub fn render_csv(t: &Table) -> String {
     let mut out = String::new();
-    out.push_str(&t.headers.join(","));
+    out.push_str(&csv_row(&t.headers));
     out.push('\n');
     for row in &t.rows {
-        out.push_str(&row.join(","));
+        out.push_str(&csv_row(row));
         out.push('\n');
     }
     out
@@ -109,6 +123,13 @@ mod tests {
         assert!(md.contains("| 1 | 2 |"));
         let csv = render_csv(&t);
         assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_separators() {
+        let mut t = Table::new("q", &["class", "x"]);
+        t.push_row(vec!["K1,5-minor-free".into(), "say \"hi\"".into()]);
+        assert_eq!(render_csv(&t), "class,x\n\"K1,5-minor-free\",\"say \"\"hi\"\"\"\n");
     }
 
     #[test]

@@ -185,16 +185,17 @@ pub fn solve_component_with(
     order.sort_by_key(|&v| ids[state.reduced.to_host(v)]);
     let index_of: std::collections::HashMap<Vertex, usize> =
         order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-    let mut local = Graph::new(order.len());
+    let mut local_edges = Vec::new();
     for (li, &v) in order.iter().enumerate() {
         for &w in rg.neighbors(v) {
             if let Some(&lj) = index_of.get(&w) {
                 if li < lj {
-                    local.add_edge(li, lj);
+                    local_edges.push((li, lj));
                 }
             }
         }
     }
+    let local = Graph::from_edges(order.len(), &local_edges);
     let targets_local: Vec<Vertex> = targets_r.iter().map(|v| index_of[v]).collect();
     let sol_local = if exact {
         exact_b_dominating(&local, &targets_local, None)

@@ -396,7 +396,7 @@ impl Decider for MvcAlgorithm1Decider {
         comp.sort_by_key(|&v| vids[v]);
         let index_of: std::collections::HashMap<usize, usize> =
             comp.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-        let mut local = lmds_graph::Graph::new(comp.len());
+        let mut local_edges = Vec::new();
         for (li, &v) in comp.iter().enumerate() {
             for &w in vg.neighbors(v) {
                 if in_s[v] || in_s[w] {
@@ -404,11 +404,12 @@ impl Decider for MvcAlgorithm1Decider {
                 }
                 if let Some(&lj) = index_of.get(&w) {
                     if li < lj {
-                        local.add_edge(li, lj);
+                        local_edges.push((li, lj));
                     }
                 }
             }
         }
+        let local = lmds_graph::Graph::from_edges(comp.len(), &local_edges);
         let sol = lmds_graph::vertex_cover::exact_vertex_cover(&local);
         let my_local = index_of[&center];
         Some(sol.binary_search(&my_local).is_ok())

@@ -57,12 +57,11 @@ pub fn algorithm1_mvc(g: &Graph, ids: &IdAssignment, radii: Radii) -> MvcOutput 
         let sub = lmds_graph::InducedSubgraph::new(g, &residual_verts);
         // Edges within the residual set with an S endpoint are already
         // covered; drop them.
-        let mut h = Graph::new(sub.graph.n());
-        for (a, b) in sub.graph.edges() {
-            if !in_s[sub.to_host(a)] && !in_s[sub.to_host(b)] {
-                h.add_edge(a, b);
-            }
-        }
+        let h = Graph::try_from_edges(
+            sub.graph.n(),
+            sub.graph.edges().filter(|&(a, b)| !in_s[sub.to_host(a)] && !in_s[sub.to_host(b)]),
+        )
+        .expect("residual edges come from a valid graph");
         for comp in lmds_graph::connectivity::connected_components(&h) {
             if comp.len() < 2 && h.degree(comp[0]) == 0 {
                 continue;
@@ -72,16 +71,17 @@ pub fn algorithm1_mvc(g: &Graph, ids: &IdAssignment, radii: Radii) -> MvcOutput 
             order.sort_by_key(|&v| ids.id_of(sub.to_host(v)));
             let index_of: std::collections::HashMap<Vertex, usize> =
                 order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-            let mut local = Graph::new(order.len());
+            let mut local_edges = Vec::new();
             for (li, &v) in order.iter().enumerate() {
                 for &w in h.neighbors(v) {
                     if let Some(&lj) = index_of.get(&w) {
                         if li < lj {
-                            local.add_edge(li, lj);
+                            local_edges.push((li, lj));
                         }
                     }
                 }
             }
+            let local = Graph::from_edges(order.len(), &local_edges);
             let sol = exact_vertex_cover(&local);
             brute.extend(sol.into_iter().map(|li| sub.to_host(order[li])));
             residual_components.push(comp.iter().map(|&v| sub.to_host(v)).collect::<Vec<_>>());

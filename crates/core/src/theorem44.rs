@@ -27,10 +27,10 @@ use lmds_localsim::IdAssignment;
 /// `N[v] ⊆ N[u]` (then `γ(v) ≤ 1` and `v ∉ D₂`).
 ///
 /// Any such `u` is necessarily a neighbor of `v` (it must dominate `v`
-/// itself).
+/// itself), so this is a walk over `v`'s CSR neighbor slice with the
+/// allocation-free subset test per candidate.
 pub fn neighborhood_absorbed(rg: &Graph, v: Vertex) -> bool {
-    let nv = rg.closed_neighborhood(v);
-    rg.neighbors(v).iter().any(|&u| nv.iter().all(|&w| w == u || rg.has_edge(u, w)))
+    rg.neighbors(v).iter().any(|&u| rg.closed_neighborhood_subset(v, u))
 }
 
 /// `D₂` of a (twin-free) graph: vertices not absorbed by any neighbor.

@@ -16,18 +16,18 @@ use lmds_graph::Graph;
 /// Panics if `n < 3`.
 pub fn clique_with_pendants(n: usize) -> Graph {
     assert!(n >= 3, "needs a clique of size ≥ 3");
-    let mut g = Graph::new(n + (n - 1));
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2 + 2 * (n - 1));
     for u in 0..n {
         for v in (u + 1)..n {
-            g.add_edge(u, v);
+            edges.push((u, v));
         }
     }
     for v in 1..n {
         let x = n + v - 1;
-        g.add_edge(0, x);
-        g.add_edge(v, x);
+        edges.push((0, x));
+        edges.push((v, x));
     }
-    g
+    Graph::from_edges(n + (n - 1), &edges)
 }
 
 /// `C_6` — the paper's example (§5.3) showing that interesting 2-cuts
@@ -49,15 +49,15 @@ pub fn long_cycle(n: usize) -> Graph {
 /// territory: `K_{2,t}` with each petal subdivided once.
 pub fn subdivided_k2t(t: usize) -> Graph {
     // hubs 0, 1; petal i has two vertices 2+2i (adj hub 0), 3+2i (adj hub 1).
-    let mut g = Graph::new(2 + 2 * t);
+    let mut edges = Vec::with_capacity(3 * t);
     for i in 0..t {
         let a = 2 + 2 * i;
         let b = 3 + 2 * i;
-        g.add_edge(0, a);
-        g.add_edge(a, b);
-        g.add_edge(b, 1);
+        edges.push((0, a));
+        edges.push((a, b));
+        edges.push((b, 1));
     }
-    g
+    Graph::from_edges(2 + 2 * t, &edges)
 }
 
 #[cfg(test)]

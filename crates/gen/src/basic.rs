@@ -65,43 +65,43 @@ pub fn caterpillar(spine: usize, legs_per_vertex: usize) -> Graph {
 
 /// The complete graph `K_n`.
 pub fn complete(n: usize) -> Graph {
-    let mut g = Graph::new(n);
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1) / 2);
     for u in 0..n {
         for v in (u + 1)..n {
-            g.add_edge(u, v);
+            edges.push((u, v));
         }
     }
-    g
+    Graph::from_edges(n, &edges)
 }
 
 /// The `w × h` grid (vertex `(x, y)` is `y*w + x`). A negative control:
 /// large grids contain large `K_{2,t}` minors.
 pub fn grid(w: usize, h: usize) -> Graph {
-    let mut g = Graph::new(w * h);
+    let mut edges = Vec::new();
     for y in 0..h {
         for x in 0..w {
             let v = y * w + x;
             if x + 1 < w {
-                g.add_edge(v, v + 1);
+                edges.push((v, v + 1));
             }
             if y + 1 < h {
-                g.add_edge(v, v + w);
+                edges.push((v, v + w));
             }
         }
     }
-    g
+    Graph::from_edges(w * h, &edges)
 }
 
 /// The complete bipartite graph `K_{s,t}`: side A = `0..s`,
 /// side B = `s..s+t`.
 pub fn complete_bipartite(s: usize, t: usize) -> Graph {
-    let mut g = Graph::new(s + t);
+    let mut edges = Vec::with_capacity(s * t);
     for a in 0..s {
         for b in 0..t {
-            g.add_edge(a, s + b);
+            edges.push((a, s + b));
         }
     }
-    g
+    Graph::from_edges(s + t, &edges)
 }
 
 #[cfg(test)]

@@ -109,21 +109,24 @@ impl AugmentationSpec {
 pub fn augmentation(spec: &AugmentationSpec) -> Graph {
     let mut rng = SmallRng::seed_from_u64(spec.seed);
     let n0 = spec.base_n.max(2);
-    let mut g = Graph::new(n0);
-    // Random base.
+    // Random base, bulk-built; connectivity of the base-so-far is
+    // tracked with a union–find (spanning-path repair edges included).
+    let mut edges = Vec::new();
+    let mut uf = lmds_graph::connectivity::UnionFind::new(n0);
     for u in 0..n0 {
         for v in (u + 1)..n0 {
             if rng.gen_range(0..100) < spec.base_density_percent as usize {
-                g.add_edge(u, v);
+                edges.push((u, v));
+                uf.union(u, v);
             }
         }
     }
-    // Ensure base connectivity with a spanning path.
     for v in 1..n0 {
-        if !g.has_edge(v - 1, v) && lmds_graph::bfs::distance(&g, v - 1, v).is_none() {
-            g.add_edge(v - 1, v);
+        if uf.union(v - 1, v) {
+            edges.push((v - 1, v));
         }
     }
+    let mut g = Graph::from_edges(n0, &edges);
     // Attach fans: identify the center and one path endpoint with two
     // distinct base vertices (a legal identification per §5.4 since fan
     // corners include the center).

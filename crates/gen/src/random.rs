@@ -3,52 +3,66 @@
 use crate::rng::SmallRng;
 use lmds_graph::Graph;
 
-/// Erdős–Rényi `G(n, p)` with `p` in percent. A negative control (dense
-/// instances contain large `K_{2,t}` minors).
-pub fn gnp(n: usize, p_percent: u32, seed: u64) -> Graph {
+/// The `G(n, p)` edge sample shared by [`gnp`] and [`connected_gnp`].
+fn gnp_edges(n: usize, p_percent: u32, seed: u64) -> Vec<(usize, usize)> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut g = Graph::new(n);
+    let mut edges = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {
             if rng.gen_range(0..100) < p_percent as usize {
-                g.add_edge(u, v);
+                edges.push((u, v));
             }
         }
     }
-    g
+    edges
+}
+
+/// Erdős–Rényi `G(n, p)` with `p` in percent. A negative control (dense
+/// instances contain large `K_{2,t}` minors).
+pub fn gnp(n: usize, p_percent: u32, seed: u64) -> Graph {
+    Graph::from_edges(n, &gnp_edges(n, p_percent, seed))
 }
 
 /// A connected `G(n, p)`-style graph: `gnp` plus a spanning path over
-/// the components.
+/// the components. Connectivity of the graph-so-far is tracked with a
+/// union–find, so the result is bulk-built in one pass.
 pub fn connected_gnp(n: usize, p_percent: u32, seed: u64) -> Graph {
-    let mut g = gnp(n, p_percent, seed);
+    let mut edges = gnp_edges(n, p_percent, seed);
+    let mut uf = lmds_graph::connectivity::UnionFind::new(n);
+    for &(u, v) in &edges {
+        uf.union(u, v);
+    }
     for v in 1..n {
-        if lmds_graph::bfs::distance(&g, v - 1, v).is_none() {
-            g.add_edge(v - 1, v);
+        if uf.union(v - 1, v) {
+            edges.push((v - 1, v));
         }
     }
-    g
+    Graph::from_edges(n, &edges)
 }
 
 /// A random graph with maximum degree ≤ `max_deg`: sample random pairs,
 /// insert when both endpoints have slack. The workload for the folklore
 /// `K_{1,t}` row of Table 1 (whose 0-round `t`-approximation only uses
-/// `Δ ≤ t − 1`).
+/// `Δ ≤ t − 1`). Degrees are tracked aside so the graph bulk-builds.
 pub fn random_bounded_degree(n: usize, max_deg: usize, seed: u64) -> Graph {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut g = Graph::new(n);
     if n < 2 {
-        return g;
+        return Graph::new(n);
     }
+    let mut deg = vec![0usize; n];
+    let mut present = std::collections::HashSet::new();
+    let mut edges = Vec::new();
     let attempts = 4 * n * max_deg.max(1);
     for _ in 0..attempts {
         let u = rng.gen_range(0..n);
         let v = rng.gen_range(0..n);
-        if u != v && g.degree(u) < max_deg && g.degree(v) < max_deg {
-            g.add_edge(u, v);
+        if u != v && deg[u] < max_deg && deg[v] < max_deg && present.insert((u.min(v), u.max(v))) {
+            deg[u] += 1;
+            deg[v] += 1;
+            edges.push((u, v));
         }
     }
-    g
+    Graph::from_edges(n, &edges)
 }
 
 /// A random `d`-regular-ish graph that is exactly regular when the
@@ -65,22 +79,23 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
             let j = rng.gen_range(0..=i);
             stubs.swap(i, j);
         }
-        let mut g = Graph::new(n);
+        let mut present = std::collections::HashSet::new();
+        let mut edges = Vec::with_capacity(stubs.len() / 2);
         for pair in stubs.chunks(2) {
             if pair.len() < 2 {
                 break;
             }
             let (u, v) = (pair[0], pair[1]);
-            if u == v || g.has_edge(u, v) {
+            if u == v || !present.insert((u.min(v), u.max(v))) {
                 if attempt < 63 {
                     continue 'retry;
                 } else {
                     continue; // accept near-regular on final attempt
                 }
             }
-            g.add_edge(u, v);
+            edges.push((u, v));
         }
-        return g;
+        return Graph::from_edges(n, &edges);
     }
     unreachable!("loop always returns");
 }

@@ -5,8 +5,16 @@
 //! is exactly a function of `G[N^r[v]]` (plus identifiers), so every
 //! "local" notion (local cuts, locally-`C` classes, …) is phrased in terms
 //! of [`ball`] / [`ball_of_set`].
+//!
+//! The ball queries come in two forms: convenience wrappers ([`ball`],
+//! [`ball_of_set`], [`distance`]) that draw a [`Scratch`] from the
+//! thread-local pool, and explicit `_into` variants that thread a caller
+//! scratch and output buffer for fully allocation-free loops. Work is
+//! O(|ball|), not O(n): the scratch's epoch marks replace the
+//! `vec![None; n]` distance array a fresh-buffer BFS would need.
 
 use crate::graph::{Graph, Vertex};
+use crate::scratch::{with_thread_scratch, Scratch};
 use std::collections::VecDeque;
 
 /// BFS distances from `src`; `None` for unreachable vertices.
@@ -54,24 +62,32 @@ pub fn multi_source_distances(g: &Graph, sources: &[Vertex]) -> Vec<Option<u32>>
 }
 
 /// The distance between `u` and `v`, or `None` if disconnected.
+/// Early-exit BFS through the thread-pooled [`Scratch`].
 pub fn distance(g: &Graph, u: Vertex, v: Vertex) -> Option<u32> {
+    with_thread_scratch(|s| distance_with(g, s, u, v))
+}
+
+/// [`distance`] through an explicit [`Scratch`].
+pub fn distance_with(g: &Graph, scratch: &mut Scratch, u: Vertex, v: Vertex) -> Option<u32> {
     if u == v {
         return Some(0);
     }
-    // Early-exit BFS.
-    let mut dist = vec![None; g.n()];
-    dist[u] = Some(0);
-    let mut q = VecDeque::new();
-    q.push_back(u);
-    while let Some(x) = q.pop_front() {
-        let dx = dist[x].unwrap();
+    scratch.begin(g.n());
+    scratch.visit(u);
+    scratch.dist[u] = 0;
+    scratch.queue.push(u);
+    let mut head = 0;
+    while head < scratch.queue.len() {
+        let x = scratch.queue[head];
+        head += 1;
+        let dx = scratch.dist[x];
         for &y in g.neighbors(x) {
-            if dist[y].is_none() {
+            if scratch.visit(y) {
                 if y == v {
                     return Some(dx + 1);
                 }
-                dist[y] = Some(dx + 1);
-                q.push_back(y);
+                scratch.dist[y] = dx + 1;
+                scratch.queue.push(y);
             }
         }
     }
@@ -79,40 +95,83 @@ pub fn distance(g: &Graph, u: Vertex, v: Vertex) -> Option<u32> {
 }
 
 /// The ball `N^r[v]`: all vertices at distance at most `r` from `v`,
-/// sorted ascending.
+/// sorted ascending. Runs through the thread-pooled [`Scratch`] in
+/// O(|ball|) work.
 pub fn ball(g: &Graph, v: Vertex, r: u32) -> Vec<Vertex> {
-    ball_of_set(g, &[v], r)
+    with_thread_scratch(|s| {
+        let mut out = Vec::new();
+        ball_of_set_into(g, s, &[v], r, &mut out);
+        out
+    })
 }
 
 /// The ball `N^r[S]` around a set `S`, sorted ascending.
 ///
 /// `r = 0` returns `S` itself (deduplicated, sorted).
 pub fn ball_of_set(g: &Graph, set: &[Vertex], r: u32) -> Vec<Vertex> {
-    let mut dist: Vec<Option<u32>> = vec![None; g.n()];
-    let mut q = VecDeque::new();
+    with_thread_scratch(|s| {
+        let mut out = Vec::new();
+        ball_of_set_into(g, s, set, r, &mut out);
+        out
+    })
+}
+
+/// [`ball`] through an explicit [`Scratch`].
+pub fn ball_with(g: &Graph, scratch: &mut Scratch, v: Vertex, r: u32) -> Vec<Vertex> {
     let mut out = Vec::new();
+    ball_of_set_into(g, scratch, &[v], r, &mut out);
+    out
+}
+
+/// The fully reusable ball query: clears `out`, then fills it with
+/// `N^r[set]` sorted ascending, using `scratch` for the visited epochs,
+/// queue, and distances. The workhorse of [`ball`] / [`ball_of_set`] and
+/// of allocation-free caller loops.
+pub fn ball_of_set_into(
+    g: &Graph,
+    scratch: &mut Scratch,
+    set: &[Vertex],
+    r: u32,
+    out: &mut Vec<Vertex>,
+) {
+    out.clear();
+    scratch.begin(g.n());
     for &s in set {
-        if dist[s].is_none() {
-            dist[s] = Some(0);
-            q.push_back(s);
+        if scratch.visit(s) {
+            scratch.dist[s] = 0;
+            scratch.queue.push(s);
             out.push(s);
         }
     }
-    while let Some(u) = q.pop_front() {
-        let du = dist[u].unwrap();
+    let mut head = 0;
+    while head < scratch.queue.len() {
+        let u = scratch.queue[head];
+        head += 1;
+        let du = scratch.dist[u];
         if du == r {
             continue;
         }
         for &v in g.neighbors(u) {
-            if dist[v].is_none() {
-                dist[v] = Some(du + 1);
+            if scratch.visit(v) {
+                scratch.dist[v] = du + 1;
                 out.push(v);
-                q.push_back(v);
+                scratch.queue.push(v);
             }
         }
     }
     out.sort_unstable();
-    out
+}
+
+/// The ball `N^r[v]` with distances: `(u, d(v, u))` pairs sorted by
+/// vertex. One traversal serves both the "outer" and "inner" radius of a
+/// LOCAL view (the simulator's hot path). Scratch distances stay valid
+/// for the whole epoch, so this is [`ball_of_set_into`] plus a lookup.
+pub fn ball_with_distances(g: &Graph, v: Vertex, r: u32) -> Vec<(Vertex, u32)> {
+    with_thread_scratch(|scratch| {
+        let mut verts = Vec::new();
+        ball_of_set_into(g, scratch, &[v], r, &mut verts);
+        verts.into_iter().map(|u| (u, scratch.dist[u])).collect()
+    })
 }
 
 /// Eccentricity of `v` within its connected component.
@@ -268,5 +327,55 @@ mod tests {
         let g = path(6);
         let d = multi_source_distances(&g, &[0, 5]);
         assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(2), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn ball_with_distances_matches_ball_and_bfs() {
+        let g = cycle(9);
+        for v in [0usize, 4] {
+            for r in [0u32, 1, 2, 5] {
+                let wd = ball_with_distances(&g, v, r);
+                let verts: Vec<Vertex> = wd.iter().map(|&(u, _)| u).collect();
+                assert_eq!(verts, ball(&g, v, r), "v={v} r={r}");
+                let full = bfs_distances(&g, v);
+                for &(u, d) in &wd {
+                    assert_eq!(Some(d), full[u], "v={v} r={r} u={u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_scratch_across_different_graphs_matches_fresh_buffers() {
+        // The satellite contract: two consecutive BFS queries on
+        // *different* graphs through one scratch must equal fresh-buffer
+        // runs (no stale marks, no stale distances, no size confusion).
+        let big = cycle(12);
+        let small = path(5);
+        let mut s = Scratch::new();
+        let mut out = Vec::new();
+        ball_of_set_into(&big, &mut s, &[0], 3, &mut out);
+        assert_eq!(out, ball(&big, 0, 3));
+        ball_of_set_into(&small, &mut s, &[4], 2, &mut out);
+        assert_eq!(out, vec![2, 3, 4]);
+        ball_of_set_into(&big, &mut s, &[6, 7], 1, &mut out);
+        assert_eq!(out, vec![5, 6, 7, 8]);
+        assert_eq!(distance_with(&small, &mut s, 0, 4), Some(4));
+        assert_eq!(distance_with(&big, &mut s, 0, 6), Some(6));
+        assert_eq!(distance_with(&Graph::from_edges(4, &[(0, 1), (2, 3)]), &mut s, 0, 3), None);
+    }
+
+    #[test]
+    fn stale_visited_marks_are_caught_by_epochs() {
+        // Run a query that visits everything, then a small-radius query
+        // around a previously-visited vertex: with a stale-visited bug
+        // the second ball would come back empty or partial.
+        let g = cycle(8);
+        let mut s = Scratch::new();
+        let mut out = Vec::new();
+        ball_of_set_into(&g, &mut s, &[0], 100, &mut out);
+        assert_eq!(out.len(), 8);
+        ball_of_set_into(&g, &mut s, &[4], 1, &mut out);
+        assert_eq!(out, vec![3, 4, 5]);
     }
 }

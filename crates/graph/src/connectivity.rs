@@ -1,6 +1,12 @@
 //! Connected components and a union–find structure.
+//!
+//! The residual-component scan ([`components_avoiding`]) sits on the
+//! Algorithm 1 hot path (Lemma 4.2's bounded-diameter pieces are its
+//! output), so it comes with a [`Scratch`]-threaded variant that reuses
+//! visited epochs and the BFS queue across calls.
 
 use crate::graph::{Graph, Vertex};
+use crate::scratch::{with_thread_scratch, Scratch};
 use std::collections::VecDeque;
 
 /// Assigns each vertex a component id in `0..k` (ids ordered by smallest
@@ -52,26 +58,37 @@ pub fn is_connected(g: &Graph) -> bool {
 
 /// Components of `G − removed` as sorted vertex lists (vertices of the
 /// original graph), ordered by smallest vertex. `removed` is a boolean
-/// mask of length `n`.
+/// mask of length `n`. Runs through the thread-pooled [`Scratch`].
 pub fn components_avoiding(g: &Graph, removed: &[bool]) -> Vec<Vec<Vertex>> {
+    with_thread_scratch(|s| components_avoiding_with(g, s, removed))
+}
+
+/// [`components_avoiding`] through an explicit [`Scratch`] (visited
+/// epochs + queue reuse; no per-call `n`-sized allocation).
+pub fn components_avoiding_with(
+    g: &Graph,
+    scratch: &mut Scratch,
+    removed: &[bool],
+) -> Vec<Vec<Vertex>> {
     debug_assert_eq!(removed.len(), g.n());
-    let mut ids = vec![usize::MAX; g.n()];
+    scratch.begin(g.n());
     let mut comps: Vec<Vec<Vertex>> = Vec::new();
     for s in g.vertices() {
-        if removed[s] || ids[s] != usize::MAX {
+        if removed[s] || scratch.visited(s) {
             continue;
         }
-        let k = comps.len();
-        ids[s] = k;
+        scratch.visit(s);
         let mut comp = vec![s];
-        let mut q = VecDeque::new();
-        q.push_back(s);
-        while let Some(u) = q.pop_front() {
+        let head0 = scratch.queue.len();
+        scratch.queue.push(s);
+        let mut head = head0;
+        while head < scratch.queue.len() {
+            let u = scratch.queue[head];
+            head += 1;
             for &v in g.neighbors(u) {
-                if !removed[v] && ids[v] == usize::MAX {
-                    ids[v] = k;
+                if !removed[v] && scratch.visit(v) {
                     comp.push(v);
-                    q.push_back(v);
+                    scratch.queue.push(v);
                 }
             }
         }

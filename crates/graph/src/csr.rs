@@ -1,0 +1,234 @@
+//! The compressed-sparse-row (CSR) adjacency store backing [`Graph`].
+//!
+//! # Layout
+//!
+//! Two flat arrays describe the whole graph:
+//!
+//! * `offsets` — `n + 1` cumulative counts; the neighbors of vertex `v`
+//!   occupy `neighbors[offsets[v] .. offsets[v + 1]]`.
+//! * `neighbors` — all adjacency rows back to back, each row sorted
+//!   ascending with no duplicates; every undirected edge `{u, v}`
+//!   appears twice (as an arc in `u`'s row and in `v`'s row).
+//!
+//! Degree is `offsets[v + 1] - offsets[v]` (O(1)); neighbor iteration
+//! is a contiguous slice walk (one cache line per ~8 neighbors instead
+//! of a pointer chase per vertex); membership is a binary search on the
+//! row.
+//!
+//! # Construction vs. mutation
+//!
+//! [`Csr::from_arcs`] bulk-builds in O(n + m) via counting sort and is
+//! the path every [`crate::GraphBuilder::build`] /
+//! [`Graph::from_edges`](crate::Graph::from_edges) call takes. The
+//! mutating operations ([`Csr::insert_arc`], [`Csr::remove_arc`]) splice
+//! the flat arrays and cost O(n + m) *per call* — fine for the small
+//! incremental edits the workspace performs (tests, generator repair
+//! steps), wrong for building a large graph edge by edge. Build in bulk.
+//!
+//! [`Graph`]: crate::Graph
+
+use crate::graph::Vertex;
+
+/// Flat sorted-adjacency storage: see the [module docs](self) for the
+/// layout and the construction-vs-mutation contract.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `n + 1` cumulative row offsets into `neighbors`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency rows (each edge appears as two
+    /// arcs).
+    neighbors: Vec<Vertex>,
+}
+
+impl Csr {
+    /// An edgeless store over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Csr { offsets: vec![0; n + 1], neighbors: Vec::new() }
+    }
+
+    /// Bulk-builds from an arc list in O(n + m): counting sort into
+    /// rows, per-row sort, then in-place dedup/compaction. `arcs` holds
+    /// each undirected edge once (as either orientation); endpoints must
+    /// be `< n` and non-equal (validated by the caller). Returns the
+    /// store and the number of distinct edges.
+    pub fn from_arcs(n: usize, arcs: &[(Vertex, Vertex)]) -> (Self, usize) {
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, v) in arcs {
+            offsets[u + 1] += 1;
+            offsets[v + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut neighbors = vec![0 as Vertex; 2 * arcs.len()];
+        let mut cursor = offsets.clone();
+        for &(u, v) in arcs {
+            neighbors[cursor[u]] = v;
+            cursor[u] += 1;
+            neighbors[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        // Sort each row, then compact duplicates in place. The write
+        // cursor never overtakes the read cursor, so one pass suffices.
+        let mut write = 0usize;
+        let mut row_start = 0usize;
+        for v in 0..n {
+            let row_end = offsets[v + 1];
+            neighbors[row_start..row_end].sort_unstable();
+            let new_start = write;
+            let mut prev: Option<Vertex> = None;
+            for read in row_start..row_end {
+                let x = neighbors[read];
+                if prev != Some(x) {
+                    neighbors[write] = x;
+                    write += 1;
+                    prev = Some(x);
+                }
+            }
+            row_start = row_end;
+            offsets[v] = new_start;
+        }
+        offsets[n] = write;
+        // offsets[v] now holds row starts; shift into the cumulative
+        // convention (offsets[v] = start of row v, offsets[n] = total).
+        neighbors.truncate(write);
+        debug_assert!(write.is_multiple_of(2), "every edge contributes two arcs");
+        (Csr { offsets, neighbors }, write / 2)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored arcs (`2m`).
+    #[inline]
+    pub fn arcs(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Degree of `v` in O(1).
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The sorted neighbor row of `v` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, v: Vertex) -> &[Vertex] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the arc `u → v` is present (row binary search).
+    #[inline]
+    pub fn has_arc(&self, u: Vertex, v: Vertex) -> bool {
+        self.row(u).binary_search(&v).is_ok()
+    }
+
+    /// Appends an isolated vertex, returning its index.
+    pub fn push_vertex(&mut self) -> Vertex {
+        let last = *self.offsets.last().expect("offsets nonempty");
+        self.offsets.push(last);
+        self.offsets.len() - 2
+    }
+
+    /// Splices the arc `u → v` into `u`'s row. Returns `false` if
+    /// already present. O(n + m); see the module docs.
+    pub fn insert_arc(&mut self, u: Vertex, v: Vertex) -> bool {
+        match self.row(u).binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.neighbors.insert(self.offsets[u] + pos, v);
+                for o in &mut self.offsets[u + 1..] {
+                    *o += 1;
+                }
+                true
+            }
+        }
+    }
+
+    /// Splices the arc `u → v` out of `u`'s row. Returns `false` if
+    /// absent. O(n + m).
+    pub fn remove_arc(&mut self, u: Vertex, v: Vertex) -> bool {
+        match self.row(u).binary_search(&v) {
+            Err(_) => false,
+            Ok(pos) => {
+                self.neighbors.remove(self.offsets[u] + pos);
+                for o in &mut self.offsets[u + 1..] {
+                    *o -= 1;
+                }
+                true
+            }
+        }
+    }
+
+    /// Appends `other`'s rows with every vertex shifted by `offset`
+    /// (the disjoint-union primitive). `offset` must equal `self.n()`.
+    pub fn append_shifted(&mut self, other: &Csr, offset: usize) {
+        debug_assert_eq!(offset, self.n());
+        let base = self.neighbors.len();
+        self.neighbors.extend(other.neighbors.iter().map(|&u| u + offset));
+        self.offsets.extend(other.offsets[1..].iter().map(|&o| o + base));
+    }
+}
+
+impl std::fmt::Debug for Csr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Csr(n={}, arcs={})", self.n(), self.arcs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_build_sorts_and_dedups() {
+        let (csr, m) = Csr::from_arcs(4, &[(2, 0), (0, 2), (2, 1), (3, 2)]);
+        assert_eq!(m, 3);
+        assert_eq!(csr.row(2), &[0, 1, 3]);
+        assert_eq!(csr.row(0), &[2]);
+        assert_eq!(csr.row(1), &[2]);
+        assert_eq!(csr.row(3), &[2]);
+        assert_eq!(csr.arcs(), 6);
+        assert_eq!(csr.degree(2), 3);
+    }
+
+    #[test]
+    fn empty_rows_between_occupied_ones() {
+        let (csr, m) = Csr::from_arcs(5, &[(0, 4)]);
+        assert_eq!(m, 1);
+        for v in 1..4 {
+            assert!(csr.row(v).is_empty());
+            assert_eq!(csr.degree(v), 0);
+        }
+        assert_eq!(csr.row(0), &[4]);
+        assert_eq!(csr.row(4), &[0]);
+    }
+
+    #[test]
+    fn splice_insert_and_remove() {
+        let (mut csr, _) = Csr::from_arcs(3, &[(0, 1)]);
+        assert!(csr.insert_arc(1, 2));
+        assert!(csr.insert_arc(2, 1));
+        assert!(!csr.insert_arc(1, 2));
+        assert_eq!(csr.row(1), &[0, 2]);
+        assert!(csr.remove_arc(1, 0));
+        assert!(!csr.remove_arc(1, 0));
+        assert_eq!(csr.row(1), &[2]);
+    }
+
+    #[test]
+    fn push_vertex_and_append() {
+        let (mut a, _) = Csr::from_arcs(2, &[(0, 1)]);
+        assert_eq!(a.push_vertex(), 2);
+        assert_eq!(a.n(), 3);
+        assert!(a.row(2).is_empty());
+        let (b, _) = Csr::from_arcs(2, &[(0, 1)]);
+        a.append_shifted(&b, 3);
+        assert_eq!(a.n(), 5);
+        assert_eq!(a.row(3), &[4]);
+        assert_eq!(a.row(4), &[3]);
+    }
+}

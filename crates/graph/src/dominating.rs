@@ -7,35 +7,51 @@
 //! approximation ratio in the experiment harness.
 
 use crate::graph::{Graph, Vertex};
+use crate::scratch::{with_thread_scratch, Scratch};
 
 /// Whether `set` dominates every vertex of `g`.
 pub fn is_dominating_set(g: &Graph, set: &[Vertex]) -> bool {
-    dominates(g, set, &g.vertices().collect::<Vec<_>>())
+    with_thread_scratch(|s| {
+        mark_dominated(g, s, set);
+        g.vertices().all(|v| s.visited(v))
+    })
 }
 
 /// Whether `set` dominates every vertex of `targets` (i.e. `set` is
 /// `B`-dominating for `B = targets`).
 pub fn dominates(g: &Graph, set: &[Vertex], targets: &[Vertex]) -> bool {
-    let mut dominated = vec![false; g.n()];
+    with_thread_scratch(|s| dominates_with(g, s, set, targets))
+}
+
+/// [`dominates`] through an explicit [`Scratch`] (epoch marks instead of
+/// a fresh `n`-sized boolean array per call).
+pub fn dominates_with(
+    g: &Graph,
+    scratch: &mut Scratch,
+    set: &[Vertex],
+    targets: &[Vertex],
+) -> bool {
+    mark_dominated(g, scratch, set);
+    targets.iter().all(|&t| scratch.visited(t))
+}
+
+/// Opens a scratch epoch and marks `N[set]` visited.
+fn mark_dominated(g: &Graph, scratch: &mut Scratch, set: &[Vertex]) {
+    scratch.begin(g.n());
     for &s in set {
-        dominated[s] = true;
+        scratch.visit(s);
         for &u in g.neighbors(s) {
-            dominated[u] = true;
+            scratch.visit(u);
         }
     }
-    targets.iter().all(|&t| dominated[t])
 }
 
 /// The set of vertices dominated by `set` (sorted).
 pub fn dominated_by(g: &Graph, set: &[Vertex]) -> Vec<Vertex> {
-    let mut dominated = vec![false; g.n()];
-    for &s in set {
-        dominated[s] = true;
-        for &u in g.neighbors(s) {
-            dominated[u] = true;
-        }
-    }
-    (0..g.n()).filter(|&v| dominated[v]).collect()
+    with_thread_scratch(|scratch| {
+        mark_dominated(g, scratch, set);
+        (0..g.n()).filter(|&v| scratch.visited(v)).collect()
+    })
 }
 
 /// Greedy dominating set: repeatedly pick the vertex covering the most
@@ -353,18 +369,22 @@ pub fn cycle_mds_size(n: usize) -> usize {
 /// Its size is a lower bound on `MDS(G)` (closed neighborhoods of a
 /// 2-packing are disjoint, and each needs its own dominator).
 pub fn two_packing(g: &Graph) -> Vec<Vertex> {
-    let mut blocked = vec![false; g.n()];
-    let mut packing = Vec::new();
-    for v in g.vertices() {
-        if blocked[v] {
-            continue;
+    with_thread_scratch(|scratch| {
+        let mut blocked = vec![false; g.n()];
+        let mut packing = Vec::new();
+        let mut ball_buf = Vec::new();
+        for v in g.vertices() {
+            if blocked[v] {
+                continue;
+            }
+            packing.push(v);
+            crate::bfs::ball_of_set_into(g, scratch, &[v], 2, &mut ball_buf);
+            for &u in &ball_buf {
+                blocked[u] = true;
+            }
         }
-        packing.push(v);
-        for u in crate::bfs::ball(g, v, 2) {
-            blocked[u] = true;
-        }
-    }
-    packing
+        packing
+    })
 }
 
 /// A lower bound on `MDS(G)`: the max of the 2-packing size and

@@ -1,5 +1,6 @@
 //! The core undirected simple graph type.
 
+use crate::csr::Csr;
 use crate::errors::GraphError;
 
 /// Index of a vertex in a [`Graph`].
@@ -9,12 +10,21 @@ use crate::errors::GraphError;
 /// `lmds-localsim` crate.
 pub type Vertex = usize;
 
-/// An undirected simple graph with sorted adjacency lists.
+/// An undirected simple graph with sorted adjacency, stored as
+/// compressed sparse rows ([`Csr`]).
 ///
 /// Invariants maintained by all constructors and mutators:
 /// * no self-loops, no parallel edges;
-/// * every adjacency list is sorted ascending (so `has_edge` is a binary
+/// * every adjacency row is sorted ascending (so `has_edge` is a binary
 ///   search and iteration order is deterministic).
+///
+/// The sorted-adjacency API ([`Graph::neighbors`], [`Graph::degree`],
+/// [`Graph::has_edge`], …) is a set of thin views over the CSR arrays:
+/// `neighbors` returns a contiguous slice of the flat neighbor array and
+/// `degree` is an offset subtraction. Build graphs in bulk
+/// ([`Graph::from_edges`], [`GraphBuilder::build`]) — incremental
+/// [`Graph::add_edge`] splices the flat arrays and costs O(n + m) per
+/// call (see the [`csr`](crate::csr) module docs).
 ///
 /// # Example
 ///
@@ -29,14 +39,14 @@ pub type Vertex = usize;
 /// ```
 #[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
-    adj: Vec<Vec<Vertex>>,
+    csr: Csr,
     m: usize,
 }
 
 impl Graph {
     /// Creates a graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        Graph { adj: vec![Vec::new(); n], m: 0 }
+        Graph { csr: Csr::new(n), m: 0 }
     }
 
     /// Creates a graph with `n` vertices and the given edges.
@@ -51,7 +61,9 @@ impl Graph {
         Self::try_from_edges(n, edges.iter().copied()).expect("invalid edge list")
     }
 
-    /// Fallible variant of [`Graph::from_edges`].
+    /// Fallible variant of [`Graph::from_edges`]. Validates every edge,
+    /// then bulk-builds the CSR store in O(n + m) (duplicate edges are
+    /// ignored).
     ///
     /// # Errors
     ///
@@ -61,16 +73,36 @@ impl Graph {
     where
         I: IntoIterator<Item = (Vertex, Vertex)>,
     {
-        let mut g = Graph::new(n);
-        for (u, v) in edges {
-            g.try_add_edge(u, v)?;
+        let iter = edges.into_iter();
+        let mut arcs = Vec::with_capacity(iter.size_hint().0);
+        for (u, v) in iter {
+            if u == v {
+                return Err(GraphError::SelfLoop { vertex: u });
+            }
+            if u >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: u, n });
+            }
+            if v >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: v, n });
+            }
+            arcs.push((u, v));
         }
-        Ok(g)
+        let (csr, m) = Csr::from_arcs(n, &arcs);
+        Ok(Graph { csr, m })
+    }
+
+    /// Bulk-builds from arcs already known to be valid (in-range, no
+    /// self-loops) — the internal fast path for derived graphs whose
+    /// edges come from an existing `Graph`.
+    pub(crate) fn from_arcs_unchecked(n: usize, arcs: &[(Vertex, Vertex)]) -> Self {
+        debug_assert!(arcs.iter().all(|&(u, v)| u != v && u < n && v < n));
+        let (csr, m) = Csr::from_arcs(n, arcs);
+        Graph { csr, m }
     }
 
     /// Number of vertices.
     pub fn n(&self) -> usize {
-        self.adj.len()
+        self.csr.n()
     }
 
     /// Number of edges.
@@ -80,17 +112,24 @@ impl Graph {
 
     /// Returns `true` if the graph has no vertices.
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.n() == 0
+    }
+
+    /// Read access to the CSR backing store (flat offsets/neighbors).
+    pub fn csr(&self) -> &Csr {
+        &self.csr
     }
 
     /// Adds a new isolated vertex and returns its index.
     pub fn add_vertex(&mut self) -> Vertex {
-        self.adj.push(Vec::new());
-        self.adj.len() - 1
+        self.csr.push_vertex()
     }
 
     /// Adds the undirected edge `{u, v}`. Returns `true` if the edge was
     /// new, `false` if it already existed.
+    ///
+    /// O(n + m) per call — the CSR rows are spliced in place. Prefer the
+    /// bulk constructors for anything bigger than incremental repairs.
     ///
     /// # Panics
     ///
@@ -116,27 +155,23 @@ impl Graph {
         if v >= n {
             return Err(GraphError::VertexOutOfRange { vertex: v, n });
         }
-        match self.adj[u].binary_search(&v) {
-            Ok(_) => Ok(false),
-            Err(pos_u) => {
-                self.adj[u].insert(pos_u, v);
-                let pos_v = self.adj[v].binary_search(&u).unwrap_err();
-                self.adj[v].insert(pos_v, u);
-                self.m += 1;
-                Ok(true)
-            }
+        if self.csr.insert_arc(u, v) {
+            self.csr.insert_arc(v, u);
+            self.m += 1;
+            Ok(true)
+        } else {
+            Ok(false)
         }
     }
 
     /// Removes the edge `{u, v}` if present. Returns `true` if removed.
+    /// O(n + m) per call (row splice).
     pub fn remove_edge(&mut self, u: Vertex, v: Vertex) -> bool {
         if u >= self.n() || v >= self.n() || u == v {
             return false;
         }
-        if let Ok(pos) = self.adj[u].binary_search(&v) {
-            self.adj[u].remove(pos);
-            let pos_v = self.adj[v].binary_search(&u).unwrap();
-            self.adj[v].remove(pos_v);
+        if self.csr.remove_arc(u, v) {
+            self.csr.remove_arc(v, u);
             self.m -= 1;
             true
         } else {
@@ -144,45 +179,68 @@ impl Graph {
         }
     }
 
-    /// The degree of `v`.
+    /// The degree of `v`, in O(1) (CSR offset subtraction).
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     pub fn degree(&self, v: Vertex) -> usize {
-        self.adj[v].len()
+        self.csr.degree(v)
     }
 
-    /// The (sorted) open neighborhood of `v`.
+    /// The (sorted) open neighborhood of `v`, as a contiguous slice of
+    /// the CSR neighbor array.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
-        &self.adj[v]
+        self.csr.row(v)
     }
 
     /// The closed neighborhood `N[v]` as a sorted vector.
     pub fn closed_neighborhood(&self, v: Vertex) -> Vec<Vertex> {
-        let mut out = Vec::with_capacity(self.degree(v) + 1);
-        let mut inserted = false;
-        for &u in &self.adj[v] {
-            if !inserted && u > v {
-                out.push(v);
-                inserted = true;
-            }
-            out.push(u);
-        }
-        if !inserted {
-            out.push(v);
-        }
+        let row = self.csr.row(v);
+        let mut out = Vec::with_capacity(row.len() + 1);
+        let split = row.partition_point(|&u| u < v);
+        out.extend_from_slice(&row[..split]);
+        out.push(v);
+        out.extend_from_slice(&row[split..]);
         out
+    }
+
+    /// Whether `N[v] ⊆ N[u]` (closed neighborhoods), without
+    /// allocating: a sorted two-pointer walk over the CSR rows with `v`
+    /// and `u` merged in virtually. This is the `γ(v) ≤ 1` test behind
+    /// the paper's `D₂` set (Theorem 4.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn closed_neighborhood_subset(&self, v: Vertex, u: Vertex) -> bool {
+        // Every x ∈ N[v] must satisfy x == u or x ∈ N(u).
+        let row_u = self.csr.row(u);
+        let mut iu = 0usize;
+        let mut check = |x: Vertex| -> bool {
+            if x == u {
+                return true;
+            }
+            while iu < row_u.len() && row_u[iu] < x {
+                iu += 1;
+            }
+            iu < row_u.len() && row_u[iu] == x
+        };
+        let row_v = self.csr.row(v);
+        let split = row_v.partition_point(|&x| x < v);
+        row_v[..split].iter().all(|&x| check(x))
+            && check(v)
+            && row_v[split..].iter().all(|&x| check(x))
     }
 
     /// Whether the edge `{u, v}` exists. Out-of-range arguments yield
     /// `false`.
     pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
-        u < self.n() && v < self.n() && self.adj[u].binary_search(&v).is_ok()
+        u < self.n() && v < self.n() && self.csr.has_arc(u, v)
     }
 
     /// Iterator over all vertices `0..n`.
@@ -193,10 +251,9 @@ impl Graph {
     /// Iterator over all edges as `(u, v)` with `u < v`, in lexicographic
     /// order.
     pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
-        self.adj
-            .iter()
-            .enumerate()
-            .flat_map(|(u, nb)| nb.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+        self.vertices().flat_map(move |u| {
+            self.csr.row(u).iter().filter(move |&&v| u < v).map(move |&v| (u, v))
+        })
     }
 
     /// Returns `true` if `u` and `v` are *true twins*, i.e.
@@ -209,8 +266,8 @@ impl Graph {
         if self.degree(u) != self.degree(v) {
             return false;
         }
-        let mut iu = self.adj[u].iter().filter(|&&x| x != v);
-        let mut iv = self.adj[v].iter().filter(|&&x| x != u);
+        let mut iu = self.csr.row(u).iter().filter(|&&x| x != v);
+        let mut iv = self.csr.row(v).iter().filter(|&&x| x != u);
         loop {
             match (iu.next(), iv.next()) {
                 (None, None) => return true,
@@ -224,16 +281,14 @@ impl Graph {
     /// `other` are shifted by `self.n()`. Returns the shift offset.
     pub fn disjoint_union(&mut self, other: &Graph) -> usize {
         let offset = self.n();
-        for v in other.vertices() {
-            self.adj.push(other.adj[v].iter().map(|&u| u + offset).collect());
-        }
+        self.csr.append_shifted(&other.csr, offset);
         self.m += other.m;
         offset
     }
 
     /// Degree sequence, sorted descending.
     pub fn degree_sequence(&self) -> Vec<usize> {
-        let mut d: Vec<usize> = self.adj.iter().map(Vec::len).collect();
+        let mut d: Vec<usize> = self.vertices().map(|v| self.degree(v)).collect();
         d.sort_unstable_by(|a, b| b.cmp(a));
         d
     }
@@ -409,6 +464,33 @@ mod tests {
         let p = Graph::from_edges(3, &[(0, 1), (1, 2)]);
         assert!(!p.are_true_twins(0, 2));
         assert!(!p.are_true_twins(0, 1));
+    }
+
+    #[test]
+    fn closed_subset_matches_definition() {
+        // Star: every leaf's N[·] is inside the center's, not vice versa.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        for leaf in 1..4 {
+            assert!(g.closed_neighborhood_subset(leaf, 0));
+            assert!(!g.closed_neighborhood_subset(0, leaf));
+        }
+        // Path: interior endpoints are incomparable; N[v] ⊆ N[v] always.
+        let p = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(g.closed_neighborhood_subset(2, 2));
+        assert!(p.closed_neighborhood_subset(0, 1));
+        assert!(!p.closed_neighborhood_subset(1, 0));
+        assert!(!p.closed_neighborhood_subset(1, 2));
+        // Cross-check against the allocating definition on a few graphs.
+        for g in [&g, &p, &Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])] {
+            for v in g.vertices() {
+                for u in g.vertices() {
+                    let nv = g.closed_neighborhood(v);
+                    let nu = g.closed_neighborhood(u);
+                    let expect = nv.iter().all(|x| nu.binary_search(x).is_ok());
+                    assert_eq!(g.closed_neighborhood_subset(v, u), expect, "{v} ⊆ {u}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -34,7 +34,8 @@ pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| GraphError::Parse { line: lno + 1, content: header.to_string() })?;
     let _m: Option<usize> = it.next().and_then(|s| s.parse().ok());
-    let mut g = Graph::new(n);
+    // Collect all edges first, then bulk-build the CSR store once.
+    let mut edges = Vec::new();
     for (lno, line) in lines {
         let mut it = line.split_whitespace();
         let parse = |s: Option<&str>| -> Result<Vertex, GraphError> {
@@ -43,9 +44,9 @@ pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;
-        g.try_add_edge(u, v)?;
+        edges.push((u, v));
     }
-    Ok(g)
+    Graph::try_from_edges(n, edges)
 }
 
 /// Graphviz DOT export; `highlight` vertices are filled (e.g. a computed

@@ -7,7 +7,16 @@
 //! every centralized primitive the paper's LOCAL algorithms and their
 //! analysis need:
 //!
-//! * a compact undirected [`Graph`] with sorted adjacency lists,
+//! * a compact undirected [`Graph`] backed by a compressed-sparse-row
+//!   store ([`csr`]): flat `offsets`/`neighbors` arrays, O(1) degree,
+//!   slice-based neighbor iteration; the sorted-adjacency API is a set
+//!   of thin views over those arrays (build in bulk — see the [`csr`]
+//!   module docs for the construction-vs-mutation contract),
+//! * reusable traversal workspaces ([`scratch`]): visited epochs, BFS
+//!   queue, and distance buffers shared across queries via explicit
+//!   `_with`/`_into` variants or the thread-local pool, making ball
+//!   queries O(|ball|) instead of O(n) (see [`scratch`] for the reuse
+//!   contract),
 //! * traversal and metric queries ([`bfs`]: balls `N^r[v]`, distances,
 //!   diameter, radius, weak diameter),
 //! * the connectivity stack ([`connectivity`], [`articulation`],
@@ -33,12 +42,14 @@ pub mod articulation;
 pub mod bfs;
 pub mod block_cut;
 pub mod connectivity;
+pub mod csr;
 pub mod dominating;
 pub mod errors;
 pub mod graph;
 pub mod io;
 pub mod minor;
 pub mod properties;
+pub mod scratch;
 pub mod spqr;
 pub mod subgraph;
 pub mod treewidth;
@@ -46,8 +57,10 @@ pub mod twins;
 pub mod two_cuts;
 pub mod vertex_cover;
 
+pub use csr::Csr;
 pub use errors::GraphError;
 pub use graph::{Graph, GraphBuilder, Vertex};
+pub use scratch::Scratch;
 pub use subgraph::InducedSubgraph;
 
 /// A set of vertices represented as a sorted, deduplicated vector.

@@ -1,0 +1,205 @@
+//! Reusable traversal workspaces: visited epochs, BFS queue, distance
+//! array.
+//!
+//! Every hot query of this crate (balls `N^r[v]`, component scans,
+//! domination checks, twin grouping) needs a per-vertex "visited" flag
+//! and a work queue. Allocating and zeroing those per call costs O(n)
+//! even when the answer touches a handful of vertices; a [`Scratch`]
+//! amortizes them across calls.
+//!
+//! # Reuse contract
+//!
+//! * A `Scratch` is a plain bag of buffers — it holds **no graph
+//!   state**. The same scratch may serve graphs of different sizes
+//!   back to back; each traversal begins with [`Scratch::begin`], which
+//!   grows the buffers to the current graph and opens a fresh *epoch*.
+//! * "Visited" is `mark[v] == epoch`, so stale marks from previous
+//!   traversals (same graph or not) are dead the moment the epoch
+//!   advances — no clearing pass. On the (astronomically rare) epoch
+//!   wraparound the mark array is zeroed once and the epoch restarts.
+//! * `dist[v]` is only meaningful where `mark[v]` equals the current
+//!   epoch. Never read it for an unvisited vertex.
+//! * A scratch is **not** reentrant: a traversal must not start a second
+//!   traversal on the same scratch mid-flight. The thread-local pool
+//!   ([`with_thread_scratch`]) falls back to a fresh scratch when the
+//!   pooled one is already borrowed, so nested library calls stay
+//!   correct (the inner call merely loses the reuse win).
+//!
+//! Results are bit-identical with or without reuse; every public query
+//! in this crate is deterministic either way (asserted by the scratch
+//! test-suite).
+
+use crate::graph::Vertex;
+use std::cell::RefCell;
+
+/// A reusable traversal workspace. See the [module docs](self) for the
+/// reuse contract.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// Current epoch; `mark[v] == epoch` means "visited in the current
+    /// traversal".
+    epoch: u32,
+    /// Vertex count of the current traversal's graph (debug bound: the
+    /// buffers may be larger from earlier, bigger graphs, so indexing
+    /// alone cannot catch out-of-range vertices).
+    bound: usize,
+    /// Per-vertex visited epochs.
+    mark: Vec<u32>,
+    /// Per-vertex distances, valid only where `mark[v] == epoch`.
+    pub(crate) dist: Vec<u32>,
+    /// BFS queue storage (head index kept by the traversal).
+    pub(crate) queue: Vec<Vertex>,
+    /// Per-vertex 64-bit keys (twin-grouping hashes).
+    pub(crate) key: Vec<u64>,
+}
+
+impl Scratch {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace pre-sized for graphs of `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut s = Self::default();
+        s.reserve(n);
+        s
+    }
+
+    /// Grows the buffers to cover `n` vertices (never shrinks).
+    pub fn reserve(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+            self.dist.resize(n, 0);
+        }
+    }
+
+    /// Opens a new traversal over a graph of `n` vertices: grows the
+    /// buffers, clears the queue, and advances the epoch (zeroing the
+    /// marks only on `u32` wraparound).
+    pub(crate) fn begin(&mut self, n: usize) {
+        self.reserve(n);
+        self.bound = n;
+        self.queue.clear();
+        if self.epoch == u32::MAX {
+            self.mark.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Marks `v` visited in the current epoch. Returns `true` if it was
+    /// unvisited.
+    ///
+    /// The bound check is a hard assert: the buffers may be larger than
+    /// the current graph (warmed by an earlier, bigger one), so without
+    /// it an out-of-range vertex would silently read a stale mark — the
+    /// pre-scratch code's `vec![false; n]` panicked here in all builds.
+    #[inline]
+    pub(crate) fn visit(&mut self, v: Vertex) -> bool {
+        assert!(v < self.bound, "vertex {v} out of range for graph of n={}", self.bound);
+        if self.mark[v] == self.epoch {
+            false
+        } else {
+            self.mark[v] = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `v` was visited in the current epoch. Bound-checked like
+    /// [`Scratch::visit`].
+    #[inline]
+    pub(crate) fn visited(&self, v: Vertex) -> bool {
+        assert!(v < self.bound, "vertex {v} out of range for graph of n={}", self.bound);
+        self.mark[v] == self.epoch
+    }
+
+    /// Test-only: age the scratch to just before epoch wraparound.
+    #[doc(hidden)]
+    pub fn force_epoch_wraparound_imminent(&mut self) {
+        self.epoch = u32::MAX - 1;
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Runs `f` with this thread's pooled [`Scratch`].
+///
+/// The pool is what makes the allocation-free fast paths the *default*:
+/// the convenience wrappers (`bfs::ball`, `connectivity::components_avoiding`,
+/// `dominating::is_dominating_set`, …) all draw from it, so repeated
+/// queries on one thread — a solver loop, a [`BatchRunner`] worker —
+/// reuse one set of buffers without any API change. If the pooled
+/// scratch is already borrowed (a nested library call), `f` runs on a
+/// fresh temporary scratch instead; results are identical either way.
+///
+/// [`BatchRunner`]: https://docs.rs/lmds-api
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    POOL.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut s) => f(&mut s),
+        Err(_) => f(&mut Scratch::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_invalidate_previous_marks() {
+        let mut s = Scratch::with_capacity(4);
+        s.begin(4);
+        assert!(s.visit(2));
+        assert!(!s.visit(2));
+        assert!(s.visited(2));
+        // A new traversal must NOT see vertex 2 as visited: a stale
+        // "visited" here is exactly the bug the epoch scheme prevents.
+        s.begin(4);
+        assert!(!s.visited(2));
+        assert!(s.visit(2));
+    }
+
+    #[test]
+    fn growing_between_traversals_keeps_fresh_marks() {
+        let mut s = Scratch::new();
+        s.begin(2);
+        s.visit(0);
+        s.visit(1);
+        // Larger graph next: the newly grown region must read unvisited
+        // and the old region must have been invalidated by the epoch.
+        s.begin(5);
+        for v in 0..5 {
+            assert!(!s.visited(v), "vertex {v} leaked a stale mark");
+        }
+    }
+
+    #[test]
+    fn wraparound_resets_marks_once() {
+        let mut s = Scratch::with_capacity(3);
+        s.force_epoch_wraparound_imminent();
+        s.begin(3); // epoch == u32::MAX now
+        s.visit(1);
+        assert!(s.visited(1));
+        s.begin(3); // wraparound: marks zeroed, epoch restarts at 1
+        assert!(!s.visited(1));
+        assert!(s.visit(1));
+        assert!(!s.visit(1));
+    }
+
+    #[test]
+    fn thread_pool_falls_back_when_nested() {
+        // Nested borrow must not panic; the inner closure gets a fresh
+        // scratch.
+        with_thread_scratch(|outer| {
+            outer.begin(3);
+            outer.visit(0);
+            with_thread_scratch(|inner| {
+                inner.begin(3);
+                assert!(!inner.visited(0));
+            });
+            assert!(outer.visited(0));
+        });
+    }
+}

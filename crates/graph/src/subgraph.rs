@@ -2,6 +2,9 @@
 
 use crate::graph::{Graph, Vertex};
 
+/// Sentinel for "host vertex not in the subgraph" in the inverse map.
+const ABSENT: usize = usize::MAX;
+
 /// An induced subgraph `G[S]` together with the mapping between its own
 /// vertex indices (`0..|S|`) and the host graph's vertices.
 ///
@@ -26,8 +29,9 @@ pub struct InducedSubgraph {
     /// (sorted ascending).
     to_host: Vec<Vertex>,
     /// Inverse mapping: `from_host[v]` is the subgraph index of host
-    /// vertex `v`, if present.
-    from_host: Vec<Option<Vertex>>,
+    /// vertex `v`, or `ABSENT` (sentinel, half the footprint of an
+    /// `Option` per entry — this array is sized to the *host* graph).
+    from_host: Vec<usize>,
 }
 
 impl InducedSubgraph {
@@ -39,20 +43,22 @@ impl InducedSubgraph {
     /// Panics if a vertex of `s` is out of range for `g`.
     pub fn new(g: &Graph, s: &[Vertex]) -> Self {
         let verts = crate::canonical_set(s.to_vec());
-        let mut from_host = vec![None; g.n()];
+        let mut from_host = vec![ABSENT; g.n()];
         for (i, &v) in verts.iter().enumerate() {
-            from_host[v] = Some(i);
+            from_host[v] = i;
         }
-        let mut sub = Graph::new(verts.len());
+        // Collect local arcs, then bulk-build the CSR store once —
+        // incremental insertion would splice the flat arrays per edge.
+        let mut arcs = Vec::new();
         for (i, &v) in verts.iter().enumerate() {
             for &u in g.neighbors(v) {
-                if let Some(j) = from_host[u] {
-                    if i < j {
-                        sub.add_edge(i, j);
-                    }
+                let j = from_host[u];
+                if j != ABSENT && i < j {
+                    arcs.push((i, j));
                 }
             }
         }
+        let sub = Graph::from_arcs_unchecked(verts.len(), &arcs);
         InducedSubgraph { graph: sub, to_host: verts, from_host }
     }
 
@@ -67,7 +73,10 @@ impl InducedSubgraph {
 
     /// Subgraph index of host vertex `v`, if `v` is in the subgraph.
     pub fn from_host(&self, v: Vertex) -> Option<Vertex> {
-        self.from_host.get(v).copied().flatten()
+        match self.from_host.get(v) {
+            Some(&i) if i != ABSENT => Some(i),
+            _ => None,
+        }
     }
 
     /// The host vertices of the subgraph, sorted ascending.

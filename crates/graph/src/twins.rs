@@ -11,8 +11,18 @@
 //! `MDS(G⁻) = MDS(G)`, tested here and property-tested downstream.
 
 use crate::graph::{Graph, Vertex};
+use crate::scratch::{with_thread_scratch, Scratch};
 use crate::subgraph::InducedSubgraph;
-use std::collections::HashMap;
+
+/// SplitMix64 finalizer: the per-element mixer of the commutative
+/// neighborhood hash.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
 
 /// The partition of `V(G)` into true-twin classes.
 ///
@@ -20,18 +30,90 @@ use std::collections::HashMap;
 /// classes. Classes are sorted internally and ordered by their minimum
 /// vertex.
 pub fn twin_classes(g: &Graph) -> Vec<Vec<Vertex>> {
-    // Group by closed neighborhood. Two vertices share a closed
-    // neighborhood iff they are true twins (or identical).
-    let mut groups: HashMap<Vec<Vertex>, Vec<Vertex>> = HashMap::new();
-    for v in g.vertices() {
-        groups.entry(g.closed_neighborhood(v)).or_default().push(v);
+    with_thread_scratch(|s| twin_classes_with(g, s))
+}
+
+/// [`twin_classes`] through an explicit [`Scratch`]: the representative
+/// array of [`twin_representatives_with`] expanded into explicit
+/// classes.
+pub fn twin_classes_with(g: &Graph, scratch: &mut Scratch) -> Vec<Vec<Vertex>> {
+    let n = g.n();
+    let rep = twin_representatives_with(g, scratch);
+    // One ascending sweep builds the classes ordered by minimum member
+    // (the scratch queue doubles as the rep → class-index table).
+    scratch.queue.clear();
+    scratch.queue.resize(n, usize::MAX);
+    let mut classes: Vec<Vec<Vertex>> = Vec::new();
+    for (v, &r) in rep.iter().enumerate() {
+        if scratch.queue[r] == usize::MAX {
+            scratch.queue[r] = classes.len();
+            classes.push(Vec::new());
+        }
+        classes[scratch.queue[r]].push(v);
     }
-    let mut classes: Vec<Vec<Vertex>> = groups.into_values().collect();
-    for c in &mut classes {
-        c.sort_unstable();
-    }
-    classes.sort_unstable_by_key(|c| c[0]);
     classes
+}
+
+/// `rep[v]` = the minimum vertex of `v`'s true-twin class (so `v` is a
+/// kept representative iff `rep[v] == v`). This is the allocation-lean
+/// core of the twin reduction.
+pub fn twin_representatives(g: &Graph) -> Vec<Vertex> {
+    with_thread_scratch(|s| twin_representatives_with(g, s))
+}
+
+/// [`twin_representatives`] through an explicit [`Scratch`].
+///
+/// Two vertices share a closed neighborhood iff they are true twins (or
+/// identical), so the grouping hashes `N[v]` straight off the CSR
+/// neighbor slices (a commutative 64-bit sum — no per-vertex key
+/// allocation), sorts vertices by hash, and confirms each collision run
+/// with the exact slice comparison [`Graph::are_true_twins`]. A class is
+/// never split across hash runs, and runs are scanned in ascending
+/// vertex order, so the first member seen of each class is its minimum.
+pub fn twin_representatives_with(g: &Graph, scratch: &mut Scratch) -> Vec<Vertex> {
+    let n = g.n();
+    let mut rep: Vec<Vertex> = (0..n).collect();
+    if n == 0 {
+        return rep;
+    }
+    if scratch.key.len() < n {
+        scratch.key.resize(n, 0);
+    }
+    for v in g.vertices() {
+        let mut h = mix(v as u64);
+        for &u in g.neighbors(v) {
+            h = h.wrapping_add(mix(u as u64));
+        }
+        scratch.key[v] = h;
+    }
+    // The scratch queue doubles as the hash-sorted vertex order.
+    scratch.queue.clear();
+    scratch.queue.extend(0..n);
+    let keys = &scratch.key;
+    scratch.queue.sort_unstable_by_key(|&v| keys[v]);
+    let order = &mut scratch.queue;
+    let mut run_reps: Vec<Vertex> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let run_key = keys[order[i]];
+        let mut j = i;
+        while j < n && keys[order[j]] == run_key {
+            j += 1;
+        }
+        if j - i > 1 {
+            let run = &mut order[i..j];
+            run.sort_unstable();
+            run_reps.clear();
+            for &v in run.iter() {
+                match run_reps.iter().find(|&&r| g.are_true_twins(r, v)) {
+                    Some(&r) => rep[v] = r,
+                    None => run_reps.push(v),
+                }
+            }
+        }
+        i = j;
+    }
+    rep
 }
 
 /// The canonical twin-free reduction of a graph.
@@ -45,18 +127,11 @@ pub struct TwinReduction {
 }
 
 impl TwinReduction {
-    /// Computes the canonical twin-free quotient of `g`.
+    /// Computes the canonical twin-free quotient of `g` straight from
+    /// the representative array (no intermediate class lists).
     pub fn compute(g: &Graph) -> Self {
-        let classes = twin_classes(g);
-        let mut representative = vec![0; g.n()];
-        let mut kept = Vec::with_capacity(classes.len());
-        for class in &classes {
-            let rep = class[0];
-            kept.push(rep);
-            for &v in class {
-                representative[v] = rep;
-            }
-        }
+        let representative = twin_representatives(g);
+        let kept: Vec<Vertex> = g.vertices().filter(|&v| representative[v] == v).collect();
         let reduced = InducedSubgraph::new(g, &kept);
         TwinReduction { reduced, representative }
     }
@@ -73,7 +148,7 @@ impl TwinReduction {
 
 /// Whether `g` contains no pair of true twins.
 pub fn is_twin_free(g: &Graph) -> bool {
-    twin_classes(g).iter().all(|c| c.len() == 1)
+    twin_representatives(g).iter().enumerate().all(|(v, &r)| r == v)
 }
 
 #[cfg(test)]

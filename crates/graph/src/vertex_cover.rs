@@ -6,29 +6,39 @@
 //! here.
 
 use crate::graph::{Graph, Vertex};
+use crate::scratch::{with_thread_scratch, Scratch};
 
 /// Whether `set` covers every edge of `g`.
 pub fn is_vertex_cover(g: &Graph, set: &[Vertex]) -> bool {
-    let mut inset = vec![false; g.n()];
+    with_thread_scratch(|s| is_vertex_cover_with(g, s, set))
+}
+
+/// [`is_vertex_cover`] through an explicit [`Scratch`] (epoch marks
+/// instead of a fresh membership array per call).
+pub fn is_vertex_cover_with(g: &Graph, scratch: &mut Scratch, set: &[Vertex]) -> bool {
+    scratch.begin(g.n());
     for &v in set {
-        inset[v] = true;
+        scratch.visit(v);
     }
-    g.edges().all(|(u, v)| inset[u] || inset[v])
+    g.edges().all(|(u, v)| scratch.visited(u) || scratch.visited(v))
 }
 
 /// A greedy maximal matching, as `(u, v)` pairs. Deterministic
-/// (lexicographic edge order).
+/// (lexicographic edge order). Matched-vertex marks live in the
+/// thread-pooled [`Scratch`].
 pub fn greedy_maximal_matching(g: &Graph) -> Vec<(Vertex, Vertex)> {
-    let mut matched = vec![false; g.n()];
-    let mut matching = Vec::new();
-    for (u, v) in g.edges() {
-        if !matched[u] && !matched[v] {
-            matched[u] = true;
-            matched[v] = true;
-            matching.push((u, v));
+    with_thread_scratch(|scratch| {
+        scratch.begin(g.n());
+        let mut matching = Vec::new();
+        for (u, v) in g.edges() {
+            if !scratch.visited(u) && !scratch.visited(v) {
+                scratch.visit(u);
+                scratch.visit(v);
+                matching.push((u, v));
+            }
         }
-    }
-    matching
+        matching
+    })
 }
 
 /// The classic 2-approximation: both endpoints of a maximal matching.

@@ -157,17 +157,21 @@ pub fn run_message_passing<D: Decider>(
 
 /// Computes the exact view of `v` after `k` rounds directly from the
 /// graph: vertices of `N^k[v]`, edges incident to `N^{k-1}[v]`.
+///
+/// One scratch-pooled BFS supplies both radii: the outer ball is every
+/// visited vertex, the inner ball the ones at distance `< k`.
 pub fn oracle_view(g: &Graph, ids: &IdAssignment, v: lmds_graph::Vertex, k: u32) -> LocalView {
     if k == 0 {
         return LocalView::initial(ids.id_of(v));
     }
-    let outer = bfs::ball(g, v, k);
-    let inner = bfs::ball(g, v, k - 1);
-    let verts: Vec<u64> = outer.iter().map(|&u| ids.id_of(u)).collect();
+    let ball = bfs::ball_with_distances(g, v, k);
+    let verts: Vec<u64> = ball.iter().map(|&(u, _)| ids.id_of(u)).collect();
     let mut edges = Vec::new();
-    for &u in &inner {
-        for &w in g.neighbors(u) {
-            edges.push((ids.id_of(u), ids.id_of(w)));
+    for &(u, d) in &ball {
+        if d < k {
+            for &w in g.neighbors(u) {
+                edges.push((ids.id_of(u), ids.id_of(w)));
+            }
         }
     }
     LocalView::from_parts(ids.id_of(v), k, verts, edges)

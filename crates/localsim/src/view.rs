@@ -140,15 +140,20 @@ impl LocalView {
     /// Materializes the known subgraph as a [`Graph`] over local indices,
     /// returning the id of each local vertex. The center is included;
     /// index lookup via binary search on the returned (sorted) id list.
+    /// The graph is bulk-built (one CSR construction, no per-edge
+    /// splicing).
     pub fn to_graph(&self) -> (Graph, Vec<u64>) {
         let ids = self.verts.clone();
-        let mut g = Graph::new(ids.len());
-        for &(a, b) in &self.edges {
-            let ia = ids.binary_search(&a).expect("edge endpoint known");
-            let ib = ids.binary_search(&b).expect("edge endpoint known");
-            g.add_edge(ia, ib);
-        }
-        (g, ids)
+        let local_edges: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .map(|&(a, b)| {
+                let ia = ids.binary_search(&a).expect("edge endpoint known");
+                let ib = ids.binary_search(&b).expect("edge endpoint known");
+                (ia, ib)
+            })
+            .collect();
+        (Graph::from_edges(ids.len(), &local_edges), ids)
     }
 
     /// The local index of the center in [`LocalView::to_graph`]'s output.

@@ -1,0 +1,27 @@
+//! Golden-file test for the reproduction report: the JSON document
+//! `reproduce --experiment table1 --json <path>` writes must
+//! byte-match the checked-in snapshot — stable field order, stable
+//! formatting, deterministic measured numbers. Any report regression
+//! (solver drift, column reorder, JSON encoding change) surfaces here
+//! in CI instead of silently rewriting `results/`.
+//!
+//! To bless an intentional change:
+//! ```text
+//! cargo run --release --bin reproduce -- --experiment table1 \
+//!     --json tests/golden/table1.json --csv-dir /tmp/csv
+//! ```
+
+use lmds_bench::{render_json, EXPERIMENTS};
+
+#[test]
+fn table1_json_matches_the_golden_snapshot() {
+    let (name, build) =
+        EXPERIMENTS.iter().find(|(n, _)| *n == "table1").expect("table1 is a stable experiment");
+    let json = render_json(&[(name.to_string(), build())]);
+    let golden = include_str!("golden/table1.json");
+    assert_eq!(
+        json, golden,
+        "table1 --json output drifted from tests/golden/table1.json; if the change is \
+         intentional, regenerate the snapshot (see module docs)"
+    );
+}

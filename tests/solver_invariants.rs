@@ -1,0 +1,268 @@
+//! Solver invariants over a deterministic corpus: every registry solver
+//! must (1) return a feasible set on every family, (2) respect the
+//! paper's approximation bound wherever the theory states one — checked
+//! against the exact reference solvers on small instances — and
+//! (3) be representation-independent: a graph bulk-built into CSR and
+//! the same graph assembled through the incremental mutation path must
+//! produce byte-identical solutions (the CSR-port parity contract), and
+//! repeated solves through one thread's warmed scratch pool must not
+//! drift.
+
+use lmds_api::{BatchJob, BatchRunner, Instance, SolveConfig, SolverRegistry};
+use lmds_asdim::ControlFunction;
+use lmds_core::Radii;
+use lmds_gen::ding::AugmentationSpec;
+use lmds_graph::Graph;
+
+const RADII: Radii = Radii { one_cut: 2, two_cut: 2 };
+const AFFINE: ControlFunction = ControlFunction::Affine { a: 1, b: 1, dim: 1 };
+const BUDGET: u64 = 50_000_000;
+
+/// Which structural family a corpus instance belongs to — the paper's
+/// ratio bounds are per-family (per excluded minor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Family {
+    /// `K_3`-minor-free (also `K_{2,2}`-minor-free): folklore ratio 3,
+    /// Theorem 4.4 at t = 2.
+    Tree,
+    /// 2-regular; the regular-graph MVC folklore bound applies.
+    Cycle,
+    /// `K_4`- and `K_{2,3}`-minor-free: Theorem 4.4 at t = 3.
+    Outerplanar,
+    /// Ding-style composites (fans/strips/augmentations).
+    Ding,
+    /// Adversarial gadgets (clique+pendants, subdivided `K_{2,t}`).
+    Adversarial,
+}
+
+fn corpus() -> Vec<(Family, Instance)> {
+    let mut out: Vec<(Family, Instance)> = vec![
+        (Family::Tree, Instance::shuffled("path10", lmds_gen::basic::path(10), 1)),
+        (Family::Tree, Instance::shuffled("star6", lmds_gen::basic::star(6), 2)),
+        (Family::Tree, Instance::shuffled("broom", lmds_gen::trees::broom(5, 3), 3)),
+        (Family::Tree, Instance::shuffled("caterpillar", lmds_gen::basic::caterpillar(5, 2), 4)),
+        (Family::Cycle, Instance::shuffled("cycle9", lmds_gen::basic::cycle(9), 5)),
+        (Family::Cycle, Instance::shuffled("cycle12", lmds_gen::basic::cycle(12), 6)),
+        (Family::Ding, Instance::shuffled("strip6", lmds_gen::ding::strip(6), 7)),
+        (Family::Ding, Instance::shuffled("fan5", lmds_gen::ding::fan(5), 8)),
+        (
+            Family::Adversarial,
+            Instance::shuffled(
+                "clique_pendants6",
+                lmds_gen::adversarial::clique_with_pendants(6),
+                9,
+            ),
+        ),
+        (
+            Family::Adversarial,
+            Instance::shuffled("subdivided_k2t4", lmds_gen::adversarial::subdivided_k2t(4), 10),
+        ),
+        (Family::Adversarial, Instance::shuffled("c6", lmds_gen::adversarial::c6(), 11)),
+    ];
+    for seed in 0..3u64 {
+        out.push((
+            Family::Tree,
+            Instance::shuffled(
+                format!("tree_s{seed}"),
+                lmds_gen::trees::random_tree(16, seed),
+                seed,
+            ),
+        ));
+        out.push((
+            Family::Outerplanar,
+            Instance::shuffled(
+                format!("outerplanar_s{seed}"),
+                lmds_gen::outerplanar::random_maximal_outerplanar(12, seed),
+                seed,
+            ),
+        ));
+        out.push((
+            Family::Ding,
+            Instance::shuffled(
+                format!("augmentation_s{seed}"),
+                AugmentationSpec::standard(4, 1, 1, seed).generate(),
+                seed,
+            ),
+        ));
+    }
+    out
+}
+
+fn config_for(registry: &SolverRegistry, key: &str) -> SolveConfig {
+    let solver = registry.get(key).expect("registered");
+    let mut cfg = SolveConfig::new(solver.problem()).radii(RADII).opt_budget(BUDGET);
+    if key == "mds/algorithm2" {
+        cfg = cfg.control(AFFINE);
+    }
+    cfg
+}
+
+/// The exact optimum for the solver's problem (reference solvers).
+fn optimum(registry: &SolverRegistry, key: &str, inst: &Instance) -> usize {
+    let exact_key = if key.starts_with("mds") { "mds/exact" } else { "mvc/exact" };
+    registry
+        .solve(exact_key, inst, &config_for(registry, exact_key))
+        .unwrap_or_else(|e| panic!("{exact_key} on {}: {e}", inst.name))
+        .size()
+}
+
+#[test]
+fn every_solver_is_feasible_on_the_whole_corpus() {
+    let registry = SolverRegistry::with_defaults();
+    let keys = registry.keys();
+    assert_eq!(keys.len(), 10, "the 10 stable registry solvers: {keys:?}");
+    for (_, inst) in corpus() {
+        for &key in &keys {
+            let cfg = config_for(&registry, key);
+            let sol = registry
+                .solve(key, &inst, &cfg)
+                .unwrap_or_else(|e| panic!("{key} on {}: {e}", inst.name));
+            assert!(sol.is_valid(), "{key} on {}: infeasible solution", inst.name);
+            assert!(sol.size() <= inst.n(), "{key} on {}: oversized", inst.name);
+        }
+    }
+}
+
+#[test]
+fn paper_ratio_bounds_hold_against_the_exact_solvers() {
+    let registry = SolverRegistry::with_defaults();
+    for (family, inst) in corpus() {
+        // Per-(solver, family) bounds the paper actually states.
+        let mut checks: Vec<(&str, usize, &str)> = Vec::new();
+        let max_deg = inst.graph.vertices().map(|v| inst.graph.degree(v)).max().unwrap_or(0);
+        // Table 1, K_{1,t} row: take-all is a (Δ+1)-approximation.
+        checks.push(("mds/take-all", max_deg + 1, "Δ+1 (Table 1, K1,t row)"));
+        match family {
+            Family::Tree => {
+                checks.push(("mds/trees-folklore", 3, "Table 1, trees row"));
+                checks.push(("mds/theorem44", 3, "Thm 4.4 at t=2: 2t−1"));
+                checks.push(("mvc/theorem44", 2, "Thm 4.4 MVC at t=2"));
+            }
+            Family::Outerplanar => {
+                checks.push(("mds/theorem44", 5, "Thm 4.4 at t=3: 2t−1"));
+                checks.push(("mvc/theorem44", 3, "Thm 4.4 MVC at t=3"));
+            }
+            Family::Cycle => {
+                checks.push(("mvc/regular-take-all", 2, "folklore, regular graphs"));
+                checks.push(("mds/algorithm1", 50, "Thm 4.1 constant"));
+            }
+            Family::Ding | Family::Adversarial => {}
+        }
+        for (key, factor, why) in checks {
+            let opt = optimum(&registry, key, &inst);
+            let sol = registry
+                .solve(key, &inst, &config_for(&registry, key))
+                .unwrap_or_else(|e| panic!("{key} on {}: {e}", inst.name));
+            assert!(
+                sol.size() <= factor * opt.max(1),
+                "{key} on {} ({family:?}): |S|={} > {factor}·opt={} [{why}]",
+                inst.name,
+                sol.size(),
+                factor * opt.max(1),
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_solvers_are_minimum_among_all_solvers() {
+    let registry = SolverRegistry::with_defaults();
+    for (_, inst) in corpus() {
+        for exact_key in ["mds/exact", "mvc/exact"] {
+            let opt = optimum(&registry, exact_key, &inst);
+            let prefix = &exact_key[..3];
+            for &key in &registry.keys() {
+                if !key.starts_with(prefix) {
+                    continue;
+                }
+                let sol = registry
+                    .solve(key, &inst, &config_for(&registry, key))
+                    .unwrap_or_else(|e| panic!("{key} on {}: {e}", inst.name));
+                assert!(
+                    sol.size() >= opt,
+                    "{key} on {}: beat the exact optimum ({} < {opt})",
+                    inst.name,
+                    sol.size(),
+                );
+            }
+        }
+    }
+}
+
+/// Rebuilds `g` through the incremental mutation path (`Graph::new` +
+/// `add_edge` in reverse edge order, exercising the CSR row splicing)
+/// instead of the bulk counting-sort constructor.
+fn rebuild_incrementally(g: &Graph) -> Graph {
+    let mut h = Graph::new(g.n());
+    let mut edges: Vec<(usize, usize)> = g.edges().collect();
+    edges.reverse();
+    for (u, v) in edges {
+        assert!(h.add_edge(v, u), "edge {u},{v} inserted twice");
+    }
+    h
+}
+
+#[test]
+fn representation_parity_bulk_vs_incremental_build() {
+    let registry = SolverRegistry::with_defaults();
+    for (_, inst) in corpus() {
+        let rebuilt = rebuild_incrementally(&inst.graph);
+        assert_eq!(rebuilt, inst.graph, "{}: CSR splice path diverged from bulk build", inst.name);
+        let inst2 = Instance::new(inst.name.clone(), rebuilt, inst.ids.clone());
+        for &key in &registry.keys() {
+            let cfg = config_for(&registry, key);
+            let a = registry.solve(key, &inst, &cfg).expect("bulk");
+            let b = registry.solve(key, &inst2, &cfg).expect("incremental");
+            assert_eq!(
+                a.vertices, b.vertices,
+                "{key} on {}: solution depends on how the graph was built",
+                inst.name
+            );
+        }
+    }
+}
+
+#[test]
+fn warmed_scratch_pool_never_changes_solutions() {
+    // Solving the same corpus twice on one thread: the second pass runs
+    // entirely on the warmed thread-local scratch (and on scratches that
+    // served *other* graphs in between). Any stale-epoch bug shows up as
+    // a diverging vertex set.
+    let registry = SolverRegistry::with_defaults();
+    let sweep = || -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for (_, inst) in corpus() {
+            for key in registry.keys() {
+                out.push(
+                    registry
+                        .solve(key, &inst, &config_for(&registry, key))
+                        .expect("solve")
+                        .vertices,
+                );
+            }
+        }
+        out
+    };
+    assert_eq!(sweep(), sweep());
+}
+
+#[test]
+fn batch_runner_matches_direct_solves() {
+    // The per-worker scratch pools of the batch engine must be
+    // invisible: every (job × instance) cell equals the direct call.
+    let registry = SolverRegistry::with_defaults();
+    let instances: Vec<Instance> = corpus().into_iter().take(5).map(|(_, i)| i).collect();
+    let jobs: Vec<BatchJob> = registry
+        .keys()
+        .into_iter()
+        .map(|key| BatchJob::new(key, config_for(&registry, key)))
+        .collect();
+    for rec in BatchRunner::with_threads(4).run(&registry, &jobs, &instances) {
+        let sol = rec.result.unwrap_or_else(|e| panic!("{}/{}: {e}", rec.solver, rec.instance));
+        let inst = instances.iter().find(|i| i.name == rec.instance).expect("known instance");
+        let direct = registry
+            .solve(&rec.solver, inst, &config_for(&registry, &rec.solver))
+            .expect("direct solve");
+        assert_eq!(sol.vertices, direct.vertices, "{}/{}", rec.solver, rec.instance);
+    }
+}
