@@ -72,7 +72,10 @@ impl BatchRunner {
     /// thread-local pool behind every ball/component/domination query),
     /// pre-sized here to the largest instance of the batch — so the
     /// solver loop reuses one set of traversal buffers per worker
-    /// instead of allocating per call.
+    /// instead of allocating per call. Distributed jobs share the same
+    /// pools: the oracle runtime's per-vertex ball queries run on the
+    /// worker's warmed scratch, and a sharded-oracle job's shard
+    /// threads warm their own scratch once per solve.
     pub fn run(
         &self,
         registry: &SolverRegistry,
@@ -135,7 +138,7 @@ mod tests {
             BatchJob::new("mds/theorem44", SolveConfig::mds()),
             BatchJob::new(
                 "mds/trees-folklore",
-                SolveConfig::mds().mode(ExecutionMode::LocalOracle),
+                SolveConfig::mds().mode(ExecutionMode::LOCAL_ORACLE),
             ),
         ];
         let instances = corpus();
@@ -173,7 +176,7 @@ mod tests {
         let registry = SolverRegistry::with_defaults();
         let mut jobs = Vec::new();
         for mode in
-            [ExecutionMode::Centralized, ExecutionMode::LocalOracle, ExecutionMode::Parallel]
+            [ExecutionMode::Centralized, ExecutionMode::LOCAL_ORACLE, ExecutionMode::LOCAL_SHARDED]
         {
             jobs.push(BatchJob::new("mds/algorithm1", SolveConfig::mds().mode(mode)));
             jobs.push(BatchJob::new("mvc/theorem44", SolveConfig::mvc().mode(mode)));

@@ -1,8 +1,10 @@
-//! The uniform solve configuration: problem, execution mode, radii,
-//! ablation options, round cap — one builder shared by every solver.
+//! The uniform solve configuration: problem, execution mode, LOCAL
+//! scenario (identifier policy, round cap, shard threads), radii,
+//! ablation options — one builder shared by every solver.
 
 use lmds_asdim::ControlFunction;
 use lmds_core::{PipelineOptions, Radii};
+use lmds_localsim::{IdPolicy, RuntimeKind};
 
 /// The optimization problem an [`crate::Solver`] targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,44 +35,79 @@ impl std::fmt::Display for Problem {
     }
 }
 
-/// How a solver executes.
+/// How a solver executes: the centralized reference, or a LOCAL
+/// simulation on one of the pluggable [`RuntimeKind`] backends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecutionMode {
     /// Centralized reference implementation (no simulator).
     Centralized,
-    /// LOCAL simulation with oracle views (fast, no message accounting).
-    LocalOracle,
-    /// Faithful synchronous message passing (message bits accounted).
-    LocalMessagePassing,
-    /// Oracle semantics on a thread pool (bit-identical outputs).
-    Parallel,
+    /// LOCAL simulation on the named runtime backend.
+    Local(RuntimeKind),
 }
 
 impl ExecutionMode {
+    /// LOCAL simulation with oracle state computation (fast; no message
+    /// accounting).
+    pub const LOCAL_ORACLE: ExecutionMode = ExecutionMode::Local(RuntimeKind::Oracle);
+    /// Faithful synchronous message passing (message bits accounted).
+    pub const LOCAL_MESSAGE_PASSING: ExecutionMode =
+        ExecutionMode::Local(RuntimeKind::MessagePassing);
+    /// Oracle semantics sharded across worker threads (bit-identical
+    /// outputs).
+    pub const LOCAL_SHARDED: ExecutionMode = ExecutionMode::Local(RuntimeKind::ShardedOracle);
+
     /// All modes, in the order batch sweeps iterate them.
     pub const ALL: [ExecutionMode; 4] = [
         ExecutionMode::Centralized,
-        ExecutionMode::LocalOracle,
-        ExecutionMode::LocalMessagePassing,
-        ExecutionMode::Parallel,
+        ExecutionMode::LOCAL_ORACLE,
+        ExecutionMode::LOCAL_MESSAGE_PASSING,
+        ExecutionMode::LOCAL_SHARDED,
     ];
 
     /// Whether this mode runs on the LOCAL simulator (and therefore
-    /// reports a round count).
+    /// reports a round count and [`crate::MessageStats`]).
     pub fn is_distributed(self) -> bool {
-        !matches!(self, ExecutionMode::Centralized)
+        matches!(self, ExecutionMode::Local(_))
+    }
+
+    /// The runtime backend, when distributed.
+    pub fn runtime(self) -> Option<RuntimeKind> {
+        match self {
+            ExecutionMode::Centralized => None,
+            ExecutionMode::Local(kind) => Some(kind),
+        }
     }
 }
 
 impl std::fmt::Display for ExecutionMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            ExecutionMode::Centralized => "centralized",
-            ExecutionMode::LocalOracle => "local-oracle",
-            ExecutionMode::LocalMessagePassing => "local-message-passing",
-            ExecutionMode::Parallel => "parallel",
-        };
-        write!(f, "{s}")
+        match self {
+            ExecutionMode::Centralized => write!(f, "centralized"),
+            ExecutionMode::Local(kind) => write!(f, "local-{kind}"),
+        }
+    }
+}
+
+/// The LOCAL scenario knobs: how identifiers are assigned, how many
+/// rounds the simulation may take, and how many worker threads the
+/// sharded runtime uses. Ignored by centralized runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioConfig {
+    /// Identifier-assignment override: `None` uses the instance's own
+    /// assignment, `Some(policy)` re-assigns per [`IdPolicy`]
+    /// (sequential, seeded-shuffled, or degree-adversarial).
+    pub id_policy: Option<IdPolicy>,
+    /// Upper bound on simulated rounds; `None` ⟹ a solver-specific
+    /// safe default.
+    pub round_cap: Option<u32>,
+    /// Worker threads for [`ExecutionMode::LOCAL_SHARDED`] (clamped to
+    /// ≥ 1 at use).
+    pub threads: usize,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig { id_policy: None, round_cap: None, threads: 4 }
     }
 }
 
@@ -79,14 +116,17 @@ impl std::fmt::Display for ExecutionMode {
 /// Built fluently:
 ///
 /// ```
-/// use lmds_api::{ExecutionMode, SolveConfig};
+/// use lmds_api::{ExecutionMode, IdPolicy, SolveConfig};
 /// use lmds_core::Radii;
 ///
 /// let cfg = SolveConfig::mds()
-///     .mode(ExecutionMode::LocalOracle)
+///     .mode(ExecutionMode::LOCAL_MESSAGE_PASSING)
+///     .id_policy(IdPolicy::Adversarial { seed: 7 })
+///     .round_cap(64)
 ///     .radii(Radii::practical(2, 3))
 ///     .measure_ratio(true);
 /// assert!(cfg.measure_ratio);
+/// assert_eq!(cfg.scenario.round_cap, Some(64));
 /// ```
 #[derive(Debug, Clone)]
 pub struct SolveConfig {
@@ -94,6 +134,8 @@ pub struct SolveConfig {
     pub problem: Problem,
     /// Execution mode; solvers reject unsupported modes.
     pub mode: ExecutionMode,
+    /// The LOCAL scenario (id policy, round cap, shard threads).
+    pub scenario: ScenarioConfig,
     /// Pipeline radii for the Algorithm 1/2 family (ignored by the
     /// 3-round and folklore solvers). [`SolveConfig::radii`] and
     /// [`SolveConfig::control`] set the same knob — the last call wins
@@ -104,11 +146,6 @@ pub struct SolveConfig {
     /// Control function for Algorithm 2 (`None` ⟹ Algorithm 2 uses
     /// the explicit [`SolveConfig::radii`], like Algorithm 1).
     pub control: Option<ControlFunction>,
-    /// Upper bound on simulated rounds; `None` ⟹ a solver-specific
-    /// safe default.
-    pub round_cap: Option<u32>,
-    /// Worker threads for [`ExecutionMode::Parallel`] (and batch runs).
-    pub threads: usize,
     /// Whether to measure the approximation ratio against an exact
     /// optimum / certified bound after solving.
     pub measure_ratio: bool,
@@ -122,16 +159,16 @@ pub const DEFAULT_OPT_BUDGET: u64 = 3_000_000;
 
 impl SolveConfig {
     /// A fresh config for the given problem (centralized, practical
-    /// radii `(2, 3)`, paper-default options, no ratio measurement).
+    /// radii `(2, 3)`, paper-default options and scenario, no ratio
+    /// measurement).
     pub fn new(problem: Problem) -> Self {
         SolveConfig {
             problem,
             mode: ExecutionMode::Centralized,
+            scenario: ScenarioConfig::default(),
             radii: Radii::practical(2, 3),
             options: PipelineOptions::default(),
             control: None,
-            round_cap: None,
-            threads: 4,
             measure_ratio: false,
             opt_budget: DEFAULT_OPT_BUDGET,
         }
@@ -152,6 +189,30 @@ impl SolveConfig {
     /// Sets the execution mode.
     pub fn mode(mut self, mode: ExecutionMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Replaces the whole LOCAL scenario.
+    pub fn scenario(mut self, scenario: ScenarioConfig) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Overrides the identifier assignment for distributed runs.
+    pub fn id_policy(mut self, policy: IdPolicy) -> Self {
+        self.scenario.id_policy = Some(policy);
+        self
+    }
+
+    /// Caps the number of simulated rounds.
+    pub fn round_cap(mut self, cap: u32) -> Self {
+        self.scenario.round_cap = Some(cap);
+        self
+    }
+
+    /// Sets the worker-thread count for the sharded runtime.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.scenario.threads = threads.max(1);
         self
     }
 
@@ -178,18 +239,6 @@ impl SolveConfig {
         self
     }
 
-    /// Caps the number of simulated rounds.
-    pub fn round_cap(mut self, cap: u32) -> Self {
-        self.round_cap = Some(cap);
-        self
-    }
-
-    /// Sets the worker-thread count for parallel execution.
-    pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
-        self
-    }
-
     /// Enables or disables ratio measurement.
     pub fn measure_ratio(mut self, yes: bool) -> Self {
         self.measure_ratio = yes;
@@ -209,12 +258,17 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let cfg =
-            SolveConfig::mvc().mode(ExecutionMode::Parallel).threads(0).round_cap(7).opt_budget(10);
+        let cfg = SolveConfig::mvc()
+            .mode(ExecutionMode::LOCAL_SHARDED)
+            .threads(0)
+            .round_cap(7)
+            .opt_budget(10)
+            .id_policy(IdPolicy::Sequential);
         assert_eq!(cfg.problem, Problem::MinVertexCover);
-        assert_eq!(cfg.mode, ExecutionMode::Parallel);
-        assert_eq!(cfg.threads, 1, "threads clamp to ≥ 1");
-        assert_eq!(cfg.round_cap, Some(7));
+        assert_eq!(cfg.mode, ExecutionMode::Local(lmds_localsim::RuntimeKind::ShardedOracle));
+        assert_eq!(cfg.scenario.threads, 1, "threads clamp to ≥ 1");
+        assert_eq!(cfg.scenario.round_cap, Some(7));
+        assert_eq!(cfg.scenario.id_policy, Some(IdPolicy::Sequential));
         assert_eq!(cfg.opt_budget, 10);
     }
 
@@ -241,7 +295,25 @@ mod tests {
     #[test]
     fn display_strings_are_stable() {
         assert_eq!(Problem::MinDominatingSet.to_string(), "MDS");
-        assert_eq!(ExecutionMode::LocalMessagePassing.to_string(), "local-message-passing");
+        assert_eq!(ExecutionMode::Centralized.to_string(), "centralized");
+        assert_eq!(ExecutionMode::LOCAL_ORACLE.to_string(), "local-oracle");
+        assert_eq!(ExecutionMode::LOCAL_MESSAGE_PASSING.to_string(), "local-message-passing");
+        assert_eq!(ExecutionMode::LOCAL_SHARDED.to_string(), "local-sharded-oracle");
         assert_eq!(Problem::MinVertexCover.key_prefix(), "mvc");
+    }
+
+    #[test]
+    fn mode_classification() {
+        assert!(!ExecutionMode::Centralized.is_distributed());
+        assert_eq!(ExecutionMode::Centralized.runtime(), None);
+        for mode in [
+            ExecutionMode::LOCAL_ORACLE,
+            ExecutionMode::LOCAL_MESSAGE_PASSING,
+            ExecutionMode::LOCAL_SHARDED,
+        ] {
+            assert!(mode.is_distributed());
+            assert!(mode.runtime().is_some());
+        }
+        assert_eq!(ExecutionMode::ALL.len(), 4);
     }
 }

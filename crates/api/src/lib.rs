@@ -13,11 +13,20 @@
 //! * [`Instance`] — graph + identifier assignment + optional ground
 //!   truth,
 //! * [`SolveConfig`] — problem ([`Problem::MinDominatingSet`] or
-//!   [`Problem::MinVertexCover`]), [`ExecutionMode`], radii, ablation
-//!   options, round cap,
+//!   [`Problem::MinVertexCover`]), [`ExecutionMode`], the LOCAL
+//!   [`ScenarioConfig`] (identifier [`IdPolicy`], round cap, shard
+//!   threads), radii, ablation options,
 //! * [`Solution`] — vertex set, validity [`Certificate`], measured
-//!   ratio, round count, [`MessageStats`], wall time, and
-//!   [`PipelineDiagnostics`].
+//!   ratio, round count, [`MessageStats`] (message-bit accounting +
+//!   decided-at histogram), wall time, and [`PipelineDiagnostics`].
+//!
+//! Distributed solvers are **registry-native**: every
+//! `ExecutionMode::Local(kind)` solve runs a first-class
+//! `lmds_localsim::LocalAlgorithm` (native typed-message state machines
+//! for the explicit-round algorithms, view deciders for the adaptive
+//! pipeline) on the pluggable runtime backend `kind` names — faithful
+//! message passing, oracle, or the sharded oracle pooled on per-thread
+//! scratch workspaces. All backends produce bit-identical solutions.
 //!
 //! # Quickstart
 //!
@@ -28,11 +37,18 @@
 //! let instance = Instance::shuffled("demo", lmds_gen::basic::cycle(12), 7);
 //!
 //! // Same call shape for every algorithm, centralized or simulated.
-//! let cfg = SolveConfig::mds().mode(ExecutionMode::LocalOracle).measure_ratio(true);
+//! let cfg = SolveConfig::mds().mode(ExecutionMode::LOCAL_ORACLE).measure_ratio(true);
 //! let sol = registry.solve("mds/theorem44", &instance, &cfg).unwrap();
 //! assert!(sol.is_valid());
 //! assert_eq!(sol.rounds, Some(3));
 //! assert!(sol.ratio().unwrap() >= 1.0);
+//!
+//! // Every distributed run carries its LOCAL execution profile: the
+//! // oracle backend exchanges no messages but reports when each vertex
+//! // decided.
+//! let stats = sol.messages.as_ref().unwrap();
+//! assert_eq!(stats.max_message_bits(), None);
+//! assert_eq!(stats.decided_at.iter().sum::<usize>(), instance.n());
 //!
 //! // Enumerate what is available.
 //! assert!(registry.keys().len() >= 8);
@@ -46,8 +62,12 @@ pub mod solution;
 pub mod solver;
 
 pub use batch::{BatchJob, BatchRecord, BatchRunner};
-pub use config::{ExecutionMode, Problem, SolveConfig, DEFAULT_OPT_BUDGET};
+pub use config::{ExecutionMode, Problem, ScenarioConfig, SolveConfig, DEFAULT_OPT_BUDGET};
 pub use instance::{GroundTruth, Instance};
 pub use registry::SolverRegistry;
 pub use solution::{Certificate, MessageStats, Optimum, PipelineDiagnostics, Solution};
 pub use solver::{SolveError, Solver};
+
+// The LOCAL-scenario vocabulary, re-exported so API consumers need not
+// depend on the simulator crate directly.
+pub use lmds_localsim::{IdPolicy, MessageAccounting, RuntimeKind};

@@ -138,13 +138,36 @@ mod tests {
     }
 
     #[test]
+    fn round_limit_errors_are_matchable_and_retryable() {
+        use lmds_localsim::RuntimeError;
+        let r = SolverRegistry::with_defaults();
+        let inst = Instance::sequential("p10", lmds_gen::basic::path(10));
+        // Algorithm 1 needs ~max(r1, 2r2) + 2 rounds before anyone can
+        // decide; a cap of 1 must fail with a *typed* runtime error.
+        let cfg = SolveConfig::mds().mode(ExecutionMode::LOCAL_ORACLE).round_cap(1);
+        let err = r.solve("mds/algorithm1", &inst, &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            SolveError::Runtime(RuntimeError::RoundLimitExceeded { limit: 1, .. })
+        ));
+        // The cause chains end-to-end through std::error::Error...
+        let source = std::error::Error::source(&err).expect("SolveError::Runtime has a source");
+        assert!(source.downcast_ref::<RuntimeError>().is_some());
+        // ...so callers can read the exceeded cap and retry higher.
+        let limit = err.round_limit().expect("round-limit error carries its cap");
+        let sol = r.solve("mds/algorithm1", &inst, &cfg.round_cap(limit + 64)).unwrap();
+        assert!(sol.is_valid());
+        assert!(sol.rounds.unwrap() > 1);
+    }
+
+    #[test]
     fn problem_mismatch_is_rejected() {
         let r = SolverRegistry::with_defaults();
         let inst = Instance::sequential("p3", lmds_gen::basic::path(3));
         let err = r.solve("mds/theorem44", &inst, &SolveConfig::mvc()).unwrap_err();
         assert!(matches!(err, SolveError::UnsupportedProblem { .. }));
         let err2 = r
-            .solve("mds/exact", &inst, &SolveConfig::mds().mode(ExecutionMode::LocalOracle))
+            .solve("mds/exact", &inst, &SolveConfig::mds().mode(ExecutionMode::LOCAL_ORACLE))
             .unwrap_err();
         assert!(matches!(err2, SolveError::UnsupportedMode { .. }));
     }

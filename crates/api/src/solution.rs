@@ -29,13 +29,49 @@ impl Certificate {
     }
 }
 
-/// Message accounting from a message-passing execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// The LOCAL execution profile of a distributed solve: message
+/// accounting plus the per-round decision profile. Attached to every
+/// [`ExecutionMode::Local`](crate::ExecutionMode) solution.
+///
+/// [`MessageAccounting`](lmds_localsim::MessageAccounting)
+/// distinguishes *measured* bits (message-passing runtime; zero is a
+/// real measurement) from *not applicable* (oracle runtimes exchange no
+/// messages), so reports never conflate "no messages measured" with
+/// "zero bits".
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MessageStats {
-    /// Largest single message, in bits.
-    pub max_message_bits: u64,
-    /// Total bits sent over all edges and rounds.
-    pub total_message_bits: u64,
+    /// Measured message bits, or
+    /// [`NotApplicable`](lmds_localsim::MessageAccounting::NotApplicable)
+    /// for oracle runtimes.
+    pub accounting: lmds_localsim::MessageAccounting,
+    /// The decided-at histogram: entry `r` counts the vertices that
+    /// decided at round `r` (length `rounds + 1`).
+    pub decided_at: Vec<usize>,
+}
+
+impl MessageStats {
+    /// Largest single message in bits, when measured.
+    pub fn max_message_bits(&self) -> Option<u64> {
+        self.accounting.max_bits()
+    }
+
+    /// Total bits on the wire, when measured.
+    pub fn total_message_bits(&self) -> Option<u64> {
+        self.accounting.total_bits()
+    }
+
+    /// Per-round progress counters: entry `r` counts the vertices
+    /// decided by the end of round `r` (cumulative histogram).
+    pub fn progress(&self) -> Vec<usize> {
+        let mut acc = 0usize;
+        self.decided_at
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
 }
 
 /// The optimum (or certified lower bound) a solution was measured
@@ -83,7 +119,10 @@ pub struct Solution {
     pub certificate: Certificate,
     /// Round complexity (`None` for centralized runs).
     pub rounds: Option<u32>,
-    /// Message accounting (`Some` only for message-passing runs).
+    /// The LOCAL execution profile (`Some` for every distributed run;
+    /// oracle runtimes report
+    /// [`NotApplicable`](lmds_localsim::MessageAccounting::NotApplicable)
+    /// accounting but a real decision histogram).
     pub messages: Option<MessageStats>,
     /// Wall-clock time of the solve.
     pub wall: Duration,
@@ -163,6 +202,25 @@ mod tests {
         assert!(Certificate::check(Problem::MinVertexCover, &g, &[1]).valid);
         assert!(!Certificate::check(Problem::MinVertexCover, &g, &[0]).valid);
         assert!(!Certificate::check(Problem::MinDominatingSet, &g, &[]).valid);
+    }
+
+    #[test]
+    fn message_stats_distinguish_measured_from_not_applicable() {
+        use lmds_localsim::MessageAccounting;
+        let measured = MessageStats {
+            accounting: MessageAccounting::Measured { max_message_bits: 0, total_message_bits: 0 },
+            decided_at: vec![5],
+        };
+        // Measured zero bits is a real measurement...
+        assert_eq!(measured.max_message_bits(), Some(0));
+        assert_eq!(measured.total_message_bits(), Some(0));
+        // ...while the oracle runtimes measured nothing at all.
+        let oracle = MessageStats {
+            accounting: MessageAccounting::NotApplicable,
+            decided_at: vec![0, 2, 3],
+        };
+        assert_eq!(oracle.max_message_bits(), None);
+        assert_eq!(oracle.progress(), vec![0, 2, 5]);
     }
 
     #[test]

@@ -7,16 +7,14 @@ use crate::{
     SolveConfig,
 };
 use lmds_core::distributed::{
-    Algorithm1Decider, MvcAlgorithm1Decider, RegularMvcDecider, TakeAllDecider, Theorem44Decider,
-    Theorem44MvcDecider, TreesFolkloreDecider,
+    Algorithm1Decider, MvcAlgorithm1Decider, RegularMvcLocal, TakeAllLocal, Theorem44Local,
+    Theorem44MvcLocal, TreesFolkloreLocal,
 };
 use lmds_core::mvc::algorithm1_mvc;
 use lmds_core::theorem44::{theorem44_mds, theorem44_mvc};
 use lmds_core::{algorithm1_with, baselines, PipelineOptions, Radii};
 use lmds_graph::Vertex;
-use lmds_localsim::{
-    run_message_passing, run_oracle, run_parallel, Decider, RunResult, RuntimeError,
-};
+use lmds_localsim::{LocalAlgorithm, RuntimeError};
 use std::time::Instant;
 
 /// Why a solve call failed.
@@ -80,11 +78,30 @@ impl std::fmt::Display for SolveError {
     }
 }
 
-impl std::error::Error for SolveError {}
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<RuntimeError> for SolveError {
     fn from(e: RuntimeError) -> Self {
         SolveError::Runtime(e)
+    }
+}
+
+impl SolveError {
+    /// The exceeded round cap, when this error is a
+    /// [`RuntimeError::RoundLimitExceeded`] — the retry-with-a-higher-cap
+    /// hook for registry callers.
+    pub fn round_limit(&self) -> Option<u32> {
+        match self {
+            SolveError::Runtime(RuntimeError::RoundLimitExceeded { limit, .. }) => Some(*limit),
+            _ => None,
+        }
     }
 }
 
@@ -147,37 +164,38 @@ fn adaptive_round_cap(radii: Radii, n: usize) -> u32 {
 }
 
 /// What a distributed run hands back to `finish`: vertices, rounds,
-/// and (for message passing) message stats.
-type DeciderRun = (Vec<Vertex>, Option<u32>, Option<MessageStats>);
+/// and the LOCAL execution profile.
+type LocalRun = (Vec<Vertex>, Option<u32>, Option<MessageStats>);
 
-/// Runs a boolean decider under a distributed mode and converts the
-/// outputs to (vertices, rounds, message stats).
-fn run_decider<D: Decider<Output = bool>>(
+/// Runs a boolean [`LocalAlgorithm`] under the config's LOCAL scenario:
+/// resolves the runtime backend from the mode, applies the identifier
+/// policy (instance ids unless overridden), and converts the result to
+/// (vertices, rounds, message stats).
+fn run_local<A: LocalAlgorithm<Output = bool>>(
     inst: &Instance,
-    decider: &D,
-    mode: ExecutionMode,
+    cfg: &SolveConfig,
+    algo: &A,
     cap: u32,
-    threads: usize,
-) -> Result<DeciderRun, SolveError> {
-    let res: RunResult<bool> = match mode {
-        ExecutionMode::LocalOracle => run_oracle(&inst.graph, &inst.ids, decider, cap)?,
-        ExecutionMode::LocalMessagePassing => {
-            run_message_passing(&inst.graph, &inst.ids, decider, cap)?
+) -> Result<LocalRun, SolveError> {
+    let kind = cfg
+        .mode
+        .runtime()
+        .unwrap_or_else(|| unreachable!("run_local is only called for ExecutionMode::Local"));
+    let scenario_ids;
+    let ids = match cfg.scenario.id_policy {
+        Some(policy) => {
+            scenario_ids = policy.assign(&inst.graph);
+            &scenario_ids
         }
-        // max(1): SolveConfig's fields are public, so a hand-built
-        // threads: 0 must not turn into a div_ceil panic downstream.
-        ExecutionMode::Parallel => {
-            run_parallel(&inst.graph, &inst.ids, decider, cap, threads.max(1))?
-        }
-        ExecutionMode::Centralized => unreachable!("run_decider is only called distributed"),
+        None => &inst.ids,
     };
+    // max(1): SolveConfig's fields are public, so a hand-built
+    // threads: 0 must not turn into a div_ceil panic downstream.
+    let res = kind.run(&inst.graph, ids, algo, cap, cfg.scenario.threads.max(1))?;
     let vertices: Vec<Vertex> =
         res.outputs.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect();
-    let messages = (mode == ExecutionMode::LocalMessagePassing).then_some(MessageStats {
-        max_message_bits: res.max_message_bits,
-        total_message_bits: res.total_message_bits,
-    });
-    Ok((vertices, Some(res.rounds), messages))
+    let stats = MessageStats { accounting: res.messages, decided_at: res.decided_histogram() };
+    Ok((vertices, Some(res.rounds), Some(stats)))
 }
 
 /// Attaches a measured optimum when the config asks for one and ground
@@ -285,9 +303,9 @@ fn solve_pipeline(
                 .into(),
         });
     }
-    let cap = cfg.round_cap.unwrap_or_else(|| adaptive_round_cap(radii, inst.n()));
+    let cap = cfg.scenario.round_cap.unwrap_or_else(|| adaptive_round_cap(radii, inst.n()));
     let decider = Algorithm1Decider { radii };
-    let (vertices, rounds, messages) = run_decider(inst, &decider, cfg.mode, cap, cfg.threads)?;
+    let (vertices, rounds, messages) = run_local(inst, cfg, &decider, cap)?;
     Ok(finish(key, inst, cfg, started, vertices, rounds, messages, None))
 }
 
@@ -374,9 +392,8 @@ impl Solver for Theorem44MdsSolver {
             let sol = theorem44_mds(&inst.graph, &inst.ids);
             return Ok(finish(self.key(), inst, cfg, started, sol, None, None, None));
         }
-        let cap = cfg.round_cap.unwrap_or(10);
-        let (vertices, rounds, messages) =
-            run_decider(inst, &Theorem44Decider, cfg.mode, cap, cfg.threads)?;
+        let cap = cfg.scenario.round_cap.unwrap_or(10);
+        let (vertices, rounds, messages) = run_local(inst, cfg, &Theorem44Local, cap)?;
         Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
     }
 }
@@ -408,9 +425,8 @@ impl Solver for TreesFolkloreSolver {
             let sol = baselines::trees_folklore(&inst.graph, &inst.ids);
             return Ok(finish(self.key(), inst, cfg, started, sol, None, None, None));
         }
-        let cap = cfg.round_cap.unwrap_or(10);
-        let (vertices, rounds, messages) =
-            run_decider(inst, &TreesFolkloreDecider, cfg.mode, cap, cfg.threads)?;
+        let cap = cfg.scenario.round_cap.unwrap_or(10);
+        let (vertices, rounds, messages) = run_local(inst, cfg, &TreesFolkloreLocal, cap)?;
         Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
     }
 }
@@ -442,9 +458,8 @@ impl Solver for TakeAllSolver {
             let sol = baselines::take_all(&inst.graph);
             return Ok(finish(self.key(), inst, cfg, started, sol, None, None, None));
         }
-        let cap = cfg.round_cap.unwrap_or(5);
-        let (vertices, rounds, messages) =
-            run_decider(inst, &TakeAllDecider, cfg.mode, cap, cfg.threads)?;
+        let cap = cfg.scenario.round_cap.unwrap_or(5);
+        let (vertices, rounds, messages) = run_local(inst, cfg, &TakeAllLocal, cap)?;
         Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
     }
 }
@@ -513,9 +528,8 @@ impl Solver for Theorem44MvcSolver {
             let sol = theorem44_mvc(&inst.graph, &inst.ids);
             return Ok(finish(self.key(), inst, cfg, started, sol, None, None, None));
         }
-        let cap = cfg.round_cap.unwrap_or(10);
-        let (vertices, rounds, messages) =
-            run_decider(inst, &Theorem44MvcDecider, cfg.mode, cap, cfg.threads)?;
+        let cap = cfg.scenario.round_cap.unwrap_or(10);
+        let (vertices, rounds, messages) = run_local(inst, cfg, &Theorem44MvcLocal, cap)?;
         Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
     }
 }
@@ -565,9 +579,9 @@ impl Solver for Algorithm1MvcSolver {
                 Some(diagnostics),
             ));
         }
-        let cap = cfg.round_cap.unwrap_or_else(|| adaptive_round_cap(cfg.radii, inst.n()));
+        let cap = cfg.scenario.round_cap.unwrap_or_else(|| adaptive_round_cap(cfg.radii, inst.n()));
         let decider = MvcAlgorithm1Decider { radii: cfg.radii };
-        let (vertices, rounds, messages) = run_decider(inst, &decider, cfg.mode, cap, cfg.threads)?;
+        let (vertices, rounds, messages) = run_local(inst, cfg, &decider, cap)?;
         Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
     }
 }
@@ -599,9 +613,8 @@ impl Solver for RegularMvcSolver {
             let sol = baselines::regular_mvc_take_all(&inst.graph);
             return Ok(finish(self.key(), inst, cfg, started, sol, None, None, None));
         }
-        let cap = cfg.round_cap.unwrap_or(5);
-        let (vertices, rounds, messages) =
-            run_decider(inst, &RegularMvcDecider, cfg.mode, cap, cfg.threads)?;
+        let cap = cfg.scenario.round_cap.unwrap_or(5);
+        let (vertices, rounds, messages) = run_local(inst, cfg, &RegularMvcLocal, cap)?;
         Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
     }
 }

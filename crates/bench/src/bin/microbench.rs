@@ -156,24 +156,99 @@ fn kernel_benches(iters: u32) -> Table {
     t
 }
 
+/// The LOCAL-runtime benches (`--local`): the distributed hot path —
+/// every runtime backend on representative explicit-round and adaptive
+/// solvers, with rounds and message bits alongside the timings so
+/// round/message regressions surface next to latency ones (the
+/// committed numbers live in `results/local_microbench.md`).
+fn local_benches(iters: u32) -> Table {
+    use lmds_api::RuntimeKind;
+    let mut t = Table::new(
+        &format!("microbench --local — LOCAL runtime backends, {iters} iterations (µs)"),
+        &[
+            "solver",
+            "runtime",
+            "instance",
+            "n",
+            "rounds",
+            "max msg (bits)",
+            "total bits",
+            "best (µs)",
+            "mean (µs)",
+        ],
+    );
+    let registry = SolverRegistry::with_defaults();
+    let tree = Instance::shuffled("tree1000", lmds_gen::trees::random_tree(1000, 1), 1);
+    let outer = Instance::shuffled(
+        "outerplanar300",
+        lmds_gen::outerplanar::random_maximal_outerplanar(300, 2),
+        2,
+    );
+    let aug = Instance::shuffled(
+        "augmentation",
+        lmds_gen::ding::AugmentationSpec::standard(6, 3, 2, 3).generate(),
+        3,
+    );
+    let cases: Vec<(&str, &Instance)> =
+        vec![("mds/theorem44", &outer), ("mds/trees-folklore", &tree), ("mds/algorithm1", &aug)];
+    for (key, inst) in cases {
+        for kind in RuntimeKind::ALL {
+            let cfg = SolveConfig::mds()
+                .mode(ExecutionMode::Local(kind))
+                .radii(Radii::practical(2, 3))
+                .threads(4);
+            let mut best = f64::INFINITY;
+            let mut total = 0f64;
+            let mut last = None;
+            for _ in 0..iters {
+                let start = Instant::now();
+                let sol = registry.solve(key, inst, &cfg).unwrap_or_else(|e| panic!("{key}: {e}"));
+                let us = start.elapsed().as_secs_f64() * 1e6;
+                assert!(sol.is_valid(), "{key} on {}", inst.name);
+                best = best.min(us);
+                total += us;
+                last = Some(sol);
+            }
+            let sol = last.expect("iters ≥ 1");
+            let stats = sol.messages.as_ref().expect("distributed run");
+            let fmt_bits = |b: Option<u64>| b.map_or_else(|| "n/a".into(), |v| v.to_string());
+            t.push_row(vec![
+                key.into(),
+                kind.to_string(),
+                inst.name.clone(),
+                inst.n().to_string(),
+                sol.rounds.expect("distributed").to_string(),
+                fmt_bits(stats.max_message_bits()),
+                fmt_bits(stats.total_message_bits()),
+                format!("{best:.1}"),
+                format!("{:.1}", total / iters as f64),
+            ]);
+        }
+    }
+    t
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iters = 10u32;
     let mut kernel = false;
+    let mut local = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--iters" => {
                 i += 1;
-                iters =
-                    args.get(i).and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(
-                        || {
-                            eprintln!("usage: microbench [--iters <n>] [--kernel]  (n ≥ 1)");
-                            std::process::exit(2);
-                        },
-                    );
+                iters = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("usage: microbench [--iters <n>] [--kernel] [--local]  (n ≥ 1)");
+                        std::process::exit(2);
+                    });
             }
             "--kernel" => kernel = true,
+            "--local" => local = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -184,6 +259,10 @@ fn main() {
 
     if kernel {
         print!("{}", render_markdown(&kernel_benches(iters)));
+        return;
+    }
+    if local {
+        print!("{}", render_markdown(&local_benches(iters)));
         return;
     }
 
@@ -204,12 +283,12 @@ fn main() {
     let radii = Radii::practical(2, 3);
     let cases: Vec<(&str, &Instance, SolveConfig)> = vec![
         ("mds/trees-folklore", &tree, SolveConfig::mds()),
-        ("mds/trees-folklore", &tree, SolveConfig::mds().mode(ExecutionMode::LocalOracle)),
+        ("mds/trees-folklore", &tree, SolveConfig::mds().mode(ExecutionMode::LOCAL_ORACLE)),
         ("mds/theorem44", &outer, SolveConfig::mds()),
-        ("mds/theorem44", &outer, SolveConfig::mds().mode(ExecutionMode::LocalOracle)),
-        ("mds/theorem44", &outer, SolveConfig::mds().mode(ExecutionMode::Parallel).threads(4)),
+        ("mds/theorem44", &outer, SolveConfig::mds().mode(ExecutionMode::LOCAL_ORACLE)),
+        ("mds/theorem44", &outer, SolveConfig::mds().mode(ExecutionMode::LOCAL_SHARDED).threads(4)),
         ("mds/algorithm1", &aug, SolveConfig::mds().radii(radii)),
-        ("mds/algorithm1", &aug, SolveConfig::mds().radii(radii).mode(ExecutionMode::LocalOracle)),
+        ("mds/algorithm1", &aug, SolveConfig::mds().radii(radii).mode(ExecutionMode::LOCAL_ORACLE)),
         ("mds/take-all", &aug, SolveConfig::mds()),
         ("mvc/theorem44", &outer, SolveConfig::mvc()),
         ("mvc/algorithm1", &aug, SolveConfig::mvc().radii(radii)),

@@ -176,7 +176,7 @@ pub fn exp_table1() -> Table {
     ];
 
     for row in rows {
-        let mut cfg = measured_mds().mode(ExecutionMode::LocalOracle);
+        let mut cfg = measured_mds().mode(ExecutionMode::LOCAL_ORACLE);
         if let Some(radii) = row.radii {
             cfg = cfg.radii(radii);
         }
@@ -343,7 +343,7 @@ pub fn exp_alg1() -> Table {
         let g = AugmentationSpec::standard(base, fans, strips, seed).generate();
         let inst = Instance::shuffled(format!("aug(b{base},f{fans},s{strips})"), g, seed);
         for radii in [Radii::practical(1, 2), Radii::practical(2, 3), Radii::practical(3, 5)] {
-            let cfg = measured_mds().mode(ExecutionMode::LocalOracle).radii(radii);
+            let cfg = measured_mds().mode(ExecutionMode::LOCAL_ORACLE).radii(radii);
             let sol = solve("mds/algorithm1", &inst, &cfg);
             t.push_row(vec![
                 inst.name.clone(),
@@ -366,7 +366,7 @@ pub fn exp_thm44() -> Table {
         "E6 / Theorem 4.4 — (2t-1)-approximation in 3 rounds, across t",
         &["workload", "t", "n", "|D2|", "MDS", "ratio", "bound 2t-1", "rounds"],
     );
-    let cfg = measured_mds().mode(ExecutionMode::LocalOracle);
+    let cfg = measured_mds().mode(ExecutionMode::LOCAL_ORACLE);
     // Subdivided K_{2,t}: the tight-ish family.
     for tt in [3usize, 4, 5, 6] {
         let g = lmds_gen::adversarial::subdivided_k2t(tt);
@@ -565,7 +565,7 @@ pub fn exp_rounds() -> Table {
         "E9 / LOCAL accounting — rounds are independent of n; message growth documents LOCAL (not CONGEST)",
         &["algorithm", "workload", "n", "rounds", "max msg (bits)", "total bits"],
     );
-    let msg = SolveConfig::mds().mode(ExecutionMode::LocalMessagePassing);
+    let msg = SolveConfig::mds().mode(ExecutionMode::LOCAL_MESSAGE_PASSING);
     for n in [20usize, 40, 80, 160] {
         let inst = Instance::shuffled("random tree", lmds_gen::trees::random_tree(n, 3), 3);
         let sol = solve("mds/theorem44", &inst, &msg);
@@ -575,8 +575,8 @@ pub fn exp_rounds() -> Table {
             inst.name.clone(),
             n.to_string(),
             sol.rounds.expect("distributed").to_string(),
-            stats.max_message_bits.to_string(),
-            stats.total_message_bits.to_string(),
+            stats.max_message_bits().expect("message passing measures bits").to_string(),
+            stats.total_message_bits().expect("message passing measures bits").to_string(),
         ]);
     }
     for n in [20usize, 40, 80] {
@@ -589,8 +589,8 @@ pub fn exp_rounds() -> Table {
             inst.name.clone(),
             n.to_string(),
             sol.rounds.expect("distributed").to_string(),
-            stats.max_message_bits.to_string(),
-            stats.total_message_bits.to_string(),
+            stats.max_message_bits().expect("message passing measures bits").to_string(),
+            stats.total_message_bits().expect("message passing measures bits").to_string(),
         ]);
     }
     for len in [5usize, 10, 20] {
@@ -612,8 +612,8 @@ pub fn exp_rounds() -> Table {
             inst.name.clone(),
             inst.n().to_string(),
             sol.rounds.expect("distributed").to_string(),
-            stats.max_message_bits.to_string(),
-            stats.total_message_bits.to_string(),
+            stats.max_message_bits().expect("message passing measures bits").to_string(),
+            stats.total_message_bits().expect("message passing measures bits").to_string(),
         ]);
     }
     t
@@ -817,8 +817,8 @@ pub fn exp_registry_sweep() -> Table {
         .map(|key| {
             let solver = reg.get(key).expect("registered");
             // Prefer a distributed run when the solver supports one.
-            let mode = if solver.modes().contains(&ExecutionMode::LocalOracle) {
-                ExecutionMode::LocalOracle
+            let mode = if solver.modes().contains(&ExecutionMode::LOCAL_ORACLE) {
+                ExecutionMode::LOCAL_ORACLE
             } else {
                 ExecutionMode::Centralized
             };
@@ -855,6 +855,98 @@ pub fn exp_registry_sweep() -> Table {
     t
 }
 
+/// S1 — the LOCAL sweep: every distributed registry solver executed on
+/// all three runtime backends under sequential and adversarial
+/// identifier policies, recording rounds, message bits (measured vs
+/// n/a), and the decided-at histogram. The experiment also *asserts*
+/// runtime equivalence: all backends must return the identical vertex
+/// set and round count for each (solver, instance, policy) cell.
+pub fn exp_local_sweep() -> Table {
+    use lmds_api::{IdPolicy, RuntimeKind};
+    let mut t = Table::new(
+        "S1 / local-sweep — distributed solvers × runtime backends × id policies (bit-identical outputs; message bits measured only where messages exist)",
+        &[
+            "solver",
+            "runtime",
+            "id policy",
+            "instance",
+            "n",
+            "|S|",
+            "rounds",
+            "max msg (bits)",
+            "total bits",
+            "decided/round",
+        ],
+    );
+    let reg = registry();
+    let instances = vec![
+        Instance::sequential("tree40", lmds_gen::trees::random_tree(40, 2)),
+        Instance::sequential("augmentation", AugmentationSpec::standard(4, 1, 1, 5).generate()),
+    ];
+    let policies = [IdPolicy::Sequential, IdPolicy::Adversarial { seed: 3 }];
+    for key in reg.keys() {
+        let solver = reg.get(key).expect("registered");
+        if !solver.modes().contains(&ExecutionMode::LOCAL_ORACLE) {
+            continue; // centralized-only (exact baselines)
+        }
+        for inst in &instances {
+            for policy in policies {
+                let mut reference: Option<(Vec<usize>, Option<u32>)> = None;
+                for kind in RuntimeKind::ALL {
+                    let mut cfg = SolveConfig::new(solver.problem())
+                        .mode(ExecutionMode::Local(kind))
+                        .radii(Radii::practical(2, 2))
+                        .id_policy(policy)
+                        .threads(3);
+                    if key == "mds/algorithm2" {
+                        cfg =
+                            cfg.control(lmds_asdim::ControlFunction::Affine { a: 1, b: 1, dim: 1 });
+                    }
+                    let sol = solve(key, inst, &cfg);
+                    assert!(sol.is_valid(), "{key} {kind} on {}", inst.name);
+                    match &reference {
+                        None => reference = Some((sol.vertices.clone(), sol.rounds)),
+                        Some((verts, rounds)) => {
+                            assert_eq!(
+                                (verts, rounds),
+                                (&sol.vertices, &sol.rounds),
+                                "{key} on {} under {policy}: {kind} diverges",
+                                inst.name
+                            );
+                        }
+                    }
+                    let stats = sol.messages.as_ref().expect("distributed run");
+                    let fmt_bits =
+                        |b: Option<u64>| b.map_or_else(|| "n/a".into(), |v| v.to_string());
+                    // Compact histogram: only rounds where vertices
+                    // decided, as "round:count" pairs.
+                    let hist = stats
+                        .decided_at
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &c)| c > 0)
+                        .map(|(r, &c)| format!("{r}:{c}"))
+                        .collect::<Vec<_>>()
+                        .join("|");
+                    t.push_row(vec![
+                        key.into(),
+                        kind.to_string(),
+                        policy.to_string(),
+                        inst.name.clone(),
+                        inst.n().to_string(),
+                        sol.size().to_string(),
+                        sol.rounds.expect("distributed").to_string(),
+                        fmt_bits(stats.max_message_bits()),
+                        fmt_bits(stats.total_message_bits()),
+                        hist,
+                    ]);
+                }
+            }
+        }
+    }
+    t
+}
+
 /// A table-building experiment entry point.
 pub type ExperimentFn = fn() -> Table;
 
@@ -863,6 +955,7 @@ pub type ExperimentFn = fn() -> Table;
 /// and [`all_experiments`].
 pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("registry", exp_registry_sweep),
+    ("local-sweep", exp_local_sweep),
     ("table1", exp_table1),
     ("lemma32", exp_lemma32),
     ("lemma33", exp_lemma33),
@@ -903,6 +996,32 @@ mod tests {
         let diams: Vec<u32> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
         let max = diams.iter().copied().max().unwrap();
         assert!(max <= 16, "residual diameter grew: {diams:?}");
+    }
+
+    #[test]
+    fn local_sweep_measures_bits_exactly_on_message_passing_rows() {
+        let t = exp_local_sweep();
+        // Every distributed solver × 2 instances × 2 policies × 3
+        // runtimes (derived, so registering a new solver cannot break
+        // this test with a stale hardcoded count).
+        let distributed = registry()
+            .keys()
+            .iter()
+            .filter(|&&key| {
+                registry()
+                    .get(key)
+                    .expect("registered")
+                    .modes()
+                    .contains(&ExecutionMode::LOCAL_ORACLE)
+            })
+            .count();
+        assert_eq!(t.rows.len(), distributed * 2 * 2 * 3, "{} rows", t.rows.len());
+        for row in &t.rows {
+            let measured = row[1] == "message-passing";
+            assert_eq!(row[7] != "n/a", measured, "max-bits column: {row:?}");
+            assert_eq!(row[8] != "n/a", measured, "total-bits column: {row:?}");
+            assert!(!row[9].is_empty(), "decided histogram: {row:?}");
+        }
     }
 
     #[test]

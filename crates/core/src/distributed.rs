@@ -1,7 +1,18 @@
-//! LOCAL-model deciders for every algorithm, executable on the
-//! `lmds-localsim` runtimes.
+//! LOCAL-model algorithms for every solver, executable on the
+//! `lmds-localsim` runtimes — in two forms:
 //!
-//! Each decider is a deterministic function of the node's view and is
+//! * **Native [`LocalAlgorithm`]s** for the algorithms whose round
+//!   structure is explicit in the paper: [`Theorem44Local`] (exactly 3
+//!   rounds, typed id/neighborhood/two-hop messages),
+//!   [`TreesFolkloreLocal`] and [`Theorem44MvcLocal`] (2 rounds of
+//!   id + degree exchange), [`RegularMvcLocal`] (1 round),
+//!   [`TakeAllLocal`] (0 rounds). These send *structured* messages
+//!   sized to what the algorithm actually needs, not whole views.
+//! * **[`Decider`]s** (view functions, run through the blanket
+//!   adapter) for the adaptive Algorithm 1 family, whose stopping round
+//!   depends on the residual structure around each vertex.
+//!
+//! Each is a deterministic function of the node's knowledge and is
 //! property-tested to reproduce the centralized reference *exactly*
 //! (same identifier assignment ⟹ same output set). Trust-region
 //! arithmetic follows the simulator's knowledge guarantee: after `k`
@@ -16,7 +27,8 @@
 use crate::algorithm1::{pipeline_state, residual_components, solve_component};
 use crate::radii::Radii;
 use lmds_graph::bfs;
-use lmds_localsim::{Decider, LocalView};
+use lmds_localsim::{Decider, LocalAlgorithm, LocalView, NodeCtx};
+use std::collections::BTreeMap;
 
 /// Table 1 `K_{1,t}` row: everyone joins at round 0.
 pub struct TakeAllDecider;
@@ -135,6 +147,429 @@ impl Decider for Theorem44MvcDecider {
     }
 }
 
+// ---------------------------------------------------------------------
+// Native round state machines (explicit round structure, typed
+// messages). Each reproduces its Decider twin bit-for-bit; the
+// equivalence is property-tested below and in tests/solver_invariants.
+// ---------------------------------------------------------------------
+
+/// Table 1 `K_{1,t}` row as a native state machine: decide at round 0,
+/// send nothing.
+pub struct TakeAllLocal;
+
+impl LocalAlgorithm for TakeAllLocal {
+    type State = ();
+    type Message = ();
+    type Output = bool;
+
+    fn init(&self, _ctx: &NodeCtx) {}
+    fn send(&self, _state: &(), _round: u32) {}
+    fn receive(&self, _state: &mut (), _round: u32, _incoming: &[()]) {}
+    fn decide(&self, _state: &(), _round: u32) -> Option<bool> {
+        Some(true)
+    }
+    fn message_bits(&self, _msg: &(), _id_bits: u32) -> u64 {
+        0
+    }
+    fn project(
+        &self,
+        _g: &lmds_graph::Graph,
+        _ids: &lmds_localsim::IdAssignment,
+        _v: usize,
+        _round: u32,
+    ) -> Option<()> {
+        Some(())
+    }
+}
+
+/// Folklore MVC on regular graphs, natively: one round of id broadcast;
+/// join iff any message arrived.
+pub struct RegularMvcLocal;
+
+/// State of [`RegularMvcLocal`]: own id and the received-message count.
+#[derive(Debug, Clone)]
+pub struct RegularMvcState {
+    me: u64,
+    heard: usize,
+}
+
+impl LocalAlgorithm for RegularMvcLocal {
+    type State = RegularMvcState;
+    type Message = u64;
+    type Output = bool;
+
+    fn init(&self, ctx: &NodeCtx) -> RegularMvcState {
+        RegularMvcState { me: ctx.id, heard: 0 }
+    }
+    fn send(&self, state: &RegularMvcState, _round: u32) -> u64 {
+        state.me
+    }
+    fn receive(&self, state: &mut RegularMvcState, round: u32, incoming: &[u64]) {
+        if round == 1 {
+            state.heard = incoming.len();
+        }
+    }
+    fn decide(&self, state: &RegularMvcState, round: u32) -> Option<bool> {
+        (round >= 1).then_some(state.heard > 0)
+    }
+    fn message_bits(&self, _msg: &u64, id_bits: u32) -> u64 {
+        id_bits as u64
+    }
+    fn project(
+        &self,
+        g: &lmds_graph::Graph,
+        ids: &lmds_localsim::IdAssignment,
+        v: usize,
+        round: u32,
+    ) -> Option<RegularMvcState> {
+        let heard = if round >= 1 { g.degree(v) } else { 0 };
+        Some(RegularMvcState { me: ids.id_of(v), heard })
+    }
+}
+
+/// Typed messages of the 2-round degree-exchange algorithms
+/// ([`TreesFolkloreLocal`], [`Theorem44MvcLocal`]): round 1 announces
+/// the identifier, round 2 the identifier plus degree.
+#[derive(Debug, Clone)]
+pub enum DegreeMsg {
+    /// Round 1: the sender's identifier.
+    Id(u64),
+    /// Round 2: sender identifier and its degree.
+    Degree(u64, u64),
+}
+
+impl DegreeMsg {
+    fn bits(&self, id_bits: u32) -> u64 {
+        // Degrees are at most n − 1, so they fit in an id-sized field.
+        match self {
+            DegreeMsg::Id(_) => id_bits as u64,
+            DegreeMsg::Degree(..) => 2 * id_bits as u64,
+        }
+    }
+}
+
+/// State of the degree-exchange algorithms: own id, sorted neighbor
+/// ids, and the neighbors' degrees.
+#[derive(Debug, Clone)]
+pub struct DegreeState {
+    me: u64,
+    nbrs: Vec<u64>,
+    nbr_degree: Vec<(u64, u64)>,
+}
+
+fn degree_init(ctx: &NodeCtx) -> DegreeState {
+    DegreeState { me: ctx.id, nbrs: Vec::new(), nbr_degree: Vec::new() }
+}
+
+fn degree_send(state: &DegreeState, round: u32) -> DegreeMsg {
+    if round <= 1 {
+        DegreeMsg::Id(state.me)
+    } else {
+        DegreeMsg::Degree(state.me, state.nbrs.len() as u64)
+    }
+}
+
+/// The exact [`DegreeState`] after `round` rounds, straight from the
+/// graph — the oracle fast path shared by the degree-exchange
+/// algorithms.
+fn degree_project(
+    g: &lmds_graph::Graph,
+    ids: &lmds_localsim::IdAssignment,
+    v: usize,
+    round: u32,
+) -> DegreeState {
+    let mut state = DegreeState { me: ids.id_of(v), nbrs: Vec::new(), nbr_degree: Vec::new() };
+    if round >= 1 {
+        state.nbrs = g.neighbors(v).iter().map(|&u| ids.id_of(u)).collect();
+        state.nbrs.sort_unstable();
+    }
+    if round >= 2 {
+        state.nbr_degree =
+            g.neighbors(v).iter().map(|&u| (ids.id_of(u), g.degree(u) as u64)).collect();
+        state.nbr_degree.sort_unstable();
+    }
+    state
+}
+
+fn degree_receive(state: &mut DegreeState, round: u32, incoming: &[DegreeMsg]) {
+    match round {
+        1 => {
+            state.nbrs = incoming
+                .iter()
+                .map(|m| match m {
+                    DegreeMsg::Id(id) | DegreeMsg::Degree(id, _) => *id,
+                })
+                .collect();
+            state.nbrs.sort_unstable();
+        }
+        2 => {
+            state.nbr_degree = incoming
+                .iter()
+                .map(|m| match m {
+                    DegreeMsg::Degree(id, d) => (*id, *d),
+                    DegreeMsg::Id(id) => (*id, 0),
+                })
+                .collect();
+            state.nbr_degree.sort_unstable();
+        }
+        _ => {}
+    }
+}
+
+/// Table 1 trees row as a native state machine (2 rounds): degree ≥ 2
+/// joins; an isolated-edge endpoint joins iff it has the smaller
+/// identifier; isolated vertices join.
+pub struct TreesFolkloreLocal;
+
+impl LocalAlgorithm for TreesFolkloreLocal {
+    type State = DegreeState;
+    type Message = DegreeMsg;
+    type Output = bool;
+
+    fn init(&self, ctx: &NodeCtx) -> DegreeState {
+        degree_init(ctx)
+    }
+    fn send(&self, state: &DegreeState, round: u32) -> DegreeMsg {
+        degree_send(state, round)
+    }
+    fn receive(&self, state: &mut DegreeState, round: u32, incoming: &[DegreeMsg]) {
+        degree_receive(state, round, incoming);
+    }
+    fn decide(&self, state: &DegreeState, round: u32) -> Option<bool> {
+        (round >= 2).then(|| match state.nbrs.len() {
+            0 => true,
+            1 => state.nbr_degree.first().is_some_and(|&(u, d)| d == 1 && state.me < u),
+            _ => true,
+        })
+    }
+    fn message_bits(&self, msg: &DegreeMsg, id_bits: u32) -> u64 {
+        msg.bits(id_bits)
+    }
+    fn project(
+        &self,
+        g: &lmds_graph::Graph,
+        ids: &lmds_localsim::IdAssignment,
+        v: usize,
+        round: u32,
+    ) -> Option<DegreeState> {
+        Some(degree_project(g, ids, v, round))
+    }
+}
+
+/// Theorem 4.4's MVC variant as a native state machine (2 rounds):
+/// degree ≥ 2, or smaller-id endpoint of an isolated edge.
+pub struct Theorem44MvcLocal;
+
+impl LocalAlgorithm for Theorem44MvcLocal {
+    type State = DegreeState;
+    type Message = DegreeMsg;
+    type Output = bool;
+
+    fn init(&self, ctx: &NodeCtx) -> DegreeState {
+        degree_init(ctx)
+    }
+    fn send(&self, state: &DegreeState, round: u32) -> DegreeMsg {
+        degree_send(state, round)
+    }
+    fn receive(&self, state: &mut DegreeState, round: u32, incoming: &[DegreeMsg]) {
+        degree_receive(state, round, incoming);
+    }
+    fn decide(&self, state: &DegreeState, round: u32) -> Option<bool> {
+        (round >= 2).then(|| match state.nbrs.len() {
+            0 => false,
+            1 => state.nbr_degree.first().is_some_and(|&(u, d)| d == 1 && state.me < u),
+            _ => true,
+        })
+    }
+    fn message_bits(&self, msg: &DegreeMsg, id_bits: u32) -> u64 {
+        msg.bits(id_bits)
+    }
+    fn project(
+        &self,
+        g: &lmds_graph::Graph,
+        ids: &lmds_localsim::IdAssignment,
+        v: usize,
+        round: u32,
+    ) -> Option<DegreeState> {
+        Some(degree_project(g, ids, v, round))
+    }
+}
+
+/// Typed messages of the native 3-round Theorem 4.4 algorithm.
+#[derive(Debug, Clone)]
+pub enum Thm44Msg {
+    /// Round 1: the sender's identifier.
+    Id(u64),
+    /// Round 2: sender identifier and its sorted open neighborhood.
+    Nbhd(u64, Vec<u64>),
+    /// Round 3: sender identifier and the closed neighborhood of each of
+    /// its neighbors (learned in round 2) — exactly the 2-hop knowledge
+    /// the twin test needs.
+    TwoHop(u64, Vec<(u64, Vec<u64>)>),
+}
+
+/// State of [`Theorem44Local`]: own id, sorted neighbor ids, and the
+/// closed neighborhoods of every vertex in `N²[me]` collected so far.
+#[derive(Debug, Clone)]
+pub struct Thm44State {
+    me: u64,
+    nbrs: Vec<u64>,
+    closed: BTreeMap<u64, Vec<u64>>,
+}
+
+impl Thm44State {
+    fn closed_of(&self, w: u64) -> &[u64] {
+        self.closed.get(&w).expect("closed neighborhood within trusted radius")
+    }
+
+    /// Whether `w` survives the minimum-identifier twin reduction:
+    /// dropped iff some true twin has a smaller id. Valid for
+    /// `w ∈ N[me]` once the closed neighborhoods of `N[w]` are known.
+    fn kept(&self, w: u64) -> bool {
+        let nw = self.closed_of(w);
+        !nw.iter().any(|&z| z != w && z < w && self.closed_of(z) == nw)
+    }
+}
+
+/// Theorem 4.4 MDS as a native state machine — the paper's headline
+/// 3-round structure made explicit: round 1 learns `N(v)`, round 2 the
+/// closed neighborhoods of `N(v)` (twin status of `v`), round 3 the
+/// closed neighborhoods of `N²(v)` (twin status of the neighbors, i.e.
+/// membership of `D₂` of the twin-free quotient).
+pub struct Theorem44Local;
+
+impl LocalAlgorithm for Theorem44Local {
+    type State = Thm44State;
+    type Message = Thm44Msg;
+    type Output = bool;
+
+    fn init(&self, ctx: &NodeCtx) -> Thm44State {
+        Thm44State { me: ctx.id, nbrs: Vec::new(), closed: BTreeMap::new() }
+    }
+
+    fn send(&self, state: &Thm44State, round: u32) -> Thm44Msg {
+        match round {
+            0 | 1 => Thm44Msg::Id(state.me),
+            2 => Thm44Msg::Nbhd(state.me, state.nbrs.clone()),
+            _ => Thm44Msg::TwoHop(
+                state.me,
+                state.nbrs.iter().map(|&u| (u, state.closed_of(u).to_vec())).collect(),
+            ),
+        }
+    }
+
+    fn receive(&self, state: &mut Thm44State, round: u32, incoming: &[Thm44Msg]) {
+        match round {
+            1 => {
+                state.nbrs = incoming
+                    .iter()
+                    .map(|m| match m {
+                        Thm44Msg::Id(id) | Thm44Msg::Nbhd(id, _) | Thm44Msg::TwoHop(id, _) => *id,
+                    })
+                    .collect();
+                state.nbrs.sort_unstable();
+                let mut own = state.nbrs.clone();
+                own.push(state.me);
+                own.sort_unstable();
+                state.closed.insert(state.me, own);
+            }
+            2 => {
+                for m in incoming {
+                    if let Thm44Msg::Nbhd(u, nb) = m {
+                        let mut cn = nb.clone();
+                        cn.push(*u);
+                        cn.sort_unstable();
+                        state.closed.insert(*u, cn);
+                    }
+                }
+            }
+            3 => {
+                for m in incoming {
+                    if let Thm44Msg::TwoHop(_, entries) = m {
+                        for (w, cn) in entries {
+                            state.closed.entry(*w).or_insert_with(|| cn.clone());
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn decide(&self, state: &Thm44State, round: u32) -> Option<bool> {
+        if round < 3 {
+            return None;
+        }
+        if !state.kept(state.me) {
+            return Some(false);
+        }
+        // N_R[me]: kept members of N[me].
+        let nr_me: Vec<u64> = state
+            .closed_of(state.me)
+            .iter()
+            .copied()
+            .filter(|&w| w == state.me || state.kept(w))
+            .collect();
+        // Absorbed iff some kept neighbor u has N_R[me] ⊆ N_R[u] ⟺
+        // every w ∈ N_R[me] is u itself or adjacent to u.
+        for &u in &state.nbrs {
+            if !state.kept(u) {
+                continue;
+            }
+            let nu = state.closed_of(u);
+            if nr_me.iter().all(|w| nu.binary_search(w).is_ok()) {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+
+    fn message_bits(&self, msg: &Thm44Msg, id_bits: u32) -> u64 {
+        let ids = match msg {
+            Thm44Msg::Id(_) => 1,
+            Thm44Msg::Nbhd(_, nb) => 1 + nb.len() as u64,
+            Thm44Msg::TwoHop(_, entries) => {
+                1 + entries.iter().map(|(_, cn)| 1 + cn.len() as u64).sum::<u64>()
+            }
+        };
+        ids * id_bits as u64
+    }
+
+    fn project(
+        &self,
+        g: &lmds_graph::Graph,
+        ids: &lmds_localsim::IdAssignment,
+        v: usize,
+        round: u32,
+    ) -> Option<Thm44State> {
+        let closed_of = |w: usize| {
+            let mut cn: Vec<u64> = g.neighbors(w).iter().map(|&x| ids.id_of(x)).collect();
+            cn.push(ids.id_of(w));
+            cn.sort_unstable();
+            cn
+        };
+        let mut state = Thm44State { me: ids.id_of(v), nbrs: Vec::new(), closed: BTreeMap::new() };
+        if round >= 1 {
+            state.nbrs = g.neighbors(v).iter().map(|&u| ids.id_of(u)).collect();
+            state.nbrs.sort_unstable();
+            state.closed.insert(state.me, closed_of(v));
+        }
+        if round >= 2 {
+            for &u in g.neighbors(v) {
+                state.closed.insert(ids.id_of(u), closed_of(u));
+            }
+        }
+        if round >= 3 {
+            for &u in g.neighbors(v) {
+                for &w in g.neighbors(u) {
+                    state.closed.entry(ids.id_of(w)).or_insert_with(|| closed_of(w));
+                }
+            }
+        }
+        Some(state)
+    }
+}
+
 /// Algorithm 1 (Theorem 4.1) as an adaptive LOCAL decider. The node
 /// keeps extending its view until (a) its own `S`/`U` status is
 /// certain, and if it is in neither, (b) its entire residual component
@@ -203,7 +638,7 @@ mod tests {
     use crate::theorem44::{theorem44_mds, theorem44_mvc};
     use lmds_graph::dominating::is_dominating_set;
     use lmds_graph::Graph;
-    use lmds_localsim::{run_message_passing, run_oracle, IdAssignment};
+    use lmds_localsim::{IdAssignment, MessagePassingRuntime, OracleRuntime, Runtime, RuntimeKind};
 
     fn outputs_to_set(outputs: &[bool]) -> Vec<usize> {
         outputs.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect()
@@ -228,7 +663,7 @@ mod tests {
         for g in &test_graphs() {
             for seed in [0u64, 5] {
                 let ids = IdAssignment::shuffled(g.n(), seed);
-                let res = run_oracle(g, &ids, &Theorem44Decider, 10).unwrap();
+                let res = OracleRuntime.run(g, &ids, &Theorem44Decider, 10).unwrap();
                 let dist_set = outputs_to_set(&res.outputs);
                 let mut central = theorem44_mds(g, &ids);
                 central.sort_unstable();
@@ -242,17 +677,17 @@ mod tests {
     fn theorem44_is_exactly_three_rounds_on_nontrivial_graphs() {
         let g = lmds_gen::basic::path(20);
         let ids = IdAssignment::sequential(20);
-        let res = run_message_passing(&g, &ids, &Theorem44Decider, 10).unwrap();
+        let res = MessagePassingRuntime.run(&g, &ids, &Theorem44Decider, 10).unwrap();
         assert_eq!(res.rounds, 3);
         // Message size stays modest (LOCAL, but only 3 rounds deep).
-        assert!(res.max_message_bits > 0);
+        assert!(res.messages.max_bits().unwrap() > 0);
     }
 
     #[test]
     fn theorem44_mvc_matches() {
         for g in &test_graphs() {
             let ids = IdAssignment::shuffled(g.n(), 2);
-            let res = run_oracle(g, &ids, &Theorem44MvcDecider, 10).unwrap();
+            let res = OracleRuntime.run(g, &ids, &Theorem44MvcDecider, 10).unwrap();
             let dist_set = outputs_to_set(&res.outputs);
             let mut central = theorem44_mvc(g, &ids);
             central.sort_unstable();
@@ -266,7 +701,7 @@ mod tests {
         for seed in 0..4 {
             let g = lmds_gen::trees::random_tree(16, seed);
             let ids = IdAssignment::shuffled(g.n(), seed);
-            let res = run_oracle(&g, &ids, &TreesFolkloreDecider, 10).unwrap();
+            let res = OracleRuntime.run(&g, &ids, &TreesFolkloreDecider, 10).unwrap();
             let dist_set = outputs_to_set(&res.outputs);
             let mut central = baselines::trees_folklore(&g, &ids);
             central.sort_unstable();
@@ -280,7 +715,7 @@ mod tests {
     fn take_all_zero_rounds() {
         let g = lmds_gen::basic::cycle(6);
         let ids = IdAssignment::sequential(6);
-        let res = run_oracle(&g, &ids, &TakeAllDecider, 5).unwrap();
+        let res = OracleRuntime.run(&g, &ids, &TakeAllDecider, 5).unwrap();
         assert_eq!(res.rounds, 0);
         assert_eq!(outputs_to_set(&res.outputs).len(), 6);
     }
@@ -293,7 +728,7 @@ mod tests {
                 let ids = IdAssignment::shuffled(g.n(), seed);
                 let decider = Algorithm1Decider { radii };
                 let max_rounds = (2 * g.n() + 20) as u32;
-                let res = run_oracle(g, &ids, &decider, max_rounds).unwrap();
+                let res = OracleRuntime.run(g, &ids, &decider, max_rounds).unwrap();
                 let dist_set = outputs_to_set(&res.outputs);
                 let central = algorithm1(g, &ids, radii);
                 assert_eq!(dist_set, central.solution, "{g:?} seed={seed} (rounds={})", res.rounds);
@@ -309,7 +744,7 @@ mod tests {
         let g = lmds_gen::basic::path(40);
         let ids = IdAssignment::sequential(40);
         let decider = Algorithm1Decider { radii: Radii::practical(2, 2) };
-        let res = run_oracle(&g, &ids, &decider, 200).unwrap();
+        let res = OracleRuntime.run(&g, &ids, &decider, 200).unwrap();
         assert!(
             res.rounds < 20,
             "rounds = {} should be O(radius + component diameter)",
@@ -322,10 +757,88 @@ mod tests {
         let g = lmds_gen::ding::strip(4);
         let ids = IdAssignment::shuffled(g.n(), 4);
         let decider = Algorithm1Decider { radii: Radii::practical(2, 2) };
-        let a = run_oracle(&g, &ids, &decider, 100).unwrap();
-        let b = run_message_passing(&g, &ids, &decider, 100).unwrap();
+        let a = OracleRuntime.run(&g, &ids, &decider, 100).unwrap();
+        let b = MessagePassingRuntime.run(&g, &ids, &decider, 100).unwrap();
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.decided_at, b.decided_at);
+    }
+
+    /// The native state machines must be indistinguishable from their
+    /// view-flooding Decider twins: same outputs, same decision rounds,
+    /// on every runtime.
+    fn assert_native_matches_decider<N, D>(native: &N, decider: &D, cap: u32)
+    where
+        N: lmds_localsim::LocalAlgorithm<Output = bool>,
+        D: Decider<Output = bool>,
+    {
+        for g in &test_graphs() {
+            for seed in [0u64, 5, 11] {
+                let ids = IdAssignment::shuffled(g.n(), seed);
+                let reference = OracleRuntime.run(g, &ids, decider, cap).unwrap();
+                for kind in RuntimeKind::ALL {
+                    let res = kind.run(g, &ids, native, cap, 3).unwrap();
+                    assert_eq!(res.outputs, reference.outputs, "{g:?} seed={seed} {kind}");
+                    assert_eq!(res.decided_at, reference.decided_at, "{g:?} seed={seed} {kind}");
+                    assert_eq!(
+                        kind.measures_messages(),
+                        res.messages.is_measured(),
+                        "{g:?} {kind}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn native_theorem44_matches_decider_on_all_runtimes() {
+        assert_native_matches_decider(&Theorem44Local, &Theorem44Decider, 10);
+    }
+
+    #[test]
+    fn native_trees_folklore_matches_decider_on_all_runtimes() {
+        assert_native_matches_decider(&TreesFolkloreLocal, &TreesFolkloreDecider, 10);
+    }
+
+    #[test]
+    fn native_theorem44_mvc_matches_decider_on_all_runtimes() {
+        assert_native_matches_decider(&Theorem44MvcLocal, &Theorem44MvcDecider, 10);
+    }
+
+    #[test]
+    fn native_regular_mvc_matches_decider_on_all_runtimes() {
+        assert_native_matches_decider(&RegularMvcLocal, &RegularMvcDecider, 10);
+    }
+
+    #[test]
+    fn native_take_all_matches_decider_on_all_runtimes() {
+        assert_native_matches_decider(&TakeAllLocal, &TakeAllDecider, 5);
+    }
+
+    #[test]
+    fn native_messages_are_leaner_than_view_flooding() {
+        // The whole point of typed messages: Theorem 4.4 native traffic
+        // must undercut the full-information protocol on the same run.
+        let g = lmds_gen::outerplanar::random_maximal_outerplanar(24, 2);
+        let ids = IdAssignment::shuffled(g.n(), 2);
+        let native = MessagePassingRuntime.run(&g, &ids, &Theorem44Local, 10).unwrap();
+        let flood = MessagePassingRuntime.run(&g, &ids, &Theorem44Decider, 10).unwrap();
+        assert_eq!(native.outputs, flood.outputs);
+        assert_eq!(native.rounds, 3);
+        let (nt, ft) =
+            (native.messages.total_bits().unwrap(), flood.messages.total_bits().unwrap());
+        assert!(nt < ft, "native {nt} bits should undercut view flooding {ft} bits");
+    }
+
+    #[test]
+    fn native_theorem44_is_exact_under_adversarial_ids() {
+        use crate::theorem44::theorem44_mds;
+        for g in &test_graphs() {
+            let ids = IdAssignment::adversarial(g, 3);
+            let res = OracleRuntime.run(g, &ids, &Theorem44Local, 10).unwrap();
+            let mut central = theorem44_mds(g, &ids);
+            central.sort_unstable();
+            assert_eq!(outputs_to_set(&res.outputs), central, "{g:?}");
+        }
     }
 }
 
@@ -421,7 +934,7 @@ mod mvc_decider_tests {
     use super::*;
     use crate::mvc::algorithm1_mvc;
     use lmds_graph::vertex_cover::is_vertex_cover;
-    use lmds_localsim::{run_oracle, IdAssignment};
+    use lmds_localsim::{IdAssignment, OracleRuntime, Runtime};
 
     #[test]
     fn mvc_algorithm1_distributed_matches_centralized() {
@@ -438,7 +951,7 @@ mod mvc_decider_tests {
             for seed in [0u64, 7] {
                 let ids = IdAssignment::shuffled(g.n(), seed);
                 let decider = MvcAlgorithm1Decider { radii };
-                let res = run_oracle(g, &ids, &decider, (2 * g.n() + 40) as u32).unwrap();
+                let res = OracleRuntime.run(g, &ids, &decider, (2 * g.n() + 40) as u32).unwrap();
                 let dist_set: Vec<usize> =
                     res.outputs.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect();
                 let central = algorithm1_mvc(g, &ids, radii);

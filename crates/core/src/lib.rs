@@ -3,7 +3,7 @@
 //! The paper's algorithms, in both centralized-reference and distributed
 //! (LOCAL) form:
 //!
-//! * **Algorithm 1 / Theorem 4.1** ([`algorithm1`]) — the
+//! * **Algorithm 1 / Theorem 4.1** ([`algorithm1()`]) — the
 //!   `O_t(1)`-round constant-approximation for Minimum Dominating Set on
 //!   `K_{2,t}`-minor-free graphs: true-twin reduction → all vertices in
 //!   `m_{3.2}`-local minimal 1-cuts → all interesting vertices of
@@ -19,9 +19,13 @@
 //! * **Folklore baselines** ([`baselines`]) — the other implementable
 //!   rows of Table 1.
 //!
-//! Every distributed algorithm is a [`lmds_localsim::Decider`] whose
-//! output is property-tested to coincide with its centralized reference
-//! on the same identifier assignment.
+//! Every distributed algorithm runs on the `lmds-localsim` runtimes:
+//! the explicit-round algorithms (Theorem 4.4 and the folklore rows) as
+//! native [`lmds_localsim::LocalAlgorithm`] round state machines with
+//! typed messages, the adaptive Algorithm 1 family as
+//! [`lmds_localsim::Decider`] view functions — each property-tested to
+//! coincide with its centralized reference on the same identifier
+//! assignment.
 
 pub mod algorithm1;
 pub mod algorithm2;

@@ -117,8 +117,8 @@ pub fn exact_b_dominating(
 }
 
 /// Budgeted variant of [`exact_b_dominating`]. Returns `None` on budget
-/// exhaustion *or* infeasibility (distinguish by calling
-/// [`CoverInstance::is_feasible`] when it matters).
+/// exhaustion *or* infeasibility (distinguish by checking the cover
+/// instance's feasibility when it matters).
 pub fn exact_b_dominating_capped(
     g: &Graph,
     targets: &[Vertex],

@@ -11,8 +11,9 @@
 //!
 //! * A `Scratch` is a plain bag of buffers — it holds **no graph
 //!   state**. The same scratch may serve graphs of different sizes
-//!   back to back; each traversal begins with [`Scratch::begin`], which
-//!   grows the buffers to the current graph and opens a fresh *epoch*.
+//!   back to back; each traversal begins with the crate-internal
+//!   `Scratch::begin`, which grows the buffers to the current graph and
+//!   opens a fresh *epoch*.
 //! * "Visited" is `mark[v] == epoch`, so stale marks from previous
 //!   traversals (same graph or not) are dead the moment the epoch
 //!   advances — no clearing pass. On the (astronomically rare) epoch

@@ -1,38 +1,53 @@
 //! # lmds-localsim
 //!
-//! A deterministic synchronous **LOCAL-model** simulator.
+//! A deterministic synchronous **LOCAL-model** simulator with
+//! first-class round state machines and pluggable runtimes.
 //!
-//! The LOCAL model (Linial): the network is an undirected graph; vertices
-//! are processors with unique `O(log n)`-bit identifiers; computation
-//! proceeds in synchronous rounds; in each round every vertex exchanges
-//! unbounded messages with its neighbors and performs arbitrary local
-//! computation. The complexity measure is the number of rounds.
+//! The LOCAL model (Linial): the network is an undirected graph;
+//! vertices are processors with unique `O(log n)`-bit identifiers;
+//! computation proceeds in synchronous rounds; in each round every
+//! vertex exchanges unbounded messages with its neighbors and performs
+//! arbitrary local computation. The complexity measure is the number of
+//! rounds.
 //!
-//! The fundamental fact the simulator is built around: after `k` rounds a
-//! vertex `v` can know exactly
+//! The crate is layered:
 //!
-//! * the identifiers of all vertices in `N^k[v]`, and
-//! * all edges incident to `N^{k-1}[v]`,
+//! * [`LocalAlgorithm`] — a per-vertex round state machine with explicit
+//!   typed messages (`init → (send, receive, decide?)* → decide`). This
+//!   is the execution contract every distributed algorithm implements.
+//! * [`Decider`] — the view-function special case: a function from the
+//!   [`LocalView`] (everything a vertex can know after `k` rounds) to a
+//!   decision. A blanket adapter makes every `Decider` a
+//!   `LocalAlgorithm` running the full-information protocol, so
+//!   adaptive algorithms stay one `fn` long.
+//! * [`Runtime`] — the pluggable execution engine, with three
+//!   interchangeable backends selected by [`RuntimeKind`]:
+//!   [`MessagePassingRuntime`] (faithful message passing, bits
+//!   accounted), [`OracleRuntime`] (states computed directly via
+//!   projection or ball replay), and [`ShardedOracleRuntime`] (oracle
+//!   semantics on scoped worker threads with pooled scratch).
+//! * [`IdPolicy`] / [`IdAssignment`] — the identifier-assignment axis:
+//!   sequential, seeded-shuffled, or degree-adversarial permutations.
 //!
-//! and nothing more. A LOCAL algorithm is therefore a function from this
-//! *view* to an output, plus a stopping rule. Algorithms implement the
-//! [`Decider`] trait: given the current [`LocalView`] they either decide
-//! or wait another round.
-//!
-//! Three interchangeable runtimes execute a [`Decider`]:
-//!
-//! * [`run_message_passing`] — a real message-passing execution (views are
-//!   merged along edges each round; message sizes are accounted),
-//! * [`run_oracle`] — computes each round's views directly from the graph
-//!   (provably the same views; property-tested against the above),
-//! * [`run_parallel`] — the oracle semantics executed on a thread pool
-//!   (crossbeam), bit-identical outputs.
+//! The fundamental fact the oracle backends are built around: after `k`
+//! rounds a vertex `v` can know exactly the identifiers of `N^k[v]` and
+//! all edges incident to `N^{k-1}[v]`, and nothing more — so a vertex's
+//! state is computable from its `k`-ball alone, either by projecting
+//! the view directly ([`oracle_view`]) or by replaying the state
+//! machine inside the ball. All backends are bit-identical on
+//! deterministic algorithms; the [`RunResult`] additionally reports
+//! decision rounds, the decided-at histogram, and — on the
+//! message-passing backend — measured message bits
+//! ([`MessageAccounting`]).
 //!
 //! # Example
 //!
 //! ```
 //! use lmds_graph::Graph;
-//! use lmds_localsim::{Decider, IdAssignment, LocalView, run_oracle};
+//! use lmds_localsim::{
+//!     Decider, IdAssignment, LocalView, MessageAccounting, MessagePassingRuntime,
+//!     OracleRuntime, Runtime,
+//! };
 //!
 //! /// Decide the degree: needs 1 round (vertices start without it).
 //! struct DegreeAlgo;
@@ -45,30 +60,43 @@
 //!
 //! let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
 //! let ids = IdAssignment::sequential(4);
-//! let res = run_oracle(&g, &ids, &DegreeAlgo, 16).unwrap();
+//! let res = OracleRuntime.run(&g, &ids, &DegreeAlgo, 16).unwrap();
 //! assert_eq!(res.rounds, 1);
 //! assert_eq!(res.outputs, vec![1, 2, 2, 1]);
+//! // The oracle computed states without exchanging messages:
+//! assert_eq!(res.messages, MessageAccounting::NotApplicable);
+//! // The message-passing backend measures real bits, bit-identically:
+//! let mp = MessagePassingRuntime.run(&g, &ids, &DegreeAlgo, 16).unwrap();
+//! assert_eq!(mp.outputs, res.outputs);
+//! assert!(mp.messages.total_bits().unwrap() > 0);
 //! ```
 
+pub mod algorithm;
 pub mod ids;
 pub mod runtime;
 pub mod view;
 
-pub use ids::IdAssignment;
+pub use algorithm::{LocalAlgorithm, NodeCtx};
+pub use ids::{IdAssignment, IdPolicy};
 pub use runtime::{
-    fits_congest, run_message_passing, run_oracle, run_parallel, RunResult, RuntimeError,
+    fits_congest, oracle_view, MessageAccounting, MessagePassingRuntime, OracleRuntime, RunResult,
+    Runtime, RuntimeError, RuntimeKind, ShardedOracleRuntime,
 };
 pub use view::LocalView;
 
 /// A LOCAL algorithm expressed as a view-to-decision function.
 ///
-/// `decide` is called after every round (including round 0, when the view
-/// contains only the vertex itself). Returning `Some` fixes the node's
-/// output; the runtime keeps the node relaying messages afterwards (as a
-/// real network would) but records its decision round.
+/// `decide` is called after every round (including round 0, when the
+/// view contains only the vertex itself). Returning `Some` fixes the
+/// node's output; the runtime keeps the node relaying messages
+/// afterwards (as a real network would) but records its decision round.
 ///
-/// Implementations must be deterministic functions of the view — this is
-/// what makes the three runtimes interchangeable.
+/// Implementations must be deterministic functions of the view — this
+/// is what makes the runtimes interchangeable. Every `Decider` is a
+/// [`LocalAlgorithm`] through the blanket adapter in
+/// [`algorithm`]: state and message are both the view (the
+/// full-information protocol), and oracle backends shortcut it through
+/// [`oracle_view`].
 pub trait Decider: Sync {
     /// Per-node output type.
     type Output: Clone + Send;

@@ -23,7 +23,7 @@ fn main() {
     println!("registered solvers: {:?}", registry.keys());
 
     // Theorem 4.4: 3 rounds, ratio ≤ 2t−1 — run on the LOCAL simulator.
-    let cfg44 = SolveConfig::mds().mode(ExecutionMode::LocalOracle).measure_ratio(true);
+    let cfg44 = SolveConfig::mds().mode(ExecutionMode::LOCAL_ORACLE).measure_ratio(true);
     let d2 = registry.solve("mds/theorem44", &instance, &cfg44).expect("thm 4.4");
     assert!(d2.is_valid());
     println!(

@@ -33,7 +33,7 @@ fn main() {
     );
 
     let registry = SolverRegistry::with_defaults();
-    let cfg = SolveConfig::mds().mode(ExecutionMode::LocalMessagePassing);
+    let cfg = SolveConfig::mds().mode(ExecutionMode::LOCAL_MESSAGE_PASSING);
     let run = registry
         .solve("mds/theorem44", &instance, &cfg)
         .expect("theorem 4.4 terminates in 3 rounds");
@@ -48,8 +48,10 @@ fn main() {
     );
     println!(
         "largest single message: {} bits; total radio traffic: {} bits",
-        stats.max_message_bits, stats.total_message_bits
+        stats.max_message_bits().expect("message passing measures bits"),
+        stats.total_message_bits().expect("message passing measures bits")
     );
+    println!("election profile (sensors decided per radio round): {:?}", stats.decided_at);
     println!(
         "duty-cycle win: {:.1}% of sensors can sleep",
         100.0 * (1.0 - coordinators.len() as f64 / instance.n() as f64)

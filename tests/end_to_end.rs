@@ -9,7 +9,9 @@ use lmds_core::{algorithm1, theorem44_mds, theorem44_mvc, Radii};
 use lmds_graph::dominating::is_dominating_set;
 use lmds_graph::vertex_cover::is_vertex_cover;
 use lmds_graph::Graph;
-use lmds_localsim::{run_message_passing, run_oracle, run_parallel, IdAssignment};
+use lmds_localsim::{
+    IdAssignment, MessagePassingRuntime, OracleRuntime, Runtime, ShardedOracleRuntime,
+};
 
 fn workload() -> Vec<(String, Graph)> {
     let mut out: Vec<(String, Graph)> = vec![
@@ -48,7 +50,7 @@ fn theorem44_end_to_end() {
                 s
             };
             assert!(is_dominating_set(&g, &central), "{name}: centralized invalid");
-            let res = run_oracle(&g, &ids, &Theorem44Decider, 10).unwrap();
+            let res = OracleRuntime.run(&g, &ids, &Theorem44Decider, 10).unwrap();
             let distributed: Vec<usize> =
                 res.outputs.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect();
             assert_eq!(central, distributed, "{name} seed={seed}");
@@ -65,7 +67,7 @@ fn algorithm1_end_to_end() {
         let central = algorithm1(&g, &ids, radii);
         assert!(is_dominating_set(&g, &central.solution), "{name}");
         let decider = Algorithm1Decider { radii };
-        let res = run_oracle(&g, &ids, &decider, (2 * g.n() + 40) as u32).unwrap();
+        let res = OracleRuntime.run(&g, &ids, &decider, (2 * g.n() + 40) as u32).unwrap();
         let distributed: Vec<usize> =
             res.outputs.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect();
         assert_eq!(central.solution, distributed, "{name}");
@@ -78,9 +80,9 @@ fn all_three_runtimes_agree() {
     let ids = IdAssignment::shuffled(g.n(), 5);
     let dec = Algorithm1Decider { radii: Radii::practical(2, 2) };
     let cap = (2 * g.n() + 40) as u32;
-    let a = run_oracle(&g, &ids, &dec, cap).unwrap();
-    let b = run_message_passing(&g, &ids, &dec, cap).unwrap();
-    let c = run_parallel(&g, &ids, &dec, cap, 3).unwrap();
+    let a = OracleRuntime.run(&g, &ids, &dec, cap).unwrap();
+    let b = MessagePassingRuntime.run(&g, &ids, &dec, cap).unwrap();
+    let c = ShardedOracleRuntime { threads: 3 }.run(&g, &ids, &dec, cap).unwrap();
     assert_eq!(a.outputs, b.outputs);
     assert_eq!(a.outputs, c.outputs);
     assert_eq!(a.decided_at, b.decided_at);
@@ -93,7 +95,7 @@ fn mvc_end_to_end() {
         let ids = IdAssignment::shuffled(g.n(), 1);
         let quick = theorem44_mvc(&g, &ids);
         assert!(is_vertex_cover(&g, &quick), "{name}: thm44 mvc invalid");
-        let res = run_oracle(&g, &ids, &Theorem44MvcDecider, 10).unwrap();
+        let res = OracleRuntime.run(&g, &ids, &Theorem44MvcDecider, 10).unwrap();
         let distributed: Vec<usize> =
             res.outputs.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect();
         let mut central = quick.clone();
@@ -109,7 +111,7 @@ fn trees_folklore_end_to_end() {
     for seed in 0..5u64 {
         let g = lmds_gen::trees::random_tree(40, seed);
         let ids = IdAssignment::shuffled(g.n(), seed);
-        let res = run_oracle(&g, &ids, &TreesFolkloreDecider, 10).unwrap();
+        let res = OracleRuntime.run(&g, &ids, &TreesFolkloreDecider, 10).unwrap();
         let sol: Vec<usize> =
             res.outputs.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect();
         assert!(is_dominating_set(&g, &sol));

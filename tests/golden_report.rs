@@ -13,15 +13,33 @@
 
 use lmds_bench::{render_json, EXPERIMENTS};
 
-#[test]
-fn table1_json_matches_the_golden_snapshot() {
-    let (name, build) =
-        EXPERIMENTS.iter().find(|(n, _)| *n == "table1").expect("table1 is a stable experiment");
+fn assert_matches_golden(experiment: &str, golden: &str) {
+    let (name, build) = EXPERIMENTS
+        .iter()
+        .find(|(n, _)| *n == experiment)
+        .unwrap_or_else(|| panic!("{experiment} is a stable experiment"));
     let json = render_json(&[(name.to_string(), build())]);
-    let golden = include_str!("golden/table1.json");
     assert_eq!(
         json, golden,
-        "table1 --json output drifted from tests/golden/table1.json; if the change is \
-         intentional, regenerate the snapshot (see module docs)"
+        "{experiment} --json output drifted from its tests/golden/ snapshot; if the \
+         change is intentional, regenerate the snapshot (see module docs)"
     );
+}
+
+#[test]
+fn table1_json_matches_the_golden_snapshot() {
+    assert_matches_golden("table1", include_str!("golden/table1.json"));
+}
+
+/// The LOCAL-sweep report is the round/message-bit regression gate:
+/// rounds, measured bits, n/a markers, and decided-at histograms are
+/// all deterministic, so any runtime or message-format drift lands
+/// here. Bless with:
+/// ```text
+/// cargo run --release --bin reproduce -- --experiment local-sweep \
+///     --json tests/golden/local_sweep.json --csv-dir /tmp/csv
+/// ```
+#[test]
+fn local_sweep_json_matches_the_golden_snapshot() {
+    assert_matches_golden("local-sweep", include_str!("golden/local_sweep.json"));
 }

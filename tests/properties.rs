@@ -244,12 +244,12 @@ fn interesting_cut_families_are_legal() {
 #[test]
 fn mvc_distributed_matches_centralized() {
     use lmds_core::distributed::MvcAlgorithm1Decider;
-    use lmds_localsim::run_oracle;
+    use lmds_localsim::{OracleRuntime, Runtime};
     let radii = Radii::practical(2, 2);
     for (seed, g) in corpus().into_iter().step_by(2) {
         let ids = IdAssignment::shuffled(g.n(), seed);
         let decider = MvcAlgorithm1Decider { radii };
-        let res = run_oracle(&g, &ids, &decider, (2 * g.n() + 40) as u32).unwrap();
+        let res = OracleRuntime.run(&g, &ids, &decider, (2 * g.n() + 40) as u32).unwrap();
         let dist: Vec<usize> =
             res.outputs.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect();
         let central = lmds_core::mvc::algorithm1_mvc(&g, &ids, radii);

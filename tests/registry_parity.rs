@@ -106,7 +106,7 @@ fn every_execution_mode_agrees_with_centralized() {
     ];
     for &key in &registry.keys() {
         let solver = registry.get(key).expect("registered");
-        if !solver.modes().contains(&ExecutionMode::LocalOracle) {
+        if !solver.modes().contains(&ExecutionMode::LOCAL_ORACLE) {
             continue; // centralized-only (exact baselines)
         }
         for (name, g) in &graphs {
@@ -116,9 +116,9 @@ fn every_execution_mode_agrees_with_centralized() {
                 .solve(key, &inst, &base_cfg)
                 .unwrap_or_else(|e| panic!("{key} centralized on {name}: {e}"));
             for mode in [
-                ExecutionMode::LocalOracle,
-                ExecutionMode::LocalMessagePassing,
-                ExecutionMode::Parallel,
+                ExecutionMode::LOCAL_ORACLE,
+                ExecutionMode::LOCAL_MESSAGE_PASSING,
+                ExecutionMode::LOCAL_SHARDED,
             ] {
                 let cfg = config_for(&registry, key).mode(mode).threads(3);
                 let sol = registry
@@ -129,9 +129,19 @@ fn every_execution_mode_agrees_with_centralized() {
                     "{key} on {name}: {mode} diverges from centralized"
                 );
                 assert!(sol.rounds.is_some(), "{key} {mode}: distributed runs report rounds");
-                if mode == ExecutionMode::LocalMessagePassing {
-                    assert!(sol.messages.is_some(), "{key}: message stats missing");
-                }
+                let stats = sol.messages.as_ref().unwrap_or_else(|| {
+                    panic!("{key} {mode}: every distributed run carries MessageStats")
+                });
+                assert_eq!(
+                    mode == ExecutionMode::LOCAL_MESSAGE_PASSING,
+                    stats.accounting.is_measured(),
+                    "{key} {mode}: only message passing measures bits"
+                );
+                assert_eq!(
+                    stats.decided_at.iter().sum::<usize>(),
+                    inst.n(),
+                    "{key} {mode}: histogram covers every vertex"
+                );
             }
         }
     }

@@ -8,7 +8,10 @@
 //! repeated solves through one thread's warmed scratch pool must not
 //! drift.
 
-use lmds_api::{BatchJob, BatchRunner, Instance, SolveConfig, SolverRegistry};
+use lmds_api::{
+    BatchJob, BatchRunner, ExecutionMode, IdPolicy, Instance, RuntimeKind, SolveConfig,
+    SolverRegistry,
+};
 use lmds_asdim::ControlFunction;
 use lmds_core::Radii;
 use lmds_gen::ding::AugmentationSpec;
@@ -162,6 +165,94 @@ fn paper_ratio_bounds_hold_against_the_exact_solvers() {
             );
         }
     }
+}
+
+/// The runtime-equivalence contract: for every distributed registry
+/// solver, the message-passing, oracle, and sharded-oracle backends
+/// must produce bit-identical outputs, identical round counts, and
+/// identical decided-at histograms — under the instance's own ids and
+/// under every scenario id policy — and only message passing may claim
+/// measured bits.
+#[test]
+fn distributed_backends_are_bit_identical_across_id_policies() {
+    let registry = SolverRegistry::with_defaults();
+    let policies: [Option<IdPolicy>; 4] = [
+        None, // the instance's own (shuffled) assignment
+        Some(IdPolicy::Sequential),
+        Some(IdPolicy::Shuffled { seed: 7 }),
+        Some(IdPolicy::Adversarial { seed: 7 }),
+    ];
+    for (_, inst) in corpus().into_iter().step_by(3) {
+        for &key in &registry.keys() {
+            let solver = registry.get(key).expect("registered");
+            if !solver.modes().contains(&ExecutionMode::LOCAL_ORACLE) {
+                continue; // centralized-only (exact baselines)
+            }
+            for policy in policies {
+                let mut reference = None;
+                for kind in RuntimeKind::ALL {
+                    let mut cfg =
+                        config_for(&registry, key).mode(ExecutionMode::Local(kind)).threads(3);
+                    if let Some(p) = policy {
+                        cfg = cfg.id_policy(p);
+                    }
+                    let sol = registry
+                        .solve(key, &inst, &cfg)
+                        .unwrap_or_else(|e| panic!("{key} {kind} on {}: {e}", inst.name));
+                    assert!(sol.is_valid(), "{key} {kind} on {} {policy:?}", inst.name);
+                    let stats = sol.messages.clone().expect("distributed runs carry stats");
+                    assert_eq!(
+                        kind.measures_messages(),
+                        stats.accounting.is_measured(),
+                        "{key} {kind} on {}",
+                        inst.name
+                    );
+                    assert_eq!(
+                        stats.decided_at.iter().sum::<usize>(),
+                        inst.n(),
+                        "{key} {kind} on {}: histogram must cover every vertex",
+                        inst.name
+                    );
+                    let profile = (sol.vertices.clone(), sol.rounds, stats.decided_at);
+                    match &reference {
+                        None => reference = Some(profile),
+                        Some(r) => assert_eq!(
+                            r, &profile,
+                            "{key} on {} under {policy:?}: {kind} diverges",
+                            inst.name
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Validity is id-independent, but the chosen set may differ between
+/// policies — the adversarial policy exists to exercise exactly that.
+/// On a twin-rich graph (a clique: every vertex is a true twin) the
+/// twin reduction keeps exactly the minimum-id vertex, so the policy
+/// knob must be visible in the output (otherwise it is dead).
+#[test]
+fn adversarial_policy_changes_some_solution() {
+    let registry = SolverRegistry::with_defaults();
+    let mut differs = false;
+    for seed in 0..8u64 {
+        let inst = Instance::sequential(format!("k6_s{seed}"), lmds_gen::basic::complete(6));
+        let base = config_for(&registry, "mds/theorem44").mode(ExecutionMode::LOCAL_ORACLE);
+        let seq = registry
+            .solve("mds/theorem44", &inst, &base.clone().id_policy(IdPolicy::Sequential))
+            .expect("sequential run");
+        let adv = registry
+            .solve("mds/theorem44", &inst, &base.id_policy(IdPolicy::Adversarial { seed }))
+            .expect("adversarial run");
+        assert!(seq.is_valid() && adv.is_valid(), "{}", inst.name);
+        assert_eq!(seq.vertices, vec![0], "sequential ids keep vertex 0 of the clique");
+        if seq.vertices != adv.vertices {
+            differs = true;
+        }
+    }
+    assert!(differs, "the adversarial id policy never changed an outcome");
 }
 
 #[test]
