@@ -3,14 +3,24 @@
 //! registry solver on representative workloads via the uniform
 //! `Solver::solve` path and prints a markdown table.
 //!
-//! `--kernel` switches to the graph-kernel benches (ball queries, twin
-//! reduction, full registry sweep) used to track the CSR/scratch
-//! substrate; their before/after numbers are recorded in
-//! `results/kernel_speedup.md`.
+//! Sections (combinable; without any flag the registry-solver table
+//! runs):
+//!
+//! * `--kernel` — the graph-kernel benches (ball queries, twin
+//!   reduction, full registry sweep) tracking the CSR/scratch
+//!   substrate; before/after numbers in `results/kernel_speedup.md`.
+//! * `--local` — the LOCAL runtime backends on representative
+//!   explicit-round and adaptive solvers; committed numbers in
+//!   `results/local_microbench.md`.
+//! * `--cuts` — the `CutEngine` benches: the Definition-2.1 predicate
+//!   sweeps and the full Algorithm 1 pipeline on instances up to two
+//!   orders of magnitude past the pre-engine ceiling, plus naive
+//!   reference rows on the small instance; before/after numbers in
+//!   `results/cut_engine_speedup.md`.
 //!
 //! Usage:
 //! ```text
-//! microbench [--iters <n>] [--kernel]
+//! microbench [--iters <n>] [--kernel] [--local] [--cuts]
 //! ```
 
 use lmds_api::{BatchJob, BatchRunner, ExecutionMode, Instance, SolveConfig, SolverRegistry};
@@ -189,8 +199,17 @@ fn local_benches(iters: u32) -> Table {
         lmds_gen::ding::AugmentationSpec::standard(6, 3, 2, 3).generate(),
         3,
     );
-    let cases: Vec<(&str, &Instance)> =
-        vec![("mds/theorem44", &outer), ("mds/trees-folklore", &tree), ("mds/algorithm1", &aug)];
+    // The engine-scale instance: one order of magnitude past the n=41
+    // augmentation. Message passing is included — its views stay
+    // bounded on strip-heavy augmentations, so flooding is affordable
+    // here (unlike the n ≥ 1000 tier, covered by `local-sweep-large`).
+    let aug_big = lmds_bench::large_augmentation(520, 11);
+    let cases: Vec<(&str, &Instance)> = vec![
+        ("mds/theorem44", &outer),
+        ("mds/trees-folklore", &tree),
+        ("mds/algorithm1", &aug),
+        ("mds/algorithm1", &aug_big),
+    ];
     for (key, inst) in cases {
         for kind in RuntimeKind::ALL {
             let cfg = SolveConfig::mds()
@@ -228,27 +247,132 @@ fn local_benches(iters: u32) -> Table {
     t
 }
 
+/// The `CutEngine` benches (`--cuts`): the Definition-2.1 predicate
+/// sweeps (`X`, `I`, all local 2-cuts) and the full centralized
+/// Algorithm 1 pipeline, on the pre-engine n=41 augmentation and on the
+/// engine-scale instances (n ≥ 500 augmentations, n ≥ 1000
+/// outerplanar). The n=41 rows get a paired "(naive)" row running the
+/// reference predicates, so the shared-work win is measured by the same
+/// harness; on the large instances the naive path is far too slow to
+/// rerun per invocation — the committed before numbers live in
+/// `results/cut_engine_speedup.md`.
+fn cuts_benches(iters: u32) -> Table {
+    use lmds_core::local_cuts::{self, CutEngine};
+    let mut t = Table::new(
+        &format!("microbench --cuts — CutEngine predicate sweeps, {iters} iterations (µs)"),
+        &["bench", "instance", "n", "checksum", "best (µs)", "mean (µs)"],
+    );
+    let radii = Radii::practical(2, 3);
+    let small = Instance::shuffled(
+        "augmentation",
+        lmds_gen::ding::AugmentationSpec::standard(6, 3, 2, 3).generate(),
+        3,
+    );
+    let instances = vec![
+        small.clone(),
+        lmds_bench::large_augmentation(520, 11),
+        lmds_bench::large_augmentation(1040, 12),
+        Instance::sequential(
+            "outerplanar1200",
+            lmds_gen::outerplanar::random_outerplanar(1200, 25, 7),
+        ),
+    ];
+    let registry = SolverRegistry::with_defaults();
+    for inst in &instances {
+        let g = &inst.graph;
+        let mut engine = CutEngine::new();
+        let (best, mean, sum) =
+            time_fn(iters, || engine.one_cut_mask(g, radii.one_cut).iter().filter(|&&m| m).count());
+        t.push_row(vec![
+            "X sweep (one_cut_mask)".into(),
+            inst.name.clone(),
+            g.n().to_string(),
+            sum.to_string(),
+            format!("{best:.1}"),
+            format!("{mean:.1}"),
+        ]);
+        let (best, mean, sum) = time_fn(iters, || {
+            engine.interesting_mask(g, radii.two_cut).iter().filter(|&&m| m).count()
+        });
+        t.push_row(vec![
+            "I sweep (interesting_mask)".into(),
+            inst.name.clone(),
+            g.n().to_string(),
+            sum.to_string(),
+            format!("{best:.1}"),
+            format!("{mean:.1}"),
+        ]);
+        let (best, mean, sum) = time_fn(iters, || engine.two_cuts(g, radii.two_cut).len());
+        t.push_row(vec![
+            "all local 2-cuts (two_cuts)".into(),
+            inst.name.clone(),
+            g.n().to_string(),
+            sum.to_string(),
+            format!("{best:.1}"),
+            format!("{mean:.1}"),
+        ]);
+        let cfg = SolveConfig::mds().radii(radii);
+        let (best, mean, size) = time_case(&registry, "mds/algorithm1", inst, &cfg, iters);
+        t.push_row(vec![
+            "pipeline (mds/algorithm1, centralized)".into(),
+            inst.name.clone(),
+            inst.n().to_string(),
+            size.to_string(),
+            format!("{best:.1}"),
+            format!("{mean:.1}"),
+        ]);
+    }
+    // Naive reference rows on the small instance only.
+    let g = &small.graph;
+    let (best, mean, sum) = time_fn(iters, || {
+        g.vertices().filter(|&v| local_cuts::is_local_one_cut(g, v, radii.one_cut)).count()
+    });
+    t.push_row(vec![
+        "X sweep (naive reference)".into(),
+        small.name.clone(),
+        g.n().to_string(),
+        sum.to_string(),
+        format!("{best:.1}"),
+        format!("{mean:.1}"),
+    ]);
+    let (best, mean, sum) = time_fn(iters, || {
+        g.vertices().filter(|&v| local_cuts::is_interesting(g, v, radii.two_cut)).count()
+    });
+    t.push_row(vec![
+        "I sweep (naive reference)".into(),
+        small.name.clone(),
+        g.n().to_string(),
+        sum.to_string(),
+        format!("{best:.1}"),
+        format!("{mean:.1}"),
+    ]);
+    t
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iters = 10u32;
     let mut kernel = false;
     let mut local = false;
+    let mut cuts = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--iters" => {
                 i += 1;
-                iters = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| {
-                        eprintln!("usage: microbench [--iters <n>] [--kernel] [--local]  (n ≥ 1)");
-                        std::process::exit(2);
-                    });
+                iters =
+                    args.get(i).and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(
+                        || {
+                            eprintln!(
+                            "usage: microbench [--iters <n>] [--kernel] [--local] [--cuts]  (n ≥ 1)"
+                        );
+                            std::process::exit(2);
+                        },
+                    );
             }
             "--kernel" => kernel = true,
             "--local" => local = true,
+            "--cuts" => cuts = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -257,12 +381,17 @@ fn main() {
         i += 1;
     }
 
-    if kernel {
-        print!("{}", render_markdown(&kernel_benches(iters)));
-        return;
-    }
-    if local {
-        print!("{}", render_markdown(&local_benches(iters)));
+    // Sections are combinable (the CI smoke step runs all three).
+    if kernel || local || cuts {
+        if kernel {
+            print!("{}", render_markdown(&kernel_benches(iters)));
+        }
+        if local {
+            print!("{}", render_markdown(&local_benches(iters)));
+        }
+        if cuts {
+            print!("{}", render_markdown(&cuts_benches(iters)));
+        }
         return;
     }
 

@@ -947,6 +947,93 @@ pub fn exp_local_sweep() -> Table {
     t
 }
 
+/// The large-instance augmentation family for the engine-scale sweeps:
+/// a small base with many long fans and strips, so `n` grows by an
+/// order of magnitude while balls (and hence LOCAL views) stay bounded
+/// — the regime Lemma 4.2 is about.
+pub fn large_augmentation(target_n: usize, seed: u64) -> Instance {
+    let strips = target_n / 120;
+    let spec = AugmentationSpec {
+        base_n: 10,
+        base_density_percent: 30,
+        fans: 4,
+        fan_len: (8, 16),
+        strips,
+        strip_len: (55, 65),
+        seed,
+    };
+    Instance::sequential(format!("aug{target_n}"), spec.generate())
+}
+
+/// S2 — the large-instance LOCAL sweep the `CutEngine` unlocks:
+/// `mds/algorithm1` on instances one to two orders of magnitude past
+/// the previous n≈41 ceiling (n ≥ 500 and n ≥ 1000 augmentations, and
+/// an n ≥ 1000 sparse outerplanar graph), on both oracle backends,
+/// asserting bit-identical outputs across them.
+///
+/// The message-passing backend is deliberately excluded here: its
+/// per-round view floods cost `O(Σ_v |view_v| · deg(v))` and dominate
+/// the sweep at this scale without testing anything the small-instance
+/// [`exp_local_sweep`] rows do not already pin down (all three backends
+/// are asserted bit-identical there). This experiment also stays out of
+/// the golden suite — the pre-existing `local-sweep` snapshot is the
+/// drift gate and remains byte-identical.
+pub fn exp_local_sweep_large() -> Table {
+    use lmds_api::RuntimeKind;
+    let mut t = Table::new(
+        "S2 / local-sweep-large — Algorithm 1 at engine scale (n ≥ 500): oracle backends, bit-identical outputs",
+        &["solver", "runtime", "instance", "n", "|S|", "rounds", "decided/round", "wall (ms)"],
+    );
+    let instances = vec![
+        large_augmentation(520, 11),
+        large_augmentation(1040, 12),
+        Instance::sequential(
+            "outerplanar1200",
+            lmds_gen::outerplanar::random_outerplanar(1200, 25, 7),
+        ),
+    ];
+    for inst in &instances {
+        let mut reference: Option<(Vec<usize>, Option<u32>)> = None;
+        for kind in [RuntimeKind::Oracle, RuntimeKind::ShardedOracle] {
+            let cfg = SolveConfig::mds()
+                .mode(ExecutionMode::Local(kind))
+                .radii(Radii::practical(2, 2))
+                .threads(4);
+            let sol = solve("mds/algorithm1", inst, &cfg);
+            assert!(sol.is_valid(), "mds/algorithm1 {kind} on {}", inst.name);
+            match &reference {
+                None => reference = Some((sol.vertices.clone(), sol.rounds)),
+                Some((verts, rounds)) => assert_eq!(
+                    (verts, rounds),
+                    (&sol.vertices, &sol.rounds),
+                    "mds/algorithm1 on {}: {kind} diverges",
+                    inst.name
+                ),
+            }
+            let stats = sol.messages.as_ref().expect("distributed run");
+            let hist = stats
+                .decided_at
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(r, &c)| format!("{r}:{c}"))
+                .collect::<Vec<_>>()
+                .join("|");
+            t.push_row(vec![
+                "mds/algorithm1".into(),
+                kind.to_string(),
+                inst.name.clone(),
+                inst.n().to_string(),
+                sol.size().to_string(),
+                sol.rounds.expect("distributed").to_string(),
+                hist,
+                sol.wall.as_millis().to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 /// A table-building experiment entry point.
 pub type ExperimentFn = fn() -> Table;
 
@@ -956,6 +1043,7 @@ pub type ExperimentFn = fn() -> Table;
 pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("registry", exp_registry_sweep),
     ("local-sweep", exp_local_sweep),
+    ("local-sweep-large", exp_local_sweep_large),
     ("table1", exp_table1),
     ("lemma32", exp_lemma32),
     ("lemma33", exp_lemma33),

@@ -123,21 +123,19 @@ pub fn pipeline_state_with(
     let rg = &reduced.graph;
     let rn = rg.n();
 
-    let mut x = vec![false; rn];
-    for (v, xv) in x.iter_mut().enumerate() {
-        *xv = local_cuts::is_local_one_cut(rg, v, radii.one_cut);
-    }
-    let mut i = vec![false; rn];
-    if opts.interesting_filter {
-        for (v, iv) in i.iter_mut().enumerate() {
-            *iv = local_cuts::is_interesting(rg, v, radii.two_cut);
-        }
-    } else {
-        for (a, b) in local_cuts::local_two_cuts(rg, radii.two_cut) {
-            i[a] = true;
-            i[b] = true;
-        }
-    }
+    // Both masks ride the shared-work CutEngine (balls once, each
+    // unordered pair once, sharded outer loops on large quotients); the
+    // thread-local pool reuses one engine per worker across the many
+    // per-view calls the adaptive LOCAL deciders make.
+    let (x, i) = local_cuts::with_thread_engine(|engine| {
+        let x = engine.one_cut_mask(rg, radii.one_cut);
+        let i = if opts.interesting_filter {
+            engine.interesting_mask(rg, radii.two_cut)
+        } else {
+            engine.two_cut_endpoint_mask(rg, radii.two_cut)
+        };
+        (x, i)
+    });
     let s: Vec<bool> = (0..rn).map(|v| x[v] || i[v]).collect();
     let mut dominated = vec![false; rn];
     for v in 0..rn {
@@ -180,15 +178,24 @@ pub fn solve_component_with(
     if targets_r.is_empty() {
         return Vec::new();
     }
-    // Canonical ordering: component sorted by identifier.
+    // Canonical ordering: component sorted by identifier. Membership
+    // is a binary search over a sorted copy plus a dense rank Vec — no
+    // hashing on this hot loop, and (like the old HashMap index) any
+    // input order of `comp` works.
     let mut order: Vec<Vertex> = comp.to_vec();
     order.sort_by_key(|&v| ids[state.reduced.to_host(v)]);
-    let index_of: std::collections::HashMap<Vertex, usize> =
-        order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut sorted: Vec<Vertex> = comp.to_vec();
+    sorted.sort_unstable();
+    let mut rank = vec![0usize; sorted.len()];
+    for (li, &v) in order.iter().enumerate() {
+        let j = sorted.binary_search(&v).expect("order permutes comp");
+        rank[j] = li;
+    }
+    let index_of = |w: Vertex| sorted.binary_search(&w).ok().map(|j| rank[j]);
     let mut local_edges = Vec::new();
     for (li, &v) in order.iter().enumerate() {
         for &w in rg.neighbors(v) {
-            if let Some(&lj) = index_of.get(&w) {
+            if let Some(lj) = index_of(w) {
                 if li < lj {
                     local_edges.push((li, lj));
                 }
@@ -196,7 +203,8 @@ pub fn solve_component_with(
         }
     }
     let local = Graph::from_edges(order.len(), &local_edges);
-    let targets_local: Vec<Vertex> = targets_r.iter().map(|v| index_of[v]).collect();
+    let targets_local: Vec<Vertex> =
+        targets_r.iter().map(|v| index_of(*v).expect("targets lie inside the component")).collect();
     let sol_local = if exact {
         exact_b_dominating(&local, &targets_local, None)
             .expect("component instance is feasible: targets dominate themselves")

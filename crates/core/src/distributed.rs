@@ -865,15 +865,14 @@ impl Decider for MvcAlgorithm1Decider {
         let center = view.center_index();
         let dist = bfs::bfs_distances(&vg, center);
         // S = local 1-cuts ∪ all local-2-cut vertices (computed on the
-        // view; trusted within depth k − margin).
-        let mut in_s = vec![false; vg.n()];
-        for v in vg.vertices() {
-            in_s[v] = crate::local_cuts::is_local_one_cut(&vg, v, self.radii.one_cut);
-        }
-        for (a, b) in crate::local_cuts::local_two_cuts(&vg, self.radii.two_cut) {
-            in_s[a] = true;
-            in_s[b] = true;
-        }
+        // view; trusted within depth k − margin). Both masks ride the
+        // shared-work CutEngine, reused across rounds through the
+        // thread-local pool.
+        let in_s: Vec<bool> = crate::local_cuts::with_thread_engine(|engine| {
+            let one = engine.one_cut_mask(&vg, self.radii.one_cut);
+            let two = engine.two_cut_endpoint_mask(&vg, self.radii.two_cut);
+            one.into_iter().zip(two).map(|(a, b)| a || b).collect()
+        });
         if in_s[center] {
             return Some(true);
         }
@@ -905,26 +904,28 @@ impl Decider for MvcAlgorithm1Decider {
             }
         }
         // Canonical instance: component sorted by identifier, uncovered
-        // edges only.
+        // edges only. Dense Vec-based index over view vertices instead
+        // of a per-call HashMap.
         comp.sort_by_key(|&v| vids[v]);
-        let index_of: std::collections::HashMap<usize, usize> =
-            comp.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut local_index = vec![usize::MAX; vg.n()];
+        for (li, &v) in comp.iter().enumerate() {
+            local_index[v] = li;
+        }
         let mut local_edges = Vec::new();
         for (li, &v) in comp.iter().enumerate() {
             for &w in vg.neighbors(v) {
                 if in_s[v] || in_s[w] {
                     continue;
                 }
-                if let Some(&lj) = index_of.get(&w) {
-                    if li < lj {
-                        local_edges.push((li, lj));
-                    }
+                let lj = local_index[w];
+                if lj != usize::MAX && li < lj {
+                    local_edges.push((li, lj));
                 }
             }
         }
         let local = lmds_graph::Graph::from_edges(comp.len(), &local_edges);
         let sol = lmds_graph::vertex_cover::exact_vertex_cover(&local);
-        let my_local = index_of[&center];
+        let my_local = local_index[center];
         Some(sol.binary_search(&my_local).is_ok())
     }
 }

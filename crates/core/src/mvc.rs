@@ -27,13 +27,14 @@ pub struct MvcOutput {
 
 /// Algorithm 1 for MVC, centralized reference.
 pub fn algorithm1_mvc(g: &Graph, ids: &IdAssignment, radii: Radii) -> MvcOutput {
-    let x_set = local_cuts::local_one_cut_vertices(g, radii.one_cut);
-    let mut two_cut_set: Vec<Vertex> = local_cuts::local_two_cuts(g, radii.two_cut)
-        .into_iter()
-        .flat_map(|(a, b)| [a, b])
-        .collect();
-    two_cut_set.sort_unstable();
-    two_cut_set.dedup();
+    // Both sweeps through one pooled CutEngine: the endpoint mask is
+    // the deduplicated pair union directly (with the engine's pair
+    // pruning and sharding), no flatten/sort/dedup pass.
+    let (x_set, two_cut_set) = local_cuts::with_thread_engine(|engine| {
+        let x = local_cuts::mask_to_vertices(&engine.one_cut_mask(g, radii.one_cut));
+        let two = local_cuts::mask_to_vertices(&engine.two_cut_endpoint_mask(g, radii.two_cut));
+        (x, two)
+    });
 
     let mut in_s = vec![false; g.n()];
     for &v in x_set.iter().chain(&two_cut_set) {
@@ -62,22 +63,27 @@ pub fn algorithm1_mvc(g: &Graph, ids: &IdAssignment, radii: Radii) -> MvcOutput 
             sub.graph.edges().filter(|&(a, b)| !in_s[sub.to_host(a)] && !in_s[sub.to_host(b)]),
         )
         .expect("residual edges come from a valid graph");
+        let mut local_index = vec![usize::MAX; h.n()];
         for comp in lmds_graph::connectivity::connected_components(&h) {
             if comp.len() < 2 && h.degree(comp[0]) == 0 {
                 continue;
             }
-            // Canonical id order within the component.
+            // Canonical id order within the component; dense Vec-based
+            // index over the residual vertices (no per-component
+            // HashMap). Stale entries from earlier components are
+            // unreachable: `h.neighbors(v)` never leaves `v`'s own
+            // component.
             let mut order = comp.clone();
             order.sort_by_key(|&v| ids.id_of(sub.to_host(v)));
-            let index_of: std::collections::HashMap<Vertex, usize> =
-                order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+            for (li, &v) in order.iter().enumerate() {
+                local_index[v] = li;
+            }
             let mut local_edges = Vec::new();
             for (li, &v) in order.iter().enumerate() {
                 for &w in h.neighbors(v) {
-                    if let Some(&lj) = index_of.get(&w) {
-                        if li < lj {
-                            local_edges.push((li, lj));
-                        }
+                    let lj = local_index[w];
+                    if lj != usize::MAX && li < lj {
+                        local_edges.push((li, lj));
                     }
                 }
             }

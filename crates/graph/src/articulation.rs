@@ -3,6 +3,7 @@
 //! stack — local 1-cut detection runs this on every ball).
 
 use crate::graph::{Graph, Vertex};
+use crate::scratch::SubsetScratch;
 
 /// Result of the lowpoint DFS: articulation points and bridges.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +94,42 @@ pub fn is_biconnected(g: &Graph) -> bool {
     g.n() >= 3 && crate::connectivity::is_connected(g) && articulation_points(g).is_empty()
 }
 
+/// Whether `v` is a cut vertex of the induced subgraph `G[set]`,
+/// computed *without materializing the subgraph*: a vertex is an
+/// articulation point iff two of its neighbors (within `set`) end up in
+/// different components once it is removed, so one BFS over
+/// `G[set] − {v}` from the first such neighbor decides it. `O(|set| +
+/// |E(G[set])|)` time, zero allocations through the reusable
+/// [`SubsetScratch`] — the arena variant behind the local-1-cut sweep of
+/// the Algorithm 1 `CutEngine` (`set` is a ball `N^r[v]` there).
+///
+/// `set` must contain `v` and must be a list of distinct in-range
+/// vertices; it does not need to be sorted. Agrees with
+/// [`cut_structure`] on the extracted subgraph for every input
+/// (property-tested against it).
+pub fn is_cut_vertex_within(g: &Graph, ws: &mut SubsetScratch, set: &[Vertex], v: Vertex) -> bool {
+    debug_assert!(set.contains(&v), "set must contain the candidate cut vertex");
+    ws.begin(g.n(), set);
+    let Some(&start) = g.neighbors(v).iter().find(|&&u| ws.contains(u)) else {
+        return false; // isolated within the subset: removal deletes its own component
+    };
+    // Flood G[set] − {v} from `start`; pre-visiting v walls it off.
+    ws.visit(v);
+    ws.visit(start);
+    ws.queue.push(start);
+    let mut head = 0;
+    while head < ws.queue.len() {
+        let u = ws.queue[head];
+        head += 1;
+        for &w in g.neighbors(u) {
+            if ws.contains(w) && ws.visit(w) {
+                ws.queue.push(w);
+            }
+        }
+    }
+    g.neighbors(v).iter().any(|&u| ws.contains(u) && !ws.visited(u))
+}
+
 /// Reference implementation of [`is_cut_vertex`] by explicit removal;
 /// used by tests and kept public for cross-validation in property tests.
 pub fn is_cut_vertex_naive(g: &Graph, v: Vertex) -> bool {
@@ -166,6 +203,34 @@ mod tests {
         let g = Graph::from_edges(n, &edges);
         let aps = articulation_points(&g);
         assert_eq!(aps.len(), n - 2);
+    }
+
+    #[test]
+    fn within_variant_matches_extracted_subgraph() {
+        use crate::bfs;
+        use crate::subgraph::InducedSubgraph;
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(12);
+        b.cycle(&vs);
+        let mut g = b.build();
+        g.add_edge(0, 6);
+        g.add_edge(3, 9);
+        let mut ws = SubsetScratch::new();
+        for v in g.vertices() {
+            for r in [1u32, 2, 3, 100] {
+                let ball = bfs::ball(&g, v, r);
+                let sub = InducedSubgraph::new(&g, &ball);
+                let local = sub.from_host(v).unwrap();
+                let expect = cut_structure(&sub.graph).is_articulation[local];
+                assert_eq!(is_cut_vertex_within(&g, &mut ws, &ball, v), expect, "v={v} r={r}");
+            }
+        }
+        // Disconnected subsets and isolated-within-subset centers.
+        let g2 = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        assert!(is_cut_vertex_within(&g2, &mut ws, &[0, 1, 2, 3, 4, 5], 1));
+        assert!(is_cut_vertex_within(&g2, &mut ws, &[0, 1, 2, 3, 4, 5], 4));
+        assert!(!is_cut_vertex_within(&g2, &mut ws, &[0, 1, 2, 3, 4, 5], 0));
+        assert!(!is_cut_vertex_within(&g2, &mut ws, &[1, 3], 1));
     }
 
     #[test]

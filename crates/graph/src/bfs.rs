@@ -94,6 +94,54 @@ pub fn distance_with(g: &Graph, scratch: &mut Scratch, u: Vertex, v: Vertex) -> 
     None
 }
 
+/// The distance between `u` and `v` **if it is at most `cap`**, else
+/// `None` (disconnected pairs are `None` too). The BFS never expands
+/// past depth `cap`, so the work is O(|`N^cap[u]`|) instead of O(n + m) —
+/// the right query for "is `d(u, v) ≤ r`?" checks like the local-2-cut
+/// distance precondition. Thread-pooled [`Scratch`].
+pub fn distance_capped(g: &Graph, u: Vertex, v: Vertex, cap: u32) -> Option<u32> {
+    with_thread_scratch(|s| distance_capped_with(g, s, u, v, cap))
+}
+
+/// [`distance_capped`] through an explicit [`Scratch`].
+pub fn distance_capped_with(
+    g: &Graph,
+    scratch: &mut Scratch,
+    u: Vertex,
+    v: Vertex,
+    cap: u32,
+) -> Option<u32> {
+    if u == v {
+        return Some(0);
+    }
+    if cap == 0 {
+        return None;
+    }
+    scratch.begin(g.n());
+    scratch.visit(u);
+    scratch.dist[u] = 0;
+    scratch.queue.push(u);
+    let mut head = 0;
+    while head < scratch.queue.len() {
+        let x = scratch.queue[head];
+        head += 1;
+        let dx = scratch.dist[x];
+        if dx == cap {
+            break; // queue is in distance order; nothing closer remains
+        }
+        for &y in g.neighbors(x) {
+            if scratch.visit(y) {
+                if y == v {
+                    return Some(dx + 1);
+                }
+                scratch.dist[y] = dx + 1;
+                scratch.queue.push(y);
+            }
+        }
+    }
+    None
+}
+
 /// The ball `N^r[v]`: all vertices at distance at most `r` from `v`,
 /// sorted ascending. Runs through the thread-pooled [`Scratch`] in
 /// O(|ball|) work.
@@ -273,6 +321,23 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
         assert_eq!(distance(&g, 0, 3), None);
         assert_eq!(bfs_distances(&g, 0)[3], None);
+    }
+
+    #[test]
+    fn distance_capped_agrees_with_distance_up_to_the_cap() {
+        let g = path(8);
+        for u in 0..8 {
+            for v in 0..8 {
+                let full = distance(&g, u, v);
+                for cap in 0..=8u32 {
+                    let expect = full.filter(|&d| d <= cap);
+                    assert_eq!(distance_capped(&g, u, v, cap), expect, "u={u} v={v} cap={cap}");
+                }
+            }
+        }
+        let disc = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(distance_capped(&disc, 0, 3, 100), None);
+        assert_eq!(distance_capped(&disc, 2, 2, 0), Some(0));
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod vertex_cover;
 pub use csr::Csr;
 pub use errors::GraphError;
 pub use graph::{Graph, GraphBuilder, Vertex};
-pub use scratch::Scratch;
+pub use scratch::{Scratch, SubsetScratch};
 pub use subgraph::InducedSubgraph;
 
 /// A set of vertices represented as a sorted, deduplicated vector.

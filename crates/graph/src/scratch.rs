@@ -122,6 +122,135 @@ impl Scratch {
     }
 }
 
+/// A reusable workspace for *subset-restricted* queries: traversals of
+/// an induced subgraph `G[S]` that never materialize the subgraph.
+///
+/// Where [`Scratch`] carries one visited-mark array, a subset traversal
+/// needs four independent per-vertex facts at once — "is in `S`",
+/// "adjacent to anchor `a`", "adjacent to anchor `b`", and "visited by
+/// the current BFS" — so this workspace keeps four epoch-marked arrays
+/// sharing a single epoch counter. The same reuse contract as
+/// [`Scratch`] applies: `begin` opens a fresh epoch (marks from earlier
+/// subsets/graphs die instantly), buffers never shrink, and the
+/// (astronomically rare) epoch wraparound zeroes all arrays once.
+///
+/// The consumers are the subset variants of the cut predicates —
+/// [`crate::articulation::is_cut_vertex_within`] and
+/// [`crate::two_cuts::pair_profile_within`] — which sit on the local-cut
+/// hot path of the Algorithm 1 pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct SubsetScratch {
+    epoch: u32,
+    bound: usize,
+    /// `in_set[v] == epoch` ⟺ `v ∈ S` for the current traversal.
+    in_set: Vec<u32>,
+    /// Adjacency marks for the two anchor vertices.
+    adj_a: Vec<u32>,
+    adj_b: Vec<u32>,
+    /// BFS visited marks.
+    seen: Vec<u32>,
+    /// BFS queue storage (head index kept by the traversal).
+    pub(crate) queue: Vec<Vertex>,
+}
+
+impl SubsetScratch {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the buffers to cover `n` vertices (never shrinks).
+    pub fn reserve(&mut self, n: usize) {
+        if self.in_set.len() < n {
+            self.in_set.resize(n, 0);
+            self.adj_a.resize(n, 0);
+            self.adj_b.resize(n, 0);
+            self.seen.resize(n, 0);
+        }
+    }
+
+    /// Opens a new traversal over a graph of `n` vertices restricted to
+    /// the subset `set`: grows the buffers, clears the queue, advances
+    /// the epoch, and marks the members.
+    pub(crate) fn begin(&mut self, n: usize, set: &[Vertex]) {
+        self.reserve(n);
+        self.bound = n;
+        self.queue.clear();
+        if self.epoch == u32::MAX {
+            self.in_set.fill(0);
+            self.adj_a.fill(0);
+            self.adj_b.fill(0);
+            self.seen.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        for &v in set {
+            assert!(v < n, "subset vertex {v} out of range for graph of n={n}");
+            self.in_set[v] = self.epoch;
+        }
+    }
+
+    /// Whether `v` belongs to the current subset.
+    #[inline]
+    pub(crate) fn contains(&self, v: Vertex) -> bool {
+        debug_assert!(v < self.bound);
+        self.in_set[v] == self.epoch
+    }
+
+    /// Marks every vertex of `vs` as adjacent to anchor `a`.
+    #[inline]
+    pub(crate) fn mark_adj_a(&mut self, vs: &[Vertex]) {
+        for &v in vs {
+            self.adj_a[v] = self.epoch;
+        }
+    }
+
+    /// Marks every vertex of `vs` as adjacent to anchor `b`.
+    #[inline]
+    pub(crate) fn mark_adj_b(&mut self, vs: &[Vertex]) {
+        for &v in vs {
+            self.adj_b[v] = self.epoch;
+        }
+    }
+
+    /// Whether `v` was marked adjacent to anchor `a`.
+    #[inline]
+    pub(crate) fn adj_a(&self, v: Vertex) -> bool {
+        self.adj_a[v] == self.epoch
+    }
+
+    /// Whether `v` was marked adjacent to anchor `b`.
+    #[inline]
+    pub(crate) fn adj_b(&self, v: Vertex) -> bool {
+        self.adj_b[v] == self.epoch
+    }
+
+    /// Marks `v` visited in the current traversal; `true` if it was
+    /// unvisited.
+    #[inline]
+    pub(crate) fn visit(&mut self, v: Vertex) -> bool {
+        debug_assert!(v < self.bound);
+        if self.seen[v] == self.epoch {
+            false
+        } else {
+            self.seen[v] = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `v` was visited in the current traversal.
+    #[inline]
+    pub(crate) fn visited(&self, v: Vertex) -> bool {
+        self.seen[v] == self.epoch
+    }
+
+    /// Test-only: age the workspace to just before epoch wraparound.
+    #[doc(hidden)]
+    pub fn force_epoch_wraparound_imminent(&mut self) {
+        self.epoch = u32::MAX - 1;
+    }
+}
+
 thread_local! {
     static POOL: RefCell<Scratch> = RefCell::new(Scratch::new());
 }
@@ -187,6 +316,39 @@ mod tests {
         assert!(!s.visited(1));
         assert!(s.visit(1));
         assert!(!s.visit(1));
+    }
+
+    #[test]
+    fn subset_scratch_epochs_invalidate_previous_traversal() {
+        let mut s = SubsetScratch::new();
+        s.begin(5, &[0, 2, 4]);
+        assert!(s.contains(0) && s.contains(2) && s.contains(4));
+        assert!(!s.contains(1) && !s.contains(3));
+        s.mark_adj_a(&[1, 2]);
+        s.mark_adj_b(&[3]);
+        assert!(s.adj_a(2) && !s.adj_a(3));
+        assert!(s.adj_b(3) && !s.adj_b(2));
+        assert!(s.visit(2));
+        assert!(!s.visit(2));
+        // New subset, bigger graph: every earlier mark must be dead.
+        s.begin(7, &[1]);
+        for v in 0..7 {
+            assert!(!s.visited(v), "stale visited at {v}");
+            assert!(!s.adj_a(v) && !s.adj_b(v), "stale adjacency at {v}");
+            assert_eq!(s.contains(v), v == 1, "membership at {v}");
+        }
+    }
+
+    #[test]
+    fn subset_scratch_wraparound_resets_marks() {
+        let mut s = SubsetScratch::new();
+        s.force_epoch_wraparound_imminent();
+        s.begin(3, &[0, 1]); // epoch == u32::MAX now
+        s.mark_adj_a(&[1]);
+        assert!(s.contains(0) && s.adj_a(1));
+        s.begin(3, &[2]); // wraparound: arrays zeroed, epoch restarts
+        assert!(!s.contains(0) && !s.adj_a(1));
+        assert!(s.contains(2));
     }
 
     #[test]

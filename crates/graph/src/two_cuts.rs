@@ -7,6 +7,7 @@
 
 use crate::connectivity::UnionFind;
 use crate::graph::{Graph, Vertex};
+use crate::scratch::SubsetScratch;
 
 /// Whether removing the set `s` disconnects two vertices that were
 /// connected in `g` (i.e. `s` "separates" `g`).
@@ -108,6 +109,106 @@ pub fn minimal_two_cuts(g: &Graph) -> Vec<(Vertex, Vertex)> {
     out
 }
 
+/// Everything the local-cut predicates need to know about a candidate
+/// pair `{a, b}` inside an induced subgraph `H = G[set]`, gathered in a
+/// single component scan of `H − {a, b}` (see [`pair_profile_within`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairProfile {
+    /// Number of connected components of `H − {a, b}`.
+    pub components: usize,
+    /// Components adjacent to `a` but not to `b`.
+    pub only_a: usize,
+    /// Components adjacent to `b` but not to `a`.
+    pub only_b: usize,
+    /// Components containing a vertex non-adjacent to `a`.
+    pub witnesses_nonadj_a: usize,
+    /// Components containing a vertex non-adjacent to `b`.
+    pub witnesses_nonadj_b: usize,
+}
+
+impl PairProfile {
+    /// Whether `{a, b}` is a **minimal** 2-cut of `H`, *assuming `H` is
+    /// connected and contains the edge-or-path-connected pair `a, b`*:
+    /// removal separates iff `H − {a, b}` falls into ≥ 2 pieces, and
+    /// neither vertex alone separates iff no piece hangs off only one of
+    /// them. Exactly [`is_minimal_two_cut`] on connected hosts
+    /// (property-tested); meaningless if `H` is disconnected.
+    pub fn is_minimal_two_cut(&self) -> bool {
+        self.components >= 2 && self.only_a == 0 && self.only_b == 0
+    }
+}
+
+/// Profiles the pair `{a, b}` inside `H = G[set]` without materializing
+/// `H`: one BFS sweep over `H − {a, b}` (membership, anchor adjacency,
+/// and visited flags all live in the reusable [`SubsetScratch`])
+/// classifies every component by its attachment to `a`/`b` and counts
+/// the paper's witness components (those containing a vertex
+/// non-adjacent to an anchor — the §3.2 interestingness condition).
+///
+/// `O(|set| + |E(H)|)` time, zero allocations. `set` must be a list of
+/// distinct in-range vertices containing `a` and `b` (`a ≠ b`); it does
+/// not need to be sorted. This replaces the former double extraction
+/// (`is_minimal_two_cut` on a fresh subgraph + [`components_attached`]
+/// on a second copy) on the `CutEngine` hot path.
+pub fn pair_profile_within(
+    g: &Graph,
+    ws: &mut SubsetScratch,
+    set: &[Vertex],
+    a: Vertex,
+    b: Vertex,
+) -> PairProfile {
+    debug_assert!(a != b, "a pair needs two distinct vertices");
+    ws.begin(g.n(), set);
+    ws.mark_adj_a(g.neighbors(a));
+    ws.mark_adj_b(g.neighbors(b));
+    // Wall off the anchors so the flood stays inside H − {a, b}.
+    ws.visit(a);
+    ws.visit(b);
+    let mut profile = PairProfile::default();
+    for &s in set {
+        if s == a || s == b || !ws.visit(s) {
+            continue;
+        }
+        let head0 = ws.queue.len();
+        ws.queue.push(s);
+        let mut head = head0;
+        let (mut adj_a, mut adj_b, mut nonadj_a, mut nonadj_b) = (false, false, false, false);
+        while head < ws.queue.len() {
+            let u = ws.queue[head];
+            head += 1;
+            if ws.adj_a(u) {
+                adj_a = true;
+            } else {
+                nonadj_a = true;
+            }
+            if ws.adj_b(u) {
+                adj_b = true;
+            } else {
+                nonadj_b = true;
+            }
+            for &w in g.neighbors(u) {
+                if ws.contains(w) && ws.visit(w) {
+                    ws.queue.push(w);
+                }
+            }
+        }
+        profile.components += 1;
+        if adj_a && !adj_b {
+            profile.only_a += 1;
+        }
+        if adj_b && !adj_a {
+            profile.only_b += 1;
+        }
+        if nonadj_a {
+            profile.witnesses_nonadj_a += 1;
+        }
+        if nonadj_b {
+            profile.witnesses_nonadj_b += 1;
+        }
+    }
+    profile
+}
+
 /// The connected components of `G − {u, v}`, sorted lists of original
 /// vertices, ordered by smallest vertex. These are the "components
 /// attached to the cut" in the paper's terminology.
@@ -172,6 +273,57 @@ mod tests {
         assert!(minimal_two_cuts(&g).is_empty());
         for v in 0..5 {
             assert!(!is_one_cut(&g, v));
+        }
+    }
+
+    #[test]
+    fn pair_profile_matches_naive_predicates_on_connected_subsets() {
+        use crate::bfs;
+        use crate::subgraph::InducedSubgraph;
+        let mut ws = SubsetScratch::new();
+        let graphs = vec![
+            cycle(6),
+            cycle(12),
+            Graph::from_edges(5, &[(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 1)]), // theta
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]),
+            Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (1, 5)]),
+        ];
+        for g in &graphs {
+            for u in g.vertices() {
+                for v in g.vertices() {
+                    if u == v {
+                        continue;
+                    }
+                    // H = joint ball, always connected for reachable pairs.
+                    for r in [2u32, 100] {
+                        if !matches!(bfs::distance(g, u, v), Some(d) if d <= r) {
+                            continue;
+                        }
+                        let set = bfs::ball_of_set(g, &[u, v], r);
+                        let sub = InducedSubgraph::new(g, &set);
+                        let (lu, lv) = (sub.from_host(u).unwrap(), sub.from_host(v).unwrap());
+                        let profile = pair_profile_within(g, &mut ws, &set, u, v);
+                        assert_eq!(
+                            profile.is_minimal_two_cut(),
+                            is_minimal_two_cut(&sub.graph, lu, lv),
+                            "{g:?} u={u} v={v} r={r}"
+                        );
+                        // Witness counts against the extracted-component scan.
+                        let comps = components_attached(&sub.graph, lu, lv);
+                        assert_eq!(profile.components, comps.len(), "{g:?} u={u} v={v} r={r}");
+                        let count = |anchor: Vertex| {
+                            comps
+                                .iter()
+                                .filter(|c| {
+                                    c.iter().any(|&w| !sub.graph.has_edge(w, anchor) && w != anchor)
+                                })
+                                .count()
+                        };
+                        assert_eq!(profile.witnesses_nonadj_a, count(lu), "{g:?} u={u} v={v}");
+                        assert_eq!(profile.witnesses_nonadj_b, count(lv), "{g:?} u={u} v={v}");
+                    }
+                }
+            }
         }
     }
 
