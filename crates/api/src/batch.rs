@@ -99,6 +99,17 @@ impl BatchRunner {
                         let job = &jobs[j];
                         let inst = &instances[i];
                         let result = registry.solve(&job.solver, inst, &job.config);
+                        // Every batch solution passes the full
+                        // certificate recheck in debug builds.
+                        #[cfg(debug_assertions)]
+                        if let Ok(sol) = &result {
+                            if let Err(e) = sol.verify(inst) {
+                                panic!(
+                                    "batch solution {}/{} failed verification: {e}",
+                                    job.solver, inst.name
+                                );
+                            }
+                        }
                         let record = BatchRecord {
                             instance: inst.name.clone(),
                             solver: job.solver.clone(),

@@ -4,6 +4,7 @@
 
 use lmds_asdim::ControlFunction;
 use lmds_core::{PipelineOptions, Radii};
+use lmds_graph::ExactBackend;
 use lmds_localsim::{IdPolicy, RuntimeKind};
 
 /// The optimization problem an [`crate::Solver`] targets.
@@ -152,6 +153,11 @@ pub struct SolveConfig {
     /// Branch-and-bound node budget for optimum measurement and for the
     /// exact solvers.
     pub opt_budget: u64,
+    /// Which [`ExactBackend`] the `mds/exact` / `mvc/exact` solvers run
+    /// (reduction layer + branch and bound, tree-decomposition DP, or
+    /// the naive oracle). [`ExactBackend::Auto`] picks per residual
+    /// component.
+    pub exact_backend: ExactBackend,
 }
 
 /// Default branch-and-bound budget (matches the bench harness).
@@ -171,6 +177,7 @@ impl SolveConfig {
             control: None,
             measure_ratio: false,
             opt_budget: DEFAULT_OPT_BUDGET,
+            exact_backend: ExactBackend::Auto,
         }
     }
 
@@ -248,6 +255,20 @@ impl SolveConfig {
     /// Sets the optimum-measurement budget.
     pub fn opt_budget(mut self, budget: u64) -> Self {
         self.opt_budget = budget;
+        self
+    }
+
+    /// Selects the exact-engine backend for the exact solvers.
+    ///
+    /// ```
+    /// use lmds_api::{ExactBackend, SolveConfig};
+    ///
+    /// let cfg = SolveConfig::mds().exact_backend(ExactBackend::Treewidth);
+    /// assert_eq!(cfg.exact_backend, ExactBackend::Treewidth);
+    /// assert_eq!(SolveConfig::mds().exact_backend, ExactBackend::Auto);
+    /// ```
+    pub fn exact_backend(mut self, backend: ExactBackend) -> Self {
+        self.exact_backend = backend;
         self
     }
 }

@@ -65,9 +65,15 @@ pub use batch::{BatchJob, BatchRecord, BatchRunner};
 pub use config::{ExecutionMode, Problem, ScenarioConfig, SolveConfig, DEFAULT_OPT_BUDGET};
 pub use instance::{GroundTruth, Instance};
 pub use registry::SolverRegistry;
-pub use solution::{Certificate, MessageStats, Optimum, PipelineDiagnostics, Solution};
+pub use solution::{
+    Certificate, MessageStats, Optimum, PipelineDiagnostics, Solution, VerifyError,
+};
 pub use solver::{SolveError, Solver};
 
 // The LOCAL-scenario vocabulary, re-exported so API consumers need not
 // depend on the simulator crate directly.
 pub use lmds_localsim::{IdPolicy, MessageAccounting, RuntimeKind};
+
+// The exact-engine backend knob ([`SolveConfig::exact_backend`]),
+// re-exported likewise from the graph substrate.
+pub use lmds_graph::exact::ExactBackend;

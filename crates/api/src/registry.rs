@@ -75,7 +75,8 @@ impl SolverRegistry {
     ///
     /// # Errors
     ///
-    /// [`SolveError::UnknownSolver`] for an unregistered key, plus
+    /// [`SolveError::UnknownSolver`] for an unregistered key — the
+    /// error carries (and its message lists) every valid key — plus
     /// whatever the solver itself returns.
     pub fn solve(
         &self,
@@ -83,8 +84,10 @@ impl SolverRegistry {
         inst: &Instance,
         cfg: &SolveConfig,
     ) -> Result<Solution, SolveError> {
-        let solver =
-            self.get(key).ok_or_else(|| SolveError::UnknownSolver { key: key.to_string() })?;
+        let solver = self.get(key).ok_or_else(|| SolveError::UnknownSolver {
+            key: key.to_string(),
+            known: self.keys(),
+        })?;
         solver.solve(inst, cfg)
     }
 }
@@ -115,11 +118,20 @@ mod tests {
     }
 
     #[test]
-    fn unknown_key_is_an_error() {
+    fn unknown_key_is_an_error_listing_the_valid_keys() {
         let r = SolverRegistry::with_defaults();
         let inst = Instance::sequential("k1", lmds_graph::Graph::new(1));
         let err = r.solve("mds/nope", &inst, &SolveConfig::mds()).unwrap_err();
-        assert!(matches!(err, SolveError::UnknownSolver { .. }));
+        let SolveError::UnknownSolver { ref key, ref known } = err else {
+            panic!("expected UnknownSolver, got {err:?}");
+        };
+        assert_eq!(key, "mds/nope");
+        assert_eq!(known, &r.keys(), "the error carries every valid key");
+        // The rendered message steers the caller to valid keys.
+        let msg = err.to_string();
+        assert!(msg.contains("mds/nope"), "{msg}");
+        assert!(msg.contains("mds/algorithm1"), "{msg}");
+        assert!(msg.contains("mvc/exact"), "{msg}");
     }
 
     #[test]

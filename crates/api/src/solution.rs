@@ -133,10 +133,88 @@ pub struct Solution {
     pub diagnostics: Option<PipelineDiagnostics>,
 }
 
+/// Why [`Solution::verify`] rejected a solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A selected vertex is outside the instance graph.
+    VertexOutOfRange(Vertex),
+    /// The vertex set is not sorted strictly increasing (the canonical
+    /// form every solver promises).
+    NotCanonical,
+    /// The set fails the problem's feasibility predicate.
+    Infeasible(Problem),
+    /// The stored certificate disagrees with the recheck.
+    CertificateMismatch,
+    /// The solution undercuts an exact optimum — one of the two is
+    /// wrong.
+    BeatsExactOptimum {
+        /// The solution size.
+        size: usize,
+        /// The recorded exact optimum.
+        optimum: usize,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::VertexOutOfRange(v) => write!(f, "vertex {v} is outside the instance"),
+            VerifyError::NotCanonical => write!(f, "vertex set is not sorted/deduplicated"),
+            VerifyError::Infeasible(p) => write!(f, "set fails the {p} feasibility predicate"),
+            VerifyError::CertificateMismatch => {
+                write!(f, "stored certificate disagrees with the recheck")
+            }
+            VerifyError::BeatsExactOptimum { size, optimum } => {
+                write!(f, "size {size} undercuts the recorded exact optimum {optimum}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
 impl Solution {
     /// Solution size `|S|`.
     pub fn size(&self) -> usize {
         self.vertices.len()
+    }
+
+    /// Re-derives the whole validity story of this solution against its
+    /// instance: the vertex set is canonical and in range, the
+    /// problem's own feasibility predicate holds (recomputed, not read
+    /// from the stored [`Certificate`]), the stored certificate agrees,
+    /// and the size never undercuts a recorded *exact* optimum.
+    ///
+    /// [`BatchRunner`](crate::BatchRunner) calls this on every record
+    /// under `debug_assertions`, and the integration suites call it
+    /// instead of re-implementing feasibility checks.
+    ///
+    /// # Errors
+    ///
+    /// The first [`VerifyError`] found.
+    pub fn verify(&self, inst: &Instance) -> Result<(), VerifyError> {
+        if let Some(&v) = self.vertices.iter().find(|&&v| v >= inst.n()) {
+            return Err(VerifyError::VertexOutOfRange(v));
+        }
+        if self.vertices.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(VerifyError::NotCanonical);
+        }
+        let recheck = Certificate::check(self.problem, &inst.graph, &self.vertices);
+        if !recheck.valid {
+            return Err(VerifyError::Infeasible(self.problem));
+        }
+        if self.certificate != recheck {
+            return Err(VerifyError::CertificateMismatch);
+        }
+        if let Some(opt) = self.optimum {
+            if opt.exact && self.size() < opt.value {
+                return Err(VerifyError::BeatsExactOptimum {
+                    size: self.size(),
+                    optimum: opt.value,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Whether the certificate checked out.
@@ -221,6 +299,40 @@ mod tests {
         };
         assert_eq!(oracle.max_message_bits(), None);
         assert_eq!(oracle.progress(), vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn verify_accepts_good_and_rejects_bad_solutions() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let inst = crate::Instance::sequential("p3", g).with_mds_optimum(1);
+        let mut sol = Solution::assemble(
+            "test",
+            &inst,
+            Problem::MinDominatingSet,
+            ExecutionMode::Centralized,
+            vec![1],
+            None,
+            None,
+            Duration::ZERO,
+        );
+        sol.verify(&inst).expect("a correct solution verifies");
+        // Out of range.
+        let mut bad = sol.clone();
+        bad.vertices = vec![7];
+        assert_eq!(bad.verify(&inst), Err(VerifyError::VertexOutOfRange(7)));
+        // Not canonical.
+        bad.vertices = vec![1, 1];
+        assert_eq!(bad.verify(&inst), Err(VerifyError::NotCanonical));
+        // Infeasible (empty set cannot dominate).
+        bad.vertices = vec![0];
+        assert_eq!(bad.verify(&inst), Err(VerifyError::Infeasible(Problem::MinDominatingSet)));
+        // Undercutting an exact optimum: claim optimum 2 with |S| = 1.
+        sol.optimum = Some(Optimum { value: 2, exact: true });
+        assert_eq!(sol.verify(&inst), Err(VerifyError::BeatsExactOptimum { size: 1, optimum: 2 }));
+        // A lower bound may exceed the size (ratio < 1 impossible only
+        // for exact optima).
+        sol.optimum = Some(Optimum { value: 2, exact: false });
+        sol.verify(&inst).expect("lower bounds are not contradicted by a smaller set");
     }
 
     #[test]

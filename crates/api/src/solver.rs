@@ -24,6 +24,9 @@ pub enum SolveError {
     UnknownSolver {
         /// The key that was looked up.
         key: String,
+        /// Every key the registry does know, so the error message can
+        /// steer the caller to a valid one.
+        known: Vec<&'static str>,
     },
     /// The config's problem does not match the solver's.
     UnsupportedProblem {
@@ -60,7 +63,9 @@ pub enum SolveError {
 impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SolveError::UnknownSolver { key } => write!(f, "no solver registered as {key:?}"),
+            SolveError::UnknownSolver { key, known } => {
+                write!(f, "no solver registered as {key:?} (known solvers: {})", known.join(", "))
+            }
             SolveError::UnsupportedProblem { solver, requested } => {
                 write!(f, "solver {solver} does not solve {requested}")
             }
@@ -464,8 +469,28 @@ impl Solver for TakeAllSolver {
     }
 }
 
-/// Exact MDS via tree DP or branch and bound (centralized reference
-/// baseline; budget-capped).
+/// Converts an exact-engine failure into the solver-level error.
+fn map_exact_error(
+    solver: &'static str,
+    cfg: &SolveConfig,
+    e: lmds_graph::exact::ExactError,
+) -> SolveError {
+    match e {
+        lmds_graph::exact::ExactError::BudgetExhausted { .. } => {
+            SolveError::BudgetExhausted { solver, budget: cfg.opt_budget }
+        }
+        lmds_graph::exact::ExactError::Infeasible => SolveError::UnsupportedOptions {
+            solver,
+            reason: "whole-graph exact instances are always feasible".into(),
+        },
+    }
+}
+
+/// Exact MDS through the multi-backend
+/// [`ExactEngine`](lmds_graph::exact::ExactEngine): reduction rules,
+/// then branch and bound or the tree-decomposition DP per residual
+/// component — selected by [`SolveConfig::exact_backend`]
+/// (budget-capped).
 pub struct ExactMdsSolver;
 
 impl Solver for ExactMdsSolver {
@@ -473,7 +498,7 @@ impl Solver for ExactMdsSolver {
         "mds/exact"
     }
     fn name(&self) -> &'static str {
-        "exact MDS (tree DP / branch & bound)"
+        "exact MDS (reduce + branch & bound / treewidth DP)"
     }
     fn problem(&self) -> Problem {
         Problem::MinDominatingSet
@@ -487,12 +512,10 @@ impl Solver for ExactMdsSolver {
     fn solve(&self, inst: &Instance, cfg: &SolveConfig) -> Result<Solution, SolveError> {
         check(self.key(), self.problem(), self.modes(), cfg)?;
         let started = Instant::now();
-        let sol = if let Some(t) = lmds_graph::dominating::tree_mds(&inst.graph) {
-            t
-        } else {
-            lmds_graph::dominating::exact_mds_capped(&inst.graph, cfg.opt_budget)
-                .ok_or(SolveError::BudgetExhausted { solver: self.key(), budget: cfg.opt_budget })?
-        };
+        let sol = lmds_graph::exact::with_thread_engine(|e| {
+            e.solve_mds(&inst.graph, cfg.exact_backend, cfg.opt_budget)
+        })
+        .map_err(|e| map_exact_error(self.key(), cfg, e))?;
         Ok(finish_exact(self.key(), inst, cfg, started, sol))
     }
 }
@@ -619,7 +642,10 @@ impl Solver for RegularMvcSolver {
     }
 }
 
-/// Exact MVC via branch and bound (centralized baseline; budget-capped).
+/// Exact MVC through the multi-backend
+/// [`ExactEngine`](lmds_graph::exact::ExactEngine) (reduction rules +
+/// branch and bound / treewidth DP, selected by
+/// [`SolveConfig::exact_backend`]; budget-capped).
 pub struct ExactMvcSolver;
 
 impl Solver for ExactMvcSolver {
@@ -627,7 +653,7 @@ impl Solver for ExactMvcSolver {
         "mvc/exact"
     }
     fn name(&self) -> &'static str {
-        "exact MVC (branch & bound)"
+        "exact MVC (reduce + branch & bound / treewidth DP)"
     }
     fn problem(&self) -> Problem {
         Problem::MinVertexCover
@@ -641,8 +667,10 @@ impl Solver for ExactMvcSolver {
     fn solve(&self, inst: &Instance, cfg: &SolveConfig) -> Result<Solution, SolveError> {
         check(self.key(), self.problem(), self.modes(), cfg)?;
         let started = Instant::now();
-        let sol = lmds_graph::vertex_cover::exact_vertex_cover_capped(&inst.graph, cfg.opt_budget)
-            .ok_or(SolveError::BudgetExhausted { solver: self.key(), budget: cfg.opt_budget })?;
+        let sol = lmds_graph::exact::with_thread_engine(|e| {
+            e.solve_mvc(&inst.graph, cfg.exact_backend, cfg.opt_budget)
+        })
+        .map_err(|e| map_exact_error(self.key(), cfg, e))?;
         Ok(finish_exact(self.key(), inst, cfg, started, sol))
     }
 }

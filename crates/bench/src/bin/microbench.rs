@@ -17,10 +17,14 @@
 //!   orders of magnitude past the pre-engine ceiling, plus naive
 //!   reference rows on the small instance; before/after numbers in
 //!   `results/cut_engine_speedup.md`.
+//! * `--exact` — the exact-engine benches: `mds/exact` / `mvc/exact`
+//!   under every `ExactBackend` on naive-solvable instances, plus
+//!   engine-scale rows the naive oracle cannot finish; committed
+//!   numbers in `results/exact_scale.md`.
 //!
 //! Usage:
 //! ```text
-//! microbench [--iters <n>] [--kernel] [--local] [--cuts]
+//! microbench [--iters <n>] [--kernel] [--local] [--cuts] [--exact]
 //! ```
 
 use lmds_api::{BatchJob, BatchRunner, ExecutionMode, Instance, SolveConfig, SolverRegistry};
@@ -349,12 +353,88 @@ fn cuts_benches(iters: u32) -> Table {
     t
 }
 
+/// The exact-engine benches (`--exact`): `mds/exact` and `mvc/exact`
+/// through the registry under every [`lmds_api::ExactBackend`] on
+/// naive-solvable instances (the backend shoot-out), plus engine-scale
+/// rows — auto backend only — on instances the naive oracle cannot
+/// finish at all (committed numbers: `results/exact_scale.md`).
+fn exact_benches(iters: u32) -> Table {
+    use lmds_api::ExactBackend;
+    let mut t = Table::new(
+        &format!("microbench --exact — exact-engine backends, {iters} iterations (µs)"),
+        &["solver", "backend", "instance", "n", "opt", "best (µs)", "mean (µs)"],
+    );
+    let registry = SolverRegistry::with_defaults();
+    // Backend shoot-out tier: small enough for the naive oracle.
+    let small = vec![
+        Instance::shuffled(
+            "augmentation20",
+            lmds_gen::ding::AugmentationSpec::standard(4, 1, 1, 1).generate(),
+            1,
+        ),
+        Instance::shuffled(
+            "outerplanar16",
+            lmds_gen::outerplanar::random_maximal_outerplanar(16, 3),
+            3,
+        ),
+        Instance::shuffled("cycle21", lmds_gen::basic::cycle(21), 5),
+    ];
+    for inst in &small {
+        for key in ["mds/exact", "mvc/exact"] {
+            for backend in ExactBackend::ALL {
+                let base = if key == "mds/exact" { SolveConfig::mds() } else { SolveConfig::mvc() };
+                let cfg = base.exact_backend(backend);
+                let (best, mean, size) = time_case(&registry, key, inst, &cfg, iters);
+                t.push_row(vec![
+                    key.into(),
+                    backend.to_string(),
+                    inst.name.clone(),
+                    inst.n().to_string(),
+                    size.to_string(),
+                    format!("{best:.1}"),
+                    format!("{mean:.1}"),
+                ]);
+            }
+        }
+    }
+    // Engine-scale tier: sizes the naive oracle gives up on entirely.
+    let large = vec![
+        Instance::sequential("strip40", lmds_gen::ding::strip(40)),
+        Instance::sequential(
+            "outerplanar300",
+            lmds_gen::outerplanar::random_maximal_outerplanar(300, 2),
+        ),
+        Instance::sequential(
+            "sparse_outerplanar300",
+            lmds_gen::outerplanar::random_outerplanar(300, 25, 7),
+        ),
+    ];
+    for inst in &large {
+        for key in ["mds/exact", "mvc/exact"] {
+            let base = if key == "mds/exact" { SolveConfig::mds() } else { SolveConfig::mvc() };
+            let cfg = base.opt_budget(u64::MAX);
+            let (best, mean, size) = time_case(&registry, key, inst, &cfg, iters);
+            t.push_row(vec![
+                key.into(),
+                "auto".into(),
+                inst.name.clone(),
+                inst.n().to_string(),
+                size.to_string(),
+                format!("{best:.1}"),
+                format!("{mean:.1}"),
+            ]);
+        }
+    }
+    t
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iters = 10u32;
     let mut kernel = false;
     let mut local = false;
     let mut cuts = false;
+    let mut exact = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -364,7 +444,7 @@ fn main() {
                     args.get(i).and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(
                         || {
                             eprintln!(
-                            "usage: microbench [--iters <n>] [--kernel] [--local] [--cuts]  (n ≥ 1)"
+                            "usage: microbench [--iters <n>] [--kernel] [--local] [--cuts] [--exact]  (n ≥ 1)"
                         );
                             std::process::exit(2);
                         },
@@ -373,6 +453,7 @@ fn main() {
             "--kernel" => kernel = true,
             "--local" => local = true,
             "--cuts" => cuts = true,
+            "--exact" => exact = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -381,8 +462,8 @@ fn main() {
         i += 1;
     }
 
-    // Sections are combinable (the CI smoke step runs all three).
-    if kernel || local || cuts {
+    // Sections are combinable (the CI smoke step runs all four).
+    if kernel || local || cuts || exact {
         if kernel {
             print!("{}", render_markdown(&kernel_benches(iters)));
         }
@@ -391,6 +472,9 @@ fn main() {
         }
         if cuts {
             print!("{}", render_markdown(&cuts_benches(iters)));
+        }
+        if exact {
+            print!("{}", render_markdown(&exact_benches(iters)));
         }
         return;
     }

@@ -100,8 +100,13 @@ fn main() {
     let run_all = selected.iter().any(|s| s == "all");
     for name in &selected {
         if name != "all" && !names().contains(&name.as_str()) {
-            eprintln!("unknown experiment: {name}");
-            usage();
+            // Name the valid experiments right in the error line, so a
+            // typo is self-correcting without a second --list call.
+            eprintln!(
+                "unknown experiment: {name} (valid experiments: all, {})",
+                names().join(", ")
+            );
+            std::process::exit(2);
         }
     }
 

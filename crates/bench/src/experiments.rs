@@ -1034,6 +1034,195 @@ pub fn exp_local_sweep_large() -> Table {
     t
 }
 
+/// Node budget after which the naive oracle "gives up" in the
+/// exact-scale experiment (≈ seconds of wasted search per instance).
+const NAIVE_GIVEUP_BUDGET: u64 = 2_000_000;
+
+/// E14 — exact-scale: the multi-backend [`lmds_graph::exact::ExactEngine`]
+/// against the naive oracle it replaced, on two tiers:
+///
+/// * **corpus tier** — instances the naive solvers finish: both are
+///   timed and the speedup recorded (plus a totals row — the ≥10×
+///   acceptance line of the engine PR);
+/// * **frontier tier** — instances where the naive search exhausts a
+///   2M-node budget outright while the engine still solves exactly
+///   (reductions + component split + treewidth DP), i.e. the new
+///   largest-solvable sizes. Strips are the shape of Algorithm 1's
+///   Lemma-4.2 residual components, so the `strip(40)` row (n = 80) is
+///   the "residual components of n ≈ 60–80 now tractable" evidence.
+pub fn exp_exact_scale() -> Table {
+    use lmds_graph::exact::{ExactBackend, ExactEngine};
+    use std::time::Instant;
+    let mut t = Table::new(
+        "E14 / exact-scale — exact engine (reduce + B&B/treewidth DP) vs the naive oracle",
+        &[
+            "problem",
+            "instance",
+            "n",
+            "opt",
+            "naive (µs)",
+            "engine (µs)",
+            "speedup",
+            "forced",
+            "components (dp/bnb)",
+            "search nodes",
+        ],
+    );
+    let mut engine = ExactEngine::new();
+    let mut total_naive = 0f64;
+    let mut total_engine = 0f64;
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Problem {
+        Mds,
+        Mvc,
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum Tier {
+        Corpus,
+        Frontier,
+    }
+
+    let cases: Vec<(Problem, Tier, String, Graph)> = vec![
+        // Corpus tier: the naive oracle still finishes.
+        (
+            Problem::Mds,
+            Tier::Corpus,
+            "augmentation(6,3,2)".into(),
+            AugmentationSpec::standard(6, 3, 2, 3).generate(),
+        ),
+        (Problem::Mds, Tier::Corpus, "cycle60".into(), lmds_gen::basic::cycle(60)),
+        (
+            Problem::Mds,
+            Tier::Corpus,
+            "outerplanar80".into(),
+            lmds_gen::outerplanar::random_maximal_outerplanar(80, 2),
+        ),
+        (
+            Problem::Mds,
+            Tier::Corpus,
+            "outerplanar150".into(),
+            lmds_gen::outerplanar::random_maximal_outerplanar(150, 2),
+        ),
+        (Problem::Mds, Tier::Corpus, "strip20".into(), lmds_gen::ding::strip(20)),
+        (
+            Problem::Mvc,
+            Tier::Corpus,
+            "augmentation(6,3,2)".into(),
+            AugmentationSpec::standard(6, 3, 2, 3).generate(),
+        ),
+        (
+            Problem::Mvc,
+            Tier::Corpus,
+            "outerplanar80".into(),
+            lmds_gen::outerplanar::random_maximal_outerplanar(80, 2),
+        ),
+        (
+            Problem::Mvc,
+            Tier::Corpus,
+            "outerplanar150".into(),
+            lmds_gen::outerplanar::random_maximal_outerplanar(150, 2),
+        ),
+        // Frontier tier: naive exhausts its budget, the engine solves.
+        (Problem::Mds, Tier::Frontier, "strip40".into(), lmds_gen::ding::strip(40)),
+        (
+            Problem::Mds,
+            Tier::Frontier,
+            "outerplanar300".into(),
+            lmds_gen::outerplanar::random_maximal_outerplanar(300, 2),
+        ),
+        (
+            Problem::Mds,
+            Tier::Frontier,
+            "sparse outerplanar300".into(),
+            lmds_gen::outerplanar::random_outerplanar(300, 25, 7),
+        ),
+        (Problem::Mds, Tier::Frontier, "augmentation n≈290".into(), {
+            let spec = lmds_gen::ding::AugmentationSpec {
+                base_n: 10,
+                base_density_percent: 30,
+                fans: 4,
+                fan_len: (8, 16),
+                strips: 2,
+                strip_len: (55, 65),
+                seed: 13,
+            };
+            spec.generate()
+        }),
+        (
+            Problem::Mvc,
+            Tier::Frontier,
+            "outerplanar300".into(),
+            lmds_gen::outerplanar::random_maximal_outerplanar(300, 2),
+        ),
+    ];
+
+    for (problem, tier, name, g) in &cases {
+        let started = Instant::now();
+        let naive = match problem {
+            Problem::Mds => {
+                lmds_graph::dominating::exact_mds_capped(g, NAIVE_GIVEUP_BUDGET).map(|s| s.len())
+            }
+            Problem::Mvc => {
+                lmds_graph::vertex_cover::exact_vertex_cover_capped(g, NAIVE_GIVEUP_BUDGET)
+                    .map(|s| s.len())
+            }
+        };
+        let naive_us = started.elapsed().as_secs_f64() * 1e6;
+        let started = Instant::now();
+        let sol = match problem {
+            Problem::Mds => engine.solve_mds(g, ExactBackend::Auto, u64::MAX),
+            Problem::Mvc => engine.solve_mvc(g, ExactBackend::Auto, u64::MAX),
+        }
+        .unwrap_or_else(|e| panic!("engine on {name}: {e}"));
+        let engine_us = started.elapsed().as_secs_f64() * 1e6;
+        let stats = *engine.stats();
+        assert!(
+            tier == &Tier::Frontier || naive.is_some(),
+            "{name}: corpus-tier instance must be naive-solvable"
+        );
+        if let Some(opt) = naive {
+            assert_eq!(opt, sol.len(), "{name}: engine and naive oracle disagree");
+            total_naive += naive_us;
+            total_engine += engine_us;
+        }
+        t.push_row(vec![
+            match problem {
+                Problem::Mds => "MDS".into(),
+                Problem::Mvc => "MVC".into(),
+            },
+            name.clone(),
+            g.n().to_string(),
+            sol.len().to_string(),
+            match naive {
+                Some(_) => format!("{naive_us:.0}"),
+                None => format!("gave up ({naive_us:.0})"),
+            },
+            format!("{engine_us:.0}"),
+            match naive {
+                Some(_) => format!("{:.1}x", naive_us / engine_us.max(1.0)),
+                None => "∞".into(),
+            },
+            stats.forced.to_string(),
+            format!("{}/{}", stats.dp_components, stats.bnb_components),
+            stats.search_nodes.to_string(),
+        ]);
+    }
+    t.push_row(vec![
+        "both".into(),
+        "corpus total".into(),
+        "-".into(),
+        "-".into(),
+        format!("{total_naive:.0}"),
+        format!("{total_engine:.0}"),
+        format!("{:.1}x", total_naive / total_engine.max(1.0)),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    t
+}
+
 /// A table-building experiment entry point.
 pub type ExperimentFn = fn() -> Table;
 
@@ -1057,6 +1246,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("forest", exp_forest),
     ("prop31", exp_prop31),
     ("treewidth", exp_treewidth),
+    ("exact-scale", exp_exact_scale),
 ];
 
 /// Runs every experiment (the `reproduce --experiment all` path).

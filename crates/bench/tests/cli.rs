@@ -1,0 +1,39 @@
+//! CLI contract tests for the `reproduce` binary: unknown experiment
+//! names must fail fast *and* list every valid name (the
+//! self-correcting-typo guarantee), and `--list` must enumerate the
+//! catalog including the exact-scale experiment.
+
+use std::process::Command;
+
+fn reproduce() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+}
+
+#[test]
+fn unknown_experiment_lists_the_valid_names_and_exits_nonzero() {
+    let out = reproduce()
+        .args(["--experiment", "definitely-not-an-experiment"])
+        .output()
+        .expect("run reproduce");
+    assert_eq!(out.status.code(), Some(2), "unknown experiment is a usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown experiment: definitely-not-an-experiment"),
+        "names the offender: {stderr}"
+    );
+    for known in ["table1", "local-sweep", "exact-scale", "registry"] {
+        assert!(stderr.contains(known), "error must list {known}: {stderr}");
+    }
+    // No experiment ran: nothing on stdout.
+    assert!(out.stdout.is_empty(), "no tables on a usage error");
+}
+
+#[test]
+fn list_prints_the_catalog() {
+    let out = reproduce().arg("--list").output().expect("run reproduce");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for known in ["table1", "local-sweep", "exact-scale", "treewidth"] {
+        assert!(stdout.contains(known), "--list must include {known}: {stdout}");
+    }
+}

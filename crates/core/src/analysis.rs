@@ -1,9 +1,10 @@
 //! Approximation-ratio measurement against exact optima or certified
 //! lower bounds.
 
-use lmds_graph::dominating::{exact_mds_capped, mds_lower_bound, tree_mds};
-use lmds_graph::vertex_cover::{exact_vertex_cover_capped, vc_lower_bound};
-use lmds_graph::Graph;
+use lmds_graph::dominating::{mds_lower_bound, tree_mds};
+use lmds_graph::exact::with_thread_engine;
+use lmds_graph::vertex_cover::vc_lower_bound;
+use lmds_graph::{ExactBackend, Graph};
 
 /// How the optimum (or its bound) was obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,13 +44,15 @@ impl RatioReport {
 const TW_CAP: usize = 5;
 
 /// Measures a dominating-set solution against the best optimum we can
-/// certify: tree DP on forests, branch and bound within `budget`, then
-/// the treewidth DP for skinny graphs, then a certified lower bound.
+/// certify: tree DP on forests, then the multi-backend exact engine
+/// (reductions + branch and bound within `budget` + treewidth DP for
+/// skinny components), then the standalone width-capped treewidth DP,
+/// then a certified lower bound.
 pub fn mds_report(g: &Graph, alg_size: usize, budget: u64) -> RatioReport {
     if let Some(t) = tree_mds(g) {
         return RatioReport { alg: alg_size, opt: t.len(), kind: OptimumKind::Exact };
     }
-    if let Some(opt) = exact_mds_capped(g, budget) {
+    if let Ok(opt) = with_thread_engine(|e| e.solve_mds(g, ExactBackend::Auto, budget)) {
         return RatioReport { alg: alg_size, opt: opt.len(), kind: OptimumKind::Exact };
     }
     if let Some(opt) = lmds_graph::treewidth::treewidth_mds_size(g, TW_CAP) {
@@ -60,9 +63,9 @@ pub fn mds_report(g: &Graph, alg_size: usize, budget: u64) -> RatioReport {
 
 /// Measures a vertex-cover solution likewise.
 pub fn vc_report(g: &Graph, alg_size: usize, budget: u64) -> RatioReport {
-    match exact_vertex_cover_capped(g, budget) {
-        Some(opt) => RatioReport { alg: alg_size, opt: opt.len(), kind: OptimumKind::Exact },
-        None => {
+    match with_thread_engine(|e| e.solve_mvc(g, ExactBackend::Auto, budget)) {
+        Ok(opt) => RatioReport { alg: alg_size, opt: opt.len(), kind: OptimumKind::Exact },
+        Err(_) => {
             RatioReport { alg: alg_size, opt: vc_lower_bound(g), kind: OptimumKind::LowerBound }
         }
     }
@@ -93,13 +96,25 @@ mod tests {
 
     #[test]
     fn budget_falls_back_to_lower_bound_on_wide_graphs() {
-        // Dense graph: B&B budget exhausted *and* width above the DP
-        // cap → certified lower bound.
-        let g = lmds_gen::basic::complete(12);
-        let r = mds_report(&g, 12, 0);
+        // A 6×6 grid is twin-free, reduction-resistant, and wider than
+        // every DP cap: with a zero B&B budget the engine gives up and
+        // the report falls back to a certified lower bound.
+        let g = lmds_gen::basic::grid(6, 6);
+        let r = mds_report(&g, 36, 0);
         assert_eq!(r.kind, OptimumKind::LowerBound);
         assert!(r.opt >= 1);
         assert!(r.ratio() >= 1.0);
+    }
+
+    #[test]
+    fn twin_rich_dense_graphs_are_now_exact_even_without_budget() {
+        // The pre-engine cascade reported a lower bound here; the
+        // engine's twin folding collapses K12 to one vertex and the
+        // unit rule closes it with zero search nodes.
+        let g = lmds_gen::basic::complete(12);
+        let r = mds_report(&g, 12, 0);
+        assert_eq!(r.kind, OptimumKind::Exact);
+        assert_eq!(r.opt, 1);
     }
 
     #[test]

@@ -924,7 +924,7 @@ impl Decider for MvcAlgorithm1Decider {
             }
         }
         let local = lmds_graph::Graph::from_edges(comp.len(), &local_edges);
-        let sol = lmds_graph::vertex_cover::exact_vertex_cover(&local);
+        let sol = crate::mvc::residual_exact_vc(&local);
         let my_local = local_index[center];
         Some(sol.binary_search(&my_local).is_ok())
     }

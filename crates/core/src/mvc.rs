@@ -8,9 +8,20 @@
 
 use crate::local_cuts;
 use crate::radii::Radii;
-use lmds_graph::vertex_cover::exact_vertex_cover;
 use lmds_graph::{Graph, Vertex};
 use lmds_localsim::IdAssignment;
+
+/// The exact vertex cover of a (canonically encoded) residual
+/// component, through the thread-pooled exact engine. Shared by the
+/// centralized pipeline here and the LOCAL decider in
+/// [`crate::distributed`], which must reconstruct identical covers
+/// from per-node views.
+pub(crate) fn residual_exact_vc(local: &Graph) -> Vec<Vertex> {
+    lmds_graph::exact::with_thread_engine(|e| {
+        e.solve_mvc(local, lmds_graph::ExactBackend::Auto, u64::MAX)
+    })
+    .expect("unbounded budget cannot be exhausted")
+}
 
 /// Output of the MVC pipeline.
 #[derive(Debug, Clone)]
@@ -88,7 +99,7 @@ pub fn algorithm1_mvc(g: &Graph, ids: &IdAssignment, radii: Radii) -> MvcOutput 
                 }
             }
             let local = Graph::from_edges(order.len(), &local_edges);
-            let sol = exact_vertex_cover(&local);
+            let sol = residual_exact_vc(&local);
             brute.extend(sol.into_iter().map(|li| sub.to_host(order[li])));
             residual_components.push(comp.iter().map(|&v| sub.to_host(v)).collect::<Vec<_>>());
         }

@@ -1,0 +1,2081 @@
+//! The multi-backend **exact engine** for MDS, `B`-domination, and MVC.
+//!
+//! The paper's Algorithm 1 ends by solving bounded-diameter residual
+//! components *exactly* (Theorem 4.1 step 4), and every measured ratio
+//! in the experiment harness divides by an exact optimum. This module
+//! makes that oracle fast enough to stop being the scalability ceiling:
+//!
+//! 1. a **reduction layer** — unit-coverer forcing, subsumed-candidate
+//!    and subsumed-target rules (the classic row/column domination
+//!    reductions lifted to closed neighborhoods), true-twin folding
+//!    riding [`crate::twins`], and component splitting riding
+//!    [`crate::connectivity`] — shrinks the instance before any search;
+//! 2. a **branch-and-bound core** with a greedy incumbent and packing /
+//!    matching lower bounds, running on reusable arenas with an undo
+//!    trail (no per-node allocation, unlike the naive solvers in
+//!    [`crate::dominating`] / [`crate::vertex_cover`]);
+//! 3. a **tree-decomposition DP** riding
+//!    [`crate::treewidth::min_fill_decomposition`] with full solution
+//!    extraction (not just the optimum size), used automatically on
+//!    low-width components or forced via [`ExactBackend::Treewidth`].
+//!
+//! The old plain solvers stay in-tree as [`ExactBackend::Naive`], the
+//! oracle of the differential fuzz harness
+//! (`tests/exact_differential.rs`): every backend must return the same
+//! optimum size on the whole generator corpus.
+//!
+//! Every backend is fully deterministic: the same instance always yields
+//! the same vertex set, which is what lets the LOCAL deciders and the
+//! centralized pipeline reconstruct identical residual-component optima
+//! from different encodings of the same component.
+
+use crate::connectivity::components_avoiding;
+use crate::graph::{Graph, Vertex};
+use crate::subgraph::InducedSubgraph;
+use crate::treewidth::min_fill_decomposition;
+use crate::twins::twin_representatives;
+use std::cell::RefCell;
+
+// ---------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------
+
+/// Which exact algorithm the [`ExactEngine`] runs after reductions.
+///
+/// All backends return a true optimum; they differ only in how they
+/// search (and therefore how large an instance they can finish). The
+/// differential suite pins them to byte-equal optimum *sizes* against
+/// [`ExactBackend::Naive`] across the generator corpus.
+///
+/// ```
+/// use lmds_graph::exact::{ExactBackend, ExactEngine};
+/// use lmds_graph::Graph;
+///
+/// // P6: MDS = 2 under every backend.
+/// let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+/// let mut engine = ExactEngine::new();
+/// for backend in ExactBackend::ALL {
+///     let sol = engine.solve_mds(&g, backend, u64::MAX).unwrap();
+///     assert_eq!(sol.len(), 2, "{backend}");
+/// }
+/// assert_eq!("treewidth".parse(), Ok(ExactBackend::Treewidth));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExactBackend {
+    /// Reductions, then per residual component: the tree-decomposition
+    /// DP when the min-fill width is small, branch and bound otherwise.
+    #[default]
+    Auto,
+    /// Reductions, then branch and bound on every component.
+    BranchAndBound,
+    /// Reductions, then the tree-decomposition DP wherever the width
+    /// permits (components wider than the hard safety cap fall back to
+    /// branch and bound so the call always terminates).
+    Treewidth,
+    /// The pre-engine plain exponential solvers
+    /// ([`crate::dominating::exact_mds_capped`],
+    /// [`crate::vertex_cover::exact_vertex_cover_capped`]) with no
+    /// reduction layer — kept as the test oracle.
+    Naive,
+}
+
+impl ExactBackend {
+    /// All backends, in sweep order.
+    pub const ALL: [ExactBackend; 4] = [
+        ExactBackend::Auto,
+        ExactBackend::BranchAndBound,
+        ExactBackend::Treewidth,
+        ExactBackend::Naive,
+    ];
+}
+
+impl std::fmt::Display for ExactBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ExactBackend::Auto => "auto",
+            ExactBackend::BranchAndBound => "branch-and-bound",
+            ExactBackend::Treewidth => "treewidth",
+            ExactBackend::Naive => "naive",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::str::FromStr for ExactBackend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(ExactBackend::Auto),
+            "branch-and-bound" | "bnb" => Ok(ExactBackend::BranchAndBound),
+            "treewidth" | "tw" => Ok(ExactBackend::Treewidth),
+            "naive" => Ok(ExactBackend::Naive),
+            other => Err(format!(
+                "unknown exact backend {other:?} (valid: auto, branch-and-bound, treewidth, naive)"
+            )),
+        }
+    }
+}
+
+/// Why an exact solve failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExactError {
+    /// The branch-and-bound node budget ran out before optimality was
+    /// proven.
+    BudgetExhausted {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+    /// The `B`-domination instance is infeasible (some target has no
+    /// allowed candidate in its closed neighborhood).
+    Infeasible,
+}
+
+impl std::fmt::Display for ExactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExactError::BudgetExhausted { budget } => {
+                write!(f, "exact search budget of {budget} nodes exhausted")
+            }
+            ExactError::Infeasible => write!(f, "infeasible domination instance"),
+        }
+    }
+}
+
+impl std::error::Error for ExactError {}
+
+/// What the last [`ExactEngine`] solve did — surfaced so the
+/// `exact-scale` experiment and the microbench can report where the
+/// speedup comes from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Vertices selected by the reduction layer (no search needed).
+    pub forced: usize,
+    /// Residual components after reductions.
+    pub components: usize,
+    /// Components solved by the tree-decomposition DP.
+    pub dp_components: usize,
+    /// Components solved by branch and bound.
+    pub bnb_components: usize,
+    /// Branch-and-bound nodes expanded (all components combined).
+    pub search_nodes: u64,
+}
+
+// ---------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------
+
+/// Width cap for the DP under [`ExactBackend::Auto`] (table size
+/// `3^{w+1}`, join cost its square — 5 keeps joins tiny).
+const TW_AUTO_CAP: usize = 5;
+/// Hard safety cap for the forced [`ExactBackend::Treewidth`] backend;
+/// wider components fall back to branch and bound.
+const TW_FORCED_CAP: usize = 7;
+/// Below this component size Auto prefers branch and bound (the DP's
+/// decomposition overhead exceeds the whole search).
+const TW_AUTO_MIN_N: usize = 20;
+/// VC DP caps (2-color tables are exponentially cheaper).
+const VC_TW_AUTO_CAP: usize = 8;
+const VC_TW_FORCED_CAP: usize = 10;
+
+/// The multi-backend exact solver. Owns the reusable search arenas
+/// (bound buffers, undo trails, per-depth scratch); one engine can be
+/// reused across many solves and graphs — see [`with_thread_engine`]
+/// for the thread-local pool.
+#[derive(Debug, Default)]
+pub struct ExactEngine {
+    stats: EngineStats,
+    /// Per-vertex u32 epoch marks shared by the reduction rules.
+    mark: Vec<u32>,
+    epoch: u32,
+    /// Ball-2 enumeration buffer.
+    ball_buf: Vec<Vertex>,
+    /// Coverage-set buffer.
+    cov_buf: Vec<Vertex>,
+}
+
+impl ExactEngine {
+    /// A fresh engine (arenas grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Diagnostics of the most recent solve.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    // -- marks ---------------------------------------------------------
+
+    fn begin_marks(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.mark.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    #[inline]
+    fn mark(&mut self, v: Vertex) {
+        self.mark[v] = self.epoch;
+    }
+
+    #[inline]
+    fn marked(&self, v: Vertex) -> bool {
+        self.mark[v] == self.epoch
+    }
+
+    // -- public solves -------------------------------------------------
+
+    /// Exact minimum dominating set of `g`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExactError::BudgetExhausted`] if the branch-and-bound node
+    /// budget runs out (never infeasible: every graph has a dominating
+    /// set).
+    pub fn solve_mds(
+        &mut self,
+        g: &Graph,
+        backend: ExactBackend,
+        budget: u64,
+    ) -> Result<Vec<Vertex>, ExactError> {
+        self.stats = EngineStats::default();
+        if g.n() == 0 {
+            return Ok(Vec::new());
+        }
+        if backend == ExactBackend::Naive {
+            return crate::dominating::exact_mds_capped(g, budget)
+                .ok_or(ExactError::BudgetExhausted { budget });
+        }
+        // True-twin folding (sound for whole-graph MDS: the quotient
+        // preserves the domination number and any dominating set of the
+        // quotient dominates the host — see `crate::twins`).
+        let rep = twin_representatives(g);
+        if rep.iter().enumerate().any(|(v, &r)| r != v) {
+            let kept: Vec<Vertex> = g.vertices().filter(|&v| rep[v] == v).collect();
+            let sub = InducedSubgraph::new(g, &kept);
+            let local = self.solve_domination(&sub.graph, None, None, backend, budget)?;
+            return Ok(sub.set_to_host(&local));
+        }
+        self.solve_domination(g, None, None, backend, budget)
+    }
+
+    /// Exact minimum `B`-dominating set: the smallest
+    /// `S ⊆ candidates` (default `N[targets]`) with `targets ⊆ N[S]` —
+    /// `MDS(G, B)` from the paper (§2), the residual-component
+    /// instance of Algorithm 1 step 4.
+    ///
+    /// # Errors
+    ///
+    /// [`ExactError::Infeasible`] when some target has no candidate in
+    /// its closed neighborhood, [`ExactError::BudgetExhausted`] when
+    /// the search budget runs out.
+    pub fn solve_b_dominating(
+        &mut self,
+        g: &Graph,
+        targets: &[Vertex],
+        candidates: Option<&[Vertex]>,
+        backend: ExactBackend,
+        budget: u64,
+    ) -> Result<Vec<Vertex>, ExactError> {
+        self.stats = EngineStats::default();
+        if g.n() == 0 || targets.is_empty() {
+            return Ok(Vec::new());
+        }
+        if backend == ExactBackend::Naive {
+            // Distinguish infeasibility from budget exhaustion (the
+            // naive oracle conflates them in one `None`).
+            self.check_feasible(g, targets, candidates)?;
+            return crate::dominating::exact_b_dominating_capped(g, targets, candidates, budget)
+                .ok_or(ExactError::BudgetExhausted { budget });
+        }
+        self.solve_domination(g, Some(targets), candidates, backend, budget)
+    }
+
+    /// Exact minimum vertex cover of `g`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExactError::BudgetExhausted`] if the branch-and-bound node
+    /// budget runs out.
+    pub fn solve_mvc(
+        &mut self,
+        g: &Graph,
+        backend: ExactBackend,
+        budget: u64,
+    ) -> Result<Vec<Vertex>, ExactError> {
+        self.stats = EngineStats::default();
+        if g.n() == 0 {
+            return Ok(Vec::new());
+        }
+        if backend == ExactBackend::Naive {
+            return crate::vertex_cover::exact_vertex_cover_capped(g, budget)
+                .ok_or(ExactError::BudgetExhausted { budget });
+        }
+        self.solve_vc(g, backend, budget)
+    }
+
+    // -- domination core ----------------------------------------------
+
+    fn check_feasible(
+        &mut self,
+        g: &Graph,
+        targets: &[Vertex],
+        candidates: Option<&[Vertex]>,
+    ) -> Result<(), ExactError> {
+        match candidates {
+            None => Ok(()), // targets dominate themselves
+            Some(cands) => {
+                self.begin_marks(g.n());
+                for &c in cands {
+                    self.mark(c);
+                }
+                let ok = targets
+                    .iter()
+                    .all(|&t| self.marked(t) || g.neighbors(t).iter().any(|&u| self.marked(u)));
+                if ok {
+                    Ok(())
+                } else {
+                    Err(ExactError::Infeasible)
+                }
+            }
+        }
+    }
+
+    /// The shared domination pipeline: masks → reductions → component
+    /// split → per-component DP or branch and bound.
+    fn solve_domination(
+        &mut self,
+        g: &Graph,
+        targets: Option<&[Vertex]>,
+        candidates: Option<&[Vertex]>,
+        backend: ExactBackend,
+        budget: u64,
+    ) -> Result<Vec<Vertex>, ExactError> {
+        let n = g.n();
+        let mut needs = vec![false; n];
+        match targets {
+            None => needs.fill(true),
+            Some(ts) => {
+                for &t in ts {
+                    needs[t] = true;
+                }
+            }
+        }
+        let mut allowed = vec![false; n];
+        match candidates {
+            Some(cs) => {
+                for &c in cs {
+                    allowed[c] = true;
+                }
+            }
+            None => {
+                // Default candidate pool: N[targets].
+                for v in g.vertices() {
+                    if needs[v] {
+                        allowed[v] = true;
+                        for &u in g.neighbors(v) {
+                            allowed[u] = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Feasibility before reductions (reductions never remove the
+        // last coverer of a live target).
+        for v in g.vertices() {
+            if needs[v] && !allowed[v] && !g.neighbors(v).iter().any(|&u| allowed[u]) {
+                return Err(ExactError::Infeasible);
+            }
+        }
+
+        let mut chosen: Vec<Vertex> = Vec::new();
+        self.reduce_domination(g, &mut needs, &mut allowed, &mut chosen);
+        self.stats.forced = chosen.len();
+
+        // Component split over the still-relevant vertices.
+        let removed: Vec<bool> = (0..n).map(|v| !(needs[v] || allowed[v])).collect();
+        let comps = components_avoiding(g, &removed);
+        let mut spent: u64 = 0;
+        for comp in &comps {
+            if !comp.iter().any(|&v| needs[v]) {
+                continue; // pure-candidate component: nothing to cover
+            }
+            self.stats.components += 1;
+            let sub = InducedSubgraph::new(g, comp);
+            let lg = &sub.graph;
+            let needs_l: Vec<bool> = comp.iter().map(|&v| needs[v]).collect();
+            let allowed_l: Vec<bool> = comp.iter().map(|&v| allowed[v]).collect();
+            // The decomposition is computed once here and reused by
+            // the DP (it is the DP's dominant setup cost).
+            let td = match backend {
+                ExactBackend::Auto if lg.n() >= TW_AUTO_MIN_N => {
+                    Some(min_fill_decomposition(lg)).filter(|td| td.width() <= TW_AUTO_CAP)
+                }
+                ExactBackend::Auto | ExactBackend::BranchAndBound => None,
+                ExactBackend::Treewidth => {
+                    Some(min_fill_decomposition(lg)).filter(|td| td.width() <= TW_FORCED_CAP)
+                }
+                ExactBackend::Naive => unreachable!("naive handled upstream"),
+            };
+            let local_sol = if let Some(td) = td {
+                self.stats.dp_components += 1;
+                mds_dp(lg, &needs_l, &allowed_l, &td)
+            } else {
+                self.stats.bnb_components += 1;
+                let budget_left = budget.saturating_sub(spent);
+                let (sol, nodes) = cover_bnb(lg, &needs_l, &allowed_l, budget_left)
+                    .ok_or(ExactError::BudgetExhausted { budget })?;
+                spent += nodes;
+                self.stats.search_nodes += nodes;
+                sol
+            };
+            chosen.extend(local_sol.into_iter().map(|v| sub.to_host(v)));
+        }
+        chosen.sort_unstable();
+        chosen.dedup();
+        Ok(chosen)
+    }
+
+    /// The domination reduction layer, run to fixpoint:
+    ///
+    /// * **unit coverer** — a target with exactly one allowed vertex in
+    ///   its closed neighborhood forces that vertex;
+    /// * **subsumed candidate** — a candidate whose live coverage is
+    ///   contained in another candidate's is never needed (on equality
+    ///   the smaller index survives); a candidate covering nothing is
+    ///   dropped;
+    /// * **subsumed target** — a target whose allowed coverers contain
+    ///   another target's can be dropped: covering the smaller-coverer
+    ///   target covers it too (on equality the smaller index survives).
+    ///
+    /// Comparable pairs always lie within distance 2, so both
+    /// subsumption scans only look inside 2-balls.
+    fn reduce_domination(
+        &mut self,
+        g: &Graph,
+        needs: &mut [bool],
+        allowed: &mut [bool],
+        chosen: &mut Vec<Vertex>,
+    ) {
+        let n = g.n();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Unit-coverer forcing.
+            for t in 0..n {
+                if !needs[t] {
+                    continue;
+                }
+                let mut only = usize::MAX;
+                let mut count = 0usize;
+                for u in closed(g, t) {
+                    if allowed[u] {
+                        only = u;
+                        count += 1;
+                        if count > 1 {
+                            break;
+                        }
+                    }
+                }
+                if count == 1 {
+                    self.force(g, only, needs, allowed, chosen);
+                    changed = true;
+                }
+            }
+            // Subsumed candidates.
+            for u in 0..n {
+                if !allowed[u] {
+                    continue;
+                }
+                self.cov_buf.clear();
+                for w in closed(g, u) {
+                    if needs[w] {
+                        self.cov_buf.push(w);
+                    }
+                }
+                if self.cov_buf.is_empty() {
+                    allowed[u] = false;
+                    changed = true;
+                    continue;
+                }
+                let cov_u = std::mem::take(&mut self.cov_buf);
+                self.fill_ball2(g, u);
+                let ball = std::mem::take(&mut self.ball_buf);
+                for &v in &ball {
+                    if v == u || !allowed[v] {
+                        continue;
+                    }
+                    // Mark N[v]; cov(u) ⊆ cov(v) ⟺ every member of
+                    // cov(u) lies in N[v] (members already need).
+                    self.begin_marks(n);
+                    self.mark(v);
+                    for &w in g.neighbors(v) {
+                        self.mark(w);
+                    }
+                    if cov_u.iter().all(|&w| self.marked(w)) {
+                        let cov_v_len = closed(g, v).filter(|&w| needs[w]).count();
+                        if cov_u.len() < cov_v_len || v < u {
+                            allowed[u] = false;
+                            changed = true;
+                            break;
+                        }
+                    }
+                }
+                self.ball_buf = ball;
+                self.cov_buf = cov_u;
+                self.cov_buf.clear();
+            }
+            // Subsumed targets.
+            for t in 0..n {
+                if !needs[t] {
+                    continue;
+                }
+                self.fill_ball2(g, t);
+                let ball = std::mem::take(&mut self.ball_buf);
+                // Mark t's allowed coverers.
+                self.begin_marks(n);
+                let mut covr_t_len = 0usize;
+                for u in closed(g, t) {
+                    if allowed[u] {
+                        self.mark(u);
+                        covr_t_len += 1;
+                    }
+                }
+                for &t2 in &ball {
+                    if t2 == t || !needs[t2] {
+                        continue;
+                    }
+                    let mut subset = true;
+                    let mut covr_t2_len = 0usize;
+                    for u in closed(g, t2) {
+                        if allowed[u] {
+                            covr_t2_len += 1;
+                            if !self.marked(u) {
+                                subset = false;
+                                break;
+                            }
+                        }
+                    }
+                    if subset && (covr_t2_len < covr_t_len || t2 < t) {
+                        needs[t] = false;
+                        changed = true;
+                        break;
+                    }
+                }
+                self.ball_buf = ball;
+                self.ball_buf.clear();
+            }
+        }
+    }
+
+    /// Forces `u` into the solution: covers `N[u]`, retires `u` as a
+    /// candidate.
+    fn force(
+        &mut self,
+        g: &Graph,
+        u: Vertex,
+        needs: &mut [bool],
+        allowed: &mut [bool],
+        chosen: &mut Vec<Vertex>,
+    ) {
+        chosen.push(u);
+        allowed[u] = false;
+        needs[u] = false;
+        for &w in g.neighbors(u) {
+            needs[w] = false;
+        }
+    }
+
+    /// Fills `self.ball_buf` with the distance-≤2 ball around `v`
+    /// (excluding nothing; includes `v`).
+    fn fill_ball2(&mut self, g: &Graph, v: Vertex) {
+        self.begin_marks(g.n());
+        self.ball_buf.clear();
+        self.mark(v);
+        self.ball_buf.push(v);
+        let deg1_end = {
+            for &u in g.neighbors(v) {
+                if !self.marked(u) {
+                    self.mark(u);
+                    self.ball_buf.push(u);
+                }
+            }
+            self.ball_buf.len()
+        };
+        for i in 1..deg1_end {
+            let u = self.ball_buf[i];
+            for &w in g.neighbors(u) {
+                if !self.marked(w) {
+                    self.mark(w);
+                    self.ball_buf.push(w);
+                }
+            }
+        }
+    }
+
+    // -- vertex-cover core --------------------------------------------
+
+    fn solve_vc(
+        &mut self,
+        g: &Graph,
+        backend: ExactBackend,
+        budget: u64,
+    ) -> Result<Vec<Vertex>, ExactError> {
+        let n = g.n();
+        let mut alive = vec![true; n];
+        let mut chosen: Vec<Vertex> = Vec::new();
+        self.reduce_vc(g, &mut alive, &mut chosen);
+        self.stats.forced = chosen.len();
+
+        let removed: Vec<bool> = alive.iter().map(|&a| !a).collect();
+        let comps = components_avoiding(g, &removed);
+        let mut spent: u64 = 0;
+        for comp in &comps {
+            if comp.len() < 2 {
+                continue; // isolated live vertex: covers nothing
+            }
+            self.stats.components += 1;
+            let sub = InducedSubgraph::new(g, comp);
+            let lg = &sub.graph;
+            let td = match backend {
+                ExactBackend::Auto if lg.n() >= TW_AUTO_MIN_N => {
+                    Some(min_fill_decomposition(lg)).filter(|td| td.width() <= VC_TW_AUTO_CAP)
+                }
+                ExactBackend::Auto | ExactBackend::BranchAndBound => None,
+                ExactBackend::Treewidth => {
+                    Some(min_fill_decomposition(lg)).filter(|td| td.width() <= VC_TW_FORCED_CAP)
+                }
+                ExactBackend::Naive => unreachable!("naive handled upstream"),
+            };
+            let local_sol = if let Some(td) = td {
+                self.stats.dp_components += 1;
+                vc_dp(lg, &td)
+            } else {
+                self.stats.bnb_components += 1;
+                let budget_left = budget.saturating_sub(spent);
+                let (sol, nodes) =
+                    vc_bnb(lg, budget_left).ok_or(ExactError::BudgetExhausted { budget })?;
+                spent += nodes;
+                self.stats.search_nodes += nodes;
+                sol
+            };
+            chosen.extend(local_sol.into_iter().map(|v| sub.to_host(v)));
+        }
+        chosen.sort_unstable();
+        chosen.dedup();
+        Ok(chosen)
+    }
+
+    /// VC reduction layer, run to fixpoint:
+    ///
+    /// * **degree 0** — an isolated live vertex covers nothing;
+    /// * **degree 1** — a pendant's unique live neighbor belongs to
+    ///   some optimum;
+    /// * **dominance** — for a live edge `(u, v)` with
+    ///   `N[u] ⊆ N[v]` within the live graph, some optimum contains
+    ///   `v`.
+    fn reduce_vc(&mut self, g: &Graph, alive: &mut [bool], chosen: &mut Vec<Vertex>) {
+        let n = g.n();
+        let live_deg = |alive: &[bool], v: Vertex| -> usize {
+            g.neighbors(v).iter().filter(|&&u| alive[u]).count()
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for v in 0..n {
+                if !alive[v] {
+                    continue;
+                }
+                match live_deg(alive, v) {
+                    0 => {
+                        alive[v] = false;
+                        changed = true;
+                    }
+                    1 => {
+                        let u = *g
+                            .neighbors(v)
+                            .iter()
+                            .find(|&&u| alive[u])
+                            .expect("degree-1 vertex has a live neighbor");
+                        chosen.push(u);
+                        alive[u] = false;
+                        alive[v] = false;
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            // Dominance: mark N_live[v] ∪ {v}, test each live
+            // neighbor u of v for N_live(u) ⊆ N_live[v].
+            for v in 0..n {
+                if !alive[v] {
+                    continue;
+                }
+                self.begin_marks(n);
+                self.mark(v);
+                for &w in g.neighbors(v) {
+                    if alive[w] {
+                        self.mark(w);
+                    }
+                }
+                let mut take_v = false;
+                for &u in g.neighbors(v) {
+                    if !alive[u] {
+                        continue;
+                    }
+                    if g.neighbors(u).iter().all(|&w| !alive[w] || self.marked(w)) {
+                        take_v = true;
+                        break;
+                    }
+                }
+                if take_v {
+                    chosen.push(v);
+                    alive[v] = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+/// Iterates the closed neighborhood `N[v]` (order: `v`, then sorted
+/// neighbors).
+fn closed(g: &Graph, v: Vertex) -> impl Iterator<Item = Vertex> + '_ {
+    std::iter::once(v).chain(g.neighbors(v).iter().copied())
+}
+
+// ---------------------------------------------------------------------
+// Thread-local engine pool
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static ENGINE_POOL: RefCell<ExactEngine> = RefCell::new(ExactEngine::new());
+}
+
+/// Runs `f` on this thread's pooled [`ExactEngine`] (falling back to a
+/// fresh engine under reentrancy). The residual-component solves of the
+/// Algorithm 1 pipeline and its LOCAL deciders all ride this pool, so
+/// one warmed arena serves the many small solves a simulation makes.
+pub fn with_thread_engine<R>(f: impl FnOnce(&mut ExactEngine) -> R) -> R {
+    ENGINE_POOL.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut e) => f(&mut e),
+        Err(_) => f(&mut ExactEngine::new()),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Branch and bound: set-cover search on arenas
+// ---------------------------------------------------------------------
+
+/// Exact minimum cover of the `needs` vertices by closed neighborhoods
+/// of `allowed` vertices, by branch and bound with an undo trail.
+/// Returns `(solution, nodes_expanded)` or `None` on budget
+/// exhaustion. Deterministic.
+fn cover_bnb(
+    g: &Graph,
+    needs: &[bool],
+    allowed: &[bool],
+    budget: u64,
+) -> Option<(Vec<Vertex>, u64)> {
+    let n = g.n();
+    // Dense target/candidate indexing.
+    let mut target_idx = vec![usize::MAX; n];
+    let mut targets: Vec<Vertex> = Vec::new();
+    for v in 0..n {
+        if needs[v] {
+            target_idx[v] = targets.len();
+            targets.push(v);
+        }
+    }
+    let mut cand_idx = vec![usize::MAX; n];
+    let mut cands: Vec<Vertex> = Vec::new();
+    for v in 0..n {
+        if allowed[v] {
+            cand_idx[v] = cands.len();
+            cands.push(v);
+        }
+    }
+    let mut covers: Vec<Vec<u32>> = Vec::with_capacity(cands.len());
+    let mut covered_by: Vec<Vec<u32>> = vec![Vec::new(); targets.len()];
+    for (ci, &c) in cands.iter().enumerate() {
+        let mut cov: Vec<u32> = closed(g, c)
+            .filter(|&w| target_idx[w] != usize::MAX)
+            .map(|w| target_idx[w] as u32)
+            .collect();
+        cov.sort_unstable();
+        for &t in &cov {
+            covered_by[t as usize].push(ci as u32);
+        }
+        covers.push(cov);
+    }
+    debug_assert!(covered_by.iter().all(|c| !c.is_empty()), "caller checked feasibility");
+
+    let mut search = CoverSearch {
+        covers,
+        covered_by,
+        cover_count: vec![0; targets.len()],
+        banned: vec![false; cands.len()],
+        remaining: targets.len(),
+        current: Vec::new(),
+        best: Vec::new(),
+        lb_target: vec![0; targets.len()],
+        lb_cand: vec![0; cands.len()],
+        lb_epoch: 0,
+        depth_scratch: Vec::new(),
+        nodes: 0,
+        budget,
+    };
+    search.best = search.greedy();
+    let complete = search.branch(0);
+    if !complete {
+        return None;
+    }
+    let mut sol: Vec<Vertex> = search.best.iter().map(|&ci| cands[ci as usize]).collect();
+    sol.sort_unstable();
+    Some((sol, search.nodes))
+}
+
+struct CoverSearch {
+    covers: Vec<Vec<u32>>,
+    covered_by: Vec<Vec<u32>>,
+    cover_count: Vec<u32>,
+    banned: Vec<bool>,
+    remaining: usize,
+    current: Vec<u32>,
+    best: Vec<u32>,
+    lb_target: Vec<u32>,
+    lb_cand: Vec<u32>,
+    lb_epoch: u32,
+    depth_scratch: Vec<Vec<u32>>,
+    nodes: u64,
+    budget: u64,
+}
+
+impl CoverSearch {
+    /// Deterministic greedy cover (max gain, tie → smallest index) for
+    /// the initial incumbent.
+    fn greedy(&self) -> Vec<u32> {
+        let mut covered = vec![false; self.cover_count.len()];
+        let mut remaining = covered.len();
+        let mut chosen: Vec<u32> = Vec::new();
+        let mut used = vec![false; self.covers.len()];
+        while remaining > 0 {
+            let mut best = usize::MAX;
+            let mut best_gain = 0usize;
+            for (ci, cov) in self.covers.iter().enumerate() {
+                if used[ci] {
+                    continue;
+                }
+                let gain = cov.iter().filter(|&&t| !covered[t as usize]).count();
+                if gain > best_gain {
+                    best_gain = gain;
+                    best = ci;
+                }
+            }
+            debug_assert!(best != usize::MAX, "feasible instance");
+            used[best] = true;
+            chosen.push(best as u32);
+            for &t in &self.covers[best] {
+                if !covered[t as usize] {
+                    covered[t as usize] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        chosen
+    }
+
+    fn choose(&mut self, ci: u32) {
+        self.current.push(ci);
+        for &t in &self.covers[ci as usize] {
+            let c = &mut self.cover_count[t as usize];
+            *c += 1;
+            if *c == 1 {
+                self.remaining -= 1;
+            }
+        }
+    }
+
+    fn unchoose(&mut self, ci: u32) {
+        let popped = self.current.pop();
+        debug_assert_eq!(popped, Some(ci));
+        for &t in &self.covers[ci as usize] {
+            let c = &mut self.cover_count[t as usize];
+            *c -= 1;
+            if *c == 0 {
+                self.remaining += 1;
+            }
+        }
+    }
+
+    /// Greedy disjoint-packing lower bound over uncovered targets, on
+    /// epoch-marked arenas (no allocation).
+    fn lower_bound(&mut self) -> usize {
+        self.lb_epoch = self.lb_epoch.wrapping_add(1);
+        if self.lb_epoch == 0 {
+            self.lb_target.fill(0);
+            self.lb_cand.fill(0);
+            self.lb_epoch = 1;
+        }
+        let epoch = self.lb_epoch;
+        let mut packing = 0usize;
+        for t in 0..self.cover_count.len() {
+            if self.cover_count[t] > 0 || self.lb_target[t] == epoch {
+                continue;
+            }
+            let shares = self.covered_by[t]
+                .iter()
+                .any(|&c| !self.banned[c as usize] && self.lb_cand[c as usize] == epoch);
+            if shares {
+                continue;
+            }
+            packing += 1;
+            self.lb_target[t] = epoch;
+            for &c in &self.covered_by[t] {
+                if !self.banned[c as usize] {
+                    self.lb_cand[c as usize] = epoch;
+                }
+            }
+        }
+        packing
+    }
+
+    /// Returns `false` when the budget ran out (search incomplete).
+    fn branch(&mut self, depth: usize) -> bool {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            return false;
+        }
+        if self.remaining == 0 {
+            if self.current.len() < self.best.len() {
+                self.best = self.current.clone();
+            }
+            return true;
+        }
+        if self.current.len() + self.lower_bound() >= self.best.len() {
+            return true;
+        }
+        // Pick the uncovered target with the fewest available coverers.
+        let mut pick = usize::MAX;
+        let mut pick_count = usize::MAX;
+        for t in 0..self.cover_count.len() {
+            if self.cover_count[t] > 0 {
+                continue;
+            }
+            let avail = self.covered_by[t].iter().filter(|&&c| !self.banned[c as usize]).count();
+            if avail < pick_count {
+                pick = t;
+                pick_count = avail;
+            }
+        }
+        debug_assert!(pick != usize::MAX);
+        if pick_count == 0 {
+            return true; // bans made this branch infeasible
+        }
+        if self.depth_scratch.len() <= depth {
+            self.depth_scratch.resize_with(depth + 1, Vec::new);
+        }
+        let mut options = std::mem::take(&mut self.depth_scratch[depth]);
+        options.clear();
+        options.extend(self.covered_by[pick].iter().copied().filter(|&c| !self.banned[c as usize]));
+        // Most coverage first, tie → smallest index.
+        options.sort_by_key(|&c| (std::cmp::Reverse(self.covers[c as usize].len()), c));
+        let mut complete = true;
+        for i in 0..options.len() {
+            // Branch i: include options[i], exclude options[..i].
+            for &earlier in &options[..i] {
+                self.banned[earlier as usize] = true;
+            }
+            let ci = options[i];
+            self.choose(ci);
+            let ok = self.branch(depth + 1);
+            self.unchoose(ci);
+            for &earlier in &options[..i] {
+                self.banned[earlier as usize] = false;
+            }
+            if !ok {
+                complete = false;
+                break;
+            }
+        }
+        self.depth_scratch[depth] = options;
+        complete
+    }
+}
+
+// ---------------------------------------------------------------------
+// Branch and bound: vertex cover on a trail
+// ---------------------------------------------------------------------
+
+/// Exact minimum vertex cover by branch and bound with degree-0/1
+/// inline reductions, a matching lower bound, and an undo trail (no
+/// per-node cloning). Returns `(solution, nodes)` or `None` on budget
+/// exhaustion. Deterministic.
+fn vc_bnb(g: &Graph, budget: u64) -> Option<(Vec<Vertex>, u64)> {
+    let n = g.n();
+    let mut search = VcSearch {
+        g,
+        alive: vec![true; n],
+        live_deg: (0..n).map(|v| g.degree(v) as u32).collect(),
+        current: Vec::new(),
+        best: crate::vertex_cover::matching_vertex_cover(g),
+        removed: Vec::new(),
+        matched: vec![0; n],
+        epoch: 0,
+        nodes: 0,
+        budget,
+    };
+    let complete = search.branch();
+    if !complete {
+        return None;
+    }
+    let mut best = search.best;
+    best.sort_unstable();
+    Some((best, search.nodes))
+}
+
+struct VcSearch<'g> {
+    g: &'g Graph,
+    alive: Vec<bool>,
+    live_deg: Vec<u32>,
+    current: Vec<Vertex>,
+    best: Vec<Vertex>,
+    /// Removal trail for undo (in removal order).
+    removed: Vec<Vertex>,
+    matched: Vec<u32>,
+    epoch: u32,
+    nodes: u64,
+    budget: u64,
+}
+
+impl VcSearch<'_> {
+    fn remove(&mut self, v: Vertex) {
+        debug_assert!(self.alive[v]);
+        self.alive[v] = false;
+        for &w in self.g.neighbors(v) {
+            if self.alive[w] {
+                self.live_deg[w] -= 1;
+            }
+        }
+        self.removed.push(v);
+    }
+
+    /// Undoes removals back to trail length `cp` (reverse order).
+    fn restore(&mut self, cp: usize) {
+        while self.removed.len() > cp {
+            let v = self.removed.pop().expect("trail nonempty");
+            self.alive[v] = true;
+            let mut deg = 0;
+            for &w in self.g.neighbors(v) {
+                if self.alive[w] {
+                    self.live_deg[w] += 1;
+                    deg += 1;
+                }
+            }
+            self.live_deg[v] = deg;
+        }
+    }
+
+    /// Greedy maximal matching within the live subgraph (lower bound),
+    /// on an epoch-marked arena.
+    fn matching_bound(&mut self) -> usize {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.matched.fill(0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+        let mut lb = 0;
+        for u in self.g.vertices() {
+            if !self.alive[u] || self.matched[u] == epoch {
+                continue;
+            }
+            for &v in self.g.neighbors(u) {
+                if u < v && self.alive[v] && self.matched[v] != epoch {
+                    self.matched[u] = epoch;
+                    self.matched[v] = epoch;
+                    lb += 1;
+                    break;
+                }
+            }
+        }
+        lb
+    }
+
+    fn branch(&mut self) -> bool {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            return false;
+        }
+        let trail_cp = self.removed.len();
+        let cur_cp = self.current.len();
+        // Inline degree-0/1 reductions to fixpoint.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for v in self.g.vertices() {
+                if !self.alive[v] {
+                    continue;
+                }
+                match self.live_deg[v] {
+                    0 => {
+                        self.remove(v);
+                        changed = true;
+                    }
+                    1 => {
+                        let u = *self
+                            .g
+                            .neighbors(v)
+                            .iter()
+                            .find(|&&u| self.alive[u])
+                            .expect("degree-1 vertex has a live neighbor");
+                        self.current.push(u);
+                        self.remove(u);
+                        self.remove(v);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let result = self.branch_core();
+        self.current.truncate(cur_cp);
+        self.restore(trail_cp);
+        result
+    }
+
+    fn branch_core(&mut self) -> bool {
+        // Branch vertex: maximum live degree, tie → smallest index.
+        let mut pick = usize::MAX;
+        let mut pick_deg = 0u32;
+        for v in self.g.vertices() {
+            if self.alive[v] && self.live_deg[v] > pick_deg {
+                pick = v;
+                pick_deg = self.live_deg[v];
+            }
+        }
+        if pick == usize::MAX {
+            // No live vertices: the current selection is a cover.
+            if self.current.len() < self.best.len() {
+                self.best = self.current.clone();
+            }
+            return true;
+        }
+        if self.current.len() + self.matching_bound() >= self.best.len() {
+            return true;
+        }
+        // Branch A: take pick.
+        {
+            let cp = self.removed.len();
+            self.current.push(pick);
+            self.remove(pick);
+            let ok = self.branch();
+            self.current.pop();
+            self.restore(cp);
+            if !ok {
+                return false;
+            }
+        }
+        // Branch B: exclude pick → take all its live neighbors.
+        {
+            let cp = self.removed.len();
+            let cur_cp = self.current.len();
+            self.remove(pick);
+            let nb: Vec<Vertex> =
+                self.g.neighbors(pick).iter().copied().filter(|&u| self.alive[u]).collect();
+            for &u in &nb {
+                self.current.push(u);
+                self.remove(u);
+            }
+            let ok = self.branch();
+            self.current.truncate(cur_cp);
+            self.restore(cp);
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tree-decomposition DP with solution extraction
+// ---------------------------------------------------------------------
+
+const INF: u64 = u64::MAX / 4;
+
+/// Powers of 3 up to the largest bag the width caps permit.
+const POW3: [usize; 13] = {
+    let mut p = [1usize; 13];
+    let mut i = 1;
+    while i < 13 {
+        p[i] = p[i - 1] * 3;
+        i += 1;
+    }
+    p
+};
+
+#[inline]
+fn get3(state: usize, i: usize) -> usize {
+    (state / POW3[i]) % 3
+}
+
+#[inline]
+fn set3(state: usize, i: usize, c: usize) -> usize {
+    state - get3(state, i) * POW3[i] + c * POW3[i]
+}
+
+/// Inserts a slot with color `c` at position `pos` (shifting higher
+/// slots up one trit).
+fn insert3(state: usize, k_old: usize, pos: usize, c: usize) -> usize {
+    debug_assert!(pos <= k_old);
+    let low = state % POW3[pos];
+    let high = state / POW3[pos];
+    low + c * POW3[pos] + high * POW3[pos + 1]
+}
+
+/// Removes the slot at `pos`.
+fn project3(state: usize, pos: usize) -> usize {
+    let low = state % POW3[pos];
+    let high = state / POW3[pos + 1];
+    low + high * POW3[pos]
+}
+
+/// MDS DP colors: `S` = chosen, `D` = dominated, `U` = neither.
+const C_S: usize = 0;
+const C_D: usize = 1;
+const C_U: usize = 2;
+
+enum DpOp {
+    Leaf,
+    Introduce { src: usize, v: Vertex },
+    Forget { src: usize, v: Vertex },
+    Join { a: usize, b: usize },
+}
+
+struct DpTables {
+    ops: Vec<DpOp>,
+    bags: Vec<Vec<Vertex>>,
+    values: Vec<Vec<u64>>,
+}
+
+impl DpTables {
+    fn push(&mut self, op: DpOp, bag: Vec<Vertex>, values: Vec<u64>) -> usize {
+        self.ops.push(op);
+        self.bags.push(bag);
+        self.values.push(values);
+        self.ops.len() - 1
+    }
+}
+
+/// Exact minimum domination of the `needs` vertices by `allowed`
+/// vertices via DP over the caller's (min-fill) tree decomposition,
+/// **with solution extraction**. The caller guarantees the width is
+/// within the engine's caps; feasibility is the caller's invariant
+/// (targets always retain a coverer).
+fn mds_dp(
+    g: &Graph,
+    needs: &[bool],
+    allowed: &[bool],
+    td: &crate::treewidth::TreeDecomposition,
+) -> Vec<Vertex> {
+    let n = g.n();
+    debug_assert!(n > 0);
+    let b = td.bags.len();
+    let mut tadj: Vec<Vec<usize>> = vec![Vec::new(); b];
+    for &(x, y) in &td.edges {
+        tadj[x].push(y);
+        tadj[y].push(x);
+    }
+    // Iterative post-order from bag 0.
+    let mut parent = vec![usize::MAX; b];
+    let mut order = Vec::with_capacity(b);
+    let mut stack = vec![0usize];
+    let mut seen = vec![false; b];
+    seen[0] = true;
+    while let Some(x) = stack.pop() {
+        order.push(x);
+        for &y in &tadj[x] {
+            if !seen[y] {
+                seen[y] = true;
+                parent[y] = x;
+                stack.push(y);
+            }
+        }
+    }
+
+    let mut tables = DpTables { ops: Vec::new(), bags: Vec::new(), values: Vec::new() };
+    let mut final_table = vec![usize::MAX; b];
+    for &node in order.iter().rev() {
+        let mut cur = tables.push(DpOp::Leaf, Vec::new(), vec![0]);
+        for &v in &td.bags[node] {
+            cur = dp_introduce(g, allowed, &mut tables, cur, v);
+        }
+        for &child in &tadj[node] {
+            if parent[child] != node {
+                continue;
+            }
+            let mut ct = final_table[child];
+            let extras: Vec<Vertex> = tables.bags[ct]
+                .iter()
+                .copied()
+                .filter(|v| td.bags[node].binary_search(v).is_err())
+                .collect();
+            for v in extras {
+                ct = dp_forget(needs, &mut tables, ct, v);
+            }
+            let missing: Vec<Vertex> = td.bags[node]
+                .iter()
+                .copied()
+                .filter(|v| tables.bags[ct].binary_search(v).is_err())
+                .collect();
+            for v in missing {
+                ct = dp_introduce(g, allowed, &mut tables, ct, v);
+            }
+            cur = dp_join(&mut tables, cur, ct);
+        }
+        final_table[node] = cur;
+    }
+
+    // Root: minimize over states where every needing bag vertex is
+    // dominated or chosen.
+    let root = final_table[0];
+    let bag = tables.bags[root].clone();
+    let mut best_state = usize::MAX;
+    let mut best_val = INF;
+    for (state, &val) in tables.values[root].iter().enumerate() {
+        if val >= best_val {
+            continue;
+        }
+        let ok = bag.iter().enumerate().all(|(i, &v)| get3(state, i) != C_U || !needs[v]);
+        if ok {
+            best_val = val;
+            best_state = state;
+        }
+    }
+    debug_assert!(best_state != usize::MAX, "feasible instance has a valid root state");
+
+    // Traceback (explicit stack, lazy provenance search).
+    let mut chosen = vec![false; n];
+    let mut frames = vec![(root, best_state)];
+    while let Some((table, state)) = frames.pop() {
+        let value = tables.values[table][state];
+        match tables.ops[table] {
+            DpOp::Leaf => {}
+            DpOp::Introduce { src, v } => {
+                let pos = tables.bags[table].binary_search(&v).expect("v in bag");
+                match get3(state, pos) {
+                    C_S => {
+                        chosen[v] = true;
+                        // Search the source state that maps here with
+                        // cost value − 1.
+                        let src_bag = &tables.bags[src];
+                        let nbrs: Vec<usize> = bag_neighbor_positions(g, src_bag, v, pos);
+                        let mut found = false;
+                        for (s_old, &val_old) in tables.values[src].iter().enumerate() {
+                            if val_old >= INF || val_old + 1 != value {
+                                continue;
+                            }
+                            let mut s_new = insert3(s_old, src_bag.len(), pos, C_S);
+                            for &ni in &nbrs {
+                                if get3(s_new, ni) == C_U {
+                                    s_new = set3(s_new, ni, C_D);
+                                }
+                            }
+                            if s_new == state {
+                                frames.push((src, s_old));
+                                found = true;
+                                break;
+                            }
+                        }
+                        debug_assert!(found, "introduce-S provenance exists");
+                    }
+                    _ => {
+                        // D/U cases leave other slots untouched: the
+                        // source state is the unique projection.
+                        frames.push((src, project3(state, pos)));
+                    }
+                }
+            }
+            DpOp::Forget { src, v } => {
+                let pos = tables.bags[src].binary_search(&v).expect("v in source bag");
+                let mut found = false;
+                for c in [C_S, C_D, C_U] {
+                    if c == C_U && needs[v] {
+                        continue;
+                    }
+                    let s_old = insert3(state, tables.bags[table].len(), pos, c);
+                    if tables.values[src][s_old] == value {
+                        frames.push((src, s_old));
+                        found = true;
+                        break;
+                    }
+                }
+                debug_assert!(found, "forget provenance exists");
+            }
+            DpOp::Join { a, b } => {
+                let k = tables.bags[table].len();
+                let mut found = false;
+                'outer: for (sa, &va) in tables.values[a].iter().enumerate() {
+                    if va >= INF || va > value {
+                        continue;
+                    }
+                    for (sb, &vb) in tables.values[b].iter().enumerate() {
+                        if vb >= INF {
+                            continue;
+                        }
+                        if let Some((s, in_set)) = dp_combine(sa, sb, k) {
+                            if s == state && va + vb - in_set == value {
+                                frames.push((a, sa));
+                                frames.push((b, sb));
+                                found = true;
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                debug_assert!(found, "join provenance exists");
+            }
+        }
+    }
+    (0..n).filter(|&v| chosen[v]).collect()
+}
+
+/// Positions (in the *new* bag of length `|src_bag| + 1`) of `v`'s graph
+/// neighbors, where `v` sits at `pos`.
+fn bag_neighbor_positions(g: &Graph, src_bag: &[Vertex], v: Vertex, pos: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, &w) in src_bag.iter().enumerate() {
+        if g.has_edge(v, w) {
+            out.push(if i < pos { i } else { i + 1 });
+        }
+    }
+    out
+}
+
+fn dp_introduce(
+    g: &Graph,
+    allowed: &[bool],
+    tables: &mut DpTables,
+    src: usize,
+    v: Vertex,
+) -> usize {
+    let src_bag = tables.bags[src].clone();
+    debug_assert!(src_bag.binary_search(&v).is_err());
+    let pos = src_bag.binary_search(&v).unwrap_err();
+    let mut bag = src_bag.clone();
+    bag.insert(pos, v);
+    let k = bag.len();
+    let nbrs = bag_neighbor_positions(g, &src_bag, v, pos);
+    let mut values = vec![INF; POW3[k]];
+    for (s_old, &val) in tables.values[src].iter().enumerate() {
+        if val >= INF {
+            continue;
+        }
+        let base = insert3(s_old, src_bag.len(), pos, C_U);
+        // Case S: v chosen — U-neighbors become dominated.
+        if allowed[v] {
+            let mut s = set3(base, pos, C_S);
+            for &ni in &nbrs {
+                if get3(s, ni) == C_U {
+                    s = set3(s, ni, C_D);
+                }
+            }
+            if val + 1 < values[s] {
+                values[s] = val + 1;
+            }
+        }
+        // Cases D/U: exact semantics — D iff a bag neighbor is chosen.
+        let has_s = nbrs.iter().any(|&ni| get3(base, ni) == C_S);
+        let s = set3(base, pos, if has_s { C_D } else { C_U });
+        if val < values[s] {
+            values[s] = val;
+        }
+    }
+    tables.push(DpOp::Introduce { src, v }, bag, values)
+}
+
+fn dp_forget(needs: &[bool], tables: &mut DpTables, src: usize, v: Vertex) -> usize {
+    let src_bag = tables.bags[src].clone();
+    let pos = src_bag.binary_search(&v).expect("forgotten vertex is in bag");
+    let mut bag = src_bag.clone();
+    bag.remove(pos);
+    let k = bag.len();
+    let mut values = vec![INF; POW3[k]];
+    for (s_old, &val) in tables.values[src].iter().enumerate() {
+        if val >= INF {
+            continue;
+        }
+        if get3(s_old, pos) == C_U && needs[v] {
+            continue; // a needing vertex may not leave undominated
+        }
+        let s = project3(s_old, pos);
+        if val < values[s] {
+            values[s] = val;
+        }
+    }
+    tables.push(DpOp::Forget { src, v }, bag, values)
+}
+
+/// Slotwise join combination: `(S,S) → S` (counted in `in_set`),
+/// `(U,U) → U`, one-sided `S` is invalid, anything else `→ D`.
+fn dp_combine(sa: usize, sb: usize, k: usize) -> Option<(usize, u64)> {
+    let mut s = 0usize;
+    let mut in_set = 0u64;
+    for i in 0..k {
+        let (ca, cb) = (get3(sa, i), get3(sb, i));
+        let c = match (ca, cb) {
+            (C_S, C_S) => {
+                in_set += 1;
+                C_S
+            }
+            (C_S, _) | (_, C_S) => return None,
+            (C_U, C_U) => C_U,
+            _ => C_D,
+        };
+        s = set3(s, i, c);
+    }
+    Some((s, in_set))
+}
+
+fn dp_join(tables: &mut DpTables, a: usize, b: usize) -> usize {
+    debug_assert_eq!(tables.bags[a], tables.bags[b]);
+    let bag = tables.bags[a].clone();
+    let k = bag.len();
+    let mut values = vec![INF; POW3[k]];
+    for (sa, &va) in tables.values[a].iter().enumerate() {
+        if va >= INF {
+            continue;
+        }
+        for (sb, &vb) in tables.values[b].iter().enumerate() {
+            if vb >= INF {
+                continue;
+            }
+            if let Some((s, in_set)) = dp_combine(sa, sb, k) {
+                let v = va + vb - in_set;
+                if v < values[s] {
+                    values[s] = v;
+                }
+            }
+        }
+    }
+    tables.push(DpOp::Join { a, b }, bag, values)
+}
+
+// ---------------------------------------------------------------------
+// VC DP (2 colors) with solution extraction
+// ---------------------------------------------------------------------
+
+/// VC colors: bit 1 = in the cover. Runs over the caller's (min-fill)
+/// tree decomposition.
+fn vc_dp(g: &Graph, td: &crate::treewidth::TreeDecomposition) -> Vec<Vertex> {
+    let n = g.n();
+    debug_assert!(n > 0);
+    let b = td.bags.len();
+    let mut tadj: Vec<Vec<usize>> = vec![Vec::new(); b];
+    for &(x, y) in &td.edges {
+        tadj[x].push(y);
+        tadj[y].push(x);
+    }
+    let mut parent = vec![usize::MAX; b];
+    let mut order = Vec::with_capacity(b);
+    let mut stack = vec![0usize];
+    let mut seen = vec![false; b];
+    seen[0] = true;
+    while let Some(x) = stack.pop() {
+        order.push(x);
+        for &y in &tadj[x] {
+            if !seen[y] {
+                seen[y] = true;
+                parent[y] = x;
+                stack.push(y);
+            }
+        }
+    }
+
+    let mut tables = DpTables { ops: Vec::new(), bags: Vec::new(), values: Vec::new() };
+    let mut final_table = vec![usize::MAX; b];
+    for &node in order.iter().rev() {
+        let mut cur = tables.push(DpOp::Leaf, Vec::new(), vec![0]);
+        for &v in &td.bags[node] {
+            cur = vc_introduce(g, &mut tables, cur, v);
+        }
+        for &child in &tadj[node] {
+            if parent[child] != node {
+                continue;
+            }
+            let mut ct = final_table[child];
+            let extras: Vec<Vertex> = tables.bags[ct]
+                .iter()
+                .copied()
+                .filter(|v| td.bags[node].binary_search(v).is_err())
+                .collect();
+            for v in extras {
+                ct = vc_forget(&mut tables, ct, v);
+            }
+            let missing: Vec<Vertex> = td.bags[node]
+                .iter()
+                .copied()
+                .filter(|v| tables.bags[ct].binary_search(v).is_err())
+                .collect();
+            for v in missing {
+                ct = vc_introduce(g, &mut tables, ct, v);
+            }
+            cur = vc_join(&mut tables, cur, ct);
+        }
+        final_table[node] = cur;
+    }
+
+    let root = final_table[0];
+    let mut best_state = 0usize;
+    let mut best_val = INF;
+    for (state, &val) in tables.values[root].iter().enumerate() {
+        if val < best_val {
+            best_val = val;
+            best_state = state;
+        }
+    }
+    debug_assert!(best_val < INF);
+
+    let mut chosen = vec![false; n];
+    let mut frames = vec![(root, best_state)];
+    while let Some((table, state)) = frames.pop() {
+        let value = tables.values[table][state];
+        match tables.ops[table] {
+            DpOp::Leaf => {}
+            DpOp::Introduce { src, v } => {
+                let pos = tables.bags[table].binary_search(&v).expect("v in bag");
+                let in_cover = (state >> pos) & 1 == 1;
+                if in_cover {
+                    chosen[v] = true;
+                }
+                let s_old = project2(state, pos);
+                frames.push((src, s_old));
+            }
+            DpOp::Forget { src, v } => {
+                let pos = tables.bags[src].binary_search(&v).expect("v in source bag");
+                let mut found = false;
+                for c in [0usize, 1] {
+                    let s_old = insert2(state, pos, c);
+                    if tables.values[src][s_old] == value {
+                        frames.push((src, s_old));
+                        found = true;
+                        break;
+                    }
+                }
+                debug_assert!(found, "forget provenance exists");
+            }
+            DpOp::Join { a, b } => {
+                // Membership agrees slotwise, so both sides share the
+                // state; value = va + vb − |In slots|.
+                let k = tables.bags[table].len();
+                let in_count = (0..k).filter(|&i| (state >> i) & 1 == 1).count() as u64;
+                let va = tables.values[a][state];
+                let vb = tables.values[b][state];
+                debug_assert_eq!(va + vb - in_count, value);
+                let _ = (va, vb, in_count);
+                frames.push((a, state));
+                frames.push((b, state));
+            }
+        }
+    }
+    (0..n).filter(|&v| chosen[v]).collect()
+}
+
+#[inline]
+fn insert2(state: usize, pos: usize, c: usize) -> usize {
+    let low = state & ((1 << pos) - 1);
+    let high = state >> pos;
+    low | (c << pos) | (high << (pos + 1))
+}
+
+#[inline]
+fn project2(state: usize, pos: usize) -> usize {
+    let low = state & ((1 << pos) - 1);
+    let high = state >> (pos + 1);
+    low | (high << pos)
+}
+
+fn vc_introduce(g: &Graph, tables: &mut DpTables, src: usize, v: Vertex) -> usize {
+    let src_bag = tables.bags[src].clone();
+    let pos = src_bag.binary_search(&v).unwrap_err();
+    let mut bag = src_bag.clone();
+    bag.insert(pos, v);
+    let k = bag.len();
+    // Positions (in the new bag) of v's graph neighbors.
+    let mut nbrs = Vec::new();
+    for (i, &w) in src_bag.iter().enumerate() {
+        if g.has_edge(v, w) {
+            nbrs.push(if i < pos { i } else { i + 1 });
+        }
+    }
+    let mut values = vec![INF; 1 << k];
+    for (s_old, &val) in tables.values[src].iter().enumerate() {
+        if val >= INF {
+            continue;
+        }
+        // v in the cover.
+        let s_in = insert2(s_old, pos, 1);
+        if val + 1 < values[s_in] {
+            values[s_in] = val + 1;
+        }
+        // v out: every bag neighbor must be in (edges are checked in
+        // the bag that sees both endpoints — every edge has one).
+        let s_out = insert2(s_old, pos, 0);
+        if nbrs.iter().all(|&ni| (s_out >> ni) & 1 == 1) && val < values[s_out] {
+            values[s_out] = val;
+        }
+    }
+    tables.push(DpOp::Introduce { src, v }, bag, values)
+}
+
+fn vc_forget(tables: &mut DpTables, src: usize, v: Vertex) -> usize {
+    let src_bag = tables.bags[src].clone();
+    let pos = src_bag.binary_search(&v).expect("forgotten vertex is in bag");
+    let mut bag = src_bag.clone();
+    bag.remove(pos);
+    let k = bag.len();
+    let mut values = vec![INF; 1 << k];
+    for (s_old, &val) in tables.values[src].iter().enumerate() {
+        if val >= INF {
+            continue;
+        }
+        let s = project2(s_old, pos);
+        if val < values[s] {
+            values[s] = val;
+        }
+    }
+    tables.push(DpOp::Forget { src, v }, bag, values)
+}
+
+fn vc_join(tables: &mut DpTables, a: usize, b: usize) -> usize {
+    debug_assert_eq!(tables.bags[a], tables.bags[b]);
+    let bag = tables.bags[a].clone();
+    let k = bag.len();
+    let mut values = vec![INF; 1 << k];
+    for (s, slot) in values.iter_mut().enumerate() {
+        let (va, vb) = (tables.values[a][s], tables.values[b][s]);
+        if va >= INF || vb >= INF {
+            continue;
+        }
+        let in_count = (0..k).filter(|&i| (s >> i) & 1 == 1).count() as u64;
+        *slot = va + vb - in_count;
+    }
+    tables.push(DpOp::Join { a, b }, bag, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominating::{dominates, exact_b_dominating, exact_mds, is_dominating_set};
+    use crate::vertex_cover::{exact_vertex_cover, is_vertex_cover};
+    use crate::GraphBuilder;
+
+    fn path(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(n);
+        b.path(&vs);
+        b.build()
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let vs = b.fresh_vertices(n);
+        b.cycle(&vs);
+        b.build()
+    }
+
+    fn check_mds_all_backends(g: &Graph) {
+        let oracle = exact_mds(g).len();
+        let mut e = ExactEngine::new();
+        for backend in ExactBackend::ALL {
+            let sol = e.solve_mds(g, backend, u64::MAX).unwrap();
+            assert!(is_dominating_set(g, &sol), "{backend} infeasible on {g:?}");
+            assert_eq!(sol.len(), oracle, "{backend} suboptimal on {g:?}");
+        }
+    }
+
+    fn check_mvc_all_backends(g: &Graph) {
+        let oracle = exact_vertex_cover(g).len();
+        let mut e = ExactEngine::new();
+        for backend in ExactBackend::ALL {
+            let sol = e.solve_mvc(g, backend, u64::MAX).unwrap();
+            assert!(is_vertex_cover(g, &sol), "{backend} infeasible on {g:?}");
+            assert_eq!(sol.len(), oracle, "{backend} suboptimal on {g:?}");
+        }
+    }
+
+    #[test]
+    fn mds_matches_oracle_on_paths_cycles_stars() {
+        for n in 1..=14 {
+            check_mds_all_backends(&path(n));
+        }
+        for n in 3..=14 {
+            check_mds_all_backends(&cycle(n));
+        }
+        check_mds_all_backends(&Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]));
+    }
+
+    #[test]
+    fn mvc_matches_oracle_on_paths_cycles() {
+        for n in 2..=14 {
+            check_mvc_all_backends(&path(n));
+        }
+        for n in 3..=14 {
+            check_mvc_all_backends(&cycle(n));
+        }
+    }
+
+    // -- reduction-rule edge cases (satellite) -------------------------
+
+    #[test]
+    fn reduction_isolated_vertices_are_forced() {
+        // Three isolated vertices: the unit rule forces each.
+        let g = Graph::new(3);
+        let mut e = ExactEngine::new();
+        let sol = e.solve_mds(&g, ExactBackend::Auto, u64::MAX).unwrap();
+        assert_eq!(sol, vec![0, 1, 2]);
+        assert_eq!(e.stats().forced, 3);
+        assert_eq!(e.stats().components, 0, "reductions close the whole instance");
+        // Mixed: isolated vertex beside an edge.
+        let g2 = Graph::from_edges(3, &[(1, 2)]);
+        check_mds_all_backends(&g2);
+        check_mvc_all_backends(&g2);
+    }
+
+    #[test]
+    fn reduction_degree_one_chains_close_without_search() {
+        // Long paths: candidate/target subsumption + unit forcing chew
+        // the chain from the ends without branching.
+        for n in [2usize, 3, 6, 10, 30] {
+            let g = path(n);
+            let mut e = ExactEngine::new();
+            let sol = e.solve_mds(&g, ExactBackend::BranchAndBound, u64::MAX).unwrap();
+            assert!(is_dominating_set(&g, &sol));
+            assert_eq!(sol.len(), n.div_ceil(3));
+        }
+        // VC pendant rule: a star closes by reductions alone.
+        let star = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let mut e = ExactEngine::new();
+        let sol = e.solve_mvc(&star, ExactBackend::BranchAndBound, u64::MAX).unwrap();
+        assert_eq!(sol, vec![0]);
+        assert_eq!(e.stats().search_nodes, 0, "pendant rule needs no search");
+    }
+
+    #[test]
+    fn reduction_twin_folded_cliques() {
+        // K5: one twin class — folding leaves a single vertex, the unit
+        // rule forces it.
+        let mut g = Graph::new(5);
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                g.add_edge(u, v);
+            }
+        }
+        let mut e = ExactEngine::new();
+        let sol = e.solve_mds(&g, ExactBackend::Auto, u64::MAX).unwrap();
+        assert_eq!(sol, vec![0]);
+        assert_eq!(e.stats().search_nodes, 0);
+        // Two twin triangles joined by an edge.
+        let g2 = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+        check_mds_all_backends(&g2);
+    }
+
+    #[test]
+    fn reduction_disconnected_inputs_split() {
+        // Components are solved independently and re-merged.
+        let mut g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        g.add_vertex(); // isolated 5
+        check_mds_all_backends(&g);
+        check_mvc_all_backends(&g);
+        let mut e = ExactEngine::new();
+        let sol = e.solve_mds(&g, ExactBackend::Auto, u64::MAX).unwrap();
+        assert_eq!(sol.len(), 3);
+    }
+
+    #[test]
+    fn reduction_cautionary_gadget_clique_with_pendants() {
+        // The paper's §4 gadget: a clique whose vertices each carry a
+        // pendant 2-cut gadget — Θ(n) cut vertices but MDS = 1. The
+        // subsumed-candidate rule collapses everything onto the hub.
+        // Built locally (the graph crate cannot depend on lmds-gen):
+        // hub 0 adjacent to all; clique on {0..n}; vertex i gets a
+        // pendant pair (a_i, b_i) with a_i, b_i adjacent to i and to
+        // each other... the adversarial generator attaches pendant
+        // triangles; a hub-adjacent pendant triangle keeps MDS = 1.
+        let n = 6usize;
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        // Pendant triangle gadgets on every non-hub clique vertex,
+        // both gadget vertices also adjacent to the hub 0 so the hub
+        // still dominates everything (MDS = 1) while {i, a_i} and
+        // {i, b_i} style 2-cuts appear throughout.
+        for i in 1..n {
+            let a = g.add_vertex();
+            let b = g.add_vertex();
+            g.add_edge(a, b);
+            g.add_edge(i, a);
+            g.add_edge(i, b);
+            g.add_edge(0, a);
+            g.add_edge(0, b);
+        }
+        assert_eq!(exact_mds(&g).len(), 1);
+        let mut e = ExactEngine::new();
+        for backend in ExactBackend::ALL {
+            let sol = e.solve_mds(&g, backend, u64::MAX).unwrap();
+            assert_eq!(sol.len(), 1, "{backend}");
+            assert!(is_dominating_set(&g, &sol));
+        }
+        // The reduction layer alone closes it (no search).
+        let sol = e.solve_mds(&g, ExactBackend::BranchAndBound, u64::MAX).unwrap();
+        assert_eq!(sol, vec![0]);
+        assert_eq!(e.stats().search_nodes, 0, "gadget closes by reductions");
+    }
+
+    // -- b-domination --------------------------------------------------
+
+    #[test]
+    fn b_dominating_matches_oracle() {
+        let g = path(6);
+        let mut e = ExactEngine::new();
+        for backend in ExactBackend::ALL {
+            let sol = e.solve_b_dominating(&g, &[0], None, backend, u64::MAX).unwrap();
+            assert_eq!(sol.len(), 1, "{backend}");
+            assert!(dominates(&g, &sol, &[0]));
+            let sol2 = e.solve_b_dominating(&g, &[0, 5], None, backend, u64::MAX).unwrap();
+            assert_eq!(sol2.len(), 2, "{backend}");
+        }
+    }
+
+    #[test]
+    fn b_dominating_candidate_restriction_and_infeasibility() {
+        let g = path(5);
+        let mut e = ExactEngine::new();
+        for backend in ExactBackend::ALL {
+            let sol = e
+                .solve_b_dominating(&g, &[0, 1, 2, 3, 4], Some(&[1, 3]), backend, u64::MAX)
+                .unwrap();
+            assert_eq!(sol, vec![1, 3], "{backend}");
+            let err = e.solve_b_dominating(&g, &[0], Some(&[3]), backend, u64::MAX).unwrap_err();
+            assert_eq!(err, ExactError::Infeasible, "{backend}");
+        }
+        // Cross-check the oracle on a random-ish target pattern.
+        let g2 = cycle(11);
+        let targets = [0, 2, 3, 7, 9];
+        let oracle = exact_b_dominating(&g2, &targets, None).unwrap().len();
+        for backend in ExactBackend::ALL {
+            let sol = e.solve_b_dominating(&g2, &targets, None, backend, u64::MAX).unwrap();
+            assert_eq!(sol.len(), oracle, "{backend}");
+            assert!(dominates(&g2, &sol, &targets));
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let g = cycle(30);
+        let mut e = ExactEngine::new();
+        // A zero budget kills every searching backend on a cycle wide
+        // enough that reductions cannot close it... the cycle has no
+        // reductions at all, so B&B must search.
+        let err = e.solve_mds(&g, ExactBackend::BranchAndBound, 0).unwrap_err();
+        assert_eq!(err, ExactError::BudgetExhausted { budget: 0 });
+        let err = e.solve_mvc(&g, ExactBackend::BranchAndBound, 0).unwrap_err();
+        assert_eq!(err, ExactError::BudgetExhausted { budget: 0 });
+        // The treewidth backend needs no search budget on a cycle.
+        assert!(e.solve_mds(&g, ExactBackend::Treewidth, 0).is_ok());
+    }
+
+    #[test]
+    fn treewidth_backend_solves_long_skinny_instances() {
+        // A 200-vertex path and a 120-cycle: the DP is linear where
+        // plain B&B crawls.
+        let g = path(200);
+        let mut e = ExactEngine::new();
+        let sol = e.solve_mds(&g, ExactBackend::Treewidth, u64::MAX).unwrap();
+        assert!(is_dominating_set(&g, &sol));
+        assert_eq!(sol.len(), 200usize.div_ceil(3));
+        let c = cycle(120);
+        let sol = e.solve_mds(&c, ExactBackend::Treewidth, u64::MAX).unwrap();
+        assert_eq!(sol.len(), 40);
+        assert!(is_dominating_set(&c, &sol));
+        let vc = e.solve_mvc(&c, ExactBackend::Treewidth, u64::MAX).unwrap();
+        assert_eq!(vc.len(), 60);
+        assert!(is_vertex_cover(&c, &vc));
+    }
+
+    #[test]
+    fn dense_component_falls_back_from_treewidth() {
+        // K8 exceeds both DP caps; the forced-treewidth backend must
+        // still terminate (fallback to B&B).
+        let mut g = Graph::new(8);
+        for u in 0..8 {
+            for v in (u + 1)..8 {
+                g.add_edge(u, v);
+            }
+        }
+        let mut e = ExactEngine::new();
+        let sol = e.solve_mvc(&g, ExactBackend::Treewidth, u64::MAX).unwrap();
+        assert_eq!(sol.len(), 7);
+    }
+
+    #[test]
+    fn deterministic_output_across_repeats_and_engines() {
+        let g = Graph::from_edges(
+            9,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 0), (2, 6)],
+        );
+        let mut e1 = ExactEngine::new();
+        let mut e2 = ExactEngine::new();
+        for backend in ExactBackend::ALL {
+            let a = e1.solve_mds(&g, backend, u64::MAX).unwrap();
+            let b = e2.solve_mds(&g, backend, u64::MAX).unwrap();
+            let c = e1.solve_mds(&g, backend, u64::MAX).unwrap();
+            assert_eq!(a, b, "{backend}");
+            assert_eq!(a, c, "{backend}");
+        }
+    }
+
+    #[test]
+    fn backend_round_trips_through_strings() {
+        for backend in ExactBackend::ALL {
+            let s = backend.to_string();
+            assert_eq!(s.parse::<ExactBackend>().unwrap(), backend);
+        }
+        assert!("bogus".parse::<ExactBackend>().unwrap_err().contains("treewidth"));
+        assert_eq!(ExactBackend::default(), ExactBackend::Auto);
+    }
+
+    #[test]
+    fn stats_report_dp_vs_bnb_split() {
+        // A 60-cycle goes to the DP under Auto; K6 (small) goes to B&B.
+        let mut e = ExactEngine::new();
+        e.solve_mds(&cycle(60), ExactBackend::Auto, u64::MAX).unwrap();
+        assert_eq!(e.stats().dp_components, 1);
+        assert_eq!(e.stats().bnb_components, 0);
+        let mut k6 = Graph::new(6);
+        for u in 0..6 {
+            for v in (u + 1)..6 {
+                k6.add_edge(u, v);
+            }
+        }
+        e.solve_mvc(&k6, ExactBackend::Auto, u64::MAX).unwrap();
+        assert_eq!(e.stats().dp_components, 0);
+    }
+
+    #[test]
+    fn thread_engine_pool_is_reusable() {
+        let g = path(9);
+        let a = with_thread_engine(|e| e.solve_mds(&g, ExactBackend::Auto, u64::MAX)).unwrap();
+        let b = with_thread_engine(|e| e.solve_mds(&g, ExactBackend::Auto, u64::MAX)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -22,8 +22,10 @@
 //! * the connectivity stack ([`connectivity`], [`articulation`],
 //!   [`block_cut`], [`two_cuts`], [`spqr`]),
 //! * true-twin reduction ([`twins`]),
-//! * dominating-set and vertex-cover toolkits with exact solvers
-//!   ([`dominating`], [`vertex_cover`]),
+//! * dominating-set and vertex-cover toolkits with naive exact solvers
+//!   ([`dominating`], [`vertex_cover`]) and the multi-backend
+//!   [`exact::ExactEngine`] (reduction rules + branch and bound +
+//!   tree-decomposition DP) that supersedes them on every hot path,
 //! * exact `K_{2,t}`-minor detection via hub-pair enumeration plus
 //!   Menger-style petal counting ([`minor`]).
 //!
@@ -45,6 +47,7 @@ pub mod connectivity;
 pub mod csr;
 pub mod dominating;
 pub mod errors;
+pub mod exact;
 pub mod graph;
 pub mod io;
 pub mod minor;
@@ -59,6 +62,7 @@ pub mod vertex_cover;
 
 pub use csr::Csr;
 pub use errors::GraphError;
+pub use exact::{ExactBackend, ExactEngine};
 pub use graph::{Graph, GraphBuilder, Vertex};
 pub use scratch::{Scratch, SubsetScratch};
 pub use subgraph::InducedSubgraph;

@@ -89,7 +89,7 @@ fn live_degree(g: &Graph, alive: &[bool], v: Vertex) -> usize {
 
 fn branch_vc(
     g: &Graph,
-    mut alive: Vec<bool>,
+    alive: Vec<bool>,
     current: &mut Vec<Vertex>,
     best: &mut Vec<Vertex>,
     budget: u64,
@@ -99,6 +99,25 @@ fn branch_vc(
     if *nodes > budget {
         return false;
     }
+    // The reduction loop below pushes forced vertices onto `current`;
+    // they belong to this node only and must be unwound on *every*
+    // return path (leaking them inflated sibling branches and could
+    // make the "exact" result suboptimal — caught by the exact-engine
+    // differential fuzz harness).
+    let checkpoint = current.len();
+    let result = branch_vc_inner(g, alive, current, best, budget, nodes);
+    current.truncate(checkpoint);
+    result
+}
+
+fn branch_vc_inner(
+    g: &Graph,
+    mut alive: Vec<bool>,
+    current: &mut Vec<Vertex>,
+    best: &mut Vec<Vertex>,
+    budget: u64,
+    nodes: &mut u64,
+) -> bool {
     // Reductions: drop isolated (in the live subgraph) vertices; for a
     // degree-1 vertex take its neighbor.
     loop {
@@ -257,6 +276,47 @@ mod tests {
     #[test]
     fn budget_exhaustion() {
         assert!(exact_vertex_cover_capped(&cycle(20), 1).is_none());
+    }
+
+    #[test]
+    fn reduction_pushes_do_not_leak_into_sibling_branches() {
+        // Regression: the degree-1 reduction used to push forced
+        // vertices onto `current` without unwinding them on return,
+        // inflating sibling branches — on this 3-regular-ish 16-vertex
+        // graph the "exact" cover came out 10 instead of 9 (found by
+        // the exact-engine differential fuzz harness).
+        let g = Graph::from_edges(
+            16,
+            &[
+                (0, 2),
+                (0, 9),
+                (0, 10),
+                (1, 3),
+                (1, 7),
+                (1, 14),
+                (2, 3),
+                (2, 9),
+                (3, 5),
+                (4, 5),
+                (4, 10),
+                (4, 15),
+                (5, 11),
+                (6, 8),
+                (6, 12),
+                (6, 13),
+                (7, 10),
+                (7, 15),
+                (8, 11),
+                (8, 14),
+                (9, 13),
+                (11, 14),
+                (12, 13),
+                (12, 15),
+            ],
+        );
+        let sol = exact_vertex_cover(&g);
+        assert!(is_vertex_cover(&g, &sol));
+        assert_eq!(sol.len(), 9);
     }
 
     #[test]

@@ -45,14 +45,17 @@ fn legacy(key: &str, g: &Graph, ids: &IdAssignment) -> Vec<usize> {
         "mds/theorem44" => theorem44_mds(g, ids),
         "mds/trees-folklore" => baselines::trees_folklore(g, ids),
         "mds/take-all" => baselines::take_all(g),
-        "mds/exact" => lmds_graph::dominating::tree_mds(g)
-            .or_else(|| lmds_graph::dominating::exact_mds_capped(g, BUDGET))
-            .expect("corpus graphs are small"),
+        "mds/exact" => lmds_graph::exact::with_thread_engine(|e| {
+            e.solve_mds(g, lmds_api::ExactBackend::Auto, BUDGET)
+        })
+        .expect("corpus graphs are small"),
         "mvc/theorem44" => theorem44_mvc(g, ids),
         "mvc/algorithm1" => lmds_core::mvc::algorithm1_mvc(g, ids, RADII).solution,
         "mvc/regular-take-all" => baselines::regular_mvc_take_all(g),
-        "mvc/exact" => lmds_graph::vertex_cover::exact_vertex_cover_capped(g, BUDGET)
-            .expect("corpus graphs are small"),
+        "mvc/exact" => lmds_graph::exact::with_thread_engine(|e| {
+            e.solve_mvc(g, lmds_api::ExactBackend::Auto, BUDGET)
+        })
+        .expect("corpus graphs are small"),
         other => panic!("no legacy mapping for solver key {other} — extend this test"),
     };
     sol.sort_unstable();
@@ -83,7 +86,7 @@ fn every_registered_solver_matches_its_legacy_direct_call() {
                 let sol = registry
                     .solve(key, &inst, &cfg)
                     .unwrap_or_else(|e| panic!("{key} on {name} seed={seed}: {e}"));
-                assert!(sol.is_valid(), "{key} on {name} seed={seed}: invalid certificate");
+                sol.verify(&inst).unwrap_or_else(|e| panic!("{key} on {name} seed={seed}: {e}"));
                 let expected = legacy(key, &g, &ids);
                 assert_eq!(
                     sol.vertices, expected,

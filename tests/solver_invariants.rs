@@ -120,7 +120,9 @@ fn every_solver_is_feasible_on_the_whole_corpus() {
             let sol = registry
                 .solve(key, &inst, &cfg)
                 .unwrap_or_else(|e| panic!("{key} on {}: {e}", inst.name));
-            assert!(sol.is_valid(), "{key} on {}: infeasible solution", inst.name);
+            // The full certificate recheck (feasibility, canonical
+            // form, optimum consistency) instead of a bare predicate.
+            sol.verify(&inst).unwrap_or_else(|e| panic!("{key} on {}: {e}", inst.name));
             assert!(sol.size() <= inst.n(), "{key} on {}: oversized", inst.name);
         }
     }
@@ -199,7 +201,9 @@ fn distributed_backends_are_bit_identical_across_id_policies() {
                     let sol = registry
                         .solve(key, &inst, &cfg)
                         .unwrap_or_else(|e| panic!("{key} {kind} on {}: {e}", inst.name));
-                    assert!(sol.is_valid(), "{key} {kind} on {} {policy:?}", inst.name);
+                    sol.verify(&inst).unwrap_or_else(|e| {
+                        panic!("{key} {kind} on {} {policy:?}: {e}", inst.name)
+                    });
                     let stats = sol.messages.clone().expect("distributed runs carry stats");
                     assert_eq!(
                         kind.measures_messages(),
