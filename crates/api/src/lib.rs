@@ -60,15 +60,17 @@ pub mod instance;
 pub mod registry;
 pub mod solution;
 pub mod solver;
+pub mod view;
 
 pub use batch::{BatchJob, BatchRecord, BatchRunner};
 pub use config::{ExecutionMode, Problem, ScenarioConfig, SolveConfig, DEFAULT_OPT_BUDGET};
 pub use instance::{GroundTruth, Instance};
-pub use registry::SolverRegistry;
+pub use registry::{SolverDescriptor, SolverRegistry};
 pub use solution::{
     Certificate, MessageStats, Optimum, PipelineDiagnostics, Solution, VerifyError,
 };
 pub use solver::{SolveError, Solver};
+pub use view::{SolutionView, SolveConfigView, ViewError};
 
 // The LOCAL-scenario vocabulary, re-exported so API consumers need not
 // depend on the simulator crate directly.

@@ -9,6 +9,22 @@ use crate::{Instance, Problem, Solution, SolveConfig, SolveError};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// A structured description of one registered solver, as reported by
+/// [`SolverRegistry::descriptors`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolverDescriptor {
+    /// Stable registry key (`"mds/algorithm1"`, …).
+    pub key: &'static str,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// The problem it targets.
+    pub problem: Problem,
+    /// Where in the paper (or folklore) it comes from.
+    pub paper_ref: &'static str,
+    /// The execution modes it supports.
+    pub modes: &'static [crate::ExecutionMode],
+}
+
 /// A keyed collection of [`Solver`]s. Iteration order is the key order
 /// (BTreeMap), so sweeps are deterministic.
 #[derive(Clone, Default)]
@@ -51,9 +67,28 @@ impl SolverRegistry {
         self.solvers.get(key).cloned()
     }
 
-    /// All registered keys, sorted.
+    /// All registered keys, sorted. This is the single source of truth
+    /// for "what can I ask for": the [`SolveError::UnknownSolver`]
+    /// message, the `reproduce` CLI hints, and the serve daemon's
+    /// `GET /solvers` endpoint and 404 envelopes all render this list.
     pub fn keys(&self) -> Vec<&'static str> {
         self.solvers.keys().copied().collect()
+    }
+
+    /// Structured descriptions of every registered solver, in key
+    /// order — the programmatic face of [`SolverRegistry::keys`] for
+    /// service catalogs (`GET /solvers`).
+    pub fn descriptors(&self) -> Vec<SolverDescriptor> {
+        self.solvers
+            .values()
+            .map(|s| SolverDescriptor {
+                key: s.key(),
+                name: s.name(),
+                problem: s.problem(),
+                paper_ref: s.paper_ref(),
+                modes: s.modes(),
+            })
+            .collect()
     }
 
     /// All solvers targeting `problem`, in key order.

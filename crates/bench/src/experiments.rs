@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E13 plus the S0 registry sweep). Every
+//! The experiment suite (E1–E14 plus the S0 registry sweep). Every
 //! paper table/figure and lemma-level constant becomes a measured table
 //! here.
 //!
@@ -1223,6 +1223,162 @@ pub fn exp_exact_scale() -> Table {
     t
 }
 
+/// E14 — serve-bench: the `lmds-serve` daemon under load. Spawns an
+/// in-process server on an ephemeral loopback port, drives it through
+/// the real HTTP client in two phases — a concurrent sync-solve sweep
+/// (per-solver latency percentiles) and an async burst against a
+/// deliberately small queue (backpressure) — then reports what the
+/// server's own `/metrics` endpoint measured.
+pub fn exp_serve_bench() -> Table {
+    use lmds_serve::http;
+    use lmds_serve::server::{ServeConfig, Server};
+    use std::time::Duration;
+
+    let mut t = Table::new(
+        "E14 / serve-bench — lmds-serve under concurrent load (self-reported /metrics)",
+        &["metric", "requests", "errors", "mean µs", "p50 µs", "p95 µs", "p99 µs"],
+    );
+
+    const QUEUE_CAP: usize = 4;
+    let handle = Server::spawn(ServeConfig {
+        workers: 2,
+        queue_capacity: QUEUE_CAP,
+        ..ServeConfig::default()
+    })
+    .expect("serve-bench server starts");
+    let addr = handle.addr();
+    let timeout = Duration::from_secs(120);
+    let send = move |method: &str, path: String, body: Vec<u8>| {
+        http::request(addr, method, &path, &body, timeout)
+            .unwrap_or_else(|e| panic!("{method} {path}: {e}"))
+    };
+
+    // Corpus: an outerplanar workload and a tree workload.
+    let outer = lmds_gen::outerplanar::random_outerplanar(60, 60, 11);
+    let tree = lmds_gen::trees::random_tree(80, 5);
+    // The burst workload is deliberately heavy (exact MDS on n=200) so
+    // the 16-wide burst reliably outpaces the 2-worker pool.
+    let big = lmds_gen::outerplanar::random_maximal_outerplanar(200, 3);
+    for (name, g) in [("outer60", &outer), ("tree80", &tree), ("outer200", &big)] {
+        let put =
+            send("PUT", format!("/graphs/{name}"), lmds_graph::io::to_edge_list(g).into_bytes());
+        assert_eq!(put.status, 201, "upload {name}");
+    }
+
+    // Phase 1 — sync load: 4 clients sweeping solver×graph in parallel.
+    // 2 workers + capacity-4 queue absorb 4 concurrent submissions, so
+    // this phase measures latency, not rejection.
+    let cases: &[(&str, &str, &str)] = &[
+        ("outer60", "mds/algorithm1", r#"{"mode": "local-oracle"}"#),
+        ("outer60", "mds/exact", "{}"),
+        ("tree80", "mds/trees-folklore", r#"{"mode": "local-oracle"}"#),
+        ("outer60", "mvc/exact", "{}"),
+    ];
+    std::thread::scope(|scope| {
+        for _client in 0..4 {
+            scope.spawn(|| {
+                for _round in 0..3 {
+                    for (graph, solver, cfg) in cases {
+                        let body = format!(
+                            r#"{{"graph": "{graph}", "solver": "{solver}", "config": {cfg}}}"#
+                        );
+                        let resp = send("POST", "/solve".into(), body.into_bytes());
+                        assert_eq!(resp.status, 200, "{solver} on {graph}");
+                    }
+                }
+            });
+        }
+    });
+
+    // Phase 2 — async burst: 16 near-simultaneous submissions against
+    // the capacity-4 queue force the 429 backpressure path.
+    let mut accepted = Vec::new();
+    let mut rejected = 0usize;
+    std::thread::scope(|scope| {
+        let outcomes: Vec<_> = (0..16)
+            .map(|_| {
+                scope.spawn(|| {
+                    let body = br#"{"graph": "outer200", "solver": "mds/exact"}"#.to_vec();
+                    let resp = send("POST", "/jobs".into(), body);
+                    match resp.status {
+                        202 => Some(resp.json().get("job_id").unwrap().as_u64().unwrap()),
+                        429 => None,
+                        other => panic!("burst submission got {other}"),
+                    }
+                })
+            })
+            .collect();
+        for outcome in outcomes {
+            match outcome.join().expect("burst client") {
+                Some(id) => accepted.push(id),
+                None => rejected += 1,
+            }
+        }
+    });
+    // Drain the accepted burst jobs so the histograms include them.
+    for id in &accepted {
+        loop {
+            let doc = send("GET", format!("/jobs/{id}"), Vec::new()).json();
+            match doc.get("status").unwrap().as_str().unwrap() {
+                "done" => break,
+                "failed" => panic!("burst job {id} failed"),
+                _ => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+    }
+
+    let metrics = send("GET", "/metrics".into(), Vec::new()).json();
+    let counter = |key: &str| {
+        metrics.get(key).and_then(|v| v.as_u64()).unwrap_or_else(|| panic!("metric {key}"))
+    };
+    let solvers = metrics.get("solvers").expect("solvers section");
+    for (_, solver, _) in cases {
+        let m = solvers.get(solver).unwrap_or_else(|| panic!("metrics for {solver}"));
+        let latency = m.get("latency").unwrap();
+        let micros = |field: &str| {
+            latency
+                .get(field)
+                .and_then(|v| v.as_u64())
+                .map_or_else(|| "-".into(), |x| x.to_string())
+        };
+        t.push_row(vec![
+            (*solver).into(),
+            m.get("requests").unwrap().as_u64().unwrap().to_string(),
+            m.get("errors").unwrap().as_u64().unwrap().to_string(),
+            micros("mean_micros"),
+            micros("p50_micros"),
+            micros("p95_micros"),
+            micros("p99_micros"),
+        ]);
+    }
+    for (label, value) in [
+        ("(http requests)", counter("http_requests")),
+        ("(jobs completed)", counter("jobs_completed")),
+        ("(burst: accepted)", accepted.len() as u64),
+        ("(burst: 429 queue-full)", rejected as u64),
+        ("(rejected_queue_full counter)", counter("rejected_queue_full")),
+        ("(queue capacity)", QUEUE_CAP as u64),
+    ] {
+        t.push_row(vec![
+            label.into(),
+            value.to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+
+    let dump = handle.shutdown();
+    assert_eq!(
+        dump.get("queue_depth").and_then(|v| v.as_u64()),
+        Some(0),
+        "graceful shutdown drained the queue"
+    );
+    t
+}
+
 /// A table-building experiment entry point.
 pub type ExperimentFn = fn() -> Table;
 
@@ -1247,6 +1403,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("prop31", exp_prop31),
     ("treewidth", exp_treewidth),
     ("exact-scale", exp_exact_scale),
+    ("serve-bench", exp_serve_bench),
 ];
 
 /// Runs every experiment (the `reproduce --experiment all` path).

@@ -31,6 +31,12 @@ pub enum GraphError {
         /// Human-readable description of the computation that ran out.
         what: &'static str,
     },
+    /// A binary graph snapshot was rejected (bad magic, unsupported
+    /// schema version, truncation, or checksum mismatch).
+    Snapshot {
+        /// What was wrong with the snapshot bytes.
+        detail: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -47,6 +53,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::BudgetExhausted { what } => {
                 write!(f, "search budget exhausted during {what}")
+            }
+            GraphError::Snapshot { detail } => {
+                write!(f, "invalid graph snapshot: {detail}")
             }
         }
     }

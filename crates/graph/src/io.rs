@@ -1,4 +1,26 @@
-//! Plain-text graph interchange: edge lists and Graphviz DOT export.
+//! Graph interchange: plain-text edge lists, Graphviz DOT export, and
+//! the versioned binary CSR snapshot format.
+//!
+//! # Snapshot format (schema version 1)
+//!
+//! The binary snapshot is the persistence format of the `lmds-serve`
+//! corpus store and the seed of the zero-copy scale work: a
+//! little-endian header followed by the flat CSR arrays.
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0 | 8 | magic `LMDSCSR\0` |
+//! | 8 | 4 | schema version (`u32`, currently 1) |
+//! | 12 | 8 | `n` (`u64`, vertex count) |
+//! | 20 | 8 | `m` (`u64`, edge count) |
+//! | 28 | 8 | payload checksum (`u64`, FNV-1a over the bytes below) |
+//! | 36 | 8·(n+1) | CSR offsets (`u64` each, ascending) |
+//! | … | 4·2m | CSR neighbors (`u32` each, per-row ascending) |
+//!
+//! Readers validate magic, version, exact length, the checksum, and the
+//! structural invariants (monotone offsets, in-range sorted rows, no
+//! self-loops), so a corrupted file fails loudly instead of producing a
+//! malformed graph.
 
 use crate::errors::GraphError;
 use crate::graph::{Graph, Vertex};
@@ -71,6 +93,174 @@ pub fn to_dot(g: &Graph, highlight: &[Vertex]) -> String {
     out
 }
 
+/// Magic bytes opening every binary graph snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"LMDSCSR\0";
+
+/// Schema version written by [`to_snapshot`]. Bump on any layout
+/// change; readers reject versions they do not know.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Size in bytes of the fixed snapshot header.
+const SNAPSHOT_HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
+
+/// FNV-1a over a byte slice — the snapshot payload checksum. Stable
+/// across platforms (explicit little-endian serialization).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic structural checksum of a graph: the FNV-1a hash of
+/// its snapshot payload (CSR offsets + neighbors). Equal graphs hash
+/// equal on every platform; the `lmds-serve` corpus store keys stored
+/// graphs by it.
+pub fn graph_checksum(g: &Graph) -> u64 {
+    fnv1a(&snapshot_payload(g))
+}
+
+/// The payload section of a snapshot: offsets (`u64` LE), then
+/// neighbors (`u32` LE).
+fn snapshot_payload(g: &Graph) -> Vec<u8> {
+    let n = g.n();
+    let arcs = 2 * g.m();
+    let mut out = Vec::with_capacity(8 * (n + 1) + 4 * arcs);
+    let mut offset = 0u64;
+    out.extend_from_slice(&offset.to_le_bytes());
+    for v in g.vertices() {
+        offset += g.degree(v) as u64;
+        out.extend_from_slice(&offset.to_le_bytes());
+    }
+    for v in g.vertices() {
+        for &w in g.neighbors(v) {
+            out.extend_from_slice(&(w as u32).to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Serializes `g` into the versioned binary snapshot format.
+///
+/// # Errors
+///
+/// [`GraphError::Snapshot`] when the graph has more than `u32::MAX`
+/// vertices (rows are stored as `u32`, per the compact-CSR scale plan).
+pub fn to_snapshot(g: &Graph) -> Result<Vec<u8>, GraphError> {
+    if g.n() > u32::MAX as usize {
+        return Err(GraphError::Snapshot {
+            detail: format!("graph with {} vertices exceeds the u32 row format", g.n()),
+        });
+    }
+    let payload = snapshot_payload(g);
+    let mut out = Vec::with_capacity(SNAPSHOT_HEADER_LEN + payload.len());
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(g.n() as u64).to_le_bytes());
+    out.extend_from_slice(&(g.m() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Whether `bytes` starts with the snapshot magic (cheap format
+/// dispatch for endpoints accepting either edge lists or snapshots).
+pub fn is_snapshot(bytes: &[u8]) -> bool {
+    bytes.len() >= SNAPSHOT_MAGIC.len() && bytes[..SNAPSHOT_MAGIC.len()] == SNAPSHOT_MAGIC
+}
+
+fn snapshot_err(detail: impl Into<String>) -> GraphError {
+    GraphError::Snapshot { detail: detail.into() }
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("bounds checked by caller"))
+}
+
+/// Parses the format produced by [`to_snapshot`], validating the
+/// header, length, checksum, and all structural invariants.
+///
+/// # Errors
+///
+/// [`GraphError::Snapshot`] describing the first problem found.
+pub fn from_snapshot(bytes: &[u8]) -> Result<Graph, GraphError> {
+    if bytes.len() < SNAPSHOT_HEADER_LEN {
+        return Err(snapshot_err(format!("{} bytes is shorter than the header", bytes.len())));
+    }
+    if !is_snapshot(bytes) {
+        return Err(snapshot_err("bad magic (not a graph snapshot)"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("header bounds"));
+    if version != SNAPSHOT_VERSION {
+        return Err(snapshot_err(format!(
+            "unsupported schema version {version} (reader supports {SNAPSHOT_VERSION})"
+        )));
+    }
+    let n = read_u64(bytes, 12);
+    let m = read_u64(bytes, 20);
+    let checksum = read_u64(bytes, 28);
+    if n > u32::MAX as u64 {
+        return Err(snapshot_err(format!("vertex count {n} exceeds the u32 row format")));
+    }
+    let (n, arcs) = (n as usize, 2 * m as usize);
+    let expected = SNAPSHOT_HEADER_LEN + 8 * (n + 1) + 4 * arcs;
+    if bytes.len() != expected {
+        return Err(snapshot_err(format!(
+            "length {} does not match header (expected {expected} for n={n}, m={m})",
+            bytes.len()
+        )));
+    }
+    let payload = &bytes[SNAPSHOT_HEADER_LEN..];
+    let actual = fnv1a(payload);
+    if actual != checksum {
+        return Err(snapshot_err(format!(
+            "checksum mismatch (header {checksum:#018x}, payload {actual:#018x})"
+        )));
+    }
+    let offsets_end = 8 * (n + 1);
+    let mut prev = read_u64(payload, 0);
+    if prev != 0 {
+        return Err(snapshot_err("first offset is not zero"));
+    }
+    let mut edges: Vec<(Vertex, Vertex)> = Vec::with_capacity(m as usize);
+    for v in 0..n {
+        let next = read_u64(payload, 8 * (v + 1));
+        if next < prev || next > arcs as u64 {
+            return Err(snapshot_err(format!("offset for vertex {v} is not monotone/in range")));
+        }
+        let mut last: Option<u32> = None;
+        for i in prev..next {
+            let at = offsets_end + 4 * i as usize;
+            let w = u32::from_le_bytes(payload[at..at + 4].try_into().expect("length checked"));
+            if w as u64 >= n as u64 {
+                return Err(snapshot_err(format!("neighbor {w} of vertex {v} out of range")));
+            }
+            if last.is_some_and(|p| p >= w) {
+                return Err(snapshot_err(format!("row of vertex {v} is not strictly ascending")));
+            }
+            last = Some(w);
+            // Each undirected edge appears as two arcs; keep one.
+            if (v as u64) < w as u64 {
+                edges.push((v, w as Vertex));
+            }
+        }
+        prev = next;
+    }
+    if prev != arcs as u64 {
+        return Err(snapshot_err("final offset does not cover every stored arc"));
+    }
+    let g = Graph::try_from_edges(n, edges).map_err(|e| snapshot_err(e.to_string()))?;
+    // The rebuilt graph must re-serialize to the exact stored payload;
+    // this closes the remaining gap (asymmetric arc lists whose kept
+    // half happens to build a plausible graph).
+    if g.m() as u64 != m || snapshot_payload(&g) != payload {
+        return Err(snapshot_err("stored arcs are not a symmetric adjacency".to_string()));
+    }
+    Ok(g)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +288,111 @@ mod tests {
         assert!(from_edge_list("3 1\n0 x\n").is_err());
         let err = from_edge_list("2 1\n0 5\n").unwrap_err();
         assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+    }
+
+    /// Deterministic xorshift for the snapshot property corpus (the
+    /// graph crate cannot dev-depend on `lmds-gen` without a cycle).
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+    }
+
+    fn random_graph(n: usize, density_percent: u64, seed: u64) -> Graph {
+        let mut rng = Rng(seed | 1);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.next() % 100 < density_percent {
+                    edges.push((u, v));
+                }
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn snapshot_roundtrip_property() {
+        // Structured shapes + a random sweep: every graph must survive
+        // to_snapshot → from_snapshot byte-exactly, with a stable
+        // checksum.
+        let mut corpus = vec![
+            Graph::new(0),
+            Graph::new(1),
+            Graph::new(5),
+            Graph::from_edges(2, &[(0, 1)]),
+            Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]),
+        ];
+        for seed in 0..8u64 {
+            let n = 3 + (seed as usize) * 7;
+            corpus.push(random_graph(n, 5 + seed * 11 % 60, seed * 977 + 13));
+        }
+        for g in &corpus {
+            let bytes = to_snapshot(g).unwrap();
+            assert!(is_snapshot(&bytes));
+            let h = from_snapshot(&bytes).unwrap();
+            assert_eq!(g, &h, "snapshot round-trip must be exact (n={})", g.n());
+            assert_eq!(graph_checksum(g), graph_checksum(&h));
+            // Serialization is canonical: same graph, same bytes.
+            assert_eq!(bytes, to_snapshot(&h).unwrap());
+        }
+    }
+
+    #[test]
+    fn snapshot_checksum_distinguishes_graphs() {
+        let a = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let b = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+        assert_ne!(graph_checksum(&a), graph_checksum(&b));
+        assert_eq!(graph_checksum(&a), graph_checksum(&a.clone()));
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let g = random_graph(17, 30, 42);
+        let good = to_snapshot(&g).unwrap();
+
+        // Truncation at every boundary class.
+        for cut in [0, 4, SNAPSHOT_HEADER_LEN - 1, good.len() - 1] {
+            let err = from_snapshot(&good[..cut]).unwrap_err();
+            assert!(matches!(err, GraphError::Snapshot { .. }), "cut={cut}: {err}");
+        }
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert!(from_snapshot(&bad).unwrap_err().to_string().contains("magic"));
+
+        // Unknown version.
+        let mut bad = good.clone();
+        bad[8] = 99;
+        assert!(from_snapshot(&bad).unwrap_err().to_string().contains("version"));
+
+        // Any single flipped payload bit must trip the checksum.
+        let mut bad = good.clone();
+        let k = SNAPSHOT_HEADER_LEN + 3;
+        bad[k] ^= 0x01;
+        assert!(from_snapshot(&bad).unwrap_err().to_string().contains("checksum"));
+
+        // A forged checksum over out-of-range neighbors still fails
+        // structurally: point a neighbor past n and re-stamp the hash.
+        let mut forged = good.clone();
+        let row_at = SNAPSHOT_HEADER_LEN + 8 * (g.n() + 1);
+        forged[row_at..row_at + 4].copy_from_slice(&(g.n() as u32 + 7).to_le_bytes());
+        let sum = fnv1a(&forged[SNAPSHOT_HEADER_LEN..]);
+        forged[28..36].copy_from_slice(&sum.to_le_bytes());
+        assert!(from_snapshot(&forged).unwrap_err().to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn edge_list_and_snapshot_agree() {
+        let g = random_graph(23, 25, 7);
+        let via_text = from_edge_list(&to_edge_list(&g)).unwrap();
+        let via_bin = from_snapshot(&to_snapshot(&g).unwrap()).unwrap();
+        assert_eq!(via_text, via_bin);
     }
 
     #[test]

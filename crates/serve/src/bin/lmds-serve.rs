@@ -1,0 +1,167 @@
+//! The `lmds-serve` daemon binary.
+//!
+//! ```text
+//! lmds-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!            [--persist-dir DIR] [--timeout-ms MS] [--smoke]
+//! ```
+//!
+//! In normal mode the daemon serves until stdin reaches EOF or a
+//! `shutdown` line arrives (the std-only stand-in for signal handling —
+//! `POST /admin/shutdown` works from the outside too), then drains
+//! gracefully and prints the final metrics dump. `--smoke` instead runs
+//! a self-contained round-trip against an in-process server on an
+//! ephemeral port and exits 0 on success — the CI smoke step.
+
+use lmds_serve::http;
+use lmds_serve::server::{ServeConfig, Server};
+use std::io::BufRead;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lmds-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
+         \x20                 [--persist-dir DIR] [--timeout-ms MS] [--smoke]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (ServeConfig, bool) {
+    let mut config = ServeConfig { addr: "127.0.0.1:7171".into(), ..ServeConfig::default() };
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => {
+                config.workers = value("--workers").parse().unwrap_or_else(|_| usage());
+            }
+            "--queue-cap" => {
+                config.queue_capacity = value("--queue-cap").parse().unwrap_or_else(|_| usage());
+            }
+            "--persist-dir" => config.persist_dir = Some(value("--persist-dir").into()),
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms").parse().unwrap_or_else(|_| usage());
+                config.default_timeout = Duration::from_millis(ms);
+            }
+            "--smoke" => smoke = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    (config, smoke)
+}
+
+fn main() {
+    let (mut config, smoke) = parse_args();
+    if smoke {
+        config.addr = "127.0.0.1:0".into();
+    }
+    let handle = match Server::spawn(config) {
+        Ok(handle) => handle,
+        Err(err) => {
+            eprintln!("lmds-serve: {err}");
+            std::process::exit(1);
+        }
+    };
+    let addr = handle.addr();
+    if smoke {
+        run_smoke(addr);
+        let dump = handle.shutdown();
+        println!("serve-smoke OK ({})", summarize(&dump));
+        return;
+    }
+
+    eprintln!("lmds-serve listening on http://{addr} (EOF or 'shutdown' on stdin to stop)");
+    for line in std::io::stdin().lock().lines() {
+        match line {
+            Ok(text) if text.trim() == "shutdown" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    eprintln!("lmds-serve: draining...");
+    let dump = handle.shutdown();
+    println!("{}", dump.render());
+}
+
+fn summarize(dump: &lmds_serve::json::Value) -> String {
+    let get = |k: &str| dump.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    format!(
+        "http_requests={} jobs_completed={} graphs_uploaded={}",
+        get("http_requests"),
+        get("jobs_completed"),
+        get("graphs_uploaded")
+    )
+}
+
+/// The smoke round-trip: health, catalog, upload, sync solve, async
+/// job, metrics. Panics (non-zero exit) on any deviation.
+fn run_smoke(addr: std::net::SocketAddr) {
+    let t = Duration::from_secs(30);
+    let send = |method: &str, path: &str, body: &[u8]| {
+        http::request(addr, method, path, body, t)
+            .unwrap_or_else(|e| panic!("{method} {path}: {e}"))
+    };
+
+    let health = send("GET", "/healthz", b"");
+    assert_eq!(health.status, 200, "healthz");
+    assert_eq!(
+        health.json().get("status").and_then(|v| v.as_str().map(String::from)),
+        Some("ok".into())
+    );
+
+    let catalog = send("GET", "/solvers", b"");
+    let n_solvers = catalog.json().get("solvers").and_then(|v| v.as_arr().map(<[_]>::len));
+    assert!(n_solvers.is_some_and(|n| n >= 3), "catalog lists the registry");
+
+    let put = send("PUT", "/graphs/smoke-path", b"6 5\n0 1\n1 2\n2 3\n3 4\n4 5\n");
+    assert_eq!(put.status, 201, "upload: {:?}", String::from_utf8_lossy(&put.body));
+
+    let solve = send(
+        "POST",
+        "/solve",
+        br#"{"graph": "smoke-path", "solver": "mds/algorithm1", "config": {"mode": "local-oracle"}}"#,
+    );
+    assert_eq!(solve.status, 200, "sync solve: {:?}", String::from_utf8_lossy(&solve.body));
+    let solution = solve.json();
+    assert_eq!(
+        solution.get("solution").and_then(|s| s.get("valid")).and_then(|v| v.as_bool()),
+        Some(true),
+        "solution validates"
+    );
+
+    let job = send("POST", "/jobs", br#"{"graph": "smoke-path", "solver": "mvc/exact"}"#);
+    assert_eq!(job.status, 202, "async submit");
+    let id = job.json().get("job_id").and_then(|v| v.as_u64()).expect("job id");
+    let mut done = false;
+    for _ in 0..300 {
+        let poll = send("GET", &format!("/jobs/{id}"), b"");
+        let status = poll.json().get("status").and_then(|v| v.as_str().map(String::from));
+        match status.as_deref() {
+            Some("done") => {
+                done = true;
+                break;
+            }
+            Some("failed") => panic!("job failed: {:?}", String::from_utf8_lossy(&poll.body)),
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    assert!(done, "async job finished");
+
+    let metrics = send("GET", "/metrics", b"");
+    let doc = metrics.json();
+    assert!(
+        doc.get("jobs_completed").and_then(|v| v.as_u64()).is_some_and(|n| n >= 2),
+        "metrics count both solves: {:?}",
+        String::from_utf8_lossy(&metrics.body)
+    );
+}

@@ -1,0 +1,319 @@
+//! Hand-rolled HTTP/1.1, just enough for the daemon: one request per
+//! connection (`Connection: close` semantics), `Content-Length` bodies,
+//! and a tiny client for tests, the smoke runner, and the loopback load
+//! generator.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Upper bound on a request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// Upper bound on a request body (graph uploads are the big case; a
+/// 10⁶-edge snapshot is ~8 MiB).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `PUT`, `POST`, …).
+    pub method: String,
+    /// Path component, query string stripped.
+    pub path: String,
+    /// Lower-cased header names with their values.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Path split into non-empty `/`-separated segments.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Why a request could not be read. Maps to 400 (or a dropped
+/// connection when the peer vanished mid-read).
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed before a full request arrived.
+    ConnectionClosed,
+    /// Read failure or timeout.
+    Io(std::io::Error),
+    /// Malformed request line, headers, or body framing.
+    Malformed(String),
+    /// The head or body exceeded its size bound.
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::ConnectionClosed => write!(f, "connection closed mid-request"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge(what) => write!(f, "request {what} too large"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from the stream.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(HttpError::ConnectionClosed);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target =
+        parts.next().ok_or_else(|| HttpError::Malformed("request line lacks a target".into()))?;
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported version {version:?}")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    let mut head_bytes = line.len();
+    loop {
+        let mut hline = String::new();
+        if reader.read_line(&mut hline)? == 0 {
+            return Err(HttpError::ConnectionClosed);
+        }
+        head_bytes += hline.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("head"));
+        }
+        let trimmed = hline.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let (name, value) = trimmed
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header line {trimmed:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let req = Request { method, path, headers, body: Vec::new() };
+    let len = match req.header("content-length") {
+        None => 0,
+        Some(v) => {
+            v.parse::<usize>().map_err(|_| HttpError::Malformed(format!("content-length {v:?}")))?
+        }
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("body"));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            HttpError::ConnectionClosed
+        } else {
+            HttpError::Io(e)
+        }
+    })?;
+    Ok(Request { body, ..req })
+}
+
+/// Canonical reason phrases for the status codes the daemon emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Status",
+    }
+}
+
+/// Writes a complete response and flushes. Every response carries
+/// `Connection: close`; the caller drops the stream afterwards.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A client response: status code and body.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// Parses the body as JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the body is not valid JSON — client helpers are for
+    /// tests and the load generator, where that is a hard failure.
+    pub fn json(&self) -> crate::json::Value {
+        let text = std::str::from_utf8(&self.body).expect("response body is UTF-8");
+        crate::json::parse(text).unwrap_or_else(|e| panic!("bad JSON response: {e}\n{text}"))
+    }
+}
+
+/// Minimal blocking HTTP client: one request on a fresh connection.
+/// Used by the integration tests, `lmds-serve --smoke`, and the
+/// `serve-bench` load generator.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line {status_line:?}")))?;
+    let mut content_length = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(len) => {
+            body.resize(len, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    Ok(ClientResponse { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Serve exactly one connection with the given handler, on an
+    /// ephemeral port.
+    fn one_shot(handler: impl FnOnce(&mut BufReader<TcpStream>) + Send + 'static) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream);
+            handler(&mut reader);
+        });
+        addr
+    }
+
+    #[test]
+    fn parses_request_and_writes_response() {
+        let addr = one_shot(|reader| {
+            let req = read_request(reader).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/solve");
+            assert_eq!(req.segments(), vec!["solve"]);
+            assert!(req.header("host").is_some(), "client sends a Host header");
+            assert_eq!(req.body, b"{\"k\":2}");
+            let mut stream = reader.get_ref().try_clone().unwrap();
+            write_response(&mut stream, 200, "application/json", b"{\"ok\":true}").unwrap();
+        });
+        let resp =
+            request(addr, "POST", "/solve?x=1", b"{\"k\":2}", Duration::from_secs(5)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.json().get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn query_strings_are_stripped_and_bad_requests_rejected() {
+        let addr = one_shot(|reader| {
+            let err = read_request(reader).unwrap_err();
+            assert!(matches!(err, HttpError::Malformed(_)), "{err}");
+            let mut stream = reader.get_ref().try_clone().unwrap();
+            write_response(&mut stream, 400, "text/plain", b"no").unwrap();
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"BOGUS-LINE\r\n\r\n").unwrap();
+        let mut out = String::new();
+        let _ = BufReader::new(stream).read_line(&mut out);
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected() {
+        let addr = one_shot(|reader| {
+            let err = read_request(reader).unwrap_err();
+            assert!(matches!(err, HttpError::TooLarge("body")), "{err}");
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let huge = MAX_BODY_BYTES + 1;
+        stream
+            .write_all(format!("PUT /g HTTP/1.1\r\nContent-Length: {huge}\r\n\r\n").as_bytes())
+            .unwrap();
+        // Give the server thread a beat to observe the rejection.
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

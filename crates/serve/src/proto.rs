@@ -1,0 +1,318 @@
+//! The wire protocol: JSON shapes for requests, responses, and the
+//! typed error envelope.
+//!
+//! Every error response body is the envelope
+//! `{"code": <stable-slug>, "message": <human text>}`, extended with
+//! `"valid_keys"` on unknown-solver/unknown-graph rejections so a
+//! client (like the `reproduce` CLI before it) is always steered to a
+//! valid alternative.
+
+use crate::json::Value;
+use lmds_api::{SolutionView, SolveConfigView, SolveError};
+
+/// A wire error: HTTP status plus the JSON envelope.
+#[derive(Debug, Clone)]
+pub struct WireError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable code (the envelope's `code` field).
+    pub code: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// Valid alternatives for not-found style errors.
+    pub valid_keys: Option<Vec<String>>,
+}
+
+impl WireError {
+    /// A plain envelope without alternatives.
+    pub fn new(status: u16, code: &'static str, message: impl Into<String>) -> Self {
+        WireError { status, code, message: message.into(), valid_keys: None }
+    }
+
+    /// An envelope listing the valid keys the caller could have used.
+    pub fn with_keys(
+        status: u16,
+        code: &'static str,
+        message: impl Into<String>,
+        keys: impl IntoIterator<Item = String>,
+    ) -> Self {
+        WireError {
+            status,
+            code,
+            message: message.into(),
+            valid_keys: Some(keys.into_iter().collect()),
+        }
+    }
+
+    /// 400 with `code: "bad-request"`.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(400, "bad-request", message)
+    }
+
+    /// The JSON envelope body.
+    pub fn render(&self) -> Value {
+        let mut pairs =
+            vec![("code", Value::from(self.code)), ("message", Value::from(self.message.clone()))];
+        if let Some(keys) = &self.valid_keys {
+            pairs.push((
+                "valid_keys",
+                Value::Arr(keys.iter().map(|k| Value::from(k.as_str())).collect()),
+            ));
+        }
+        Value::obj(pairs)
+    }
+}
+
+/// Maps a [`SolveError`] onto the wire taxonomy: unknown solver → 404
+/// (with the valid keys), config/instance rejections and runtime
+/// failures → 422.
+pub fn solve_error_to_wire(err: &SolveError) -> WireError {
+    match err {
+        SolveError::UnknownSolver { key, known } => WireError::with_keys(
+            404,
+            "unknown-solver",
+            format!("no solver registered as {key:?}"),
+            known.iter().map(|k| k.to_string()),
+        ),
+        SolveError::UnsupportedProblem { .. }
+        | SolveError::UnsupportedMode { .. }
+        | SolveError::UnsupportedOptions { .. } => {
+            WireError::new(422, "unsupported-config", err.to_string())
+        }
+        SolveError::BudgetExhausted { .. } => {
+            WireError::new(422, "budget-exhausted", err.to_string())
+        }
+        SolveError::Runtime(_) => WireError::new(422, "solve-error", err.to_string()),
+    }
+}
+
+/// A parsed `POST /solve` / `POST /jobs` body.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// Corpus graph name.
+    pub graph: String,
+    /// Registry solver key.
+    pub solver: String,
+    /// The config view (defaults when the body has no `config`).
+    pub config: SolveConfigView,
+    /// Per-job timeout in milliseconds, if requested.
+    pub timeout_ms: Option<u64>,
+}
+
+fn str_field(body: &Value, field: &'static str) -> Result<String, WireError> {
+    body.get(field)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| WireError::bad_request(format!("body needs a string field {field:?}")))
+}
+
+/// Parses and validates a solve-request body.
+///
+/// # Errors
+///
+/// A 400 [`WireError`] naming the missing or ill-typed field.
+pub fn parse_solve_request(body: &[u8]) -> Result<SolveRequest, WireError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| WireError::bad_request("body is not UTF-8"))?;
+    let doc = crate::json::parse(text).map_err(|e| WireError::bad_request(e.to_string()))?;
+    let graph = str_field(&doc, "graph")?;
+    let solver = str_field(&doc, "solver")?;
+    let timeout_ms =
+        match doc.get("timeout_ms") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                WireError::bad_request("timeout_ms must be a non-negative integer")
+            })?),
+        };
+    let config = match doc.get("config") {
+        None | Some(Value::Null) => SolveConfigView::default(),
+        Some(cfg) => parse_config_view(cfg)?,
+    };
+    Ok(SolveRequest { graph, solver, config, timeout_ms })
+}
+
+/// Parses the `config` object of a solve request into a
+/// [`SolveConfigView`]. Unknown fields are rejected (a typo must not
+/// silently run under defaults).
+pub fn parse_config_view(cfg: &Value) -> Result<SolveConfigView, WireError> {
+    let Value::Obj(map) = cfg else {
+        return Err(WireError::bad_request("config must be an object"));
+    };
+    const KNOWN: &[&str] = &[
+        "problem",
+        "mode",
+        "id_policy",
+        "id_seed",
+        "round_cap",
+        "threads",
+        "radii",
+        "exact_backend",
+        "opt_budget",
+        "measure_ratio",
+    ];
+    if let Some(unknown) = map.keys().find(|k| !KNOWN.contains(&k.as_str())) {
+        return Err(WireError::bad_request(format!(
+            "unknown config field {unknown:?} (known: {})",
+            KNOWN.join(", ")
+        )));
+    }
+    let opt_str = |field: &'static str| -> Result<Option<String>, WireError> {
+        match map.get(field) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(|s| Some(s.to_string()))
+                .ok_or_else(|| WireError::bad_request(format!("config.{field} must be a string"))),
+        }
+    };
+    let opt_u64 = |field: &'static str| -> Result<Option<u64>, WireError> {
+        match map.get(field) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                WireError::bad_request(format!("config.{field} must be a non-negative integer"))
+            }),
+        }
+    };
+    let radii = match map.get("radii") {
+        None | Some(Value::Null) => None,
+        Some(v) => {
+            let items = v.as_arr().filter(|a| a.len() == 2).ok_or_else(|| {
+                WireError::bad_request(
+                    "config.radii must be a two-element array [one_cut, two_cut]",
+                )
+            })?;
+            let mut pair = [0u32; 2];
+            for (slot, item) in pair.iter_mut().zip(items) {
+                *slot = item
+                    .as_u64()
+                    .and_then(|x| u32::try_from(x).ok())
+                    .ok_or_else(|| WireError::bad_request("config.radii entries must be u32"))?;
+            }
+            Some((pair[0], pair[1]))
+        }
+    };
+    let measure_ratio = match map.get("measure_ratio") {
+        None | Some(Value::Null) => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| WireError::bad_request("config.measure_ratio must be a boolean"))?,
+    };
+    Ok(SolveConfigView {
+        problem: opt_str("problem")?,
+        mode: opt_str("mode")?,
+        id_policy: opt_str("id_policy")?,
+        id_seed: opt_u64("id_seed")?,
+        round_cap: opt_u64("round_cap")?
+            .map(|x| u32::try_from(x).map_err(|_| WireError::bad_request("round_cap too large")))
+            .transpose()?,
+        threads: opt_u64("threads")?.map(|x| x as usize),
+        radii,
+        exact_backend: opt_str("exact_backend")?,
+        opt_budget: opt_u64("opt_budget")?,
+        measure_ratio,
+    })
+}
+
+/// Renders a [`SolutionView`] as its wire object.
+pub fn render_solution(view: &SolutionView) -> Value {
+    Value::obj([
+        ("solver", Value::from(view.solver.as_str())),
+        ("problem", Value::from(view.problem.as_str())),
+        ("mode", Value::from(view.mode.as_str())),
+        ("size", Value::from(view.size)),
+        ("vertices", Value::Arr(view.vertices.iter().map(|&v| Value::from(v)).collect())),
+        ("valid", Value::from(view.valid)),
+        ("rounds", view.rounds.map_or(Value::Null, Value::from)),
+        ("total_message_bits", view.total_message_bits.map_or(Value::Null, Value::from)),
+        ("max_message_bits", view.max_message_bits.map_or(Value::Null, Value::from)),
+        ("wall_micros", Value::from(view.wall_micros)),
+        ("ratio", view.ratio.map_or(Value::Null, Value::from)),
+        (
+            "optimum",
+            view.optimum.map_or(Value::Null, |(value, exact)| {
+                Value::obj([("value", Value::from(value)), ("exact", Value::from(exact))])
+            }),
+        ),
+    ])
+}
+
+/// Renders a graph-entry summary (`PUT /graphs/{name}` response and
+/// `GET /graphs` rows). The 64-bit checksum travels as a hex string —
+/// JSON numbers are f64 and would corrupt it.
+pub fn render_graph_entry(entry: &crate::corpus::GraphEntry) -> Value {
+    Value::obj([
+        ("name", Value::from(entry.name())),
+        ("n", Value::from(entry.graph().n())),
+        ("m", Value::from(entry.graph().m())),
+        ("checksum", Value::from(format!("{:#018x}", entry.checksum))),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmds_api::{ExecutionMode, Problem};
+
+    #[test]
+    fn parses_a_full_solve_request() {
+        let body = br#"{
+            "graph": "demo",
+            "solver": "mds/algorithm1",
+            "timeout_ms": 2500,
+            "config": {
+                "mode": "local-oracle",
+                "id_policy": "shuffled",
+                "id_seed": 7,
+                "round_cap": 99,
+                "radii": [2, 3],
+                "measure_ratio": true
+            }
+        }"#;
+        let req = parse_solve_request(body).unwrap();
+        assert_eq!(req.graph, "demo");
+        assert_eq!(req.solver, "mds/algorithm1");
+        assert_eq!(req.timeout_ms, Some(2500));
+        let cfg = req.config.try_into_config(Problem::MinDominatingSet).unwrap();
+        assert_eq!(cfg.mode, ExecutionMode::LOCAL_ORACLE);
+        assert_eq!(cfg.scenario.round_cap, Some(99));
+        assert!(cfg.measure_ratio);
+    }
+
+    #[test]
+    fn missing_fields_and_typos_are_400s() {
+        let err = parse_solve_request(b"{}").unwrap_err();
+        assert_eq!((err.status, err.code), (400, "bad-request"));
+        assert!(err.message.contains("graph"), "{}", err.message);
+
+        let err = parse_solve_request(br#"{"graph":"g","solver":"s","config":{"mdoe":"x"}}"#)
+            .unwrap_err();
+        assert!(err.message.contains("mdoe"), "typos are named: {}", err.message);
+
+        let err = parse_solve_request(b"not json").unwrap_err();
+        assert_eq!(err.status, 400);
+
+        let err =
+            parse_solve_request(br#"{"graph":"g","solver":"s","timeout_ms":-3}"#).unwrap_err();
+        assert!(err.message.contains("timeout_ms"));
+    }
+
+    #[test]
+    fn unknown_solver_envelope_carries_valid_keys() {
+        let registry = lmds_api::SolverRegistry::with_defaults();
+        let err = SolveError::UnknownSolver { key: "mds/nope".into(), known: registry.keys() };
+        let wire = solve_error_to_wire(&err);
+        assert_eq!((wire.status, wire.code), (404, "unknown-solver"));
+        let doc = wire.render();
+        let keys = doc.get("valid_keys").unwrap().as_arr().unwrap();
+        assert_eq!(keys.len(), registry.keys().len());
+        assert!(keys.iter().any(|k| k.as_str() == Some("mds/algorithm1")));
+    }
+
+    #[test]
+    fn envelope_shape_is_stable() {
+        let doc = WireError::new(429, "queue-full", "later").render();
+        assert_eq!(doc.get("code").unwrap().as_str(), Some("queue-full"));
+        assert_eq!(doc.get("message").unwrap().as_str(), Some("later"));
+        assert!(doc.get("valid_keys").is_none(), "no alternatives, no field");
+    }
+}

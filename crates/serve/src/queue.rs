@@ -1,0 +1,354 @@
+//! The bounded job queue and job table.
+//!
+//! Submission pushes into a bounded FIFO (full ⟹ typed rejection, the
+//! HTTP layer's 429); a fixed pool of workers pops jobs and runs them.
+//! Every job lives in a table from birth to completion so the async
+//! `GET /jobs/{id}` endpoint can report `queued → running → done |
+//! failed | expired` at any time, and sync callers can block on a
+//! completion condvar with a deadline.
+//!
+//! Shutdown semantics (the graceful-drain contract): once
+//! [`JobQueue::begin_shutdown`] is called, new submissions are rejected
+//! with [`SubmitError::ShuttingDown`] (the HTTP layer's 503) while
+//! workers keep draining — both the jobs already running *and*
+//! everything still queued — before [`JobQueue::next_job`] returns
+//! `None` and the pool exits.
+
+use crate::corpus::GraphEntry;
+use lmds_api::{SolutionView, SolveConfig};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// What one job runs: a corpus graph under a solver + config.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The corpus entry, resolved at submission time — a re-upload of
+    /// the same name mid-flight cannot swap the graph under a job.
+    pub entry: Arc<GraphEntry>,
+    /// Registry solver key.
+    pub solver: String,
+    /// The materialized solve configuration.
+    pub config: SolveConfig,
+    /// Give-up deadline: a job still queued past it is failed as
+    /// expired instead of run.
+    pub deadline: Option<Instant>,
+}
+
+/// Public job lifecycle states (wire vocabulary).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// In the queue, not yet picked up.
+    Queued,
+    /// A worker is running it.
+    Running,
+    /// Finished successfully.
+    Done(SolutionView),
+    /// The solver failed; `code` is the wire error code, `message` the
+    /// human-readable reason.
+    Failed {
+        /// Wire error code (e.g. `"solve-error"`, `"timeout"`).
+        code: &'static str,
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl JobState {
+    /// The wire name of this state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed { .. } => "failed",
+        }
+    }
+
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done(_) | JobState::Failed { .. })
+    }
+}
+
+/// A point-in-time picture of one job.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// The job id.
+    pub id: u64,
+    /// Graph name.
+    pub graph: String,
+    /// Solver key.
+    pub solver: String,
+    /// Current state.
+    pub state: JobState,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity (backpressure; HTTP 429).
+    QueueFull {
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// The server is draining (HTTP 503).
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "job queue is at capacity ({capacity}); retry later")
+            }
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct Job {
+    spec: JobSpec,
+    state: JobState,
+}
+
+struct Inner {
+    jobs: HashMap<u64, Job>,
+    queue: VecDeque<u64>,
+    next_id: u64,
+    shutting_down: bool,
+}
+
+/// The bounded queue + job table. One instance per server, shared by
+/// connection handlers (submit/status/wait) and workers (next/complete).
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    /// Signals workers that the queue or the shutdown flag changed.
+    work_ready: Condvar,
+    /// Broadcast on every terminal transition; sync waiters block here.
+    job_done: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// A queue holding at most `capacity` not-yet-running jobs.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                next_id: 1,
+                shutting_down: false,
+            }),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth (queued, not yet running).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").queue.len()
+    }
+
+    /// Submits a job, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] under backpressure,
+    /// [`SubmitError::ShuttingDown`] once draining has begun.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.shutting_down {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if inner.queue.len() >= self.capacity {
+            return Err(SubmitError::QueueFull { capacity: self.capacity });
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.jobs.insert(id, Job { spec, state: JobState::Queued });
+        inner.queue.push_back(id);
+        drop(inner);
+        self.work_ready.notify_one();
+        Ok(id)
+    }
+
+    /// Worker loop entry: blocks for the next runnable job, marking it
+    /// running. Jobs whose deadline already passed are failed as
+    /// expired (never run) and the wait continues. Returns `None` once
+    /// shutdown has begun **and** the queue is fully drained.
+    pub fn next_job(&self) -> Option<(u64, JobSpec)> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            while let Some(id) = inner.queue.pop_front() {
+                let now = Instant::now();
+                let job = inner.jobs.get_mut(&id).expect("queued job is in the table");
+                if job.spec.deadline.is_some_and(|d| d < now) {
+                    job.state = JobState::Failed {
+                        code: "timeout",
+                        message: "job expired in the queue before a worker picked it up".into(),
+                    };
+                    self.job_done.notify_all();
+                    continue;
+                }
+                job.state = JobState::Running;
+                let spec = job.spec.clone();
+                return Some((id, spec));
+            }
+            if inner.shutting_down {
+                return None;
+            }
+            inner = self.work_ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Worker loop exit: records the terminal state of a running job
+    /// and wakes all waiters.
+    pub fn complete(&self, id: u64, state: JobState) {
+        debug_assert!(state.is_terminal());
+        let mut inner = self.inner.lock().expect("queue lock");
+        if let Some(job) = inner.jobs.get_mut(&id) {
+            job.state = state;
+        }
+        drop(inner);
+        self.job_done.notify_all();
+    }
+
+    /// A snapshot of job `id`, if it exists.
+    pub fn status(&self, id: u64) -> Option<JobSnapshot> {
+        let inner = self.inner.lock().expect("queue lock");
+        inner.jobs.get(&id).map(|job| JobSnapshot {
+            id,
+            graph: job.spec.entry.name().to_string(),
+            solver: job.spec.solver.clone(),
+            state: job.state.clone(),
+        })
+    }
+
+    /// Blocks until job `id` reaches a terminal state or `deadline`
+    /// passes; returns the latest snapshot either way (`None` only for
+    /// an unknown id).
+    pub fn wait(&self, id: u64, deadline: Instant) -> Option<JobSnapshot> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            let state = inner.jobs.get(&id)?.state.clone();
+            if state.is_terminal() {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _timeout) = self
+                .job_done
+                .wait_timeout(inner, deadline.duration_since(now))
+                .expect("queue lock");
+            inner = guard;
+        }
+        drop(inner);
+        self.status(id)
+    }
+
+    /// Flips the shutdown flag: new submissions are rejected, workers
+    /// are woken so they can drain the queue and exit.
+    pub fn begin_shutdown(&self) {
+        self.inner.lock().expect("queue lock").shutting_down = true;
+        self.work_ready.notify_all();
+        self.job_done.notify_all();
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.lock().expect("queue lock").shutting_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmds_api::Problem;
+    use lmds_graph::Graph;
+    use std::time::Duration;
+
+    fn spec(deadline: Option<Instant>) -> JobSpec {
+        JobSpec {
+            entry: Arc::new(GraphEntry::new("g".into(), Graph::from_edges(2, &[(0, 1)]))),
+            solver: "mds/exact".into(),
+            config: SolveConfig::new(Problem::MinDominatingSet),
+            deadline,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_backpressure() {
+        let q = JobQueue::new(2);
+        let a = q.submit(spec(None)).unwrap();
+        let b = q.submit(spec(None)).unwrap();
+        assert_eq!(q.submit(spec(None)), Err(SubmitError::QueueFull { capacity: 2 }));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.next_job().unwrap().0, a);
+        // Popping freed a slot.
+        let c = q.submit(spec(None)).unwrap();
+        assert_eq!(q.next_job().unwrap().0, b);
+        assert_eq!(q.next_job().unwrap().0, c);
+        assert_eq!(q.status(a).unwrap().state, JobState::Running);
+    }
+
+    #[test]
+    fn complete_wakes_waiters_and_snapshots_report() {
+        let q = std::sync::Arc::new(JobQueue::new(4));
+        let id = q.submit(spec(None)).unwrap();
+        let (got, _) = q.next_job().unwrap();
+        assert_eq!(got, id);
+        let waiter = {
+            let q = q.clone();
+            std::thread::spawn(move || q.wait(id, Instant::now() + Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        q.complete(id, JobState::Failed { code: "solve-error", message: "nope".into() });
+        let snap = waiter.join().unwrap().unwrap();
+        assert_eq!(snap.state.name(), "failed");
+        assert_eq!(snap.solver, "mds/exact");
+    }
+
+    #[test]
+    fn wait_times_out_on_a_slow_job() {
+        let q = JobQueue::new(4);
+        let id = q.submit(spec(None)).unwrap();
+        let snap = q.wait(id, Instant::now() + Duration::from_millis(30)).unwrap();
+        assert_eq!(snap.state, JobState::Queued, "deadline passed with the job still queued");
+        assert!(q.wait(999, Instant::now()).is_none(), "unknown id");
+    }
+
+    #[test]
+    fn expired_jobs_are_failed_not_run() {
+        let q = JobQueue::new(4);
+        let dead = q.submit(spec(Some(Instant::now() - Duration::from_millis(1)))).unwrap();
+        let live = q.submit(spec(None)).unwrap();
+        // The worker skips the expired job and hands out the live one.
+        let (got, _) = q.next_job().unwrap();
+        assert_eq!(got, live);
+        let snap = q.status(dead).unwrap();
+        assert!(matches!(snap.state, JobState::Failed { code: "timeout", .. }), "{:?}", snap.state);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_but_drains_queued_jobs() {
+        let q = JobQueue::new(4);
+        let id = q.submit(spec(None)).unwrap();
+        q.begin_shutdown();
+        assert_eq!(q.submit(spec(None)), Err(SubmitError::ShuttingDown));
+        // The queued job is still handed out (drain), then None.
+        assert_eq!(q.next_job().unwrap().0, id);
+        assert!(q.next_job().is_none());
+        assert!(q.is_shutting_down());
+    }
+}

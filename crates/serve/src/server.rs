@@ -1,0 +1,510 @@
+//! The daemon itself: TCP accept loop, routing, the fixed worker pool,
+//! and the graceful-shutdown choreography.
+//!
+//! # Architecture
+//!
+//! [`Server::spawn`] binds the listener and starts one OS thread that
+//! hosts a [`std::thread::scope`] containing
+//!
+//! - `workers` long-lived solver threads popping the shared
+//!   [`JobQueue`]. Because the engine pools (`Scratch`, `CutEngine`,
+//!   `ExactEngine`) are thread-locals, a worker's pools stay warm across
+//!   jobs — the serving analogue of `BatchRunner`'s per-thread reuse;
+//! - a supervisor thread that sleeps until shutdown is requested, then
+//!   runs the drain protocol;
+//! - one short-lived handler thread per accepted connection
+//!   (`Connection: close`, one request each).
+//!
+//! # Shutdown
+//!
+//! Triggered by [`ServerHandle::shutdown`] or `POST /admin/shutdown`:
+//!
+//! 1. the submission gate closes — new `POST /solve` / `POST /jobs`
+//!    get the 503 `shutting-down` envelope;
+//! 2. workers finish the running jobs **and** everything already queued
+//!    (their results remain pollable until the process exits);
+//! 3. the supervisor joins the workers, flushes the corpus to its
+//!    persistence directory, and unblocks the accept loop;
+//! 4. [`ServerHandle::shutdown`] joins the server thread and returns
+//!    the final metrics dump.
+
+use crate::corpus::{CorpusError, CorpusStore};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::json::Value;
+use crate::metrics::Metrics;
+use crate::proto::{
+    parse_solve_request, render_graph_entry, render_solution, solve_error_to_wire, SolveRequest,
+    WireError,
+};
+use crate::queue::{JobQueue, JobSpec, JobState, SubmitError};
+use lmds_api::{SolutionView, SolverRegistry};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration. `Default` is a loopback ephemeral port with a
+/// small pool — the right shape for tests and the smoke runner.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `"127.0.0.1:0"` (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker pool size (clamped to ≥ 1).
+    pub workers: usize,
+    /// Bounded queue capacity (clamped to ≥ 1); beyond it, submissions
+    /// get 429.
+    pub queue_capacity: usize,
+    /// Snapshot persistence directory; `None` = in-memory corpus.
+    pub persist_dir: Option<PathBuf>,
+    /// Wait budget for sync `POST /solve` when the request carries no
+    /// `timeout_ms`.
+    pub default_timeout: Duration,
+    /// Socket read timeout per connection (slow-loris guard).
+    pub read_timeout: Duration,
+    /// The solver catalog. Defaults to every built-in solver; tests
+    /// inject custom registries (e.g. a deliberately slow solver).
+    pub registry: SolverRegistry,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 16,
+            persist_dir: None,
+            default_timeout: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(10),
+            registry: SolverRegistry::with_defaults(),
+        }
+    }
+}
+
+/// Why the server failed to start.
+#[derive(Debug)]
+pub enum StartError {
+    /// Bind/listen failure.
+    Io(std::io::Error),
+    /// The persistence directory could not be loaded.
+    Corpus(CorpusError),
+}
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartError::Io(e) => write!(f, "cannot start server: {e}"),
+            StartError::Corpus(e) => write!(f, "cannot load corpus: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
+
+/// State shared by the accept loop, handlers, workers, and supervisor.
+struct Shared {
+    registry: SolverRegistry,
+    corpus: CorpusStore,
+    queue: JobQueue,
+    metrics: Metrics,
+    default_timeout: Duration,
+    read_timeout: Duration,
+    addr: SocketAddr,
+    /// Set (under `shutdown_mu`) to request the drain protocol.
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+    /// Set by the supervisor once drain is complete; the accept loop
+    /// exits on the next (poked) accept.
+    stopped: AtomicBool,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        *self.shutdown_requested.lock().expect("shutdown lock") = true;
+        self.shutdown_cv.notify_all();
+    }
+
+    fn wait_for_shutdown_request(&self) {
+        let mut requested = self.shutdown_requested.lock().expect("shutdown lock");
+        while !*requested {
+            requested = self.shutdown_cv.wait(requested).expect("shutdown lock");
+        }
+    }
+}
+
+/// The daemon. Construct with [`Server::spawn`].
+pub struct Server;
+
+/// A handle to a running server: its address, live introspection for
+/// tests, and the shutdown switch.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the daemon, returning once it accepts
+    /// connections.
+    ///
+    /// # Errors
+    ///
+    /// [`StartError`] when the bind fails or the persistence directory
+    /// cannot be loaded.
+    pub fn spawn(config: ServeConfig) -> Result<ServerHandle, StartError> {
+        let listener = TcpListener::bind(&config.addr).map_err(StartError::Io)?;
+        let addr = listener.local_addr().map_err(StartError::Io)?;
+        let corpus = match &config.persist_dir {
+            Some(dir) => CorpusStore::persistent(dir).map_err(StartError::Corpus)?,
+            None => CorpusStore::in_memory(),
+        };
+        let shared = Arc::new(Shared {
+            registry: config.registry,
+            corpus,
+            queue: JobQueue::new(config.queue_capacity),
+            metrics: Metrics::new(),
+            default_timeout: config.default_timeout,
+            read_timeout: config.read_timeout,
+            addr,
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            stopped: AtomicBool::new(false),
+        });
+        let workers = config.workers.max(1);
+        let thread = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("lmds-serve".into())
+                .spawn(move || run(&listener, &shared, workers))
+                .map_err(StartError::Io)?
+        };
+        Ok(ServerHandle { shared, thread: Some(thread) })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The job queue (test introspection).
+    pub fn queue(&self) -> &JobQueue {
+        &self.shared.queue
+    }
+
+    /// The corpus store (test introspection).
+    pub fn corpus(&self) -> &CorpusStore {
+        &self.shared.corpus
+    }
+
+    /// The metrics registry (test introspection).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Requests shutdown without waiting (same as `POST
+    /// /admin/shutdown`). Idempotent.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Runs the full graceful shutdown — drain jobs, flush snapshots,
+    /// stop accepting — joins the server thread, and returns the final
+    /// metrics dump.
+    pub fn shutdown(mut self) -> Value {
+        self.shared.request_shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        self.shared.metrics.render(self.shared.queue.depth(), self.shared.queue.capacity())
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.request_shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// The server thread body: worker pool + supervisor + accept loop, all
+/// inside one scope so nothing outlives the listener.
+fn run(listener: &TcpListener, shared: &Arc<Shared>, workers: usize) {
+    std::thread::scope(|scope| {
+        let worker_handles: Vec<_> =
+            (0..workers).map(|_| scope.spawn(move || worker_loop(shared))).collect();
+
+        scope.spawn(move || {
+            shared.wait_for_shutdown_request();
+            // 1. Close the submission gate; wake blocked workers.
+            shared.queue.begin_shutdown();
+            // 2. Wait for the drain: queued + running jobs all finish.
+            for handle in worker_handles {
+                let _ = handle.join();
+            }
+            // 3. Flush the corpus so a restart sees every graph.
+            let _ = shared.corpus.flush();
+            // 4. Unblock the accept loop.
+            shared.stopped.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(shared.addr);
+        });
+
+        for stream in listener.incoming() {
+            if shared.stopped.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            scope.spawn(move || handle_connection(stream, shared));
+        }
+    });
+}
+
+/// One worker: pop, solve, record — until the queue drains on shutdown.
+fn worker_loop(shared: &Shared) {
+    while let Some((id, spec)) = shared.queue.next_job() {
+        let solver_metrics = shared.metrics.solver(&spec.solver);
+        Metrics::bump(&solver_metrics.requests);
+        // Pre-size this worker's thread-local scratch; repeated jobs on
+        // similar graphs then run allocation-free.
+        let n = spec.entry.graph().n();
+        lmds_graph::scratch::with_thread_scratch(|s| s.reserve(n));
+        let start = Instant::now();
+        let result = shared.registry.solve(&spec.solver, &spec.entry.instance, &spec.config);
+        solver_metrics.latency.record(start.elapsed());
+        match result {
+            Ok(solution) => {
+                Metrics::bump(&shared.metrics.jobs_completed);
+                shared.queue.complete(id, JobState::Done(SolutionView::from(&solution)));
+            }
+            Err(err) => {
+                Metrics::bump(&solver_metrics.errors);
+                Metrics::bump(&shared.metrics.jobs_failed);
+                let wire = solve_error_to_wire(&err);
+                shared
+                    .queue
+                    .complete(id, JobState::Failed { code: wire.code, message: wire.message });
+            }
+        }
+    }
+}
+
+/// Reads one request, routes it, writes one response, closes.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let mut reader = BufReader::new(stream);
+    let request = match read_request(&mut reader) {
+        Ok(req) => req,
+        Err(HttpError::ConnectionClosed) => return,
+        Err(err) => {
+            let status = match err {
+                HttpError::TooLarge(_) => 413,
+                _ => 400,
+            };
+            let wire = WireError::new(status, "bad-request", err.to_string());
+            respond(reader.into_inner(), status, &wire.render());
+            return;
+        }
+    };
+    Metrics::bump(&shared.metrics.http_requests);
+    let (status, body) = match route(&request, shared) {
+        Ok(reply) => reply,
+        Err(wire) => (wire.status, wire.render()),
+    };
+    respond(reader.into_inner(), status, &body);
+}
+
+fn respond(mut stream: TcpStream, status: u16, body: &Value) {
+    let text = body.render();
+    let _ = write_response(&mut stream, status, "application/json", text.as_bytes());
+}
+
+/// The routing table. Returns the success reply or the wire error.
+fn route(req: &Request, shared: &Shared) -> Result<(u16, Value), WireError> {
+    let segments = req.segments();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Ok((200, render_health(shared))),
+        ("GET", ["metrics"]) => {
+            Ok((200, shared.metrics.render(shared.queue.depth(), shared.queue.capacity())))
+        }
+        ("GET", ["solvers"]) => Ok((200, render_solvers(shared))),
+        ("GET", ["graphs"]) => Ok((
+            200,
+            Value::obj([(
+                "graphs",
+                Value::Arr(shared.corpus.list().iter().map(|e| render_graph_entry(e)).collect()),
+            )]),
+        )),
+        ("GET", ["graphs", name]) => {
+            let entry = lookup_graph(shared, name)?;
+            Ok((200, render_graph_entry(&entry)))
+        }
+        ("PUT", ["graphs", name]) => put_graph(shared, name, &req.body),
+        ("POST", ["solve"]) => solve_sync(shared, &req.body),
+        ("POST", ["jobs"]) => submit_job(shared, &req.body),
+        ("GET", ["jobs", id]) => job_status(shared, id),
+        ("POST", ["admin", "shutdown"]) => {
+            shared.request_shutdown();
+            Ok((200, Value::obj([("status", Value::from("draining"))])))
+        }
+        (_, ["healthz" | "metrics" | "solvers" | "graphs" | "solve" | "jobs", ..]) => {
+            Err(WireError::new(405, "method-not-allowed", format!("{} {}", req.method, req.path)))
+        }
+        _ => Err(WireError::new(404, "not-found", format!("no route for {}", req.path))),
+    }
+}
+
+fn render_health(shared: &Shared) -> Value {
+    let status = if shared.queue.is_shutting_down() { "draining" } else { "ok" };
+    Value::obj([
+        ("status", Value::from(status)),
+        ("graphs", Value::from(shared.corpus.len())),
+        ("solvers", Value::from(shared.registry.len())),
+    ])
+}
+
+fn render_solvers(shared: &Shared) -> Value {
+    let solvers = shared
+        .registry
+        .descriptors()
+        .into_iter()
+        .map(|d| {
+            Value::obj([
+                ("key", Value::from(d.key)),
+                ("name", Value::from(d.name)),
+                ("problem", Value::from(d.problem.to_string().to_ascii_lowercase())),
+                ("paper_ref", Value::from(d.paper_ref)),
+                ("modes", Value::Arr(d.modes.iter().map(|m| Value::from(m.to_string())).collect())),
+            ])
+        })
+        .collect();
+    Value::obj([("solvers", Value::Arr(solvers))])
+}
+
+fn lookup_graph(shared: &Shared, name: &str) -> Result<Arc<crate::corpus::GraphEntry>, WireError> {
+    shared.corpus.get(name).ok_or_else(|| {
+        WireError::with_keys(
+            404,
+            "unknown-graph",
+            format!("no graph stored as {name:?}"),
+            shared.corpus.list().iter().map(|e| e.name().to_string()),
+        )
+    })
+}
+
+fn put_graph(shared: &Shared, name: &str, body: &[u8]) -> Result<(u16, Value), WireError> {
+    if shared.queue.is_shutting_down() {
+        return Err(WireError::new(503, "shutting-down", SubmitError::ShuttingDown.to_string()));
+    }
+    let entry = shared.corpus.insert(name, body).map_err(|err| match err {
+        CorpusError::InvalidName(_) => WireError::bad_request(err.to_string()),
+        CorpusError::InvalidGraph(_) => WireError::new(422, "invalid-graph", err.to_string()),
+        CorpusError::Io(_) => WireError::new(500, "internal", err.to_string()),
+    })?;
+    Metrics::bump(&shared.metrics.graphs_uploaded);
+    Ok((201, render_graph_entry(&entry)))
+}
+
+/// Validates a solve request and pushes it into the queue. Shared by
+/// the sync and async endpoints, so backpressure applies equally.
+fn enqueue(shared: &Shared, req: &SolveRequest) -> Result<u64, WireError> {
+    let entry = lookup_graph(shared, &req.graph)?;
+    // Resolve the solver *now* so an unknown key is a 404 at submit
+    // time, not a failed job discovered by polling.
+    let solver = shared.registry.get(&req.solver).ok_or_else(|| {
+        WireError::with_keys(
+            404,
+            "unknown-solver",
+            format!("no solver registered as {:?}", req.solver),
+            shared.registry.keys().iter().map(|k| k.to_string()),
+        )
+    })?;
+    let config = req
+        .config
+        .try_into_config(solver.problem())
+        .map_err(|e| WireError::new(422, "invalid-config", e.to_string()))?;
+    let deadline = req.timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let spec = JobSpec { entry, solver: req.solver.clone(), config, deadline };
+    shared.queue.submit(spec).map_err(|err| match err {
+        SubmitError::QueueFull { .. } => {
+            Metrics::bump(&shared.metrics.rejected_queue_full);
+            WireError::new(429, "queue-full", err.to_string())
+        }
+        SubmitError::ShuttingDown => {
+            Metrics::bump(&shared.metrics.rejected_shutting_down);
+            WireError::new(503, "shutting-down", err.to_string())
+        }
+    })
+}
+
+/// `POST /solve`: enqueue, block until done (or the timeout), reply
+/// with the solution — or 504 carrying the job id so the caller can
+/// keep polling `GET /jobs/{id}` (the job itself is not cancelled).
+fn solve_sync(shared: &Shared, body: &[u8]) -> Result<(u16, Value), WireError> {
+    let req = parse_solve_request(body)?;
+    let wait = req.timeout_ms.map_or(shared.default_timeout, Duration::from_millis);
+    let id = enqueue(shared, &req)?;
+    let snapshot = shared
+        .queue
+        .wait(id, Instant::now() + wait)
+        .ok_or_else(|| WireError::new(500, "internal", "job vanished from the table"))?;
+    match snapshot.state {
+        JobState::Done(view) => Ok((
+            200,
+            Value::obj([("job_id", Value::from(id)), ("solution", render_solution(&view))]),
+        )),
+        JobState::Failed { code, message } => {
+            let status = if code == "timeout" { 504 } else { 422 };
+            Err(WireError::new(status, code, message))
+        }
+        JobState::Queued | JobState::Running => {
+            let mut body = WireError::new(
+                504,
+                "timeout",
+                format!("job {id} still {} after {wait:?}; poll /jobs/{id}", snapshot.state.name()),
+            )
+            .render();
+            if let Value::Obj(map) = &mut body {
+                map.insert("job_id".into(), Value::from(id));
+            }
+            Ok((504, body))
+        }
+    }
+}
+
+/// `POST /jobs`: enqueue and return 202 immediately.
+fn submit_job(shared: &Shared, body: &[u8]) -> Result<(u16, Value), WireError> {
+    let req = parse_solve_request(body)?;
+    let id = enqueue(shared, &req)?;
+    Ok((202, Value::obj([("job_id", Value::from(id)), ("status", Value::from("queued"))])))
+}
+
+/// `GET /jobs/{id}`.
+fn job_status(shared: &Shared, id: &str) -> Result<(u16, Value), WireError> {
+    let id: u64 = id
+        .parse()
+        .map_err(|_| WireError::bad_request(format!("job id must be an integer, got {id:?}")))?;
+    let snapshot = shared
+        .queue
+        .status(id)
+        .ok_or_else(|| WireError::new(404, "unknown-job", format!("no job {id}")))?;
+    let mut pairs = vec![
+        ("id", Value::from(snapshot.id)),
+        ("graph", Value::from(snapshot.graph)),
+        ("solver", Value::from(snapshot.solver)),
+        ("status", Value::from(snapshot.state.name())),
+    ];
+    match snapshot.state {
+        JobState::Done(view) => pairs.push(("solution", render_solution(&view))),
+        JobState::Failed { code, message } => {
+            pairs.push((
+                "error",
+                Value::obj([("code", Value::from(code)), ("message", Value::from(message))]),
+            ));
+        }
+        JobState::Queued | JobState::Running => {}
+    }
+    Ok((200, Value::obj(pairs)))
+}

@@ -1,0 +1,430 @@
+//! End-to-end daemon tests: an in-process server on an ephemeral port,
+//! exercised through the real HTTP client.
+//!
+//! The load-bearing property is *serving equivalence*: a solution
+//! obtained over HTTP must be byte-identical (modulo wall-clock timing)
+//! to the one obtained by calling the registry directly on the same
+//! instance and config.
+
+use lmds_api::{
+    ExecutionMode, Instance, Problem, Solution, SolutionView, SolveConfig, SolveError, Solver,
+    SolverRegistry,
+};
+use lmds_graph::io::{to_edge_list, to_snapshot};
+use lmds_graph::Graph;
+use lmds_serve::http::{request, ClientResponse};
+use lmds_serve::json::Value;
+use lmds_serve::proto::render_solution;
+use lmds_serve::server::{ServeConfig, Server, ServerHandle};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+const T: Duration = Duration::from_secs(30);
+
+fn send(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> ClientResponse {
+    request(addr, method, path, body, T).unwrap_or_else(|e| panic!("{method} {path}: {e}"))
+}
+
+fn spawn_default() -> ServerHandle {
+    Server::spawn(ServeConfig::default()).expect("server starts")
+}
+
+/// The corpus graph used throughout: an outerplanar (hence
+/// K4-minor-free) instance from the generator family.
+fn corpus_graph() -> Graph {
+    lmds_gen::random_outerplanar(40, 60, 7)
+}
+
+/// Renders a solution the way the server does, with timing removed —
+/// the only field that legitimately differs between two runs.
+fn canonical(view: &SolutionView) -> String {
+    let mut doc = render_solution(view);
+    if let Value::Obj(map) = &mut doc {
+        map.remove("wall_micros");
+    }
+    doc.render()
+}
+
+fn solution_from_response(doc: &Value) -> String {
+    let mut solution = doc.get("solution").expect("response has a solution").clone();
+    if let Value::Obj(map) = &mut solution {
+        map.remove("wall_micros");
+    }
+    solution.render()
+}
+
+/// The three serving configs the equivalence tests sweep: a distributed
+/// pipeline solver, and both exact reference solvers.
+fn equivalence_cases() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("mds/algorithm1", r#"{"mode": "local-oracle"}"#),
+        ("mds/exact", "{}"),
+        ("mvc/exact", "{}"),
+    ]
+}
+
+/// The same config, materialized for a direct registry call.
+fn direct_config(solver: &str, registry: &SolverRegistry) -> SolveConfig {
+    let problem = registry.get(solver).unwrap().problem();
+    let mut cfg = SolveConfig::new(problem);
+    if solver == "mds/algorithm1" {
+        cfg = cfg.mode(ExecutionMode::LOCAL_ORACLE);
+    }
+    cfg
+}
+
+#[test]
+fn sync_solves_match_direct_registry_runs() {
+    let handle = spawn_default();
+    let addr = handle.addr();
+    let graph = corpus_graph();
+
+    let put = send(addr, "PUT", "/graphs/outer40", to_edge_list(&graph).as_bytes());
+    assert_eq!(put.status, 201, "{}", String::from_utf8_lossy(&put.body));
+
+    let registry = SolverRegistry::with_defaults();
+    let instance = Instance::sequential("outer40", graph);
+    for (solver, cfg_json) in equivalence_cases() {
+        let body = format!(r#"{{"graph": "outer40", "solver": "{solver}", "config": {cfg_json}}}"#);
+        let resp = send(addr, "POST", "/solve", body.as_bytes());
+        assert_eq!(resp.status, 200, "{solver}: {}", String::from_utf8_lossy(&resp.body));
+        let served = solution_from_response(&resp.json());
+
+        let cfg = direct_config(solver, &registry);
+        let direct = registry.solve(solver, &instance, &cfg).expect(solver);
+        assert_eq!(
+            served,
+            canonical(&SolutionView::from(&direct)),
+            "{solver}: served solution differs from the direct run"
+        );
+    }
+
+    // The metrics saw every solve: per-solver counts and histograms.
+    let metrics = send(addr, "GET", "/metrics", b"").json();
+    assert_eq!(metrics.get("jobs_completed").unwrap().as_u64(), Some(3));
+    let solvers = metrics.get("solvers").unwrap();
+    for (solver, _) in equivalence_cases() {
+        let m = solvers.get(solver).unwrap_or_else(|| panic!("metrics for {solver}"));
+        assert_eq!(m.get("requests").unwrap().as_u64(), Some(1), "{solver}");
+        assert_eq!(m.get("errors").unwrap().as_u64(), Some(0), "{solver}");
+        let latency = m.get("latency").unwrap();
+        assert_eq!(latency.get("count").unwrap().as_u64(), Some(1), "{solver}");
+        assert!(latency.get("p50_micros").unwrap().as_u64().is_some(), "{solver}");
+        assert!(latency.get("p99_micros").unwrap().as_u64().is_some(), "{solver}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn async_jobs_match_direct_registry_runs() {
+    let handle = spawn_default();
+    let addr = handle.addr();
+    let graph = corpus_graph();
+    send(addr, "PUT", "/graphs/outer40", to_edge_list(&graph).as_bytes());
+
+    let registry = SolverRegistry::with_defaults();
+    let instance = Instance::sequential("outer40", graph);
+    for (solver, cfg_json) in equivalence_cases() {
+        let body = format!(r#"{{"graph": "outer40", "solver": "{solver}", "config": {cfg_json}}}"#);
+        let accepted = send(addr, "POST", "/jobs", body.as_bytes());
+        assert_eq!(accepted.status, 202, "{}", String::from_utf8_lossy(&accepted.body));
+        let id = accepted.json().get("job_id").unwrap().as_u64().unwrap();
+
+        let mut served = None;
+        for _ in 0..500 {
+            let poll = send(addr, "GET", &format!("/jobs/{id}"), b"");
+            assert_eq!(poll.status, 200);
+            let doc = poll.json();
+            match doc.get("status").unwrap().as_str().unwrap() {
+                "done" => {
+                    served = Some(solution_from_response(&doc));
+                    break;
+                }
+                "failed" => panic!("{solver}: {}", String::from_utf8_lossy(&poll.body)),
+                _ => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        let served = served.unwrap_or_else(|| panic!("{solver}: job never finished"));
+
+        let cfg = direct_config(solver, &registry);
+        let direct = registry.solve(solver, &instance, &cfg).expect(solver);
+        assert_eq!(served, canonical(&SolutionView::from(&direct)), "{solver}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn both_upload_formats_agree() {
+    let handle = spawn_default();
+    let addr = handle.addr();
+    let graph = corpus_graph();
+
+    let text = send(addr, "PUT", "/graphs/as-text", to_edge_list(&graph).as_bytes());
+    let snap = send(addr, "PUT", "/graphs/as-snapshot", &to_snapshot(&graph).unwrap());
+    assert_eq!((text.status, snap.status), (201, 201));
+    let (a, b) = (text.json(), snap.json());
+    assert_eq!(a.get("n").unwrap().as_u64(), b.get("n").unwrap().as_u64());
+    assert_eq!(
+        a.get("checksum").unwrap().as_str(),
+        b.get("checksum").unwrap().as_str(),
+        "same graph through either format has the same checksum"
+    );
+
+    let listing = send(addr, "GET", "/graphs", b"").json();
+    assert_eq!(listing.get("graphs").unwrap().as_arr().unwrap().len(), 2);
+    let one = send(addr, "GET", "/graphs/as-text", b"");
+    assert_eq!(one.status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn solver_catalog_comes_from_the_registry() {
+    let handle = spawn_default();
+    let addr = handle.addr();
+    let catalog = send(addr, "GET", "/solvers", b"").json();
+    let listed: Vec<String> = catalog
+        .get("solvers")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|d| d.get("key").unwrap().as_str().unwrap().to_string())
+        .collect();
+    let expected: Vec<String> =
+        SolverRegistry::with_defaults().keys().iter().map(|k| k.to_string()).collect();
+    assert_eq!(listed, expected, "GET /solvers mirrors SolverRegistry::keys()");
+    handle.shutdown();
+}
+
+#[test]
+fn error_envelopes_are_typed_and_carry_valid_keys() {
+    let handle = spawn_default();
+    let addr = handle.addr();
+    send(addr, "PUT", "/graphs/known", b"3 2\n0 1\n1 2\n");
+
+    let assert_envelope = |resp: &ClientResponse, status: u16, code: &str| -> Value {
+        assert_eq!(resp.status, status, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = resp.json();
+        assert_eq!(doc.get("code").unwrap().as_str(), Some(code));
+        assert!(doc.get("message").unwrap().as_str().is_some(), "message is text");
+        doc
+    };
+
+    // Unknown solver: 404 + every registry key.
+    let resp = send(addr, "POST", "/solve", br#"{"graph": "known", "solver": "mds/nope"}"#);
+    let doc = assert_envelope(&resp, 404, "unknown-solver");
+    let keys: Vec<&str> = doc
+        .get("valid_keys")
+        .expect("unknown-solver lists alternatives")
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|k| k.as_str().unwrap())
+        .collect();
+    assert_eq!(keys, SolverRegistry::with_defaults().keys());
+
+    // Unknown graph: 404 + the stored names.
+    let resp = send(addr, "POST", "/jobs", br#"{"graph": "ghost", "solver": "mds/exact"}"#);
+    let doc = assert_envelope(&resp, 404, "unknown-graph");
+    let names: Vec<&str> = doc
+        .get("valid_keys")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|k| k.as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["known"]);
+
+    // Malformed JSON and config typos: 400 naming the problem.
+    assert_envelope(&send(addr, "POST", "/solve", b"{invalid"), 400, "bad-request");
+    let resp = send(
+        addr,
+        "POST",
+        "/solve",
+        br#"{"graph": "known", "solver": "mds/exact", "config": {"mdoe": "x"}}"#,
+    );
+    let doc = assert_envelope(&resp, 400, "bad-request");
+    assert!(doc.get("message").unwrap().as_str().unwrap().contains("mdoe"));
+
+    // Semantically invalid config: 422.
+    let resp = send(
+        addr,
+        "POST",
+        "/solve",
+        br#"{"graph": "known", "solver": "mds/exact", "config": {"threads": 0}}"#,
+    );
+    assert_envelope(&resp, 422, "invalid-config");
+
+    // A config the solver rejects (exact solvers are centralized-only)
+    // surfaces the SolveError taxonomy as 422 on the sync path.
+    let resp = send(
+        addr,
+        "POST",
+        "/solve",
+        br#"{"graph": "known", "solver": "mds/exact", "config": {"mode": "local-oracle"}}"#,
+    );
+    assert_envelope(&resp, 422, "unsupported-config");
+
+    // Bad uploads: 422 for garbage bodies, 400 for bad names.
+    assert_envelope(&send(addr, "PUT", "/graphs/bad", b"not a graph"), 422, "invalid-graph");
+    assert_envelope(&send(addr, "PUT", "/graphs/.dot", b"1 0\n"), 400, "bad-request");
+
+    // Unknown job and unknown route.
+    assert_envelope(&send(addr, "GET", "/jobs/999", b""), 404, "unknown-job");
+    assert_envelope(&send(addr, "GET", "/jobs/xyz", b""), 400, "bad-request");
+    assert_envelope(&send(addr, "GET", "/nope", b""), 404, "not-found");
+    assert_envelope(&send(addr, "DELETE", "/graphs/known", b""), 405, "method-not-allowed");
+    handle.shutdown();
+}
+
+/// A solver that holds its worker for a controlled duration, then
+/// delegates to the exact MDS solver — the tool for backpressure,
+/// timeout, and mid-solve shutdown tests.
+struct SleepySolver {
+    delay: Duration,
+    inner: Arc<dyn Solver>,
+}
+
+impl Solver for SleepySolver {
+    fn key(&self) -> &'static str {
+        "mds/sleepy"
+    }
+    fn name(&self) -> &'static str {
+        "deliberately slow exact MDS"
+    }
+    fn problem(&self) -> Problem {
+        Problem::MinDominatingSet
+    }
+    fn paper_ref(&self) -> &'static str {
+        "test fixture"
+    }
+    fn modes(&self) -> &'static [ExecutionMode] {
+        &[ExecutionMode::Centralized]
+    }
+    fn solve(&self, inst: &Instance, cfg: &SolveConfig) -> Result<Solution, SolveError> {
+        std::thread::sleep(self.delay);
+        self.inner.solve(inst, cfg)
+    }
+}
+
+fn sleepy_config(delay: Duration) -> ServeConfig {
+    let mut registry = SolverRegistry::with_defaults();
+    let inner = registry.get("mds/exact").unwrap();
+    registry.register(Arc::new(SleepySolver { delay, inner }));
+    ServeConfig { workers: 1, queue_capacity: 1, registry, ..ServeConfig::default() }
+}
+
+fn wait_until_running(addr: SocketAddr, id: u64) {
+    for _ in 0..1000 {
+        let doc = send(addr, "GET", &format!("/jobs/{id}"), b"").json();
+        if doc.get("status").unwrap().as_str() != Some("queued") {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("job {id} never left the queue");
+}
+
+#[test]
+fn backpressure_timeout_and_queue_expiry() {
+    let handle = Server::spawn(sleepy_config(Duration::from_millis(600))).unwrap();
+    let addr = handle.addr();
+    send(addr, "PUT", "/graphs/g", b"4 3\n0 1\n1 2\n2 3\n");
+    let job = br#"{"graph": "g", "solver": "mds/sleepy"}"# as &[u8];
+
+    // Occupy the single worker, leaving the queue empty.
+    let first = send(addr, "POST", "/jobs", job);
+    assert_eq!(first.status, 202);
+    let first_id = first.json().get("job_id").unwrap().as_u64().unwrap();
+    wait_until_running(addr, first_id);
+
+    // A sync solve now queues behind it; its 40 ms budget elapses while
+    // the worker is busy, so the reply is 504 — but carries the job id,
+    // and the job stays pollable.
+    let timed_out = send(
+        addr,
+        "POST",
+        "/solve",
+        br#"{"graph": "g", "solver": "mds/sleepy", "timeout_ms": 40}"#,
+    );
+    assert_eq!(timed_out.status, 504, "{}", String::from_utf8_lossy(&timed_out.body));
+    let doc = timed_out.json();
+    assert_eq!(doc.get("code").unwrap().as_str(), Some("timeout"));
+    let stuck_id = doc.get("job_id").unwrap().as_u64().unwrap();
+
+    // The queue (capacity 1) still holds the timed-out job: 429.
+    let rejected = send(addr, "POST", "/jobs", job);
+    assert_eq!(rejected.status, 429, "{}", String::from_utf8_lossy(&rejected.body));
+    assert_eq!(rejected.json().get("code").unwrap().as_str(), Some("queue-full"));
+
+    // Drain: the first job completes; the expired one is failed as a
+    // timeout *without running* (its deadline passed in the queue).
+    for _ in 0..2000 {
+        let state = send(addr, "GET", &format!("/jobs/{stuck_id}"), b"").json();
+        if state.get("status").unwrap().as_str() == Some("failed") {
+            let err = state.get("error").unwrap();
+            assert_eq!(err.get("code").unwrap().as_str(), Some("timeout"));
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let first_state = send(addr, "GET", &format!("/jobs/{first_id}"), b"").json();
+    assert_eq!(first_state.get("status").unwrap().as_str(), Some("done"));
+
+    let metrics = send(addr, "GET", "/metrics", b"").json();
+    assert!(metrics.get("rejected_queue_full").unwrap().as_u64().unwrap() >= 1);
+    assert_eq!(metrics.get("queue_capacity").unwrap().as_u64(), Some(1));
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_jobs_and_flushes_snapshots() {
+    let dir = std::env::temp_dir().join(format!("lmds-serve-shutdown-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config =
+        ServeConfig { persist_dir: Some(dir.clone()), ..sleepy_config(Duration::from_millis(400)) };
+    let handle = Server::spawn(config).unwrap();
+    let addr = handle.addr();
+    send(addr, "PUT", "/graphs/persisted", b"5 4\n0 1\n1 2\n2 3\n3 4\n");
+
+    // Start a slow job and catch the server mid-solve.
+    let job = send(addr, "POST", "/jobs", br#"{"graph": "persisted", "solver": "mds/sleepy"}"#);
+    let id = job.json().get("job_id").unwrap().as_u64().unwrap();
+    wait_until_running(addr, id);
+
+    // Begin the drain over HTTP. While draining: health reports it and
+    // new submissions are 503, but reads still work.
+    let resp = send(addr, "POST", "/admin/shutdown", b"");
+    assert_eq!(resp.status, 200);
+    let health = send(addr, "GET", "/healthz", b"").json();
+    assert_eq!(health.get("status").unwrap().as_str(), Some("draining"));
+    let refused = send(addr, "POST", "/jobs", br#"{"graph": "persisted", "solver": "mds/sleepy"}"#);
+    assert_eq!(refused.status, 503, "{}", String::from_utf8_lossy(&refused.body));
+    assert_eq!(refused.json().get("code").unwrap().as_str(), Some("shutting-down"));
+
+    // Full shutdown joins the drain: the in-flight job must have
+    // *finished*, not been dropped.
+    let dump = handle.shutdown();
+    assert_eq!(dump.get("jobs_completed").unwrap().as_u64(), Some(1));
+    assert!(dump.get("rejected_shutting_down").unwrap().as_u64().unwrap() >= 1);
+
+    // The corpus was flushed: a restart on the same directory serves
+    // the same graph.
+    let restarted =
+        Server::spawn(ServeConfig { persist_dir: Some(dir.clone()), ..ServeConfig::default() })
+            .unwrap();
+    let listing = send(restarted.addr(), "GET", "/graphs", b"").json();
+    let names: Vec<&str> = listing
+        .get("graphs")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|e| e.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["persisted"]);
+    restarted.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
