@@ -1243,6 +1243,11 @@ pub fn exp_serve_bench() -> Table {
     let handle = Server::spawn(ServeConfig {
         workers: 2,
         queue_capacity: QUEUE_CAP,
+        // Phases 1-2 measure *solver* latency under load; with the
+        // result cache on, the 12 identical requests per case would
+        // collapse into one solve + 11 hits. Phase 3 measures the
+        // cache itself on a separate, cache-enabled server.
+        cache_entries: 0,
         ..ServeConfig::default()
     })
     .expect("serve-bench server starts");
@@ -1376,6 +1381,181 @@ pub fn exp_serve_bench() -> Table {
         Some(0),
         "graceful shutdown drained the queue"
     );
+
+    // Phase 3 — result cache: a fresh cache-enabled server serves the
+    // burst workload once cold, then repeatedly warm over one
+    // keep-alive connection. Client-observed microseconds, so the
+    // numbers include HTTP framing on both paths.
+    let cached = Server::spawn(ServeConfig { workers: 2, ..ServeConfig::default() })
+        .expect("cache-phase server starts");
+    let cached_addr = cached.addr();
+    let put = http::request(
+        cached_addr,
+        "PUT",
+        "/graphs/outer200",
+        lmds_graph::io::to_edge_list(&big).as_bytes(),
+        timeout,
+    )
+    .expect("upload outer200");
+    assert_eq!(put.status, 201);
+    let body = br#"{"graph": "outer200", "solver": "mds/exact"}"# as &[u8];
+    let mut client =
+        http::KeepAliveClient::connect(cached_addr, timeout).expect("keep-alive connect");
+    let started = std::time::Instant::now();
+    let cold = client.send("POST", "/solve", body).expect("cold solve");
+    let cold_us = started.elapsed().as_micros() as u64;
+    assert_eq!(cold.status, 200);
+    assert!(cold.json().get("cached").is_none(), "first solve must run the solver");
+    let mut warm_us = Vec::new();
+    for _ in 0..15 {
+        let started = std::time::Instant::now();
+        let warm = client.send("POST", "/solve", body).expect("warm solve");
+        warm_us.push(started.elapsed().as_micros() as u64);
+        assert_eq!(warm.status, 200);
+        assert_eq!(
+            warm.json().get("cached").and_then(|v| v.as_bool()),
+            Some(true),
+            "repeat solves come from the cache"
+        );
+    }
+    drop(client);
+    warm_us.sort_unstable();
+    let warm_p50 = warm_us[warm_us.len() / 2];
+    assert!(
+        warm_p50 < cold_us,
+        "warm-cache p50 ({warm_p50} µs) must beat the cold solve ({cold_us} µs)"
+    );
+    for (label, value) in [
+        ("(cache: cold POST /solve µs, outer200 mds/exact)", cold_us.to_string()),
+        ("(cache: warm POST /solve p50 µs)", warm_p50.to_string()),
+        ("(cache: warm speedup ×)", format!("{:.1}", cold_us as f64 / warm_p50.max(1) as f64)),
+    ] {
+        t.push_row(vec![
+            label.into(),
+            value,
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    cached.shutdown();
+    t
+}
+
+/// E15 — serve-cache-bench: the result cache's warm-path speedup, per
+/// case. One keep-alive connection issues a cold `POST /solve` (the
+/// solver runs) then repeated warm ones (answered from the cache),
+/// timing each client-side; both paths share the connection, so the
+/// difference is queue + solve vs cache lookup. The heavy exact case
+/// asserts warm p50 < cold; the fast distributed solvers are reported
+/// without an assertion (their cold solves are already near the HTTP
+/// floor).
+pub fn exp_serve_cache_bench() -> Table {
+    use lmds_serve::http;
+    use lmds_serve::server::{ServeConfig, Server};
+    use std::time::{Duration, Instant};
+
+    let mut t = Table::new(
+        "E15 / serve-cache-bench — warm-cache vs cold POST /solve (client-observed µs)",
+        &["graph", "solver", "cold µs", "warm p50 µs", "warm p95 µs", "speedup ×"],
+    );
+
+    let handle = Server::spawn(ServeConfig {
+        workers: 2,
+        max_requests_per_conn: 10_000,
+        ..ServeConfig::default()
+    })
+    .expect("cache-bench server starts");
+    let addr = handle.addr();
+    let timeout = Duration::from_secs(120);
+
+    let outer = lmds_gen::outerplanar::random_outerplanar(60, 60, 11);
+    let tree = lmds_gen::trees::random_tree(80, 5);
+    let big = lmds_gen::outerplanar::random_maximal_outerplanar(200, 3);
+    for (name, g) in [("outer60", &outer), ("tree80", &tree), ("outer200", &big)] {
+        let put = http::request(
+            addr,
+            "PUT",
+            &format!("/graphs/{name}"),
+            lmds_graph::io::to_edge_list(g).as_bytes(),
+            timeout,
+        )
+        .unwrap_or_else(|e| panic!("upload {name}: {e}"));
+        assert_eq!(put.status, 201, "upload {name}");
+    }
+
+    let cases: &[(&str, &str, &str, bool)] = &[
+        // (graph, solver, config, assert warm < cold)
+        ("outer200", "mds/exact", "{}", true),
+        ("outer60", "mds/exact", "{}", true),
+        ("outer60", "mvc/exact", "{}", false),
+        ("outer60", "mds/algorithm1", r#"{"mode": "local-oracle"}"#, false),
+        ("tree80", "mds/trees-folklore", r#"{"mode": "local-oracle"}"#, false),
+    ];
+    const WARM_ROUNDS: usize = 15;
+
+    let mut client = http::KeepAliveClient::connect(addr, timeout).expect("keep-alive connect");
+    for &(graph, solver, cfg, must_beat) in cases {
+        let body = format!(r#"{{"graph": "{graph}", "solver": "{solver}", "config": {cfg}}}"#);
+        let started = Instant::now();
+        let cold = client.send("POST", "/solve", body.as_bytes()).expect("cold solve");
+        let cold_us = started.elapsed().as_micros() as u64;
+        assert_eq!(cold.status, 200, "{solver} on {graph}");
+        assert!(cold.json().get("cached").is_none(), "{solver} on {graph}: first solve is cold");
+
+        let mut warm_us = Vec::new();
+        for _ in 0..WARM_ROUNDS {
+            let started = Instant::now();
+            let warm = client.send("POST", "/solve", body.as_bytes()).expect("warm solve");
+            warm_us.push(started.elapsed().as_micros() as u64);
+            assert_eq!(warm.status, 200);
+            assert_eq!(
+                warm.json().get("cached").and_then(|v| v.as_bool()),
+                Some(true),
+                "{solver} on {graph}: repeat solves are cache hits"
+            );
+        }
+        warm_us.sort_unstable();
+        let p50 = warm_us[warm_us.len() / 2];
+        let p95 = warm_us[(warm_us.len() * 95 / 100).min(warm_us.len() - 1)];
+        if must_beat {
+            assert!(
+                p50 < cold_us,
+                "{solver} on {graph}: warm p50 ({p50} µs) must beat cold ({cold_us} µs)"
+            );
+        }
+        t.push_row(vec![
+            graph.into(),
+            solver.into(),
+            cold_us.to_string(),
+            p50.to_string(),
+            p95.to_string(),
+            format!("{:.1}", cold_us as f64 / p50.max(1) as f64),
+        ]);
+    }
+    drop(client);
+
+    let metrics = http::request(addr, "GET", "/metrics", b"", timeout).expect("metrics").json();
+    let counter = |key: &str| metrics.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+    for (label, value) in [
+        ("(cache_hits)", counter("cache_hits")),
+        ("(cache_misses)", counter("cache_misses")),
+        ("(cache_entries)", counter("cache_entries")),
+        ("(cache_bytes)", counter("cache_bytes")),
+    ] {
+        t.push_row(vec![
+            label.into(),
+            "-".into(),
+            value.to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    assert_eq!(counter("cache_hits"), (cases.len() * WARM_ROUNDS) as u64);
+    handle.shutdown();
     t
 }
 
@@ -1404,6 +1584,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("treewidth", exp_treewidth),
     ("exact-scale", exp_exact_scale),
     ("serve-bench", exp_serve_bench),
+    ("serve-cache-bench", exp_serve_cache_bench),
 ];
 
 /// Runs every experiment (the `reproduce --experiment all` path).

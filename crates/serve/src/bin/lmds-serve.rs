@@ -2,7 +2,10 @@
 //!
 //! ```text
 //! lmds-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
-//!            [--persist-dir DIR] [--timeout-ms MS] [--smoke]
+//!            [--persist-dir DIR] [--timeout-ms MS]
+//!            [--max-conns N] [--max-reqs-per-conn N] [--keep-alive-ms MS]
+//!            [--cache-entries N] [--cache-bytes N]
+//!            [--retention-ms MS] [--gc-interval-ms MS] [--smoke]
 //! ```
 //!
 //! In normal mode the daemon serves until stdin reaches EOF or a
@@ -10,7 +13,8 @@
 //! `POST /admin/shutdown` works from the outside too), then drains
 //! gracefully and prints the final metrics dump. `--smoke` instead runs
 //! a self-contained round-trip against an in-process server on an
-//! ephemeral port and exits 0 on success — the CI smoke step.
+//! ephemeral port — including keep-alive connection reuse and a result
+//! cache round-trip — and exits 0 on success — the CI smoke step.
 
 use lmds_serve::http;
 use lmds_serve::server::{ServeConfig, Server};
@@ -20,7 +24,10 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: lmds-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
-         \x20                 [--persist-dir DIR] [--timeout-ms MS] [--smoke]"
+         \x20                 [--persist-dir DIR] [--timeout-ms MS]\n\
+         \x20                 [--max-conns N] [--max-reqs-per-conn N] [--keep-alive-ms MS]\n\
+         \x20                 [--cache-entries N] [--cache-bytes N]\n\
+         \x20                 [--retention-ms MS] [--gc-interval-ms MS] [--smoke]"
     );
     std::process::exit(2);
 }
@@ -48,6 +55,31 @@ fn parse_args() -> (ServeConfig, bool) {
             "--timeout-ms" => {
                 let ms: u64 = value("--timeout-ms").parse().unwrap_or_else(|_| usage());
                 config.default_timeout = Duration::from_millis(ms);
+            }
+            "--max-conns" => {
+                config.max_connections = value("--max-conns").parse().unwrap_or_else(|_| usage());
+            }
+            "--max-reqs-per-conn" => {
+                config.max_requests_per_conn =
+                    value("--max-reqs-per-conn").parse().unwrap_or_else(|_| usage());
+            }
+            "--keep-alive-ms" => {
+                let ms: u64 = value("--keep-alive-ms").parse().unwrap_or_else(|_| usage());
+                config.keep_alive_timeout = Duration::from_millis(ms);
+            }
+            "--cache-entries" => {
+                config.cache_entries = value("--cache-entries").parse().unwrap_or_else(|_| usage());
+            }
+            "--cache-bytes" => {
+                config.cache_bytes = value("--cache-bytes").parse().unwrap_or_else(|_| usage());
+            }
+            "--retention-ms" => {
+                let ms: u64 = value("--retention-ms").parse().unwrap_or_else(|_| usage());
+                config.job_retention = Duration::from_millis(ms);
+            }
+            "--gc-interval-ms" => {
+                let ms: u64 = value("--gc-interval-ms").parse().unwrap_or_else(|_| usage());
+                config.gc_interval = Duration::from_millis(ms);
             }
             "--smoke" => smoke = true,
             "--help" | "-h" => usage(),
@@ -96,15 +128,17 @@ fn main() {
 fn summarize(dump: &lmds_serve::json::Value) -> String {
     let get = |k: &str| dump.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
     format!(
-        "http_requests={} jobs_completed={} graphs_uploaded={}",
+        "http_requests={} jobs_completed={} cache_hits={} graphs_uploaded={}",
         get("http_requests"),
         get("jobs_completed"),
+        get("cache_hits"),
         get("graphs_uploaded")
     )
 }
 
 /// The smoke round-trip: health, catalog, upload, sync solve, async
-/// job, metrics. Panics (non-zero exit) on any deviation.
+/// job, keep-alive reuse, cache round-trip, metrics. Panics (non-zero
+/// exit) on any deviation.
 fn run_smoke(addr: std::net::SocketAddr) {
     let t = Duration::from_secs(30);
     let send = |method: &str, path: &str, body: &[u8]| {
@@ -126,11 +160,9 @@ fn run_smoke(addr: std::net::SocketAddr) {
     let put = send("PUT", "/graphs/smoke-path", b"6 5\n0 1\n1 2\n2 3\n3 4\n4 5\n");
     assert_eq!(put.status, 201, "upload: {:?}", String::from_utf8_lossy(&put.body));
 
-    let solve = send(
-        "POST",
-        "/solve",
-        br#"{"graph": "smoke-path", "solver": "mds/algorithm1", "config": {"mode": "local-oracle"}}"#,
-    );
+    let solve_body =
+        br#"{"graph": "smoke-path", "solver": "mds/algorithm1", "config": {"mode": "local-oracle"}}"#;
+    let solve = send("POST", "/solve", solve_body);
     assert_eq!(solve.status, 200, "sync solve: {:?}", String::from_utf8_lossy(&solve.body));
     let solution = solve.json();
     assert_eq!(
@@ -138,6 +170,27 @@ fn run_smoke(addr: std::net::SocketAddr) {
         Some(true),
         "solution validates"
     );
+
+    // Cache round-trip: the identical request again must be answered
+    // from the result cache (no queueing).
+    let warm = send("POST", "/solve", solve_body);
+    assert_eq!(warm.status, 200, "warm solve");
+    assert_eq!(
+        warm.json().get("cached").and_then(|v| v.as_bool()),
+        Some(true),
+        "repeat solve is served from the cache: {:?}",
+        String::from_utf8_lossy(&warm.body)
+    );
+
+    // Keep-alive reuse: several requests over one socket.
+    let mut client = http::KeepAliveClient::connect(addr, t).expect("keep-alive connect");
+    for _ in 0..3 {
+        let resp = client.send("GET", "/healthz", b"").expect("keep-alive request");
+        assert_eq!(resp.status, 200, "keep-alive healthz");
+    }
+    assert!(client.is_open(), "server held the connection open");
+    assert_eq!(client.requests_sent(), 3);
+    drop(client);
 
     let job = send("POST", "/jobs", br#"{"graph": "smoke-path", "solver": "mvc/exact"}"#);
     assert_eq!(job.status, 202, "async submit");
@@ -162,6 +215,11 @@ fn run_smoke(addr: std::net::SocketAddr) {
     assert!(
         doc.get("jobs_completed").and_then(|v| v.as_u64()).is_some_and(|n| n >= 2),
         "metrics count both solves: {:?}",
+        String::from_utf8_lossy(&metrics.body)
+    );
+    assert!(
+        doc.get("cache_hits").and_then(|v| v.as_u64()).is_some_and(|n| n >= 1),
+        "metrics count the cache hit: {:?}",
         String::from_utf8_lossy(&metrics.body)
     );
 }

@@ -76,6 +76,17 @@ impl std::fmt::Display for CorpusError {
 
 impl std::error::Error for CorpusError {}
 
+/// Writes `bytes` to `path` atomically: write to a `.tmp` sibling,
+/// then rename over the final name, so a crash mid-write never leaves
+/// a half-written file where a reader looks. Shared by the snapshot
+/// writer and the result-cache persistence
+/// ([`crate::cache::ResultCache::save`]).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
 /// Validates a client-supplied graph name (it is used as a file stem).
 pub fn validate_name(name: &str) -> Result<(), CorpusError> {
     let ok = !name.is_empty()
@@ -161,13 +172,8 @@ impl CorpusStore {
     fn write_snapshot(&self, dir: &Path, entry: &GraphEntry) -> Result<(), CorpusError> {
         let bytes =
             to_snapshot(entry.graph()).map_err(|e| CorpusError::InvalidGraph(e.to_string()))?;
-        // Write-then-rename so a crash mid-write never leaves a
-        // half-snapshot under the real name.
-        let tmp = dir.join(format!("{}.tmp", entry.name()));
         let fin = dir.join(format!("{}.{SNAPSHOT_EXT}", entry.name()));
-        std::fs::write(&tmp, &bytes).map_err(|e| CorpusError::Io(e.to_string()))?;
-        std::fs::rename(&tmp, &fin).map_err(|e| CorpusError::Io(e.to_string()))?;
-        Ok(())
+        atomic_write(&fin, &bytes).map_err(|e| CorpusError::Io(e.to_string()))
     }
 
     /// Looks a graph up by name.

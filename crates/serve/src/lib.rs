@@ -12,10 +12,22 @@
 //! 2. **A bounded job queue** ([`queue`]): a fixed pool of worker
 //!    threads (warm per-thread `Scratch`/`CutEngine`/`ExactEngine`
 //!    pools) drains a bounded FIFO. Full queue ⟹ HTTP 429; per-job
-//!    timeouts; typed failure states pollable via `GET /jobs/{id}`.
-//! 3. **Request metrics** ([`metrics`]): lock-free counters and
+//!    timeouts; typed failure states pollable via `GET /jobs/{id}`. A
+//!    background reaper sweeps terminal jobs after a retention window
+//!    (absent ids answer 404 never-issued vs 410 expired), so the job
+//!    table stays bounded under sustained traffic.
+//! 3. **A result cache** ([`cache`]): deterministic solvers make exact
+//!    memoization sound, so repeated `(graph, solver, config)` solves
+//!    are answered from a bounded LRU (entry + byte budgets) without
+//!    queueing, and the cache persists beside the corpus snapshots.
+//! 4. **Request metrics** ([`metrics`]): lock-free counters and
 //!    fixed-bucket latency histograms (p50/p95/p99) per solver, plus
-//!    queue gauges, served at `GET /metrics` and dumped on shutdown.
+//!    queue/cache/connection gauges, served at `GET /metrics` and
+//!    dumped on shutdown.
+//!
+//! Connections are HTTP/1.1 keep-alive (idle timeout, per-connection
+//! request budget) behind a global connection cap that answers `503` +
+//! `Retry-After` when saturated.
 //!
 //! Everything — including the HTTP/1.1 framing ([`http`]) and the JSON
 //! codec ([`json`]) — is built on `std` only, in keeping with the
@@ -68,6 +80,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod corpus;
 pub mod http;
 pub mod json;
@@ -76,8 +89,9 @@ pub mod proto;
 pub mod queue;
 pub mod server;
 
+pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use corpus::{CorpusError, CorpusStore, GraphEntry};
-pub use metrics::{Histogram, Metrics, SolverMetrics};
+pub use metrics::{Gauges, Histogram, Metrics, SolverMetrics};
 pub use proto::WireError;
-pub use queue::{JobQueue, JobSnapshot, JobSpec, JobState, SubmitError};
+pub use queue::{JobLookup, JobQueue, JobSnapshot, JobSpec, JobState, SubmitError};
 pub use server::{ServeConfig, Server, ServerHandle, StartError};

@@ -107,6 +107,10 @@ pub struct Metrics {
     solvers: RwLock<BTreeMap<String, Arc<SolverMetrics>>>,
     /// All HTTP requests accepted (any endpoint, any outcome).
     pub http_requests: AtomicU64,
+    /// TCP connections accepted (each may carry many requests).
+    pub connections_accepted: AtomicU64,
+    /// Connections turned away at the cap (HTTP 503 + `Retry-After`).
+    pub rejected_connection_cap: AtomicU64,
     /// Submissions rejected because the queue was full (HTTP 429).
     pub rejected_queue_full: AtomicU64,
     /// Submissions rejected during shutdown drain (HTTP 503).
@@ -115,8 +119,40 @@ pub struct Metrics {
     pub jobs_completed: AtomicU64,
     /// Jobs that reached `failed` (solve errors and expiries).
     pub jobs_failed: AtomicU64,
+    /// Terminal jobs dropped from the job table by the reaper.
+    pub jobs_reaped: AtomicU64,
+    /// Sync solves that hit their wait deadline (HTTP 504; the job
+    /// keeps running and stays pollable).
+    pub deadline_exceeded: AtomicU64,
     /// Graph uploads accepted.
     pub graphs_uploaded: AtomicU64,
+    /// Solve requests answered from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Solve requests that had to run the solver.
+    pub cache_misses: AtomicU64,
+    /// Cache entries evicted to stay under the entry/byte budgets.
+    pub cache_evictions: AtomicU64,
+}
+
+/// Point-in-time gauges the caller samples right before rendering
+/// `/metrics` (they live outside the registry: queue, cache, and
+/// connection-gate state each belong to their own structure).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauges {
+    /// Jobs queued, not yet running.
+    pub queue_depth: usize,
+    /// The bounded queue's capacity.
+    pub queue_capacity: usize,
+    /// Jobs tracked in the table, terminal ones included.
+    pub jobs_tracked: usize,
+    /// Resident result-cache entries.
+    pub cache_entries: usize,
+    /// Estimated resident result-cache bytes.
+    pub cache_bytes: usize,
+    /// Connections currently open.
+    pub open_connections: usize,
+    /// The connection cap.
+    pub connection_cap: usize,
 }
 
 impl Metrics {
@@ -138,9 +174,9 @@ impl Metrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Renders the whole registry (plus the caller-supplied live queue
-    /// gauges) as the `GET /metrics` JSON document.
-    pub fn render(&self, queue_depth: usize, queue_capacity: usize) -> Value {
+    /// Renders the whole registry (plus the caller-sampled live
+    /// [`Gauges`]) as the `GET /metrics` JSON document.
+    pub fn render(&self, gauges: &Gauges) -> Value {
         let solvers: BTreeMap<String, Value> = self
             .solvers
             .read()
@@ -158,9 +194,22 @@ impl Metrics {
             })
             .collect();
         Value::obj([
-            ("queue_depth", Value::from(queue_depth)),
-            ("queue_capacity", Value::from(queue_capacity)),
+            ("queue_depth", Value::from(gauges.queue_depth)),
+            ("queue_capacity", Value::from(gauges.queue_capacity)),
+            ("jobs_tracked", Value::from(gauges.jobs_tracked)),
+            ("cache_entries", Value::from(gauges.cache_entries)),
+            ("cache_bytes", Value::from(gauges.cache_bytes)),
+            ("open_connections", Value::from(gauges.open_connections)),
+            ("connection_cap", Value::from(gauges.connection_cap)),
             ("http_requests", Value::from(self.http_requests.load(Ordering::Relaxed))),
+            (
+                "connections_accepted",
+                Value::from(self.connections_accepted.load(Ordering::Relaxed)),
+            ),
+            (
+                "rejected_connection_cap",
+                Value::from(self.rejected_connection_cap.load(Ordering::Relaxed)),
+            ),
             ("rejected_queue_full", Value::from(self.rejected_queue_full.load(Ordering::Relaxed))),
             (
                 "rejected_shutting_down",
@@ -168,7 +217,12 @@ impl Metrics {
             ),
             ("jobs_completed", Value::from(self.jobs_completed.load(Ordering::Relaxed))),
             ("jobs_failed", Value::from(self.jobs_failed.load(Ordering::Relaxed))),
+            ("jobs_reaped", Value::from(self.jobs_reaped.load(Ordering::Relaxed))),
+            ("deadline_exceeded", Value::from(self.deadline_exceeded.load(Ordering::Relaxed))),
             ("graphs_uploaded", Value::from(self.graphs_uploaded.load(Ordering::Relaxed))),
+            ("cache_hits", Value::from(self.cache_hits.load(Ordering::Relaxed))),
+            ("cache_misses", Value::from(self.cache_misses.load(Ordering::Relaxed))),
+            ("cache_evictions", Value::from(self.cache_evictions.load(Ordering::Relaxed))),
             ("solvers", Value::Obj(solvers)),
         ])
     }
@@ -218,9 +272,20 @@ mod tests {
         Metrics::bump(&s1.requests);
         s1.latency.record(Duration::from_micros(300));
         Metrics::bump(&m.rejected_queue_full);
-        let doc = m.render(3, 16);
+        Metrics::bump(&m.cache_hits);
+        let doc = m.render(&Gauges {
+            queue_depth: 3,
+            queue_capacity: 16,
+            jobs_tracked: 5,
+            connection_cap: 64,
+            ..Gauges::default()
+        });
         assert_eq!(doc.get("queue_depth").unwrap().as_u64(), Some(3));
         assert_eq!(doc.get("rejected_queue_full").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("jobs_tracked").unwrap().as_u64(), Some(5));
+        assert_eq!(doc.get("cache_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("cache_misses").unwrap().as_u64(), Some(0));
+        assert_eq!(doc.get("connection_cap").unwrap().as_u64(), Some(64));
         let solver = doc.get("solvers").unwrap().get("mds/exact").unwrap();
         assert_eq!(solver.get("requests").unwrap().as_u64(), Some(1));
         assert_eq!(solver.get("latency").unwrap().get("count").unwrap().as_u64(), Some(1));

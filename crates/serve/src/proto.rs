@@ -8,7 +8,7 @@
 //! valid alternative.
 
 use crate::json::Value;
-use lmds_api::{SolutionView, SolveConfigView, SolveError};
+use lmds_api::{SolutionView, SolveConfig, SolveConfigView, SolveError};
 
 /// A wire error: HTTP status plus the JSON envelope.
 #[derive(Debug, Clone)]
@@ -213,6 +213,40 @@ pub fn parse_config_view(cfg: &Value) -> Result<SolveConfigView, WireError> {
     })
 }
 
+/// Renders a [`SolveConfigView`] as a JSON object with every field
+/// present (absent options render as `null`), in deterministic key
+/// order.
+pub fn render_config_view(view: &SolveConfigView) -> Value {
+    let opt_str = |v: &Option<String>| v.as_ref().map_or(Value::Null, |s| Value::from(s.as_str()));
+    Value::obj([
+        ("problem", opt_str(&view.problem)),
+        ("mode", opt_str(&view.mode)),
+        ("id_policy", opt_str(&view.id_policy)),
+        ("id_seed", view.id_seed.map_or(Value::Null, Value::from)),
+        ("round_cap", view.round_cap.map_or(Value::Null, |x| Value::from(u64::from(x)))),
+        ("threads", view.threads.map_or(Value::Null, Value::from)),
+        (
+            "radii",
+            view.radii.map_or(Value::Null, |(a, b)| {
+                Value::Arr(vec![Value::from(u64::from(a)), Value::from(u64::from(b))])
+            }),
+        ),
+        ("exact_backend", opt_str(&view.exact_backend)),
+        ("opt_budget", view.opt_budget.map_or(Value::Null, Value::from)),
+        ("measure_ratio", Value::from(view.measure_ratio)),
+    ])
+}
+
+/// The canonical configuration fingerprint used in result-cache keys:
+/// the *materialized* config echoed back through
+/// [`SolveConfigView::from_config`] and rendered as compact JSON.
+/// Materializing first means two requests that spell the same effective
+/// configuration differently (e.g. omitting a knob vs. passing its
+/// default) share one fingerprint.
+pub fn config_fingerprint(cfg: &SolveConfig) -> String {
+    render_config_view(&SolveConfigView::from_config(cfg)).render()
+}
+
 /// Renders a [`SolutionView`] as its wire object.
 pub fn render_solution(view: &SolutionView) -> Value {
     Value::obj([
@@ -234,6 +268,82 @@ pub fn render_solution(view: &SolutionView) -> Value {
             }),
         ),
     ])
+}
+
+/// Parses the wire object produced by [`render_solution`] back into a
+/// [`SolutionView`] — the decode half the persistent result cache
+/// needs to reload solutions on restart.
+///
+/// # Errors
+///
+/// A human-readable description of the first missing or ill-typed
+/// field.
+pub fn parse_solution(doc: &Value) -> Result<SolutionView, String> {
+    let str_field = |f: &str| -> Result<String, String> {
+        doc.get(f)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("solution needs a string field {f:?}"))
+    };
+    let u64_field = |f: &str| -> Result<u64, String> {
+        doc.get(f)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("solution field {f:?} must be a non-negative integer"))
+    };
+    let opt_u64 = |f: &str| -> Result<Option<u64>, String> {
+        match doc.get(f) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| format!("solution field {f:?} must be a non-negative integer")),
+        }
+    };
+    let vertices = doc
+        .get("vertices")
+        .and_then(Value::as_arr)
+        .ok_or("solution needs a \"vertices\" array")?
+        .iter()
+        .map(|v| {
+            v.as_u64().map(|x| x as usize).ok_or_else(|| "vertex ids must be integers".to_string())
+        })
+        .collect::<Result<Vec<usize>, String>>()?;
+    let valid = doc
+        .get("valid")
+        .and_then(Value::as_bool)
+        .ok_or("solution needs a boolean \"valid\" field")?;
+    let ratio = match doc.get("ratio") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(v.as_f64().ok_or("solution field \"ratio\" must be a number")?),
+    };
+    let optimum = match doc.get("optimum") {
+        None | Some(Value::Null) => None,
+        Some(o) => {
+            let value = o
+                .get("value")
+                .and_then(Value::as_u64)
+                .ok_or("optimum needs an integer \"value\"")? as usize;
+            let exact =
+                o.get("exact").and_then(Value::as_bool).ok_or("optimum needs a bool \"exact\"")?;
+            Some((value, exact))
+        }
+    };
+    Ok(SolutionView {
+        solver: str_field("solver")?,
+        problem: str_field("problem")?,
+        mode: str_field("mode")?,
+        size: u64_field("size")? as usize,
+        vertices,
+        valid,
+        rounds: opt_u64("rounds")?
+            .map(|x| u32::try_from(x).map_err(|_| "rounds too large".to_string()))
+            .transpose()?,
+        total_message_bits: opt_u64("total_message_bits")?,
+        max_message_bits: opt_u64("max_message_bits")?,
+        wall_micros: u64_field("wall_micros")?,
+        ratio,
+        optimum,
+    })
 }
 
 /// Renders a graph-entry summary (`PUT /graphs/{name}` response and
@@ -306,6 +416,48 @@ mod tests {
         let keys = doc.get("valid_keys").unwrap().as_arr().unwrap();
         assert_eq!(keys.len(), registry.keys().len());
         assert!(keys.iter().any(|k| k.as_str() == Some("mds/algorithm1")));
+    }
+
+    #[test]
+    fn solution_views_round_trip_through_the_wire_object() {
+        let registry = lmds_api::SolverRegistry::with_defaults();
+        let inst =
+            lmds_api::Instance::sequential("p8", lmds_gen::basic::path(8)).with_mds_optimum(3);
+        let cfg = lmds_api::SolveConfig::mds()
+            .mode(ExecutionMode::LOCAL_MESSAGE_PASSING)
+            .measure_ratio(true);
+        let sol = registry.solve("mds/theorem44", &inst, &cfg).unwrap();
+        let view = SolutionView::from(&sol);
+        let parsed = parse_solution(&render_solution(&view)).unwrap();
+        assert_eq!(parsed, view, "render → parse is the identity");
+
+        // A centralized run with no distributed fields round-trips too.
+        let sol = registry.solve("mds/exact", &inst, &lmds_api::SolveConfig::mds()).unwrap();
+        let view = SolutionView::from(&sol);
+        assert_eq!(parse_solution(&render_solution(&view)).unwrap(), view);
+
+        assert!(parse_solution(&Value::obj([])).is_err(), "missing fields are named");
+    }
+
+    #[test]
+    fn config_fingerprints_canonicalize_equivalent_configs() {
+        use lmds_api::SolveConfigView;
+        let problem = Problem::MinDominatingSet;
+        // Spelled-out defaults and omitted defaults materialize to the
+        // same config, so they share a fingerprint.
+        let implicit = SolveConfigView::default().try_into_config(problem).unwrap();
+        let explicit =
+            SolveConfigView { mode: Some("centralized".into()), ..SolveConfigView::default() }
+                .try_into_config(problem)
+                .unwrap();
+        assert_eq!(config_fingerprint(&implicit), config_fingerprint(&explicit));
+
+        // A real knob change separates the keys.
+        let local = SolveConfigView { mode: Some("local-oracle".into()), ..Default::default() }
+            .try_into_config(problem)
+            .unwrap();
+        assert_ne!(config_fingerprint(&implicit), config_fingerprint(&local));
+        assert!(config_fingerprint(&local).contains("local-oracle"));
     }
 
     #[test]

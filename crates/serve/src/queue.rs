@@ -13,12 +13,24 @@
 //! workers keep draining — both the jobs already running *and*
 //! everything still queued — before [`JobQueue::next_job`] returns
 //! `None` and the pool exits.
+//!
+//! # Garbage collection
+//!
+//! Terminal jobs do **not** live in the table until shutdown (the PR 6
+//! behavior — an unbounded leak under sustained traffic). Instead every
+//! terminal transition stamps a retention deadline (`now + retention`),
+//! and a background reaper calls [`JobQueue::sweep_expired`] to drop
+//! jobs past it. Because job ids are issued sequentially,
+//! [`JobQueue::lookup`] can still distinguish the two kinds of absence
+//! without tombstones: an id never issued is
+//! [`JobLookup::NeverExisted`] (HTTP 404), an issued id missing from
+//! the table was swept ([`JobLookup::Expired`], HTTP 410).
 
 use crate::corpus::GraphEntry;
 use lmds_api::{SolutionView, SolveConfig};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What one job runs: a corpus graph under a solver + config.
 #[derive(Debug, Clone)]
@@ -109,9 +121,24 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// How [`JobQueue::lookup`] classifies a job id.
+#[derive(Debug, Clone)]
+pub enum JobLookup {
+    /// The id was never issued (HTTP 404).
+    NeverExisted,
+    /// The id was issued, reached a terminal state, and was swept out
+    /// after its retention window (HTTP 410 Gone).
+    Expired,
+    /// The job is still tracked.
+    Found(Box<JobSnapshot>),
+}
+
 struct Job {
     spec: JobSpec,
     state: JobState,
+    /// Set on the terminal transition: the instant after which the
+    /// reaper may drop this job from the table.
+    expire_at: Option<Instant>,
 }
 
 struct Inner {
@@ -122,7 +149,8 @@ struct Inner {
 }
 
 /// The bounded queue + job table. One instance per server, shared by
-/// connection handlers (submit/status/wait) and workers (next/complete).
+/// connection handlers (submit/status/wait), workers (next/complete),
+/// and the reaper ([`JobQueue::sweep_expired`]).
 pub struct JobQueue {
     inner: Mutex<Inner>,
     /// Signals workers that the queue or the shutdown flag changed.
@@ -130,11 +158,14 @@ pub struct JobQueue {
     /// Broadcast on every terminal transition; sync waiters block here.
     job_done: Condvar,
     capacity: usize,
+    retention: Duration,
 }
 
 impl JobQueue {
-    /// A queue holding at most `capacity` not-yet-running jobs.
-    pub fn new(capacity: usize) -> Self {
+    /// A queue holding at most `capacity` not-yet-running jobs, whose
+    /// terminal jobs stay pollable for `retention` before the reaper
+    /// may sweep them.
+    pub fn new(capacity: usize, retention: Duration) -> Self {
         JobQueue {
             inner: Mutex::new(Inner {
                 jobs: HashMap::new(),
@@ -145,6 +176,7 @@ impl JobQueue {
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
             capacity: capacity.max(1),
+            retention,
         }
     }
 
@@ -153,9 +185,31 @@ impl JobQueue {
         self.capacity
     }
 
+    /// The terminal-job retention window.
+    pub fn retention(&self) -> Duration {
+        self.retention
+    }
+
     /// Current queue depth (queued, not yet running).
     pub fn depth(&self) -> usize {
         self.inner.lock().expect("queue lock").queue.len()
+    }
+
+    /// Total jobs tracked in the table, terminal ones included — the
+    /// gauge the GC keeps bounded.
+    pub fn jobs_tracked(&self) -> usize {
+        self.inner.lock().expect("queue lock").jobs.len()
+    }
+
+    /// Drops every terminal job whose retention deadline has passed,
+    /// returning how many were reaped. Queued/running jobs are never
+    /// touched. Called periodically by the server's reaper thread.
+    pub fn sweep_expired(&self) -> usize {
+        let now = Instant::now();
+        let mut inner = self.inner.lock().expect("queue lock");
+        let before = inner.jobs.len();
+        inner.jobs.retain(|_, job| job.expire_at.is_none_or(|t| t > now));
+        before - inner.jobs.len()
     }
 
     /// Submits a job, returning its id.
@@ -174,7 +228,7 @@ impl JobQueue {
         }
         let id = inner.next_id;
         inner.next_id += 1;
-        inner.jobs.insert(id, Job { spec, state: JobState::Queued });
+        inner.jobs.insert(id, Job { spec, state: JobState::Queued, expire_at: None });
         inner.queue.push_back(id);
         drop(inner);
         self.work_ready.notify_one();
@@ -196,6 +250,7 @@ impl JobQueue {
                         code: "timeout",
                         message: "job expired in the queue before a worker picked it up".into(),
                     };
+                    job.expire_at = Some(now + self.retention);
                     self.job_done.notify_all();
                     continue;
                 }
@@ -217,12 +272,15 @@ impl JobQueue {
         let mut inner = self.inner.lock().expect("queue lock");
         if let Some(job) = inner.jobs.get_mut(&id) {
             job.state = state;
+            job.expire_at = Some(Instant::now() + self.retention);
         }
         drop(inner);
         self.job_done.notify_all();
     }
 
-    /// A snapshot of job `id`, if it exists.
+    /// A snapshot of job `id`, if it is still tracked. Prefer
+    /// [`JobQueue::lookup`] at the HTTP boundary — it also tells a
+    /// never-issued id apart from a swept one.
     pub fn status(&self, id: u64) -> Option<JobSnapshot> {
         let inner = self.inner.lock().expect("queue lock");
         inner.jobs.get(&id).map(|job| JobSnapshot {
@@ -231,6 +289,27 @@ impl JobQueue {
             solver: job.spec.solver.clone(),
             state: job.state.clone(),
         })
+    }
+
+    /// Classifies a job id for the HTTP layer. Ids are issued
+    /// sequentially, so an id at or past the high-water mark (or 0,
+    /// which is never issued) was [`JobLookup::NeverExisted`]; an
+    /// issued id missing from the table was reaped
+    /// ([`JobLookup::Expired`]); otherwise the snapshot is returned.
+    pub fn lookup(&self, id: u64) -> JobLookup {
+        let inner = self.inner.lock().expect("queue lock");
+        if id == 0 || id >= inner.next_id {
+            return JobLookup::NeverExisted;
+        }
+        match inner.jobs.get(&id) {
+            Some(job) => JobLookup::Found(Box::new(JobSnapshot {
+                id,
+                graph: job.spec.entry.name().to_string(),
+                solver: job.spec.solver.clone(),
+                state: job.state.clone(),
+            })),
+            None => JobLookup::Expired,
+        }
     }
 
     /// Blocks until job `id` reaches a terminal state or `deadline`
@@ -287,9 +366,14 @@ mod tests {
         }
     }
 
+    /// A queue whose terminal jobs never expire during the test.
+    fn queue(capacity: usize) -> JobQueue {
+        JobQueue::new(capacity, Duration::from_secs(3600))
+    }
+
     #[test]
     fn fifo_order_and_backpressure() {
-        let q = JobQueue::new(2);
+        let q = queue(2);
         let a = q.submit(spec(None)).unwrap();
         let b = q.submit(spec(None)).unwrap();
         assert_eq!(q.submit(spec(None)), Err(SubmitError::QueueFull { capacity: 2 }));
@@ -304,7 +388,7 @@ mod tests {
 
     #[test]
     fn complete_wakes_waiters_and_snapshots_report() {
-        let q = std::sync::Arc::new(JobQueue::new(4));
+        let q = std::sync::Arc::new(queue(4));
         let id = q.submit(spec(None)).unwrap();
         let (got, _) = q.next_job().unwrap();
         assert_eq!(got, id);
@@ -321,7 +405,7 @@ mod tests {
 
     #[test]
     fn wait_times_out_on_a_slow_job() {
-        let q = JobQueue::new(4);
+        let q = queue(4);
         let id = q.submit(spec(None)).unwrap();
         let snap = q.wait(id, Instant::now() + Duration::from_millis(30)).unwrap();
         assert_eq!(snap.state, JobState::Queued, "deadline passed with the job still queued");
@@ -330,7 +414,7 @@ mod tests {
 
     #[test]
     fn expired_jobs_are_failed_not_run() {
-        let q = JobQueue::new(4);
+        let q = queue(4);
         let dead = q.submit(spec(Some(Instant::now() - Duration::from_millis(1)))).unwrap();
         let live = q.submit(spec(None)).unwrap();
         // The worker skips the expired job and hands out the live one.
@@ -342,7 +426,7 @@ mod tests {
 
     #[test]
     fn shutdown_rejects_new_work_but_drains_queued_jobs() {
-        let q = JobQueue::new(4);
+        let q = queue(4);
         let id = q.submit(spec(None)).unwrap();
         q.begin_shutdown();
         assert_eq!(q.submit(spec(None)), Err(SubmitError::ShuttingDown));
@@ -350,5 +434,66 @@ mod tests {
         assert_eq!(q.next_job().unwrap().0, id);
         assert!(q.next_job().is_none());
         assert!(q.is_shutting_down());
+    }
+
+    #[test]
+    fn sweep_reaps_only_terminal_jobs_past_retention() {
+        let q = JobQueue::new(4, Duration::from_millis(20));
+        let done = q.submit(spec(None)).unwrap();
+        let queued = q.submit(spec(None)).unwrap();
+        let (id, _) = q.next_job().unwrap();
+        assert_eq!(id, done);
+        q.complete(done, JobState::Done(dummy_solution()));
+        // Inside the retention window nothing is reaped.
+        assert_eq!(q.sweep_expired(), 0);
+        assert_eq!(q.jobs_tracked(), 2);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.sweep_expired(), 1, "the terminal job is reaped after retention");
+        assert_eq!(q.jobs_tracked(), 1, "the queued job is untouched");
+        assert!(matches!(q.lookup(queued), JobLookup::Found(_)));
+    }
+
+    #[test]
+    fn lookup_tells_never_issued_from_swept() {
+        let q = JobQueue::new(4, Duration::ZERO);
+        assert!(matches!(q.lookup(0), JobLookup::NeverExisted));
+        assert!(matches!(q.lookup(1), JobLookup::NeverExisted), "no job issued yet");
+        let id = q.submit(spec(None)).unwrap();
+        assert!(matches!(q.lookup(id), JobLookup::Found(_)));
+        assert!(matches!(q.lookup(id + 1), JobLookup::NeverExisted));
+        let (got, _) = q.next_job().unwrap();
+        q.complete(got, JobState::Failed { code: "solve-error", message: "nope".into() });
+        // Zero retention: the very next sweep drops it.
+        assert_eq!(q.sweep_expired(), 1);
+        assert!(matches!(q.lookup(id), JobLookup::Expired), "issued then swept is Gone, not 404");
+        assert!(q.status(id).is_none());
+    }
+
+    #[test]
+    fn queue_expiry_also_stamps_a_retention_deadline() {
+        let q = JobQueue::new(4, Duration::ZERO);
+        let dead = q.submit(spec(Some(Instant::now() - Duration::from_millis(1)))).unwrap();
+        let live = q.submit(spec(None)).unwrap();
+        assert_eq!(q.next_job().unwrap().0, live, "the dead job is skipped");
+        assert!(matches!(q.lookup(dead), JobLookup::Found(_)), "still pollable before the sweep");
+        assert_eq!(q.sweep_expired(), 1, "queue-expired jobs are reapable too");
+        assert!(matches!(q.lookup(dead), JobLookup::Expired));
+    }
+
+    fn dummy_solution() -> SolutionView {
+        SolutionView {
+            solver: "mds/exact".into(),
+            problem: "mds".into(),
+            mode: "centralized".into(),
+            size: 1,
+            vertices: vec![0],
+            valid: true,
+            rounds: None,
+            total_message_bits: None,
+            max_message_bits: None,
+            wall_micros: 7,
+            ratio: None,
+            optimum: None,
+        }
     }
 }

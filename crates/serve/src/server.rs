@@ -9,34 +9,48 @@
 //! - `workers` long-lived solver threads popping the shared
 //!   [`JobQueue`]. Because the engine pools (`Scratch`, `CutEngine`,
 //!   `ExactEngine`) are thread-locals, a worker's pools stay warm across
-//!   jobs — the serving analogue of `BatchRunner`'s per-thread reuse;
+//!   jobs — the serving analogue of `BatchRunner`'s per-thread reuse.
+//!   Workers consult the [`ResultCache`] before solving, so a repeated
+//!   `(graph, solver, config)` job completes without touching an engine;
+//! - a reaper thread that periodically sweeps terminal jobs past their
+//!   retention window out of the job table ([`JobQueue::sweep_expired`])
+//!   — without it the table grows without bound under sustained traffic;
 //! - a supervisor thread that sleeps until shutdown is requested, then
 //!   runs the drain protocol;
-//! - one short-lived handler thread per accepted connection
-//!   (`Connection: close`, one request each).
+//! - one handler thread per accepted connection. Connections are
+//!   HTTP/1.1 keep-alive: the handler loops reads over the same socket
+//!   until the client asks for `Connection: close`, the idle timeout
+//!   fires, the per-connection request budget is spent, or shutdown
+//!   begins. Admission is gated by a connection cap — beyond it the
+//!   acceptor replies `503` with `Retry-After` and closes immediately,
+//!   so a connection flood cannot exhaust handler threads.
 //!
 //! # Shutdown
 //!
 //! Triggered by [`ServerHandle::shutdown`] or `POST /admin/shutdown`:
 //!
 //! 1. the submission gate closes — new `POST /solve` / `POST /jobs`
-//!    get the 503 `shutting-down` envelope;
-//! 2. workers finish the running jobs **and** everything already queued
-//!    (their results remain pollable until the process exits);
-//! 3. the supervisor joins the workers, flushes the corpus to its
-//!    persistence directory, and unblocks the accept loop;
+//!    get the 503 `shutting-down` envelope — and the reaper exits (late
+//!    results stay pollable until the process exits);
+//! 2. workers finish the running jobs **and** everything already queued;
+//! 3. the supervisor joins the workers, flushes the corpus and the
+//!    result cache to the persistence directory, and unblocks the
+//!    accept loop;
 //! 4. [`ServerHandle::shutdown`] joins the server thread and returns
 //!    the final metrics dump.
 
+use crate::cache::{CacheKey, ResultCache};
 use crate::corpus::{CorpusError, CorpusStore};
-use crate::http::{read_request, write_response, HttpError, Request};
-use crate::json::Value;
-use crate::metrics::Metrics;
-use crate::proto::{
-    parse_solve_request, render_graph_entry, render_solution, solve_error_to_wire, SolveRequest,
-    WireError,
+use crate::http::{
+    is_timeout, read_request, write_response, write_response_ext, HttpError, Request,
 };
-use crate::queue::{JobQueue, JobSpec, JobState, SubmitError};
+use crate::json::Value;
+use crate::metrics::{Gauges, Metrics};
+use crate::proto::{
+    config_fingerprint, parse_solve_request, render_graph_entry, render_solution,
+    solve_error_to_wire, SolveRequest, WireError,
+};
+use crate::queue::{JobLookup, JobQueue, JobSpec, JobState, SubmitError};
 use lmds_api::{SolutionView, SolverRegistry};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -56,13 +70,34 @@ pub struct ServeConfig {
     /// Bounded queue capacity (clamped to ≥ 1); beyond it, submissions
     /// get 429.
     pub queue_capacity: usize,
-    /// Snapshot persistence directory; `None` = in-memory corpus.
+    /// Snapshot persistence directory; `None` = in-memory corpus (and
+    /// no cache persistence).
     pub persist_dir: Option<PathBuf>,
     /// Wait budget for sync `POST /solve` when the request carries no
     /// `timeout_ms`.
     pub default_timeout: Duration,
-    /// Socket read timeout per connection (slow-loris guard).
+    /// Socket read timeout for the *first* request of a connection
+    /// (slow-loris guard).
     pub read_timeout: Duration,
+    /// Idle timeout between keep-alive requests; an idle connection is
+    /// closed quietly when it fires.
+    pub keep_alive_timeout: Duration,
+    /// Requests served on one connection before the server closes it
+    /// (bounds per-connection resource pinning; clamped to ≥ 1).
+    pub max_requests_per_conn: u64,
+    /// Concurrent-connection cap; beyond it new connections get an
+    /// immediate `503` + `Retry-After` (clamped to ≥ 1).
+    pub max_connections: usize,
+    /// Result-cache entry budget; 0 disables the cache.
+    pub cache_entries: usize,
+    /// Result-cache byte budget (estimated resident bytes); 0 disables
+    /// the cache.
+    pub cache_bytes: usize,
+    /// How long a terminal job stays pollable in the job table before
+    /// the reaper may sweep it.
+    pub job_retention: Duration,
+    /// How often the reaper sweeps.
+    pub gc_interval: Duration,
     /// The solver catalog. Defaults to every built-in solver; tests
     /// inject custom registries (e.g. a deliberately slow solver).
     pub registry: SolverRegistry,
@@ -77,6 +112,13 @@ impl Default for ServeConfig {
             persist_dir: None,
             default_timeout: Duration::from_secs(30),
             read_timeout: Duration::from_secs(10),
+            keep_alive_timeout: Duration::from_secs(5),
+            max_requests_per_conn: 100,
+            max_connections: 64,
+            cache_entries: 256,
+            cache_bytes: 16 * 1024 * 1024,
+            job_retention: Duration::from_secs(300),
+            gc_interval: Duration::from_millis(500),
             registry: SolverRegistry::with_defaults(),
         }
     }
@@ -89,6 +131,9 @@ pub enum StartError {
     Io(std::io::Error),
     /// The persistence directory could not be loaded.
     Corpus(CorpusError),
+    /// The persisted result cache is present but unreadable (a damaged
+    /// cache fails loudly rather than silently serving cold).
+    Cache(String),
 }
 
 impl std::fmt::Display for StartError {
@@ -96,20 +141,61 @@ impl std::fmt::Display for StartError {
         match self {
             StartError::Io(e) => write!(f, "cannot start server: {e}"),
             StartError::Corpus(e) => write!(f, "cannot load corpus: {e}"),
+            StartError::Cache(e) => write!(f, "cannot load result cache: {e}"),
         }
     }
 }
 
 impl std::error::Error for StartError {}
 
-/// State shared by the accept loop, handlers, workers, and supervisor.
+/// A counting admission gate over the acceptor: at most `cap`
+/// connections are handled concurrently; the rest are turned away with
+/// an immediate 503 instead of queueing behind a saturated pool.
+struct ConnGate {
+    open: Mutex<usize>,
+    cap: usize,
+}
+
+impl ConnGate {
+    fn new(cap: usize) -> Self {
+        ConnGate { open: Mutex::new(0), cap: cap.max(1) }
+    }
+
+    /// Claims a slot if one is free.
+    fn try_acquire(&self) -> bool {
+        let mut open = self.open.lock().expect("gate lock");
+        if *open >= self.cap {
+            false
+        } else {
+            *open += 1;
+            true
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock().expect("gate lock") -= 1;
+    }
+
+    fn open_connections(&self) -> usize {
+        *self.open.lock().expect("gate lock")
+    }
+}
+
+/// State shared by the accept loop, handlers, workers, the reaper, and
+/// the supervisor.
 struct Shared {
     registry: SolverRegistry,
     corpus: CorpusStore,
     queue: JobQueue,
+    cache: ResultCache,
     metrics: Metrics,
+    conn_gate: ConnGate,
+    persist_dir: Option<PathBuf>,
     default_timeout: Duration,
     read_timeout: Duration,
+    keep_alive_timeout: Duration,
+    max_requests_per_conn: u64,
+    gc_interval: Duration,
     addr: SocketAddr,
     /// Set (under `shutdown_mu`) to request the drain protocol.
     shutdown_requested: Mutex<bool>,
@@ -131,6 +217,20 @@ impl Shared {
             requested = self.shutdown_cv.wait(requested).expect("shutdown lock");
         }
     }
+
+    /// Samples the live gauges for a `/metrics` render.
+    fn gauges(&self) -> Gauges {
+        let cache = self.cache.stats();
+        Gauges {
+            queue_depth: self.queue.depth(),
+            queue_capacity: self.queue.capacity(),
+            jobs_tracked: self.queue.jobs_tracked(),
+            cache_entries: cache.entries,
+            cache_bytes: cache.bytes,
+            open_connections: self.conn_gate.open_connections(),
+            connection_cap: self.conn_gate.cap,
+        }
+    }
 }
 
 /// The daemon. Construct with [`Server::spawn`].
@@ -150,7 +250,7 @@ impl Server {
     /// # Errors
     ///
     /// [`StartError`] when the bind fails or the persistence directory
-    /// cannot be loaded.
+    /// (corpus snapshots or the result cache) cannot be loaded.
     pub fn spawn(config: ServeConfig) -> Result<ServerHandle, StartError> {
         let listener = TcpListener::bind(&config.addr).map_err(StartError::Io)?;
         let addr = listener.local_addr().map_err(StartError::Io)?;
@@ -158,13 +258,23 @@ impl Server {
             Some(dir) => CorpusStore::persistent(dir).map_err(StartError::Corpus)?,
             None => CorpusStore::in_memory(),
         };
+        let cache = ResultCache::new(config.cache_entries, config.cache_bytes);
+        if let Some(dir) = &config.persist_dir {
+            cache.load(dir).map_err(StartError::Cache)?;
+        }
         let shared = Arc::new(Shared {
             registry: config.registry,
             corpus,
-            queue: JobQueue::new(config.queue_capacity),
+            queue: JobQueue::new(config.queue_capacity, config.job_retention),
+            cache,
             metrics: Metrics::new(),
+            conn_gate: ConnGate::new(config.max_connections),
+            persist_dir: config.persist_dir,
             default_timeout: config.default_timeout,
             read_timeout: config.read_timeout,
+            keep_alive_timeout: config.keep_alive_timeout,
+            max_requests_per_conn: config.max_requests_per_conn.max(1),
+            gc_interval: config.gc_interval,
             addr,
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
@@ -198,6 +308,11 @@ impl ServerHandle {
         &self.shared.corpus
     }
 
+    /// The result cache (test introspection).
+    pub fn cache(&self) -> &ResultCache {
+        &self.shared.cache
+    }
+
     /// The metrics registry (test introspection).
     pub fn metrics(&self) -> &Metrics {
         &self.shared.metrics
@@ -209,15 +324,15 @@ impl ServerHandle {
         self.shared.request_shutdown();
     }
 
-    /// Runs the full graceful shutdown — drain jobs, flush snapshots,
-    /// stop accepting — joins the server thread, and returns the final
-    /// metrics dump.
+    /// Runs the full graceful shutdown — drain jobs, flush snapshots
+    /// and the result cache, stop accepting — joins the server thread,
+    /// and returns the final metrics dump.
     pub fn shutdown(mut self) -> Value {
         self.shared.request_shutdown();
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
-        self.shared.metrics.render(self.shared.queue.depth(), self.shared.queue.capacity())
+        self.shared.metrics.render(&self.shared.gauges())
     }
 }
 
@@ -230,12 +345,14 @@ impl Drop for ServerHandle {
     }
 }
 
-/// The server thread body: worker pool + supervisor + accept loop, all
-/// inside one scope so nothing outlives the listener.
+/// The server thread body: worker pool + reaper + supervisor + accept
+/// loop, all inside one scope so nothing outlives the listener.
 fn run(listener: &TcpListener, shared: &Arc<Shared>, workers: usize) {
     std::thread::scope(|scope| {
         let worker_handles: Vec<_> =
             (0..workers).map(|_| scope.spawn(move || worker_loop(shared))).collect();
+
+        scope.spawn(move || reaper_loop(shared));
 
         scope.spawn(move || {
             shared.wait_for_shutdown_request();
@@ -245,8 +362,14 @@ fn run(listener: &TcpListener, shared: &Arc<Shared>, workers: usize) {
             for handle in worker_handles {
                 let _ = handle.join();
             }
-            // 3. Flush the corpus so a restart sees every graph.
+            // 3. Flush the corpus and the result cache so a restart
+            //    sees every graph and starts warm.
             let _ = shared.corpus.flush();
+            if let Some(dir) = &shared.persist_dir {
+                if let Err(e) = shared.cache.save(dir) {
+                    eprintln!("lmds-serve: {e}");
+                }
+            }
             // 4. Unblock the accept loop.
             shared.stopped.store(true, Ordering::SeqCst);
             let _ = TcpStream::connect(shared.addr);
@@ -257,16 +380,70 @@ fn run(listener: &TcpListener, shared: &Arc<Shared>, workers: usize) {
                 break;
             }
             let Ok(stream) = stream else { continue };
-            scope.spawn(move || handle_connection(stream, shared));
+            if !shared.conn_gate.try_acquire() {
+                Metrics::bump(&shared.metrics.rejected_connection_cap);
+                let cap = shared.conn_gate.cap;
+                scope.spawn(move || reject_over_cap(stream, cap));
+                continue;
+            }
+            Metrics::bump(&shared.metrics.connections_accepted);
+            scope.spawn(move || {
+                handle_connection(stream, shared);
+                shared.conn_gate.release();
+            });
         }
     });
 }
 
-/// One worker: pop, solve, record — until the queue drains on shutdown.
+/// The reaper: wakes every `gc_interval`, sweeps terminal jobs past
+/// their retention deadline, and exits as soon as shutdown is requested
+/// (late results stay pollable until the process exits).
+fn reaper_loop(shared: &Shared) {
+    let mut requested = shared.shutdown_requested.lock().expect("shutdown lock");
+    while !*requested {
+        let (guard, _timeout) =
+            shared.shutdown_cv.wait_timeout(requested, shared.gc_interval).expect("shutdown lock");
+        requested = guard;
+        if *requested {
+            return;
+        }
+        drop(requested);
+        let reaped = shared.queue.sweep_expired();
+        if reaped > 0 {
+            shared.metrics.jobs_reaped.fetch_add(reaped as u64, Ordering::Relaxed);
+        }
+        requested = shared.shutdown_requested.lock().expect("shutdown lock");
+    }
+}
+
+/// The cache identity of a job: graph content, solver, canonical
+/// config.
+fn cache_key(spec: &JobSpec) -> CacheKey {
+    CacheKey {
+        graph_checksum: spec.entry.checksum,
+        solver: spec.solver.clone(),
+        config_fingerprint: config_fingerprint(&spec.config),
+    }
+}
+
+/// One worker: pop, check the cache, solve on a miss, record — until
+/// the queue drains on shutdown.
 fn worker_loop(shared: &Shared) {
     while let Some((id, spec)) = shared.queue.next_job() {
         let solver_metrics = shared.metrics.solver(&spec.solver);
         Metrics::bump(&solver_metrics.requests);
+        let key = cache_key(&spec);
+        if let Some(view) = shared.cache.get(&key) {
+            // Every registered solver is deterministic for a fixed
+            // (graph, solver, config), so the cached view *is* the
+            // answer. The solver latency histogram is not touched: it
+            // measures solver wall time, and no solver ran.
+            Metrics::bump(&shared.metrics.cache_hits);
+            Metrics::bump(&shared.metrics.jobs_completed);
+            shared.queue.complete(id, JobState::Done(view));
+            continue;
+        }
+        Metrics::bump(&shared.metrics.cache_misses);
         // Pre-size this worker's thread-local scratch; repeated jobs on
         // similar graphs then run allocation-free.
         let n = spec.entry.graph().n();
@@ -276,8 +453,13 @@ fn worker_loop(shared: &Shared) {
         solver_metrics.latency.record(start.elapsed());
         match result {
             Ok(solution) => {
+                let view = SolutionView::from(&solution);
+                let evicted = shared.cache.insert(key, view.clone());
+                if evicted > 0 {
+                    shared.metrics.cache_evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+                }
                 Metrics::bump(&shared.metrics.jobs_completed);
-                shared.queue.complete(id, JobState::Done(SolutionView::from(&solution)));
+                shared.queue.complete(id, JobState::Done(view));
             }
             Err(err) => {
                 Metrics::bump(&solver_metrics.errors);
@@ -291,34 +473,79 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Reads one request, routes it, writes one response, closes.
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(shared.read_timeout));
-    let mut reader = BufReader::new(stream);
-    let request = match read_request(&mut reader) {
-        Ok(req) => req,
-        Err(HttpError::ConnectionClosed) => return,
-        Err(err) => {
-            let status = match err {
-                HttpError::TooLarge(_) => 413,
-                _ => 400,
-            };
-            let wire = WireError::new(status, "bad-request", err.to_string());
-            respond(reader.into_inner(), status, &wire.render());
-            return;
-        }
-    };
-    Metrics::bump(&shared.metrics.http_requests);
-    let (status, body) = match route(&request, shared) {
-        Ok(reply) => reply,
-        Err(wire) => (wire.status, wire.render()),
-    };
-    respond(reader.into_inner(), status, &body);
+/// Turns away a connection over the cap: one 503 with `Retry-After`,
+/// then close.
+fn reject_over_cap(mut stream: TcpStream, cap: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_nodelay(true);
+    let wire = WireError::new(
+        503,
+        "over-capacity",
+        format!("connection cap ({cap}) reached; retry shortly"),
+    );
+    let _ = write_response_ext(
+        &mut stream,
+        503,
+        "application/json",
+        wire.render().render().as_bytes(),
+        false,
+        &[("Retry-After", "1")],
+    );
 }
 
-fn respond(mut stream: TcpStream, status: u16, body: &Value) {
+/// The per-connection loop: read a request, route it, write the
+/// response, and keep going on the same socket while the client wants
+/// keep-alive, the request budget lasts, and the server is not
+/// draining. Framing errors get one error response and a close (the
+/// stream position can no longer be trusted); idle timeouts close
+/// quietly.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // Without TCP_NODELAY, Nagle holds small response segments until
+    // the client's (possibly delayed) ACK — a ~40 ms stall per
+    // keep-alive round trip that would dwarf a cache hit.
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    let mut served: u64 = 0;
+    loop {
+        let timeout = if served == 0 { shared.read_timeout } else { shared.keep_alive_timeout };
+        let _ = reader.get_ref().set_read_timeout(Some(timeout));
+        let request = match read_request(&mut reader) {
+            Ok(req) => req,
+            Err(HttpError::ConnectionClosed) => return,
+            Err(err) if is_timeout(&err) => return,
+            Err(err) => {
+                let status = match err {
+                    HttpError::TooLarge(_) => 413,
+                    _ => 400,
+                };
+                let wire = WireError::new(status, "bad-request", err.to_string());
+                let _ = respond(reader.get_mut(), status, &wire.render(), false);
+                return;
+            }
+        };
+        served += 1;
+        Metrics::bump(&shared.metrics.http_requests);
+        let keep = request.keep_alive
+            && served < shared.max_requests_per_conn
+            && !shared.queue.is_shutting_down();
+        let (status, body) = match route(&request, shared) {
+            Ok(reply) => reply,
+            Err(wire) => (wire.status, wire.render()),
+        };
+        if respond(reader.get_mut(), status, &body, keep).is_err() || !keep {
+            return;
+        }
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &Value,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let text = body.render();
-    let _ = write_response(&mut stream, status, "application/json", text.as_bytes());
+    write_response(stream, status, "application/json", text.as_bytes(), keep_alive)
 }
 
 /// The routing table. Returns the success reply or the wire error.
@@ -326,9 +553,7 @@ fn route(req: &Request, shared: &Shared) -> Result<(u16, Value), WireError> {
     let segments = req.segments();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Ok((200, render_health(shared))),
-        ("GET", ["metrics"]) => {
-            Ok((200, shared.metrics.render(shared.queue.depth(), shared.queue.capacity())))
-        }
+        ("GET", ["metrics"]) => Ok((200, shared.metrics.render(&shared.gauges()))),
         ("GET", ["solvers"]) => Ok((200, render_solvers(shared))),
         ("GET", ["graphs"]) => Ok((
             200,
@@ -407,9 +632,10 @@ fn put_graph(shared: &Shared, name: &str, body: &[u8]) -> Result<(u16, Value), W
     Ok((201, render_graph_entry(&entry)))
 }
 
-/// Validates a solve request and pushes it into the queue. Shared by
-/// the sync and async endpoints, so backpressure applies equally.
-fn enqueue(shared: &Shared, req: &SolveRequest) -> Result<u64, WireError> {
+/// Resolves a solve request into a runnable [`JobSpec`]: graph lookup,
+/// solver lookup, config materialization, deadline. Shared by the sync
+/// and async endpoints, so validation errors surface identically.
+fn prepare(shared: &Shared, req: &SolveRequest) -> Result<JobSpec, WireError> {
     let entry = lookup_graph(shared, &req.graph)?;
     // Resolve the solver *now* so an unknown key is a 404 at submit
     // time, not a failed job discovered by polling.
@@ -426,7 +652,12 @@ fn enqueue(shared: &Shared, req: &SolveRequest) -> Result<u64, WireError> {
         .try_into_config(solver.problem())
         .map_err(|e| WireError::new(422, "invalid-config", e.to_string()))?;
     let deadline = req.timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
-    let spec = JobSpec { entry, solver: req.solver.clone(), config, deadline };
+    Ok(JobSpec { entry, solver: req.solver.clone(), config, deadline })
+}
+
+/// Pushes a prepared spec into the queue, mapping backpressure and
+/// drain rejections to their wire envelopes.
+fn submit(shared: &Shared, spec: JobSpec) -> Result<u64, WireError> {
     shared.queue.submit(spec).map_err(|err| match err {
         SubmitError::QueueFull { .. } => {
             Metrics::bump(&shared.metrics.rejected_queue_full);
@@ -439,13 +670,23 @@ fn enqueue(shared: &Shared, req: &SolveRequest) -> Result<u64, WireError> {
     })
 }
 
-/// `POST /solve`: enqueue, block until done (or the timeout), reply
-/// with the solution — or 504 carrying the job id so the caller can
-/// keep polling `GET /jobs/{id}` (the job itself is not cancelled).
+/// `POST /solve`: check the result cache (a hit replies immediately,
+/// bypassing the queue entirely — the warm path), else enqueue, block
+/// until done (or the timeout), reply with the solution — or 504
+/// carrying the job id so the caller can keep polling `GET /jobs/{id}`
+/// (the job itself is not cancelled).
 fn solve_sync(shared: &Shared, body: &[u8]) -> Result<(u16, Value), WireError> {
     let req = parse_solve_request(body)?;
     let wait = req.timeout_ms.map_or(shared.default_timeout, Duration::from_millis);
-    let id = enqueue(shared, &req)?;
+    let spec = prepare(shared, &req)?;
+    if let Some(view) = shared.cache.get(&cache_key(&spec)) {
+        Metrics::bump(&shared.metrics.cache_hits);
+        return Ok((
+            200,
+            Value::obj([("cached", Value::from(true)), ("solution", render_solution(&view))]),
+        ));
+    }
+    let id = submit(shared, spec)?;
     let snapshot = shared
         .queue
         .wait(id, Instant::now() + wait)
@@ -456,10 +697,16 @@ fn solve_sync(shared: &Shared, body: &[u8]) -> Result<(u16, Value), WireError> {
             Value::obj([("job_id", Value::from(id)), ("solution", render_solution(&view))]),
         )),
         JobState::Failed { code, message } => {
-            let status = if code == "timeout" { 504 } else { 422 };
+            let status = if code == "timeout" {
+                Metrics::bump(&shared.metrics.deadline_exceeded);
+                504
+            } else {
+                422
+            };
             Err(WireError::new(status, code, message))
         }
         JobState::Queued | JobState::Running => {
+            Metrics::bump(&shared.metrics.deadline_exceeded);
             let mut body = WireError::new(
                 504,
                 "timeout",
@@ -474,22 +721,34 @@ fn solve_sync(shared: &Shared, body: &[u8]) -> Result<(u16, Value), WireError> {
     }
 }
 
-/// `POST /jobs`: enqueue and return 202 immediately.
+/// `POST /jobs`: enqueue and return 202 immediately. No cache fast
+/// path here — the contract is a pollable job id either way; a worker
+/// answers a cached job without running its solver.
 fn submit_job(shared: &Shared, body: &[u8]) -> Result<(u16, Value), WireError> {
     let req = parse_solve_request(body)?;
-    let id = enqueue(shared, &req)?;
+    let id = submit(shared, prepare(shared, &req)?)?;
     Ok((202, Value::obj([("job_id", Value::from(id)), ("status", Value::from("queued"))])))
 }
 
-/// `GET /jobs/{id}`.
+/// `GET /jobs/{id}`: 404 for an id never issued, 410 for one issued,
+/// finished, and garbage-collected after its retention window.
 fn job_status(shared: &Shared, id: &str) -> Result<(u16, Value), WireError> {
     let id: u64 = id
         .parse()
         .map_err(|_| WireError::bad_request(format!("job id must be an integer, got {id:?}")))?;
-    let snapshot = shared
-        .queue
-        .status(id)
-        .ok_or_else(|| WireError::new(404, "unknown-job", format!("no job {id}")))?;
+    let snapshot = match shared.queue.lookup(id) {
+        JobLookup::NeverExisted => {
+            return Err(WireError::new(404, "unknown-job", format!("no job {id}")))
+        }
+        JobLookup::Expired => {
+            return Err(WireError::new(
+                410,
+                "job-expired",
+                format!("job {id} finished and was garbage-collected after the retention window"),
+            ))
+        }
+        JobLookup::Found(snapshot) => *snapshot,
+    };
     let mut pairs = vec![
         ("id", Value::from(snapshot.id)),
         ("graph", Value::from(snapshot.graph)),

@@ -12,7 +12,7 @@ use lmds_api::{
 };
 use lmds_graph::io::{to_edge_list, to_snapshot};
 use lmds_graph::Graph;
-use lmds_serve::http::{request, ClientResponse};
+use lmds_serve::http::{request, ClientResponse, KeepAliveClient, MAX_BODY_BYTES};
 use lmds_serve::json::Value;
 use lmds_serve::proto::render_solution;
 use lmds_serve::server::{ServeConfig, Server, ServerHandle};
@@ -377,6 +377,366 @@ fn backpressure_timeout_and_queue_expiry() {
     assert!(metrics.get("rejected_queue_full").unwrap().as_u64().unwrap() >= 1);
     assert_eq!(metrics.get("queue_capacity").unwrap().as_u64(), Some(1));
     handle.shutdown();
+}
+
+#[test]
+fn keep_alive_responses_are_byte_equal_to_one_shot_responses() {
+    let handle = spawn_default();
+    let addr = handle.addr();
+    send(addr, "PUT", "/graphs/p6", b"6 5\n0 1\n1 2\n2 3\n3 4\n4 5\n");
+    let solve = br#"{"graph": "p6", "solver": "mds/exact"}"# as &[u8];
+
+    // Prime the cache so every request below is answered from it —
+    // making the responses deterministic down to `wall_micros`.
+    assert_eq!(send(addr, "POST", "/solve", solve).status, 200);
+
+    let mut client = KeepAliveClient::connect(addr, T).expect("keep-alive connect");
+    let mut ka_bodies = Vec::new();
+    for _ in 0..3 {
+        let resp = client.send("POST", "/solve", solve).expect("keep-alive solve");
+        assert_eq!(resp.status, 200);
+        ka_bodies.push(resp.body);
+    }
+    assert!(client.is_open(), "the server kept the connection open");
+    assert_eq!(client.requests_sent(), 3);
+    // Mixed endpoints ride the same socket.
+    assert_eq!(client.send("GET", "/healthz", b"").unwrap().status, 200);
+    drop(client);
+
+    for ka in &ka_bodies {
+        let one_shot = send(addr, "POST", "/solve", solve);
+        assert_eq!(one_shot.status, 200);
+        assert_eq!(one_shot.body, *ka, "one-shot and keep-alive answers must be byte-identical");
+    }
+
+    // Exactly one connection served all three keep-alive solves.
+    let metrics = send(addr, "GET", "/metrics", b"").json();
+    assert!(metrics.get("cache_hits").unwrap().as_u64().unwrap() >= 6);
+    handle.shutdown();
+}
+
+#[test]
+fn per_connection_request_budget_closes_the_socket() {
+    let config = ServeConfig { max_requests_per_conn: 2, ..ServeConfig::default() };
+    let handle = Server::spawn(config).unwrap();
+    let mut client = KeepAliveClient::connect(handle.addr(), T).unwrap();
+    assert_eq!(client.send("GET", "/healthz", b"").unwrap().status, 200);
+    assert!(client.is_open(), "first request leaves budget");
+    assert_eq!(client.send("GET", "/healthz", b"").unwrap().status, 200);
+    assert!(!client.is_open(), "the budget request carries Connection: close");
+    assert!(client.send("GET", "/healthz", b"").is_err(), "reuse after close is refused");
+    handle.shutdown();
+}
+
+#[test]
+fn result_cache_hits_misses_and_survives_a_restart() {
+    let dir = std::env::temp_dir().join(format!("lmds-serve-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let graph = b"6 5\n0 1\n1 2\n2 3\n3 4\n4 5\n" as &[u8];
+    let solve = br#"{"graph": "g", "solver": "mds/exact"}"# as &[u8];
+    let cold_solution;
+    {
+        let config = ServeConfig { persist_dir: Some(dir.clone()), ..ServeConfig::default() };
+        let handle = Server::spawn(config).unwrap();
+        let addr = handle.addr();
+        send(addr, "PUT", "/graphs/g", graph);
+
+        // Cold: a real solve, with a job id.
+        let cold = send(addr, "POST", "/solve", solve);
+        assert_eq!(cold.status, 200);
+        let cold_doc = cold.json();
+        assert!(cold_doc.get("job_id").is_some(), "cold solve runs through the queue");
+        assert!(cold_doc.get("cached").is_none());
+        cold_solution = cold_doc.get("solution").unwrap().render();
+
+        // Warm: answered from the cache, byte-identical solution,
+        // no job id (the queue was never touched).
+        let warm = send(addr, "POST", "/solve", solve);
+        assert_eq!(warm.status, 200);
+        let warm_doc = warm.json();
+        assert_eq!(warm_doc.get("cached").and_then(Value::as_bool), Some(true));
+        assert!(warm_doc.get("job_id").is_none());
+        assert_eq!(warm_doc.get("solution").unwrap().render(), cold_solution);
+
+        // A different effective config is a different cache key.
+        let other = send(
+            addr,
+            "POST",
+            "/solve",
+            br#"{"graph": "g", "solver": "mds/exact", "config": {"opt_budget": 123456}}"#,
+        );
+        assert_eq!(other.status, 200);
+        assert!(other.json().get("cached").is_none(), "distinct config misses");
+
+        let metrics = send(addr, "GET", "/metrics", b"").json();
+        assert_eq!(metrics.get("cache_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(metrics.get("cache_misses").unwrap().as_u64(), Some(2));
+        assert_eq!(metrics.get("cache_entries").unwrap().as_u64(), Some(2));
+        assert!(metrics.get("cache_bytes").unwrap().as_u64().unwrap() > 0);
+        handle.shutdown();
+    }
+
+    // A restarted daemon reloads the persisted cache: the very first
+    // solve is already warm.
+    let config = ServeConfig { persist_dir: Some(dir.clone()), ..ServeConfig::default() };
+    let handle = Server::spawn(config).unwrap();
+    let addr = handle.addr();
+    let warm = send(addr, "POST", "/solve", solve);
+    assert_eq!(warm.status, 200);
+    let doc = warm.json();
+    assert_eq!(doc.get("cached").and_then(Value::as_bool), Some(true), "restart starts warm");
+    assert_eq!(doc.get("solution").unwrap().render(), cold_solution);
+    let metrics = send(addr, "GET", "/metrics", b"").json();
+    assert_eq!(metrics.get("cache_misses").unwrap().as_u64(), Some(0));
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn connection_cap_turns_extra_connections_away_with_retry_after() {
+    let config = ServeConfig {
+        max_connections: 2,
+        keep_alive_timeout: Duration::from_millis(400),
+        ..ServeConfig::default()
+    };
+    let handle = Server::spawn(config).unwrap();
+    let addr = handle.addr();
+
+    // Two keep-alive clients hold both slots (a completed round-trip
+    // proves the server accepted each connection).
+    let mut a = KeepAliveClient::connect(addr, T).unwrap();
+    assert_eq!(a.send("GET", "/healthz", b"").unwrap().status, 200);
+    let mut b = KeepAliveClient::connect(addr, T).unwrap();
+    assert_eq!(b.send("GET", "/healthz", b"").unwrap().status, 200);
+
+    // The third connection is turned away at the door.
+    let refused = send(addr, "GET", "/healthz", b"");
+    assert_eq!(refused.status, 503, "{}", String::from_utf8_lossy(&refused.body));
+    assert_eq!(refused.json().get("code").unwrap().as_str(), Some("over-capacity"));
+    assert_eq!(refused.header("retry-after"), Some("1"), "503 carries Retry-After");
+
+    // Freeing a slot lets a retry through.
+    drop(a);
+    drop(b);
+    let mut accepted = false;
+    for _ in 0..400 {
+        if let Ok(resp) = request(addr, "GET", "/healthz", b"", T) {
+            if resp.status == 200 {
+                accepted = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(accepted, "a freed slot admits the retry");
+
+    let metrics = send(addr, "GET", "/metrics", b"").json();
+    assert!(metrics.get("rejected_connection_cap").unwrap().as_u64().unwrap() >= 1);
+    assert_eq!(metrics.get("connection_cap").unwrap().as_u64(), Some(2));
+    handle.shutdown();
+}
+
+#[test]
+fn reaped_jobs_answer_410_and_unknown_ids_answer_404() {
+    let config = ServeConfig {
+        job_retention: Duration::from_millis(50),
+        gc_interval: Duration::from_millis(10),
+        ..ServeConfig::default()
+    };
+    let handle = Server::spawn(config).unwrap();
+    let addr = handle.addr();
+    send(addr, "PUT", "/graphs/g", b"4 3\n0 1\n1 2\n2 3\n");
+
+    let job = send(addr, "POST", "/jobs", br#"{"graph": "g", "solver": "mds/exact"}"#);
+    assert_eq!(job.status, 202);
+    let id = job.json().get("job_id").unwrap().as_u64().unwrap();
+    for _ in 0..500 {
+        let poll = send(addr, "GET", &format!("/jobs/{id}"), b"");
+        if poll.status == 200 && poll.json().get("status").unwrap().as_str() == Some("done") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Past the retention window the reaper sweeps it: 410, not 404.
+    let mut gone = None;
+    for _ in 0..500 {
+        let poll = send(addr, "GET", &format!("/jobs/{id}"), b"");
+        if poll.status != 200 {
+            gone = Some(poll);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let gone = gone.expect("the terminal job was eventually reaped");
+    assert_eq!(gone.status, 410, "{}", String::from_utf8_lossy(&gone.body));
+    assert_eq!(gone.json().get("code").unwrap().as_str(), Some("job-expired"));
+
+    // An id that was never issued stays a plain 404.
+    let never = send(addr, "GET", &format!("/jobs/{}", id + 1000), b"");
+    assert_eq!(never.status, 404);
+    assert_eq!(never.json().get("code").unwrap().as_str(), Some("unknown-job"));
+
+    let metrics = send(addr, "GET", "/metrics", b"").json();
+    assert!(metrics.get("jobs_reaped").unwrap().as_u64().unwrap() >= 1);
+    assert_eq!(metrics.get("jobs_tracked").unwrap().as_u64(), Some(0));
+    handle.shutdown();
+}
+
+#[test]
+fn sync_timeout_counts_deadline_exceeded_and_the_job_still_finishes() {
+    let handle = Server::spawn(sleepy_config(Duration::from_millis(300))).unwrap();
+    let addr = handle.addr();
+    send(addr, "PUT", "/graphs/g", b"4 3\n0 1\n1 2\n2 3\n");
+
+    // The worker picks the job up immediately, but the 40 ms sync wait
+    // elapses mid-solve: 504 with the job id.
+    let timed_out = send(
+        addr,
+        "POST",
+        "/solve",
+        br#"{"graph": "g", "solver": "mds/sleepy", "timeout_ms": 40}"#,
+    );
+    assert_eq!(timed_out.status, 504, "{}", String::from_utf8_lossy(&timed_out.body));
+    let id = timed_out.json().get("job_id").unwrap().as_u64().unwrap();
+
+    let metrics = send(addr, "GET", "/metrics", b"").json();
+    assert!(metrics.get("deadline_exceeded").unwrap().as_u64().unwrap() >= 1);
+
+    // The job was not cancelled: polling reaches `done` with a
+    // solution.
+    let mut done = None;
+    for _ in 0..1000 {
+        let poll = send(addr, "GET", &format!("/jobs/{id}"), b"").json();
+        if poll.get("status").unwrap().as_str() == Some("done") {
+            done = Some(poll);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let done = done.expect("the 504'd job reached a terminal state");
+    assert!(done.get("solution").is_some(), "the eventual result is served");
+    handle.shutdown();
+}
+
+#[test]
+fn smuggling_vectors_get_400_and_a_closed_connection() {
+    let handle = spawn_default();
+    let addr = handle.addr();
+
+    // Duplicate Content-Length.
+    let mut client = KeepAliveClient::connect(addr, T).unwrap();
+    let resp = client
+        .send_raw_head("POST", "/solve", &["Content-Length: 5", "Content-Length: 5"], b"hello")
+        .expect("the rejection is a readable response");
+    assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(&resp.body));
+    assert_eq!(resp.json().get("code").unwrap().as_str(), Some("bad-request"));
+    assert!(!client.is_open(), "framing can't be trusted afterwards: close");
+
+    // Transfer-Encoding alongside Content-Length (the TE.CL vector).
+    let mut client = KeepAliveClient::connect(addr, T).unwrap();
+    let resp = client
+        .send_raw_head("POST", "/solve", &["Transfer-Encoding: chunked", "Content-Length: 5"], b"")
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(
+        resp.json().get("message").unwrap().as_str().unwrap().contains("Transfer-Encoding"),
+        "{}",
+        String::from_utf8_lossy(&resp.body)
+    );
+    assert!(!client.is_open());
+
+    // The server is unharmed.
+    assert_eq!(send(addr, "GET", "/healthz", b"").status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_declared_body_is_rejected_before_reading_and_does_not_poison_the_server() {
+    let handle = spawn_default();
+    let addr = handle.addr();
+
+    let mut client = KeepAliveClient::connect(addr, T).unwrap();
+    let start = std::time::Instant::now();
+    // Declare a body far over the cap but send none of it: the 413 must
+    // come back immediately, proving the server never tried to read or
+    // allocate the 64 MiB+.
+    let resp = client
+        .send_raw_head("POST", "/solve", &[&format!("Content-Length: {}", MAX_BODY_BYTES + 1)], b"")
+        .expect("413 arrives without the body");
+    assert_eq!(resp.status, 413, "{}", String::from_utf8_lossy(&resp.body));
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "the rejection must not wait for body bytes that never come"
+    );
+    assert!(!client.is_open(), "the connection is closed, not left mid-frame");
+
+    // The next request (on a fresh connection) is unaffected.
+    assert_eq!(send(addr, "GET", "/healthz", b"").status, 200);
+    handle.shutdown();
+}
+
+/// The leak regression: 1000 short jobs through a server with a tight
+/// retention window and a tiny cache byte budget. The job table must
+/// come back to ~zero and the cache must stay under its budget — the
+/// two unbounded growths this PR removes.
+#[test]
+fn soak_job_table_and_cache_stay_bounded_over_1000_jobs() {
+    let cache_budget = 4 * 1024;
+    let config = ServeConfig {
+        workers: 2,
+        job_retention: Duration::from_millis(40),
+        gc_interval: Duration::from_millis(10),
+        cache_entries: 100_000,
+        cache_bytes: cache_budget,
+        max_requests_per_conn: 10_000,
+        ..ServeConfig::default()
+    };
+    let handle = Server::spawn(config).unwrap();
+    let addr = handle.addr();
+    send(addr, "PUT", "/graphs/g", b"6 5\n0 1\n1 2\n2 3\n3 4\n4 5\n");
+
+    let mut client = KeepAliveClient::connect(addr, T).unwrap();
+    for i in 0..1000u64 {
+        // Every request minted with a distinct (but harmless) exact-
+        // search budget, so each is a distinct cache key: the cache
+        // keeps inserting and must keep evicting.
+        let body = format!(
+            r#"{{"graph": "g", "solver": "mds/exact", "config": {{"opt_budget": {}}}}}"#,
+            100_000 + i
+        );
+        let resp = client.send("POST", "/solve", body.as_bytes()).expect("soak solve");
+        assert_eq!(resp.status, 200, "job {i}: {}", String::from_utf8_lossy(&resp.body));
+        if i % 100 == 0 {
+            let stats = handle.cache().stats();
+            assert!(
+                stats.bytes <= cache_budget,
+                "job {i}: cache resident {} exceeds its {cache_budget}-byte budget",
+                stats.bytes
+            );
+        }
+    }
+    drop(client);
+
+    // Every job is terminal; once the retention window passes, the
+    // reaper must bring the table back to zero.
+    let mut tracked = handle.queue().jobs_tracked();
+    for _ in 0..500 {
+        tracked = handle.queue().jobs_tracked();
+        if tracked == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(tracked, 0, "the job table must drain to zero after retention");
+
+    let stats = handle.cache().stats();
+    assert!(stats.bytes <= cache_budget, "final cache resident {} over budget", stats.bytes);
+    let dump = handle.shutdown();
+    assert_eq!(dump.get("jobs_completed").unwrap().as_u64(), Some(1000));
+    assert_eq!(dump.get("jobs_reaped").unwrap().as_u64(), Some(1000));
+    assert!(dump.get("cache_evictions").unwrap().as_u64().unwrap() > 0);
+    assert_eq!(dump.get("jobs_tracked").unwrap().as_u64(), Some(0));
 }
 
 #[test]
