@@ -56,6 +56,7 @@
 
 pub mod batch;
 pub mod config;
+pub mod dynamic;
 pub mod instance;
 pub mod registry;
 pub mod solution;
@@ -64,6 +65,7 @@ pub mod view;
 
 pub use batch::{BatchJob, BatchRecord, BatchRunner};
 pub use config::{ExecutionMode, Problem, ScenarioConfig, SolveConfig, DEFAULT_OPT_BUDGET};
+pub use dynamic::DynamicInstance;
 pub use instance::{GroundTruth, Instance};
 pub use registry::{SolverDescriptor, SolverRegistry};
 pub use solution::{

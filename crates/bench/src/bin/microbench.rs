@@ -21,10 +21,21 @@
 //!   under every `ExactBackend` on naive-solvable instances, plus
 //!   engine-scale rows the naive oracle cannot finish; committed
 //!   numbers in `results/exact_scale.md`.
+//! * `--dynamic` — the dynamic-subsystem benches: `DynamicGraph` batch
+//!   application (splice vs bulk rebuild), ball-scoped invalidation
+//!   (`dirty_ball`), and `DynamicSolver` component-scoped re-solve
+//!   (cold / warm / one-dirty-component) on a multi-component corpus
+//!   graph.
+//!
+//! The `--kernel` and `--dynamic` sections additionally write
+//! machine-readable `results/BENCH_kernel.json` /
+//! `results/BENCH_dynamic.json` (best/median/p95/mean per row, a
+//! combined corpus checksum, and `git describe` provenance) so CI and
+//! downstream tooling can diff timings without parsing markdown.
 //!
 //! Usage:
 //! ```text
-//! microbench [--iters <n>] [--kernel] [--local] [--cuts] [--exact]
+//! microbench [--iters <n>] [--kernel] [--local] [--cuts] [--exact] [--dynamic]
 //! ```
 
 use lmds_api::{BatchJob, BatchRunner, ExecutionMode, Instance, SolveConfig, SolverRegistry};
@@ -69,6 +80,133 @@ fn time_fn(iters: u32, mut f: impl FnMut() -> usize) -> (f64, f64, usize) {
     (best, total / iters as f64, checksum)
 }
 
+/// Order statistics over one bench's iteration samples (µs).
+struct Stats {
+    best: f64,
+    mean: f64,
+    median: f64,
+    p95: f64,
+}
+
+/// One measured row, destined for both the markdown table and the
+/// machine-readable `BENCH_<section>.json` artifact.
+struct BenchRow {
+    bench: String,
+    workload: String,
+    n: usize,
+    checksum: usize,
+    stats: Stats,
+}
+
+/// Times `f` for `iters` repetitions, keeping every sample so the JSON
+/// artifact can report median/p95 (not just best/mean).
+fn sample(iters: u32, mut f: impl FnMut() -> usize) -> (Stats, usize) {
+    let mut us: Vec<f64> = Vec::with_capacity(iters as usize);
+    let mut checksum = 0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        checksum = f();
+        us.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    us.sort_by(|a, b| a.total_cmp(b));
+    let len = us.len();
+    let stats = Stats {
+        best: us[0],
+        mean: us.iter().sum::<f64>() / len as f64,
+        median: us[len / 2],
+        p95: us[(len * 95 / 100).min(len - 1)],
+    };
+    (stats, checksum)
+}
+
+/// Renders one section's rows as the printed markdown table.
+fn section_table(title: &str, rows: &[BenchRow]) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "bench",
+            "workload",
+            "n",
+            "checksum",
+            "best (µs)",
+            "median (µs)",
+            "p95 (µs)",
+            "mean (µs)",
+        ],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.bench.clone(),
+            r.workload.clone(),
+            r.n.to_string(),
+            r.checksum.to_string(),
+            format!("{:.1}", r.stats.best),
+            format!("{:.1}", r.stats.median),
+            format!("{:.1}", r.stats.p95),
+            format!("{:.1}", r.stats.mean),
+        ]);
+    }
+    t
+}
+
+/// `git describe --always --dirty` of the generating tree, or
+/// "unknown" outside a git checkout (mirrors the `reproduce` CSV
+/// provenance headers).
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Writes `results/BENCH_<section>.json`: every row with
+/// best/median/p95/mean, a combined corpus checksum (order-sensitive
+/// mix of the per-row checksums, so a workload drift is visible even
+/// when timings are not comparable), and git provenance.
+fn write_bench_json(section: &str, iters: u32, rows: &[BenchRow]) {
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let corpus_checksum = rows.iter().fold(0u64, |acc, r| {
+        (acc ^ r.checksum as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+    });
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"bench\":\"{}\",\"workload\":\"{}\",\"n\":{},\"checksum\":{},\
+                 \"best_us\":{:.1},\"median_us\":{:.1},\"p95_us\":{:.1},\"mean_us\":{:.1}}}",
+                escape(&r.bench),
+                escape(&r.workload),
+                r.n,
+                r.checksum,
+                r.stats.best,
+                r.stats.median,
+                r.stats.p95,
+                r.stats.mean,
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\"schema\":\"lmds-microbench/v1\",\"section\":\"{}\",\"git\":\"{}\",\"iters\":{},\
+         \"corpus_checksum\":{},\"rows\":[{}]}}\n",
+        escape(section),
+        escape(&git_describe()),
+        iters,
+        corpus_checksum,
+        body.join(",")
+    );
+    let _ = std::fs::create_dir_all("results");
+    let path = format!("results/BENCH_{section}.json");
+    match std::fs::write(&path, doc) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
 /// A graph of `k` disjoint triangles (3k vertices): every triangle is a
 /// true-twin class, stressing the grouping step of the twin reduction.
 fn triangles(k: usize) -> lmds_graph::Graph {
@@ -86,14 +224,11 @@ fn triangles(k: usize) -> lmds_graph::Graph {
 /// and a full registry sweep through the `BatchRunner`. These are the
 /// substrate hot paths behind Lemmas 3.2/3.3, Lemma 4.2, and Theorem
 /// 4.4; their before/after numbers live in `results/kernel_speedup.md`.
-fn kernel_benches(iters: u32) -> Table {
-    let mut t = Table::new(
-        &format!("microbench --kernel — graph-kernel hot paths, {iters} iterations (µs)"),
-        &["bench", "workload", "n", "checksum", "best (µs)", "mean (µs)"],
-    );
+fn kernel_benches(iters: u32) -> Vec<BenchRow> {
+    let mut rows = Vec::new();
     let tree = lmds_gen::trees::random_tree(20_000, 1);
     for r in [2u32, 4] {
-        let (best, mean, sum) = time_fn(iters, || {
+        let (stats, sum) = sample(iters, || {
             let mut acc = 0usize;
             let mut v = 0;
             while v < tree.n() {
@@ -102,36 +237,33 @@ fn kernel_benches(iters: u32) -> Table {
             }
             acc
         });
-        t.push_row(vec![
-            format!("ball r={r} (2000 queries)"),
-            "random_tree(20000)".into(),
-            tree.n().to_string(),
-            sum.to_string(),
-            format!("{best:.1}"),
-            format!("{mean:.1}"),
-        ]);
+        rows.push(BenchRow {
+            bench: format!("ball r={r} (2000 queries)"),
+            workload: "random_tree(20000)".into(),
+            n: tree.n(),
+            checksum: sum,
+            stats,
+        });
     }
     let tri = triangles(3000);
-    let (best, mean, sum) =
-        time_fn(iters, || lmds_graph::twins::TwinReduction::compute(&tri).reduced.graph.n());
-    t.push_row(vec![
-        "twin reduction".into(),
-        "3000 triangles".into(),
-        tri.n().to_string(),
-        sum.to_string(),
-        format!("{best:.1}"),
-        format!("{mean:.1}"),
-    ]);
+    let (stats, sum) =
+        sample(iters, || lmds_graph::twins::TwinReduction::compute(&tri).reduced.graph.n());
+    rows.push(BenchRow {
+        bench: "twin reduction".into(),
+        workload: "3000 triangles".into(),
+        n: tri.n(),
+        checksum: sum,
+        stats,
+    });
     let cat = lmds_gen::basic::caterpillar(4000, 2);
-    let (best, mean, sum) = time_fn(iters, || lmds_graph::twins::twin_classes(&cat).len());
-    t.push_row(vec![
-        "twin classes".into(),
-        "caterpillar(4000,2)".into(),
-        cat.n().to_string(),
-        sum.to_string(),
-        format!("{best:.1}"),
-        format!("{mean:.1}"),
-    ]);
+    let (stats, sum) = sample(iters, || lmds_graph::twins::twin_classes(&cat).len());
+    rows.push(BenchRow {
+        bench: "twin classes".into(),
+        workload: "caterpillar(4000,2)".into(),
+        n: cat.n(),
+        checksum: sum,
+        stats,
+    });
     // Full registry sweep through the batch engine (S0-style corpus).
     let registry = SolverRegistry::with_defaults();
     let instances = vec![
@@ -152,22 +284,155 @@ fn kernel_benches(iters: u32) -> Table {
         })
         .collect();
     let sweep_iters = iters.min(5);
-    let (best, mean, sum) = time_fn(sweep_iters, || {
+    let (stats, sum) = sample(sweep_iters, || {
         BatchRunner::with_threads(4)
             .run(&registry, &jobs, &instances)
             .iter()
             .map(|r| r.result.as_ref().expect("sweep solve").size())
             .sum()
     });
-    t.push_row(vec![
-        format!("registry sweep ({} solvers × 3, {sweep_iters} it)", registry.len()),
-        "batch corpus".into(),
-        "60/80/40".into(),
-        sum.to_string(),
-        format!("{best:.1}"),
-        format!("{mean:.1}"),
-    ]);
-    t
+    rows.push(BenchRow {
+        bench: format!("registry sweep ({} solvers × 3, {sweep_iters} it)", registry.len()),
+        workload: "batch corpus".into(),
+        n: instances.iter().map(|i| i.n()).sum(),
+        checksum: sum,
+        stats,
+    });
+    rows
+}
+
+/// The dynamic-subsystem benches (`--dynamic`): `DynamicGraph` batch
+/// application on both update paths (per-op splice vs bulk CSR
+/// rebuild), ball-scoped invalidation (`dirty_ball`), and
+/// `DynamicSolver` component-scoped re-solve — cold, warm (full
+/// reuse), and the one-dirty-component steady state the serving layer
+/// hits after `PATCH /graphs/{name}`. The end-to-end speedup numbers
+/// live in `results/dynamic-bench.csv` (the `dynamic-bench`
+/// experiment); these rows track the substrate costs.
+fn dynamic_benches(iters: u32) -> Vec<BenchRow> {
+    use lmds_api::dynamic::solve_with_cache;
+    use lmds_core::DynamicSolver;
+    use lmds_graph::dynamic::{DynamicGraph, GraphUpdate, SPLICE_LIMIT};
+
+    let mut rows = Vec::new();
+    // A 16-component disjoint union (≈1 600 vertices): incremental
+    // edits stay inside component 0, everything else must be reused.
+    let mut g = lmds_graph::Graph::from_edges(0, &[]);
+    for c in 0..16u64 {
+        let part = match c % 3 {
+            0 => lmds_gen::outerplanar::random_maximal_outerplanar(100, c),
+            1 => lmds_gen::trees::random_tree(100, c + 100),
+            _ => lmds_gen::ding::strip(50),
+        };
+        g.disjoint_union(&part);
+    }
+    let workload = "16-component union".to_string();
+    let n = g.n();
+    // Edge toggles confined to component 0. A pair that happens to be
+    // a chord of the outerplanar component settles into a stable
+    // toggle cycle after the first iteration (skipped insert / real
+    // delete), so the timings stay steady either way.
+    let fresh: Vec<(usize, usize)> = (0..SPLICE_LIMIT + 2).map(|i| (i, i + 50)).collect();
+    let toggle = |pairs: &[(usize, usize)], on: bool| -> Vec<GraphUpdate> {
+        pairs
+            .iter()
+            .map(
+                |&(u, v)| {
+                    if on {
+                        GraphUpdate::InsertEdge(u, v)
+                    } else {
+                        GraphUpdate::RemoveEdge(u, v)
+                    }
+                },
+            )
+            .collect()
+    };
+
+    let mut dg = DynamicGraph::new(g.clone());
+    let splice = &fresh[..4];
+    let (stats, sum) = sample(iters, || {
+        dg.apply(&toggle(splice, true)).expect("splice insert");
+        dg.apply(&toggle(splice, false)).expect("splice remove");
+        dg.graph().m()
+    });
+    rows.push(BenchRow {
+        bench: "apply 2×k=4 toggle (splice path)".into(),
+        workload: workload.clone(),
+        n,
+        checksum: sum,
+        stats,
+    });
+    let (stats, sum) = sample(iters, || {
+        dg.apply(&toggle(&fresh, true)).expect("bulk insert");
+        dg.apply(&toggle(&fresh, false)).expect("bulk remove");
+        dg.graph().m()
+    });
+    rows.push(BenchRow {
+        bench: format!("apply 2×k={} toggle (rebuild path)", fresh.len()),
+        workload: workload.clone(),
+        n,
+        checksum: sum,
+        stats,
+    });
+    let (stats, sum) = sample(iters, || {
+        dg.clear_touched();
+        dg.apply(&toggle(splice, true)).expect("dirty insert");
+        let dirty = dg.dirty_ball(2).len();
+        dg.apply(&toggle(splice, false)).expect("dirty remove");
+        dirty
+    });
+    rows.push(BenchRow {
+        bench: "k=4 toggle + dirty_ball r=2".into(),
+        workload: workload.clone(),
+        n,
+        checksum: sum,
+        stats,
+    });
+
+    let inst = Instance::sequential("dyn-corpus16", g);
+    let cfg = SolveConfig::mds().radii(Radii::practical(2, 2));
+    let mut solver = DynamicSolver::new();
+    let (stats, sum) = sample(iters, || {
+        solver.clear();
+        solve_with_cache(&inst, &cfg, &mut solver).expect("cold solve").0.size()
+    });
+    rows.push(BenchRow {
+        bench: "resolve cold (cache cleared)".into(),
+        workload: workload.clone(),
+        n,
+        checksum: sum,
+        stats,
+    });
+    let (stats, sum) = sample(iters, || {
+        let (sol, reuse) = solve_with_cache(&inst, &cfg, &mut solver).expect("warm solve");
+        assert_eq!(reuse.components_resolved, 0, "warm solve must reuse everything");
+        sol.size()
+    });
+    rows.push(BenchRow {
+        bench: "resolve warm (full reuse)".into(),
+        workload: workload.clone(),
+        n,
+        checksum: sum,
+        stats,
+    });
+    let mut dyn_inst = lmds_api::dynamic::DynamicInstance::new(inst);
+    dyn_inst.solve(&cfg).expect("warm-up solve");
+    let (stats, sum) = sample(iters, || {
+        dyn_inst.apply(&toggle(&fresh[..1], true)).expect("steady insert");
+        let (a, s) = dyn_inst.solve(&cfg).expect("steady solve");
+        assert!(s.components_reused >= 15, "only component 0 may re-solve");
+        dyn_inst.apply(&toggle(&fresh[..1], false)).expect("steady remove");
+        let (b, _) = dyn_inst.solve(&cfg).expect("steady solve back");
+        a.size() + b.size()
+    });
+    rows.push(BenchRow {
+        bench: "edge toggle + 2 resolves (1 dirty component)".into(),
+        workload,
+        n,
+        checksum: sum,
+        stats,
+    });
+    rows
 }
 
 /// The LOCAL-runtime benches (`--local`): the distributed hot path —
@@ -435,6 +700,7 @@ fn main() {
     let mut local = false;
     let mut cuts = false;
     let mut exact = false;
+    let mut dynamic = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -444,7 +710,7 @@ fn main() {
                     args.get(i).and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(
                         || {
                             eprintln!(
-                            "usage: microbench [--iters <n>] [--kernel] [--local] [--cuts] [--exact]  (n ≥ 1)"
+                            "usage: microbench [--iters <n>] [--kernel] [--local] [--cuts] [--exact] [--dynamic]  (n ≥ 1)"
                         );
                             std::process::exit(2);
                         },
@@ -454,6 +720,7 @@ fn main() {
             "--local" => local = true,
             "--cuts" => cuts = true,
             "--exact" => exact = true,
+            "--dynamic" => dynamic = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -462,10 +729,14 @@ fn main() {
         i += 1;
     }
 
-    // Sections are combinable (the CI smoke step runs all four).
-    if kernel || local || cuts || exact {
+    // Sections are combinable (the CI smoke step runs all five).
+    if kernel || local || cuts || exact || dynamic {
         if kernel {
-            print!("{}", render_markdown(&kernel_benches(iters)));
+            let rows = kernel_benches(iters);
+            let title =
+                format!("microbench --kernel — graph-kernel hot paths, {iters} iterations (µs)");
+            print!("{}", render_markdown(&section_table(&title, &rows)));
+            write_bench_json("kernel", iters, &rows);
         }
         if local {
             print!("{}", render_markdown(&local_benches(iters)));
@@ -475,6 +746,14 @@ fn main() {
         }
         if exact {
             print!("{}", render_markdown(&exact_benches(iters)));
+        }
+        if dynamic {
+            let rows = dynamic_benches(iters);
+            let title = format!(
+                "microbench --dynamic — DynamicGraph/DynamicSolver substrate, {iters} iterations (µs)"
+            );
+            print!("{}", render_markdown(&section_table(&title, &rows)));
+            write_bench_json("dynamic", iters, &rows);
         }
         return;
     }

@@ -1559,6 +1559,142 @@ pub fn exp_serve_cache_bench() -> Table {
     t
 }
 
+/// E16 — dynamic-bench: component-scoped re-solve vs from-scratch
+/// Algorithm 1 after k-edge update batches on a multi-component corpus
+/// graph. Each step edits one component of a 24-component disjoint
+/// union (≈2 900 vertices), then times [`DynamicInstance::solve`]
+/// (which stitches the 23 untouched components from the
+/// [`lmds_core::DynamicSolver`] cache) against a from-scratch
+/// `mds/algorithm1` registry solve on the identical snapshot. Both
+/// paths must return the same vertex set — the speedup is pure
+/// invalidation scoping, not a different algorithm. The committed
+/// numbers live in `results/dynamic-bench.csv`; the step-level
+/// differential guarantee is certified corpus-wide by
+/// `tests/dynamic_differential.rs`.
+///
+/// [`DynamicInstance::solve`]: lmds_api::dynamic::DynamicInstance::solve
+pub fn exp_dynamic_bench() -> Table {
+    use lmds_api::dynamic::DynamicInstance;
+    use lmds_gen::rng::SmallRng;
+    use lmds_graph::dynamic::GraphUpdate;
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "E16 / dynamic-bench — k-edge updates: component-scoped re-solve vs from-scratch (µs)",
+        &[
+            "step",
+            "batch k",
+            "components",
+            "reused",
+            "re-solved",
+            "dynamic µs",
+            "scratch µs",
+            "speedup ×",
+        ],
+    );
+
+    // The corpus graph: 24 disjoint components (maximal outerplanar,
+    // random tree, Ding strip — ≈120 vertices each). Incremental edits
+    // stay inside one component, so the other 23 must stitch from
+    // cache.
+    let mut g = Graph::from_edges(0, &[]);
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    for c in 0..24usize {
+        let part = match c % 3 {
+            0 => lmds_gen::outerplanar::random_maximal_outerplanar(120, c as u64),
+            1 => lmds_gen::trees::random_tree(120, c as u64 + 100),
+            _ => lmds_gen::ding::strip(60),
+        };
+        let off = g.disjoint_union(&part);
+        spans.push((off, part.n()));
+    }
+
+    let cfg = SolveConfig::mds().radii(Radii::practical(2, 2));
+    let mut dynamic = DynamicInstance::new(Instance::sequential("dyn-corpus24", g));
+    let mut rng = SmallRng::seed_from_u64(0xD1);
+
+    // Warm the component cache (the cold solve is reported, not raced).
+    let started = Instant::now();
+    let (cold, _) = dynamic.solve(&cfg).expect("cold dynamic solve");
+    let cold_us = started.elapsed().as_secs_f64() * 1e6;
+    assert!(cold.is_valid(), "cold dynamic solve invalid");
+
+    let mut speedups = Vec::new();
+    for step in 1..=12usize {
+        // A k-edge batch confined to one component: delete existing
+        // in-span edges and insert fresh in-span pairs.
+        let (off, len) = spans[rng.gen_range(0..spans.len())];
+        let k = 2 + step % 4;
+        let in_span: Vec<(usize, usize)> =
+            dynamic.graph().edges().filter(|&(u, _)| u >= off && u < off + len).collect();
+        let mut batch = Vec::with_capacity(k);
+        for j in 0..k {
+            if j % 2 == 0 && !in_span.is_empty() {
+                let (u, v) = in_span[rng.gen_range(0..in_span.len())];
+                batch.push(GraphUpdate::RemoveEdge(u, v));
+            } else {
+                let u = off + rng.gen_range(0..len);
+                let v = off + rng.gen_range(0..len);
+                if u != v {
+                    batch.push(GraphUpdate::InsertEdge(u, v));
+                }
+            }
+        }
+        let applied = dynamic.apply(&batch).expect("bench batch applies");
+
+        let started = Instant::now();
+        let (sol, stats) = dynamic.solve(&cfg).expect("dynamic solve");
+        let dynamic_us = started.elapsed().as_secs_f64() * 1e6;
+
+        let snap = dynamic.snapshot();
+        let started = Instant::now();
+        let reference = solve("mds/algorithm1", &snap, &cfg);
+        let scratch_us = started.elapsed().as_secs_f64() * 1e6;
+
+        assert_eq!(
+            sol.vertices, reference.vertices,
+            "step {step}: incremental ≠ from-scratch after {applied:?}"
+        );
+        let speedup = scratch_us / dynamic_us.max(1.0);
+        speedups.push(speedup);
+        t.push_row(vec![
+            step.to_string(),
+            batch.len().to_string(),
+            stats.components_total.to_string(),
+            stats.components_reused.to_string(),
+            stats.components_resolved.to_string(),
+            format!("{dynamic_us:.1}"),
+            format!("{scratch_us:.1}"),
+            format!("{speedup:.1}"),
+        ]);
+    }
+
+    speedups.sort_by(|a, b| a.total_cmp(b));
+    let median = speedups[speedups.len() / 2];
+    assert!(
+        median >= 5.0,
+        "component-scoped re-solve must be ≥5× a from-scratch solve (median {median:.1}×)"
+    );
+    for (label, value) in [
+        ("(cold dynamic solve µs, cache empty)", format!("{cold_us:.1}")),
+        ("(median speedup ×)", format!("{median:.1}")),
+        ("(corpus n)", dynamic.graph().n().to_string()),
+        ("(corpus m)", dynamic.graph().m().to_string()),
+    ] {
+        t.push_row(vec![
+            label.into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            value,
+        ]);
+    }
+    t
+}
+
 /// A table-building experiment entry point.
 pub type ExperimentFn = fn() -> Table;
 
@@ -1585,6 +1721,7 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("exact-scale", exp_exact_scale),
     ("serve-bench", exp_serve_bench),
     ("serve-cache-bench", exp_serve_cache_bench),
+    ("dynamic-bench", exp_dynamic_bench),
 ];
 
 /// Runs every experiment (the `reproduce --experiment all` path).

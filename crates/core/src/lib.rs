@@ -33,6 +33,7 @@ pub mod analysis;
 pub mod baselines;
 pub mod bipartite_minor;
 pub mod distributed;
+pub mod dynamic;
 pub mod forest;
 pub mod local_cuts;
 pub mod mvc;
@@ -41,5 +42,6 @@ pub mod theorem44;
 
 pub use algorithm1::{algorithm1, algorithm1_with, Algorithm1Output, PipelineOptions};
 pub use algorithm2::algorithm2;
+pub use dynamic::{DynamicSolver, DynamicStats};
 pub use radii::Radii;
 pub use theorem44::{theorem44_mds, theorem44_mvc};

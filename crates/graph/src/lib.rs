@@ -27,7 +27,11 @@
 //!   [`exact::ExactEngine`] (reduction rules + branch and bound +
 //!   tree-decomposition DP) that supersedes them on every hot path,
 //! * exact `K_{2,t}`-minor detection via hub-pair enumeration plus
-//!   Menger-style petal counting ([`minor`]).
+//!   Menger-style petal counting ([`minor`]),
+//! * batched dynamic updates ([`dynamic`]): [`DynamicGraph`] applies
+//!   edge/vertex insert+delete batches atomically over the CSR (splice
+//!   for small batches, amortized rebuild for large ones) and journals
+//!   touched vertices for ball/twin/component-scoped invalidation.
 //!
 //! # Example
 //!
@@ -46,6 +50,7 @@ pub mod block_cut;
 pub mod connectivity;
 pub mod csr;
 pub mod dominating;
+pub mod dynamic;
 pub mod errors;
 pub mod exact;
 pub mod graph;
@@ -61,6 +66,7 @@ pub mod two_cuts;
 pub mod vertex_cover;
 
 pub use csr::Csr;
+pub use dynamic::{DynamicGraph, GraphUpdate, UpdateStats};
 pub use errors::GraphError;
 pub use exact::{ExactBackend, ExactEngine};
 pub use graph::{Graph, GraphBuilder, Vertex};

@@ -68,10 +68,19 @@ impl Scratch {
     }
 
     /// Grows the buffers to cover `n` vertices (never shrinks).
+    ///
+    /// Every per-vertex buffer grows here, `key` included: a pooled
+    /// scratch warmed on a small graph must stay safe when the same
+    /// thread later queries a [`DynamicGraph`](crate::dynamic::DynamicGraph)
+    /// that has grown past the warmed vertex count (the buffers are
+    /// sized by the *largest* graph seen, not the first one).
     pub fn reserve(&mut self, n: usize) {
         if self.mark.len() < n {
             self.mark.resize(n, 0);
             self.dist.resize(n, 0);
+        }
+        if self.key.len() < n {
+            self.key.resize(n, 0);
         }
     }
 

@@ -10,6 +10,7 @@
 //! of a database layer.
 
 use lmds_api::Instance;
+use lmds_graph::dynamic::{DynamicGraph, GraphUpdate, UpdateStats};
 use lmds_graph::io::{from_edge_list, from_snapshot, graph_checksum, is_snapshot, to_snapshot};
 use lmds_graph::Graph;
 use std::collections::BTreeMap;
@@ -169,6 +170,40 @@ impl CorpusStore {
         Ok(entry)
     }
 
+    /// Applies an edge-update batch to the graph stored under `name`,
+    /// replacing it with a fresh entry (new [`GraphEntry::checksum`], so
+    /// every result-cache key for the old content misses naturally).
+    /// Returns `None` when no graph is stored under `name`.
+    ///
+    /// The whole batch is validated and applied atomically
+    /// ([`DynamicGraph::apply`]) under the corpus write lock, so
+    /// concurrent readers see either the old entry or the new one —
+    /// never a half-patched graph. In-flight jobs keep their `Arc` to
+    /// the old entry, exactly like a re-upload.
+    ///
+    /// # Errors
+    ///
+    /// [`CorpusError::InvalidGraph`] when the batch is rejected (self
+    /// loop, endpoint out of range), [`CorpusError::Io`] when the
+    /// refreshed snapshot cannot be persisted; the stored entry is
+    /// untouched either way.
+    pub fn patch(
+        &self,
+        name: &str,
+        updates: &[GraphUpdate],
+    ) -> Result<Option<(Arc<GraphEntry>, UpdateStats)>, CorpusError> {
+        let mut graphs = self.graphs.write().expect("corpus lock");
+        let Some(old) = graphs.get(name) else { return Ok(None) };
+        let mut dynamic = DynamicGraph::new(old.graph().clone());
+        let stats = dynamic.apply(updates).map_err(|e| CorpusError::InvalidGraph(e.to_string()))?;
+        let entry = Arc::new(GraphEntry::new(name.to_string(), dynamic.into_graph()));
+        if let Some(dir) = &self.persist_dir {
+            self.write_snapshot(dir, &entry)?;
+        }
+        graphs.insert(name.to_string(), entry.clone());
+        Ok(Some((entry, stats)))
+    }
+
     fn write_snapshot(&self, dir: &Path, entry: &GraphEntry) -> Result<(), CorpusError> {
         let bytes =
             to_snapshot(entry.graph()).map_err(|e| CorpusError::InvalidGraph(e.to_string()))?;
@@ -268,6 +303,49 @@ mod tests {
         let snap = to_snapshot(&Graph::from_edges(3, &[(0, 1)])).unwrap();
         let err = store.insert("g", &snap[..snap.len() - 1]).unwrap_err();
         assert!(matches!(err, CorpusError::InvalidGraph(ref d) if d.contains("snapshot")), "{err}");
+    }
+
+    #[test]
+    fn patch_replaces_the_entry_atomically_and_rejects_bad_batches() {
+        let store = CorpusStore::in_memory();
+        let old = store.insert("g", edge_list().as_bytes()).unwrap();
+
+        // Unknown names are None, not an error (the HTTP layer owns 404).
+        assert!(store.patch("ghost", &[GraphUpdate::AddVertex]).unwrap().is_none());
+
+        let (patched, stats) = store
+            .patch("g", &[GraphUpdate::RemoveEdge(2, 3), GraphUpdate::AddVertex])
+            .unwrap()
+            .unwrap();
+        assert_eq!((stats.removed, stats.added_vertices), (1, 1));
+        assert_eq!(patched.graph().n(), 6);
+        assert_eq!(patched.graph().m(), 3);
+        assert_ne!(patched.checksum, old.checksum, "content change, checksum change");
+        assert_eq!(old.graph().n(), 5, "in-flight handle survives the patch");
+        assert_eq!(store.get("g").unwrap().checksum, patched.checksum);
+
+        // A rejected batch (out-of-range endpoint) leaves the store
+        // untouched.
+        let err = store.patch("g", &[GraphUpdate::InsertEdge(0, 99)]).unwrap_err();
+        assert!(matches!(err, CorpusError::InvalidGraph(_)), "{err}");
+        assert_eq!(store.get("g").unwrap().checksum, patched.checksum);
+    }
+
+    #[test]
+    fn patch_refreshes_the_persisted_snapshot() {
+        let dir = std::env::temp_dir().join(format!("lmds-corpus-patch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let patched_checksum;
+        {
+            let store = CorpusStore::persistent(&dir).unwrap();
+            store.insert("p5", edge_list().as_bytes()).unwrap();
+            let (entry, _) = store.patch("p5", &[GraphUpdate::InsertEdge(0, 4)]).unwrap().unwrap();
+            patched_checksum = entry.checksum;
+        }
+        let reloaded = CorpusStore::persistent(&dir).unwrap();
+        assert_eq!(reloaded.get("p5").unwrap().checksum, patched_checksum);
+        assert_eq!(reloaded.get("p5").unwrap().graph().m(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

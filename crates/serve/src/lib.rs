@@ -8,7 +8,13 @@
 //!    text edge list or a schema-versioned binary CSR snapshot
 //!    ([`lmds_graph::io::to_snapshot`]) — and run many solvers against
 //!    it by name. With a persistence directory, the corpus survives
-//!    restarts.
+//!    restarts. Stored graphs are *mutable*: `PATCH /graphs/{name}`
+//!    applies an atomic edge-update batch
+//!    ([`lmds_graph::dynamic::DynamicGraph`]), and a follow-up
+//!    centralized `mds/algorithm1` solve re-runs the pipeline only on
+//!    the components the patch touched — unchanged components stitch
+//!    from a server-wide [`lmds_core::DynamicSolver`] cache (the
+//!    `components_reused` metric counts the wins).
 //! 2. **A bounded job queue** ([`queue`]): a fixed pool of worker
 //!    threads (warm per-thread `Scratch`/`CutEngine`/`ExactEngine`
 //!    pools) drains a bounded FIFO. Full queue ⟹ HTTP 429; per-job
@@ -38,6 +44,7 @@
 //! | Method & path          | Purpose                                   |
 //! |------------------------|-------------------------------------------|
 //! | `PUT /graphs/{name}`   | upload a graph (edge list or snapshot)    |
+//! | `PATCH /graphs/{name}` | apply an edge-update batch in place       |
 //! | `GET /graphs`          | list stored graphs (name, n, m, checksum) |
 //! | `GET /graphs/{name}`   | one stored graph's summary                |
 //! | `GET /solvers`         | the registry catalog                      |

@@ -126,6 +126,12 @@ pub struct Metrics {
     pub deadline_exceeded: AtomicU64,
     /// Graph uploads accepted.
     pub graphs_uploaded: AtomicU64,
+    /// Graphs mutated in place by an accepted `PATCH /graphs/{name}`.
+    pub graphs_patched: AtomicU64,
+    /// Connected components stitched from the dynamic solver's
+    /// per-component cache instead of being re-solved — the
+    /// component-scoped reuse the PATCH + solve flow exists for.
+    pub components_reused: AtomicU64,
     /// Solve requests answered from the result cache.
     pub cache_hits: AtomicU64,
     /// Solve requests that had to run the solver.
@@ -220,6 +226,8 @@ impl Metrics {
             ("jobs_reaped", Value::from(self.jobs_reaped.load(Ordering::Relaxed))),
             ("deadline_exceeded", Value::from(self.deadline_exceeded.load(Ordering::Relaxed))),
             ("graphs_uploaded", Value::from(self.graphs_uploaded.load(Ordering::Relaxed))),
+            ("graphs_patched", Value::from(self.graphs_patched.load(Ordering::Relaxed))),
+            ("components_reused", Value::from(self.components_reused.load(Ordering::Relaxed))),
             ("cache_hits", Value::from(self.cache_hits.load(Ordering::Relaxed))),
             ("cache_misses", Value::from(self.cache_misses.load(Ordering::Relaxed))),
             ("cache_evictions", Value::from(self.cache_evictions.load(Ordering::Relaxed))),
@@ -273,6 +281,8 @@ mod tests {
         s1.latency.record(Duration::from_micros(300));
         Metrics::bump(&m.rejected_queue_full);
         Metrics::bump(&m.cache_hits);
+        Metrics::bump(&m.graphs_patched);
+        m.components_reused.fetch_add(3, Ordering::Relaxed);
         let doc = m.render(&Gauges {
             queue_depth: 3,
             queue_capacity: 16,
@@ -285,6 +295,8 @@ mod tests {
         assert_eq!(doc.get("jobs_tracked").unwrap().as_u64(), Some(5));
         assert_eq!(doc.get("cache_hits").unwrap().as_u64(), Some(1));
         assert_eq!(doc.get("cache_misses").unwrap().as_u64(), Some(0));
+        assert_eq!(doc.get("graphs_patched").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("components_reused").unwrap().as_u64(), Some(3));
         assert_eq!(doc.get("connection_cap").unwrap().as_u64(), Some(64));
         let solver = doc.get("solvers").unwrap().get("mds/exact").unwrap();
         assert_eq!(solver.get("requests").unwrap().as_u64(), Some(1));

@@ -9,6 +9,7 @@
 
 use crate::json::Value;
 use lmds_api::{SolutionView, SolveConfig, SolveConfigView, SolveError};
+use lmds_graph::dynamic::GraphUpdate;
 
 /// A wire error: HTTP status plus the JSON envelope.
 #[derive(Debug, Clone)]
@@ -346,6 +347,60 @@ pub fn parse_solution(doc: &Value) -> Result<SolutionView, String> {
     })
 }
 
+/// Parses a `PATCH /graphs/{name}` body into a [`GraphUpdate`] batch.
+///
+/// Wire shape: `{"updates": [<op>, ...]}` where each op is one of
+///
+/// * `{"op": "insert", "u": 0, "v": 1}` — insert edge `{u, v}`,
+/// * `{"op": "delete", "u": 0, "v": 1}` — remove edge `{u, v}`,
+/// * `{"op": "add_vertex"}` — append one isolated vertex.
+///
+/// The batch is applied atomically server-side
+/// ([`lmds_graph::dynamic::DynamicGraph::apply`]), so a rejected op
+/// means nothing was applied. An empty batch is rejected here — a PATCH
+/// that changes nothing is almost certainly a client bug.
+///
+/// # Errors
+///
+/// A 400 [`WireError`] naming the malformed op or field.
+pub fn parse_update_batch(body: &[u8]) -> Result<Vec<GraphUpdate>, WireError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| WireError::bad_request("body is not UTF-8"))?;
+    let doc = crate::json::parse(text).map_err(|e| WireError::bad_request(e.to_string()))?;
+    let items = doc
+        .get("updates")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| WireError::bad_request("body needs an \"updates\" array"))?;
+    if items.is_empty() {
+        return Err(WireError::bad_request("\"updates\" must not be empty"));
+    }
+    let mut batch = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let op = item
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| WireError::bad_request(format!("update #{i} needs a string \"op\"")))?;
+        let endpoint = |field: &'static str| -> Result<usize, WireError> {
+            item.get(field).and_then(Value::as_u64).map(|x| x as usize).ok_or_else(|| {
+                WireError::bad_request(format!(
+                    "update #{i} ({op}) needs a non-negative integer {field:?}"
+                ))
+            })
+        };
+        batch.push(match op {
+            "insert" => GraphUpdate::InsertEdge(endpoint("u")?, endpoint("v")?),
+            "delete" => GraphUpdate::RemoveEdge(endpoint("u")?, endpoint("v")?),
+            "add_vertex" => GraphUpdate::AddVertex,
+            other => {
+                return Err(WireError::bad_request(format!(
+                    "update #{i}: unknown op {other:?} (known: insert, delete, add_vertex)"
+                )))
+            }
+        });
+    }
+    Ok(batch)
+}
+
 /// Renders a graph-entry summary (`PUT /graphs/{name}` response and
 /// `GET /graphs` rows). The 64-bit checksum travels as a hex string —
 /// JSON numbers are f64 and would corrupt it.
@@ -458,6 +513,39 @@ mod tests {
             .unwrap();
         assert_ne!(config_fingerprint(&implicit), config_fingerprint(&local));
         assert!(config_fingerprint(&local).contains("local-oracle"));
+    }
+
+    #[test]
+    fn update_batches_parse_and_malformed_ops_are_named() {
+        let batch = parse_update_batch(
+            br#"{"updates": [
+                {"op": "insert", "u": 0, "v": 1},
+                {"op": "delete", "u": 2, "v": 3},
+                {"op": "add_vertex"}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            batch,
+            vec![
+                GraphUpdate::InsertEdge(0, 1),
+                GraphUpdate::RemoveEdge(2, 3),
+                GraphUpdate::AddVertex
+            ]
+        );
+
+        for (body, needle) in [
+            (br#"{}"# as &[u8], "updates"),
+            (br#"{"updates": []}"#, "must not be empty"),
+            (br#"{"updates": [{"op": "explode"}]}"#, "explode"),
+            (br#"{"updates": [{"op": "insert", "u": 0}]}"#, "\"v\""),
+            (br#"{"updates": [{"op": "delete", "u": -1, "v": 2}]}"#, "\"u\""),
+            (br#"{"updates": [{"u": 0, "v": 1}]}"#, "\"op\""),
+        ] {
+            let err = parse_update_batch(body).unwrap_err();
+            assert_eq!((err.status, err.code), (400, "bad-request"));
+            assert!(err.message.contains(needle), "{:?} → {}", body, err.message);
+        }
     }
 
     #[test]

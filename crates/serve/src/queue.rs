@@ -278,6 +278,17 @@ impl JobQueue {
         self.job_done.notify_all();
     }
 
+    /// Whether any tracked job referencing the corpus graph `name` is
+    /// still queued or running. `PATCH /graphs/{name}` refuses to
+    /// mutate a busy graph: in-flight jobs hold an `Arc` to the old
+    /// entry so they could not be corrupted, but their eventual results
+    /// would describe a revision the client just replaced — rejecting
+    /// with 409 keeps the update/solve interleaving explicit.
+    pub fn has_active_jobs_for(&self, name: &str) -> bool {
+        let inner = self.inner.lock().expect("queue lock");
+        inner.jobs.values().any(|job| !job.state.is_terminal() && job.spec.entry.name() == name)
+    }
+
     /// A snapshot of job `id`, if it is still tracked. Prefer
     /// [`JobQueue::lookup`] at the HTTP boundary — it also tells a
     /// never-issued id apart from a swept one.
@@ -422,6 +433,20 @@ mod tests {
         assert_eq!(got, live);
         let snap = q.status(dead).unwrap();
         assert!(matches!(snap.state, JobState::Failed { code: "timeout", .. }), "{:?}", snap.state);
+    }
+
+    #[test]
+    fn active_job_scan_tracks_the_graph_through_its_lifecycle() {
+        let q = queue(4);
+        assert!(!q.has_active_jobs_for("g"), "empty queue, nothing active");
+        let id = q.submit(spec(None)).unwrap();
+        assert!(q.has_active_jobs_for("g"), "queued counts as active");
+        assert!(!q.has_active_jobs_for("other"), "name must match");
+        let (got, _) = q.next_job().unwrap();
+        assert_eq!(got, id);
+        assert!(q.has_active_jobs_for("g"), "running counts as active");
+        q.complete(id, JobState::Done(dummy_solution()));
+        assert!(!q.has_active_jobs_for("g"), "terminal jobs do not block a patch");
     }
 
     #[test]

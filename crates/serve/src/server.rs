@@ -47,11 +47,12 @@ use crate::http::{
 use crate::json::Value;
 use crate::metrics::{Gauges, Metrics};
 use crate::proto::{
-    config_fingerprint, parse_solve_request, render_graph_entry, render_solution,
-    solve_error_to_wire, SolveRequest, WireError,
+    config_fingerprint, parse_solve_request, parse_update_batch, render_graph_entry,
+    render_solution, solve_error_to_wire, SolveRequest, WireError,
 };
 use crate::queue::{JobLookup, JobQueue, JobSpec, JobState, SubmitError};
-use lmds_api::{SolutionView, SolverRegistry};
+use lmds_api::{ExecutionMode, Problem, SolutionView, SolverRegistry};
+use lmds_core::DynamicSolver;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -188,6 +189,14 @@ struct Shared {
     corpus: CorpusStore,
     queue: JobQueue,
     cache: ResultCache,
+    /// The component-scoped dynamic solver shared by the worker pool:
+    /// plain centralized `mds/algorithm1` jobs route through it, so a
+    /// solve after a `PATCH` re-runs the pipeline only on components the
+    /// patch actually changed (untouched components stitch from this
+    /// cache by content fingerprint). One mutex-held solver is enough —
+    /// the components it skips are exactly the expensive part, and the
+    /// registry path stays available for every other configuration.
+    dynamic: Mutex<DynamicSolver>,
     metrics: Metrics,
     conn_gate: ConnGate,
     persist_dir: Option<PathBuf>,
@@ -267,6 +276,7 @@ impl Server {
             corpus,
             queue: JobQueue::new(config.queue_capacity, config.job_retention),
             cache,
+            dynamic: Mutex::new(DynamicSolver::new()),
             metrics: Metrics::new(),
             conn_gate: ConnGate::new(config.max_connections),
             persist_dir: config.persist_dir,
@@ -426,6 +436,20 @@ fn cache_key(spec: &JobSpec) -> CacheKey {
     }
 }
 
+/// Whether a job can run on the component-scoped dynamic path instead
+/// of the registry: a plain centralized `mds/algorithm1` solve. The
+/// gate mirrors `lmds_api::dynamic::solve_with_cache`'s config check
+/// exactly, so the dynamic call below cannot fail on configuration —
+/// and for everything it admits, the assembled solution is
+/// wire-identical to the registry's (same assemble path, same
+/// certificate), so routing through it is invisible to clients.
+fn dynamic_eligible(spec: &JobSpec) -> bool {
+    spec.solver == "mds/algorithm1"
+        && spec.config.problem == Problem::MinDominatingSet
+        && spec.config.mode == ExecutionMode::Centralized
+        && !spec.config.measure_ratio
+}
+
 /// One worker: pop, check the cache, solve on a miss, record — until
 /// the queue drains on shutdown.
 fn worker_loop(shared: &Shared) {
@@ -449,7 +473,19 @@ fn worker_loop(shared: &Shared) {
         let n = spec.entry.graph().n();
         lmds_graph::scratch::with_thread_scratch(|s| s.reserve(n));
         let start = Instant::now();
-        let result = shared.registry.solve(&spec.solver, &spec.entry.instance, &spec.config);
+        let result = if dynamic_eligible(&spec) {
+            let mut dynamic = shared.dynamic.lock().expect("dynamic solver lock");
+            lmds_api::dynamic::solve_with_cache(&spec.entry.instance, &spec.config, &mut dynamic)
+                .map(|(solution, stats)| {
+                    shared
+                        .metrics
+                        .components_reused
+                        .fetch_add(stats.components_reused as u64, Ordering::Relaxed);
+                    solution
+                })
+        } else {
+            shared.registry.solve(&spec.solver, &spec.entry.instance, &spec.config)
+        };
         solver_metrics.latency.record(start.elapsed());
         match result {
             Ok(solution) => {
@@ -567,6 +603,7 @@ fn route(req: &Request, shared: &Shared) -> Result<(u16, Value), WireError> {
             Ok((200, render_graph_entry(&entry)))
         }
         ("PUT", ["graphs", name]) => put_graph(shared, name, &req.body),
+        ("PATCH", ["graphs", name]) => patch_graph(shared, name, &req.body),
         ("POST", ["solve"]) => solve_sync(shared, &req.body),
         ("POST", ["jobs"]) => submit_job(shared, &req.body),
         ("GET", ["jobs", id]) => job_status(shared, id),
@@ -630,6 +667,57 @@ fn put_graph(shared: &Shared, name: &str, body: &[u8]) -> Result<(u16, Value), W
     })?;
     Metrics::bump(&shared.metrics.graphs_uploaded);
     Ok((201, render_graph_entry(&entry)))
+}
+
+/// `PATCH /graphs/{name}`: applies a JSON edge-update batch
+/// ([`parse_update_batch`]) to a stored graph in place.
+///
+/// Refused with the typed 409 `graph-busy` envelope while any queued or
+/// running job references the graph — in-flight jobs hold the old
+/// entry's `Arc` and could not be corrupted, but their results would
+/// describe content the client just replaced. A successful patch mints
+/// a fresh [`crate::corpus::GraphEntry`] with a new structural
+/// checksum, so every result-cache key for the old content misses
+/// naturally, while a follow-up `mds/algorithm1` solve stitches
+/// unchanged components from the dynamic solver's cache.
+fn patch_graph(shared: &Shared, name: &str, body: &[u8]) -> Result<(u16, Value), WireError> {
+    if shared.queue.is_shutting_down() {
+        return Err(WireError::new(503, "shutting-down", SubmitError::ShuttingDown.to_string()));
+    }
+    lookup_graph(shared, name)?;
+    if shared.queue.has_active_jobs_for(name) {
+        return Err(WireError::new(
+            409,
+            "graph-busy",
+            format!("graph {name:?} has queued or running jobs; retry once they finish"),
+        ));
+    }
+    let updates = parse_update_batch(body)?;
+    let patched = shared.corpus.patch(name, &updates).map_err(|err| match err {
+        CorpusError::InvalidName(_) => WireError::bad_request(err.to_string()),
+        CorpusError::InvalidGraph(_) => WireError::new(422, "invalid-graph", err.to_string()),
+        CorpusError::Io(_) => WireError::new(500, "internal", err.to_string()),
+    })?;
+    // The name was just looked up and corpus entries are never removed,
+    // so the patch target cannot have vanished; re-check anyway rather
+    // than unwrap a protocol handler.
+    let (entry, stats) = patched.ok_or_else(|| {
+        WireError::new(404, "unknown-graph", format!("no graph stored as {name:?}"))
+    })?;
+    Metrics::bump(&shared.metrics.graphs_patched);
+    let mut doc = render_graph_entry(&entry);
+    if let Value::Obj(map) = &mut doc {
+        map.insert(
+            "applied".into(),
+            Value::obj([
+                ("inserted", Value::from(stats.inserted)),
+                ("removed", Value::from(stats.removed)),
+                ("added_vertices", Value::from(stats.added_vertices)),
+                ("skipped", Value::from(stats.skipped)),
+            ]),
+        );
+    }
+    Ok((200, doc))
 }
 
 /// Resolves a solve request into a runnable [`JobSpec`]: graph lookup,

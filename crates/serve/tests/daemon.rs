@@ -279,6 +279,114 @@ fn error_envelopes_are_typed_and_carry_valid_keys() {
     handle.shutdown();
 }
 
+/// The PATCH + re-solve flow end to end: a two-component graph is
+/// solved (priming the dynamic solver's per-component cache), patched
+/// in one component, and solved again. The second solve must miss the
+/// result cache (new checksum), match a from-scratch registry run on
+/// the patched graph, and reuse the untouched component.
+#[test]
+fn patch_updates_a_graph_and_the_next_solve_reuses_untouched_components() {
+    let handle = spawn_default();
+    let addr = handle.addr();
+    // Two path components: {0..4} and {5..9}.
+    let put = send(addr, "PUT", "/graphs/two", b"10 8\n0 1\n1 2\n2 3\n3 4\n5 6\n6 7\n7 8\n8 9\n");
+    assert_eq!(put.status, 201);
+    let old_checksum = put.json().get("checksum").unwrap().as_str().unwrap().to_string();
+
+    let solve = br#"{"graph": "two", "solver": "mds/algorithm1"}"# as &[u8];
+    let first = send(addr, "POST", "/solve", solve);
+    assert_eq!(first.status, 200, "{}", String::from_utf8_lossy(&first.body));
+
+    // Patch: drop an edge inside the first component, splitting it.
+    let patch =
+        send(addr, "PATCH", "/graphs/two", br#"{"updates": [{"op": "delete", "u": 2, "v": 3}]}"#);
+    assert_eq!(patch.status, 200, "{}", String::from_utf8_lossy(&patch.body));
+    let doc = patch.json();
+    assert_ne!(
+        doc.get("checksum").unwrap().as_str().unwrap(),
+        old_checksum,
+        "a content change must change the checksum"
+    );
+    let applied = doc.get("applied").unwrap();
+    assert_eq!(applied.get("removed").unwrap().as_u64(), Some(1));
+    assert_eq!(applied.get("inserted").unwrap().as_u64(), Some(0));
+
+    // Re-solve: a fresh result (new checksum ⟹ result-cache miss) that
+    // matches a from-scratch registry run on the patched graph.
+    let second = send(addr, "POST", "/solve", solve);
+    assert_eq!(second.status, 200, "{}", String::from_utf8_lossy(&second.body));
+    assert!(second.json().get("cached").is_none(), "patched content must miss the result cache");
+    let served = solution_from_response(&second.json());
+    let patched_graph = lmds_graph::Graph::from_edges(
+        10,
+        &[(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (7, 8), (8, 9)],
+    );
+    let registry = SolverRegistry::with_defaults();
+    let direct = registry
+        .solve("mds/algorithm1", &Instance::sequential("two", patched_graph), &SolveConfig::mds())
+        .unwrap();
+    assert_eq!(served, canonical(&SolutionView::from(&direct)), "patched solve must be exact");
+
+    // The untouched component {5..9} was stitched from the dynamic
+    // cache, and the patch counter moved.
+    let metrics = send(addr, "GET", "/metrics", b"").json();
+    assert_eq!(metrics.get("graphs_patched").unwrap().as_u64(), Some(1));
+    assert!(
+        metrics.get("components_reused").unwrap().as_u64().unwrap() >= 1,
+        "the second solve must reuse the untouched component"
+    );
+
+    // Typed rejections: malformed batch (400), out-of-range endpoint
+    // (422), unknown graph (404).
+    let bad = send(addr, "PATCH", "/graphs/two", br#"{"updates": [{"op": "explode"}]}"#);
+    assert_eq!(bad.status, 400);
+    assert_eq!(bad.json().get("code").unwrap().as_str(), Some("bad-request"));
+    let oob =
+        send(addr, "PATCH", "/graphs/two", br#"{"updates": [{"op": "insert", "u": 0, "v": 99}]}"#);
+    assert_eq!(oob.status, 422);
+    assert_eq!(oob.json().get("code").unwrap().as_str(), Some("invalid-graph"));
+    let ghost = send(addr, "PATCH", "/graphs/ghost", br#"{"updates": [{"op": "add_vertex"}]}"#);
+    assert_eq!(ghost.status, 404);
+    assert_eq!(ghost.json().get("code").unwrap().as_str(), Some("unknown-graph"));
+    handle.shutdown();
+}
+
+/// A graph with in-flight work refuses a PATCH with the typed 409
+/// envelope, and accepts it once the work drains.
+#[test]
+fn patch_on_a_busy_graph_is_a_typed_409() {
+    let handle = Server::spawn(sleepy_config(Duration::from_millis(400))).unwrap();
+    let addr = handle.addr();
+    send(addr, "PUT", "/graphs/busy", b"4 3\n0 1\n1 2\n2 3\n");
+    send(addr, "PUT", "/graphs/idle", b"4 3\n0 1\n1 2\n2 3\n");
+
+    let job = send(addr, "POST", "/jobs", br#"{"graph": "busy", "solver": "mds/sleepy"}"#);
+    assert_eq!(job.status, 202);
+    let id = job.json().get("job_id").unwrap().as_u64().unwrap();
+    wait_until_running(addr, id);
+
+    let batch = br#"{"updates": [{"op": "delete", "u": 1, "v": 2}]}"# as &[u8];
+    let refused = send(addr, "PATCH", "/graphs/busy", batch);
+    assert_eq!(refused.status, 409, "{}", String::from_utf8_lossy(&refused.body));
+    let doc = refused.json();
+    assert_eq!(doc.get("code").unwrap().as_str(), Some("graph-busy"));
+    assert!(doc.get("message").unwrap().as_str().unwrap().contains("busy"));
+
+    // A different graph is not blocked by the busy one.
+    assert_eq!(send(addr, "PATCH", "/graphs/idle", batch).status, 200);
+
+    // Once the job drains, the same PATCH goes through.
+    for _ in 0..1000 {
+        let poll = send(addr, "GET", &format!("/jobs/{id}"), b"").json();
+        if poll.get("status").unwrap().as_str() == Some("done") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(send(addr, "PATCH", "/graphs/busy", batch).status, 200);
+    handle.shutdown();
+}
+
 /// A solver that holds its worker for a controlled duration, then
 /// delegates to the exact MDS solver — the tool for backpressure,
 /// timeout, and mid-solve shutdown tests.

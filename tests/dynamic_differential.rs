@@ -1,0 +1,183 @@
+//! The differential harness for the dynamic subsystem: every
+//! `lmds-gen` family × seeds, hit with deterministic random
+//! insert/delete/add-vertex streams, where after **every** batch the
+//! incremental [`DynamicInstance`] solve must (1) produce the exact
+//! vertex set of a from-scratch registry `mds/algorithm1` run on the
+//! same snapshot and (2) carry a certificate that passes
+//! [`Solution::verify`] — i.e. stitching cached components back
+//! together is *wire-indistinguishable* from re-running the pipeline.
+//!
+//! Batch sizes straddle the splice/rebuild threshold
+//! ([`lmds_graph::dynamic::SPLICE_LIMIT`]) so both update paths are
+//! certified.
+
+use lmds_api::dynamic::DynamicInstance;
+use lmds_api::{Instance, SolveConfig, SolverRegistry};
+use lmds_core::Radii;
+use lmds_gen::ding::AugmentationSpec;
+use lmds_gen::rng::SmallRng;
+use lmds_graph::dynamic::{GraphUpdate, SPLICE_LIMIT};
+use lmds_graph::Graph;
+
+/// The deterministic corpus: every generator family. Sizes are modest
+/// because every step runs a from-scratch reference solve.
+fn corpus() -> Vec<(String, Graph)> {
+    let mut out: Vec<(String, Graph)> = vec![
+        ("path13".into(), lmds_gen::basic::path(13)),
+        ("cycle12".into(), lmds_gen::basic::cycle(12)),
+        ("star9".into(), lmds_gen::basic::star(9)),
+        ("spider3x4".into(), lmds_gen::basic::spider(3, 4)),
+        ("caterpillar6x2".into(), lmds_gen::basic::caterpillar(6, 2)),
+        ("grid4x4".into(), lmds_gen::basic::grid(4, 4)),
+        ("strip5".into(), lmds_gen::ding::strip(5)),
+        ("fan6".into(), lmds_gen::ding::fan(6)),
+        ("clique_pendants6".into(), lmds_gen::adversarial::clique_with_pendants(6)),
+        ("long_cycle21".into(), lmds_gen::adversarial::long_cycle(21)),
+        ("theta_ring4x2".into(), lmds_gen::composite::theta_ring(4, 2)),
+        ("necklace3x5".into(), lmds_gen::composite::necklace(3, 5)),
+        ("kary_tree2d3".into(), lmds_gen::trees::complete_kary_tree(2, 3)),
+        ("broom5x4".into(), lmds_gen::trees::broom(5, 4)),
+    ];
+    for seed in 0..2u64 {
+        out.push((format!("tree_s{seed}"), lmds_gen::trees::random_tree(17, seed)));
+        out.push((
+            format!("outerplanar_s{seed}"),
+            lmds_gen::outerplanar::random_maximal_outerplanar(14, seed),
+        ));
+        out.push((
+            format!("augmentation_s{seed}"),
+            AugmentationSpec::standard(4, 1, 1, seed).generate(),
+        ));
+        out.push((format!("gnp_s{seed}"), lmds_gen::random::connected_gnp(14, 25, seed)));
+        out.push((
+            format!("bounded_deg_s{seed}"),
+            lmds_gen::random::random_bounded_degree(16, 3, seed),
+        ));
+    }
+    out
+}
+
+/// One random update batch against the current graph. Inserts pick
+/// arbitrary distinct pairs (present pairs are skipped no-ops by
+/// contract), deletes pick uniformly among present edges, and when
+/// `grow` is set a batch may append a vertex and wire it in.
+fn random_batch(g: &Graph, rng: &mut SmallRng, grow: bool) -> Vec<GraphUpdate> {
+    // Straddle the splice/rebuild threshold: sizes 1 ..= SPLICE_LIMIT + 4.
+    let len = 1 + rng.gen_range(0..SPLICE_LIMIT + 4);
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    let mut n = g.n();
+    let mut batch = Vec::with_capacity(len);
+    for _ in 0..len {
+        match rng.next_u64() % 4 {
+            0 | 1 => {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    batch.push(GraphUpdate::InsertEdge(u, v));
+                }
+            }
+            2 => {
+                if !edges.is_empty() {
+                    let (u, v) = edges[rng.gen_range(0..edges.len())];
+                    batch.push(GraphUpdate::RemoveEdge(u, v));
+                }
+            }
+            _ => {
+                if grow {
+                    batch.push(GraphUpdate::AddVertex);
+                    let u = rng.gen_range(0..n);
+                    batch.push(GraphUpdate::InsertEdge(u, n));
+                    n += 1;
+                } else if !edges.is_empty() {
+                    let (u, v) = edges[rng.gen_range(0..edges.len())];
+                    batch.push(GraphUpdate::RemoveEdge(u, v));
+                }
+            }
+        }
+    }
+    if batch.is_empty() {
+        // Never submit an empty batch; a guaranteed-fresh insert keeps
+        // the stream moving (n ≥ 2 for every corpus instance).
+        batch.push(GraphUpdate::InsertEdge(0, 1));
+    }
+    batch
+}
+
+/// Drives `steps` random batches over one instance, asserting the
+/// dynamic solve equals the from-scratch registry solve (same vertex
+/// set, verifying certificate) after every batch.
+fn certify_stream(name: &str, g: Graph, seed: u64, steps: usize, grow: bool, cfg: &SolveConfig) {
+    let registry = SolverRegistry::with_defaults();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1FF);
+    let mut dynamic = DynamicInstance::new(Instance::shuffled(name, g, seed));
+    for step in 0..=steps {
+        if step > 0 {
+            let batch = random_batch(dynamic.graph(), &mut rng, grow);
+            dynamic
+                .apply(&batch)
+                .unwrap_or_else(|e| panic!("{name} step {step}: bad batch {batch:?}: {e}"));
+        }
+        let snap = dynamic.snapshot();
+        let (sol, stats) = dynamic.solve(cfg).unwrap_or_else(|e| panic!("{name} step {step}: {e}"));
+        sol.verify(&snap).unwrap_or_else(|e| panic!("{name} step {step}: bad certificate: {e}"));
+        let reference = registry
+            .solve("mds/algorithm1", &snap, cfg)
+            .unwrap_or_else(|e| panic!("{name} step {step}: reference solve: {e}"));
+        assert_eq!(
+            sol.vertices,
+            reference.vertices,
+            "{name} step {step}: incremental ≠ from-scratch (rev {})",
+            dynamic.revision(),
+        );
+        assert_eq!(
+            stats.components_reused + stats.components_resolved,
+            stats.components_total,
+            "{name} step {step}: stats don't partition the components",
+        );
+    }
+}
+
+#[test]
+fn edge_streams_match_from_scratch_on_every_family() {
+    let cfg = SolveConfig::mds().radii(Radii::practical(2, 2));
+    for (name, g) in corpus() {
+        certify_stream(&name, g, 11, 4, false, &cfg);
+    }
+}
+
+#[test]
+fn growth_streams_match_from_scratch() {
+    let cfg = SolveConfig::mds().radii(Radii::practical(2, 2));
+    for (name, g) in corpus().into_iter().step_by(3) {
+        certify_stream(&name, g, 23, 4, true, &cfg);
+    }
+}
+
+#[test]
+fn default_radii_agree_too() {
+    // The paper-default radii exercise larger balls; a corpus slice
+    // keeps the runtime in check.
+    let cfg = SolveConfig::mds();
+    for (name, g) in corpus().into_iter().step_by(5) {
+        certify_stream(&name, g, 5, 3, false, &cfg);
+    }
+}
+
+/// Re-solving an unchanged revision must stitch every component from
+/// cache and still return the identical, verifying solution.
+#[test]
+fn unchanged_revisions_reuse_every_component() {
+    let cfg = SolveConfig::mds().radii(Radii::practical(2, 2));
+    let mut rng = SmallRng::seed_from_u64(0xCAFE);
+    for (name, g) in corpus().into_iter().step_by(4) {
+        let mut dynamic = DynamicInstance::new(Instance::shuffled(&name, g, 5));
+        let batch = random_batch(dynamic.graph(), &mut rng, false);
+        dynamic.apply(&batch).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (first, warm) = dynamic.solve(&cfg).unwrap();
+        let (second, stats) = dynamic.solve(&cfg).unwrap();
+        assert_eq!(first.vertices, second.vertices, "{name}: repeat solve drifted");
+        assert_eq!(stats.components_resolved, 0, "{name}: cache miss on unchanged revision");
+        assert_eq!(stats.components_reused, warm.components_total, "{name}");
+        second.verify(&dynamic.snapshot()).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
