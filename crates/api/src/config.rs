@@ -5,7 +5,7 @@
 use lmds_asdim::ControlFunction;
 use lmds_core::{PipelineOptions, Radii};
 use lmds_graph::ExactBackend;
-use lmds_localsim::{IdPolicy, RuntimeKind};
+use lmds_localsim::{FaultConfig, IdPolicy, RuntimeKind};
 
 /// The optimization problem an [`crate::Solver`] targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,13 +56,18 @@ impl ExecutionMode {
     /// Oracle semantics sharded across worker threads (bit-identical
     /// outputs).
     pub const LOCAL_SHARDED: ExecutionMode = ExecutionMode::Local(RuntimeKind::ShardedOracle);
+    /// Message passing under the scenario's [`FaultConfig`] (drops,
+    /// crash-stop vertices, bounded skew); bit-identical to
+    /// [`ExecutionMode::LOCAL_MESSAGE_PASSING`] when the plan is empty.
+    pub const LOCAL_FAULTY: ExecutionMode = ExecutionMode::Local(RuntimeKind::Faulty);
 
     /// All modes, in the order batch sweeps iterate them.
-    pub const ALL: [ExecutionMode; 4] = [
+    pub const ALL: [ExecutionMode; 5] = [
         ExecutionMode::Centralized,
         ExecutionMode::LOCAL_ORACLE,
         ExecutionMode::LOCAL_MESSAGE_PASSING,
         ExecutionMode::LOCAL_SHARDED,
+        ExecutionMode::LOCAL_FAULTY,
     ];
 
     /// Whether this mode runs on the LOCAL simulator (and therefore
@@ -104,11 +109,21 @@ pub struct ScenarioConfig {
     /// Worker threads for [`ExecutionMode::LOCAL_SHARDED`] (clamped to
     /// ≥ 1 at use).
     pub threads: usize,
+    /// The fault plan for [`ExecutionMode::LOCAL_FAULTY`] runs: seeded
+    /// message drops, crash-stop vertices, bounded round-asynchrony.
+    /// An inactive (all-zero) plan is the default; an *active* plan on
+    /// any other runtime is rejected as unsupported options.
+    pub fault: FaultConfig,
 }
 
 impl Default for ScenarioConfig {
     fn default() -> Self {
-        ScenarioConfig { id_policy: None, round_cap: None, threads: 4 }
+        ScenarioConfig {
+            id_policy: None,
+            round_cap: None,
+            threads: 4,
+            fault: FaultConfig::default(),
+        }
     }
 }
 
@@ -223,6 +238,12 @@ impl SolveConfig {
         self
     }
 
+    /// Sets the fault plan for [`ExecutionMode::LOCAL_FAULTY`] runs.
+    pub fn fault(mut self, fault: FaultConfig) -> Self {
+        self.scenario.fault = fault;
+        self
+    }
+
     /// Sets the pipeline radii explicitly. Clears any control function
     /// so the radii/control knob stays consistent across solvers (last
     /// setter wins).
@@ -320,6 +341,7 @@ mod tests {
         assert_eq!(ExecutionMode::LOCAL_ORACLE.to_string(), "local-oracle");
         assert_eq!(ExecutionMode::LOCAL_MESSAGE_PASSING.to_string(), "local-message-passing");
         assert_eq!(ExecutionMode::LOCAL_SHARDED.to_string(), "local-sharded-oracle");
+        assert_eq!(ExecutionMode::LOCAL_FAULTY.to_string(), "local-faulty");
         assert_eq!(Problem::MinVertexCover.key_prefix(), "mvc");
     }
 
@@ -331,10 +353,24 @@ mod tests {
             ExecutionMode::LOCAL_ORACLE,
             ExecutionMode::LOCAL_MESSAGE_PASSING,
             ExecutionMode::LOCAL_SHARDED,
+            ExecutionMode::LOCAL_FAULTY,
         ] {
             assert!(mode.is_distributed());
             assert!(mode.runtime().is_some());
         }
-        assert_eq!(ExecutionMode::ALL.len(), 4);
+        assert_eq!(ExecutionMode::ALL.len(), 5);
+    }
+
+    #[test]
+    fn fault_builder_threads_the_plan_through_the_scenario() {
+        use lmds_localsim::DropPolicy;
+        let fault = FaultConfig {
+            seed: 3,
+            drop: DropPolicy::Bernoulli { per_mille: 100 },
+            ..FaultConfig::default()
+        };
+        let cfg = SolveConfig::mds().mode(ExecutionMode::LOCAL_FAULTY).fault(fault);
+        assert_eq!(cfg.scenario.fault, fault);
+        assert!(!SolveConfig::mds().scenario.fault.is_active(), "default plan is inert");
     }
 }

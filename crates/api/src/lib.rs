@@ -69,14 +69,17 @@ pub use dynamic::DynamicInstance;
 pub use instance::{GroundTruth, Instance};
 pub use registry::{SolverDescriptor, SolverRegistry};
 pub use solution::{
-    Certificate, MessageStats, Optimum, PipelineDiagnostics, Solution, VerifyError,
+    Certificate, Degradation, MessageStats, Optimum, PipelineDiagnostics, Solution, VerifyError,
 };
 pub use solver::{SolveError, Solver};
 pub use view::{SolutionView, SolveConfigView, ViewError};
 
-// The LOCAL-scenario vocabulary, re-exported so API consumers need not
-// depend on the simulator crate directly.
-pub use lmds_localsim::{IdPolicy, MessageAccounting, RuntimeKind};
+// The LOCAL-scenario vocabulary (including the fault-injection knobs),
+// re-exported so API consumers need not depend on the simulator crate
+// directly.
+pub use lmds_localsim::{
+    CrashPolicy, DropPolicy, FaultConfig, FaultReport, IdPolicy, MessageAccounting, RuntimeKind,
+};
 
 // The exact-engine backend knob ([`SolveConfig::exact_backend`]),
 // re-exported likewise from the graph substrate.

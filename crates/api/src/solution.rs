@@ -6,6 +6,7 @@ use crate::{ExecutionMode, Instance, Problem};
 use lmds_graph::dominating::is_dominating_set;
 use lmds_graph::vertex_cover::is_vertex_cover;
 use lmds_graph::{Vertex, VertexSet};
+use lmds_localsim::FaultReport;
 use std::time::Duration;
 
 /// Validity certificate, checked against the instance graph with the
@@ -131,6 +132,33 @@ pub struct Solution {
     pub optimum: Option<Optimum>,
     /// Pipeline internals (Algorithm 1 family only).
     pub diagnostics: Option<PipelineDiagnostics>,
+    /// What the fault plan actually did, for
+    /// [`ExecutionMode::LOCAL_FAULTY`](crate::ExecutionMode) runs
+    /// (`None` everywhere else): messages dropped, crashed and silent
+    /// vertices, maximum staleness observed. Identical seeds replay
+    /// identical reports.
+    pub fault: Option<FaultReport>,
+}
+
+/// How a (typically fault-injected) solution relates to a fault-free
+/// reference run of the same solver on the same instance — the
+/// degradation taxonomy of the fault harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Degradation {
+    /// Bit-identical vertex set to the reference run.
+    ExactlyCorrect,
+    /// Feasible, but a different set than the reference.
+    FeasibleDegraded {
+        /// Relative size drift against the reference:
+        /// `|S| / |S_ref| − 1` (positive ⟹ larger than fault-free).
+        ratio_drift: f64,
+    },
+    /// The set fails the problem's feasibility predicate.
+    Infeasible {
+        /// A witness: an undominated vertex (MDS) or an endpoint of an
+        /// uncovered edge (MVC).
+        witness: Vertex,
+    },
 }
 
 /// Why [`Solution::verify`] rejected a solution.
@@ -222,6 +250,23 @@ impl Solution {
         self.certificate.valid
     }
 
+    /// Classifies this solution against a fault-free `reference` run of
+    /// the same solver on the same instance — the degradation verdict
+    /// of the fault harness. Feasibility is recomputed from the
+    /// instance graph (not read from the stored certificate), so a
+    /// crash-degraded run cannot smuggle a stale certificate past the
+    /// classifier.
+    pub fn classify(&self, inst: &Instance, reference: &Solution) -> Degradation {
+        if let Some(witness) = infeasibility_witness(self.problem, &inst.graph, &self.vertices) {
+            return Degradation::Infeasible { witness };
+        }
+        if self.vertices == reference.vertices {
+            return Degradation::ExactlyCorrect;
+        }
+        let drift = self.size() as f64 / reference.size().max(1) as f64 - 1.0;
+        Degradation::FeasibleDegraded { ratio_drift: drift }
+    }
+
     /// The measured approximation ratio `|S| / opt`, if an optimum is
     /// attached. `1.0` when both sides are zero.
     pub fn ratio(&self) -> Option<f64> {
@@ -261,7 +306,32 @@ impl Solution {
             wall,
             optimum,
             diagnostics: None,
+            fault: None,
         }
+    }
+}
+
+/// A concrete witness that `set` fails `problem`'s feasibility
+/// predicate on `g`: an undominated vertex (MDS) or the smaller
+/// endpoint of an uncovered edge (MVC). `None` when feasible.
+fn infeasibility_witness(
+    problem: Problem,
+    g: &lmds_graph::Graph,
+    set: &[Vertex],
+) -> Option<Vertex> {
+    let mut in_set = vec![false; g.n()];
+    for &v in set {
+        if let Some(slot) = in_set.get_mut(v) {
+            *slot = true;
+        }
+    }
+    match problem {
+        Problem::MinDominatingSet => {
+            g.vertices().find(|&v| !in_set[v] && g.neighbors(v).iter().all(|&u| !in_set[u]))
+        }
+        Problem::MinVertexCover => g
+            .vertices()
+            .find(|&v| !in_set[v] && g.neighbors(v).iter().any(|&u| u > v && !in_set[u])),
     }
 }
 

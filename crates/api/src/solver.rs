@@ -14,7 +14,7 @@ use lmds_core::mvc::algorithm1_mvc;
 use lmds_core::theorem44::{theorem44_mds, theorem44_mvc};
 use lmds_core::{algorithm1_with, baselines, PipelineOptions, Radii};
 use lmds_graph::Vertex;
-use lmds_localsim::{LocalAlgorithm, RuntimeError};
+use lmds_localsim::{FaultReport, FaultyRuntime, LocalAlgorithm, RuntimeError, RuntimeKind};
 use std::time::Instant;
 
 /// Why a solve call failed.
@@ -57,7 +57,10 @@ pub enum SolveError {
         budget: u64,
     },
     /// The LOCAL simulation failed (round cap, malformed instance).
-    Runtime(RuntimeError),
+    /// Fault-injected runs attach the [`FaultReport`] accumulated up to
+    /// the failure, so a crash-stalled run still names which vertices
+    /// fell silent.
+    Runtime(RuntimeError, Option<FaultReport>),
 }
 
 impl std::fmt::Display for SolveError {
@@ -78,7 +81,19 @@ impl std::fmt::Display for SolveError {
             SolveError::BudgetExhausted { solver, budget } => {
                 write!(f, "solver {solver} exhausted its search budget of {budget} nodes")
             }
-            SolveError::Runtime(e) => write!(f, "LOCAL runtime error: {e}"),
+            SolveError::Runtime(e, fault) => {
+                write!(f, "LOCAL runtime error: {e}")?;
+                if let Some(r) = fault {
+                    write!(
+                        f,
+                        " (fault run: {} messages dropped, {} crashed, {} silent)",
+                        r.messages_dropped,
+                        r.crashed.len(),
+                        r.silent.len()
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -86,7 +101,7 @@ impl std::fmt::Display for SolveError {
 impl std::error::Error for SolveError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            SolveError::Runtime(e) => Some(e),
+            SolveError::Runtime(e, _) => Some(e),
             _ => None,
         }
     }
@@ -94,7 +109,7 @@ impl std::error::Error for SolveError {
 
 impl From<RuntimeError> for SolveError {
     fn from(e: RuntimeError) -> Self {
-        SolveError::Runtime(e)
+        SolveError::Runtime(e, None)
     }
 }
 
@@ -104,7 +119,16 @@ impl SolveError {
     /// hook for registry callers.
     pub fn round_limit(&self) -> Option<u32> {
         match self {
-            SolveError::Runtime(RuntimeError::RoundLimitExceeded { limit, .. }) => Some(*limit),
+            SolveError::Runtime(RuntimeError::RoundLimitExceeded { limit, .. }, _) => Some(*limit),
+            _ => None,
+        }
+    }
+
+    /// The fault report a failed fault-injected run accumulated, when
+    /// this error came out of a [`RuntimeKind::Faulty`] simulation.
+    pub fn fault_report(&self) -> Option<&FaultReport> {
+        match self {
+            SolveError::Runtime(_, fault) => fault.as_ref(),
             _ => None,
         }
     }
@@ -169,14 +193,38 @@ fn adaptive_round_cap(radii: Radii, n: usize) -> u32 {
 }
 
 /// What a distributed run hands back to `finish`: vertices, rounds,
-/// and the LOCAL execution profile.
-type LocalRun = (Vec<Vertex>, Option<u32>, Option<MessageStats>);
+/// the LOCAL execution profile, and the fault report (faulty runtime
+/// only).
+type LocalRun = (Vec<Vertex>, Option<u32>, Option<MessageStats>, Option<FaultReport>);
+
+/// The grace budget a fault run grants the completeness-gated native
+/// state machines: `None` (strict, wait for full evidence) outside
+/// fault runs, the plan's standard budget inside them.
+fn fault_grace(cfg: &SolveConfig) -> Option<u32> {
+    let fault = cfg.scenario.fault;
+    fault.is_active().then(|| fault.grace())
+}
+
+/// The effective round cap: an explicit [`ScenarioConfig::round_cap`]
+/// (even a stalling one — the regression tests rely on small explicit
+/// caps tripping), or the solver default widened by the fault plan's
+/// grace-and-skew headroom so default fault runs terminate.
+fn local_round_cap(cfg: &SolveConfig, default: u32) -> u32 {
+    let fault = cfg.scenario.fault;
+    cfg.scenario.round_cap.unwrap_or(default + fault.grace() + fault.skew)
+}
 
 /// Runs a boolean [`LocalAlgorithm`] under the config's LOCAL scenario:
 /// resolves the runtime backend from the mode, applies the identifier
 /// policy (instance ids unless overridden), and converts the result to
-/// (vertices, rounds, message stats).
+/// (vertices, rounds, message stats, fault report).
+///
+/// The faulty backend takes the scenario's [`FaultConfig`] and reports
+/// what the plan did; crashed-undecided vertices are *silent* — absent
+/// from the vertex set and named in the report rather than failing the
+/// run. An active fault plan on any other backend is rejected.
 fn run_local<A: LocalAlgorithm<Output = bool>>(
+    solver: &'static str,
     inst: &Instance,
     cfg: &SolveConfig,
     algo: &A,
@@ -186,6 +234,15 @@ fn run_local<A: LocalAlgorithm<Output = bool>>(
         .mode
         .runtime()
         .unwrap_or_else(|| unreachable!("run_local is only called for ExecutionMode::Local"));
+    if cfg.scenario.fault.is_active() && kind != RuntimeKind::Faulty {
+        return Err(SolveError::UnsupportedOptions {
+            solver,
+            reason: format!(
+                "fault plan \"{}\" requires the local-faulty mode, not local-{kind}",
+                cfg.scenario.fault
+            ),
+        });
+    }
     let scenario_ids;
     let ids = match cfg.scenario.id_policy {
         Some(policy) => {
@@ -194,13 +251,27 @@ fn run_local<A: LocalAlgorithm<Output = bool>>(
         }
         None => &inst.ids,
     };
+    if kind == RuntimeKind::Faulty {
+        let rt = FaultyRuntime::new(cfg.scenario.fault);
+        let run = rt
+            .run_with_report(&inst.graph, ids, algo, cap)
+            .map_err(|(e, report)| SolveError::Runtime(e, Some(report)))?;
+        let vertices: Vec<Vertex> = run
+            .outputs
+            .iter()
+            .enumerate()
+            .filter_map(|(v, o)| matches!(o, Some(true)).then_some(v))
+            .collect();
+        let stats = MessageStats { accounting: run.messages, decided_at: run.decided_histogram() };
+        return Ok((vertices, Some(run.rounds), Some(stats), Some(run.report)));
+    }
     // max(1): SolveConfig's fields are public, so a hand-built
     // threads: 0 must not turn into a div_ceil panic downstream.
     let res = kind.run(&inst.graph, ids, algo, cap, cfg.scenario.threads.max(1))?;
     let vertices: Vec<Vertex> =
         res.outputs.iter().enumerate().filter_map(|(v, &b)| b.then_some(v)).collect();
     let stats = MessageStats { accounting: res.messages, decided_at: res.decided_histogram() };
-    Ok((vertices, Some(res.rounds), Some(stats)))
+    Ok((vertices, Some(res.rounds), Some(stats), None))
 }
 
 /// Attaches a measured optimum when the config asks for one and ground
@@ -247,6 +318,21 @@ fn finish(
     );
     sol.diagnostics = diagnostics;
     measure_optimum(inst, cfg, &mut sol);
+    sol
+}
+
+/// [`finish`] for distributed runs: unpacks a [`LocalRun`] and attaches
+/// the fault report next to the message stats.
+fn finish_local(
+    solver: &'static str,
+    inst: &Instance,
+    cfg: &SolveConfig,
+    started: Instant,
+    run: LocalRun,
+) -> Solution {
+    let (vertices, rounds, messages, fault) = run;
+    let mut sol = finish(solver, inst, cfg, started, vertices, rounds, messages, None);
+    sol.fault = fault;
     sol
 }
 
@@ -308,10 +394,10 @@ fn solve_pipeline(
                 .into(),
         });
     }
-    let cap = cfg.scenario.round_cap.unwrap_or_else(|| adaptive_round_cap(radii, inst.n()));
+    let cap = local_round_cap(cfg, adaptive_round_cap(radii, inst.n()));
     let decider = Algorithm1Decider { radii };
-    let (vertices, rounds, messages) = run_local(inst, cfg, &decider, cap)?;
-    Ok(finish(key, inst, cfg, started, vertices, rounds, messages, None))
+    let run = run_local(key, inst, cfg, &decider, cap)?;
+    Ok(finish_local(key, inst, cfg, started, run))
 }
 
 /// Algorithm 1 / Theorem 4.1: the `O_t(1)`-round constant-approximation
@@ -397,9 +483,10 @@ impl Solver for Theorem44MdsSolver {
             let sol = theorem44_mds(&inst.graph, &inst.ids);
             return Ok(finish(self.key(), inst, cfg, started, sol, None, None, None));
         }
-        let cap = cfg.scenario.round_cap.unwrap_or(10);
-        let (vertices, rounds, messages) = run_local(inst, cfg, &Theorem44Local, cap)?;
-        Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
+        let cap = local_round_cap(cfg, 10);
+        let algo = Theorem44Local { grace: fault_grace(cfg) };
+        let run = run_local(self.key(), inst, cfg, &algo, cap)?;
+        Ok(finish_local(self.key(), inst, cfg, started, run))
     }
 }
 
@@ -430,9 +517,10 @@ impl Solver for TreesFolkloreSolver {
             let sol = baselines::trees_folklore(&inst.graph, &inst.ids);
             return Ok(finish(self.key(), inst, cfg, started, sol, None, None, None));
         }
-        let cap = cfg.scenario.round_cap.unwrap_or(10);
-        let (vertices, rounds, messages) = run_local(inst, cfg, &TreesFolkloreLocal, cap)?;
-        Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
+        let cap = local_round_cap(cfg, 10);
+        let algo = TreesFolkloreLocal { grace: fault_grace(cfg) };
+        let run = run_local(self.key(), inst, cfg, &algo, cap)?;
+        Ok(finish_local(self.key(), inst, cfg, started, run))
     }
 }
 
@@ -463,9 +551,9 @@ impl Solver for TakeAllSolver {
             let sol = baselines::take_all(&inst.graph);
             return Ok(finish(self.key(), inst, cfg, started, sol, None, None, None));
         }
-        let cap = cfg.scenario.round_cap.unwrap_or(5);
-        let (vertices, rounds, messages) = run_local(inst, cfg, &TakeAllLocal, cap)?;
-        Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
+        let cap = local_round_cap(cfg, 5);
+        let run = run_local(self.key(), inst, cfg, &TakeAllLocal, cap)?;
+        Ok(finish_local(self.key(), inst, cfg, started, run))
     }
 }
 
@@ -551,9 +639,10 @@ impl Solver for Theorem44MvcSolver {
             let sol = theorem44_mvc(&inst.graph, &inst.ids);
             return Ok(finish(self.key(), inst, cfg, started, sol, None, None, None));
         }
-        let cap = cfg.scenario.round_cap.unwrap_or(10);
-        let (vertices, rounds, messages) = run_local(inst, cfg, &Theorem44MvcLocal, cap)?;
-        Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
+        let cap = local_round_cap(cfg, 10);
+        let algo = Theorem44MvcLocal { grace: fault_grace(cfg) };
+        let run = run_local(self.key(), inst, cfg, &algo, cap)?;
+        Ok(finish_local(self.key(), inst, cfg, started, run))
     }
 }
 
@@ -602,10 +691,10 @@ impl Solver for Algorithm1MvcSolver {
                 Some(diagnostics),
             ));
         }
-        let cap = cfg.scenario.round_cap.unwrap_or_else(|| adaptive_round_cap(cfg.radii, inst.n()));
+        let cap = local_round_cap(cfg, adaptive_round_cap(cfg.radii, inst.n()));
         let decider = MvcAlgorithm1Decider { radii: cfg.radii };
-        let (vertices, rounds, messages) = run_local(inst, cfg, &decider, cap)?;
-        Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
+        let run = run_local(self.key(), inst, cfg, &decider, cap)?;
+        Ok(finish_local(self.key(), inst, cfg, started, run))
     }
 }
 
@@ -636,9 +725,9 @@ impl Solver for RegularMvcSolver {
             let sol = baselines::regular_mvc_take_all(&inst.graph);
             return Ok(finish(self.key(), inst, cfg, started, sol, None, None, None));
         }
-        let cap = cfg.scenario.round_cap.unwrap_or(5);
-        let (vertices, rounds, messages) = run_local(inst, cfg, &RegularMvcLocal, cap)?;
-        Ok(finish(self.key(), inst, cfg, started, vertices, rounds, messages, None))
+        let cap = local_round_cap(cfg, 5);
+        let run = run_local(self.key(), inst, cfg, &RegularMvcLocal, cap)?;
+        Ok(finish_local(self.key(), inst, cfg, started, run))
     }
 }
 

@@ -63,13 +63,15 @@ impl FromStr for ExecutionMode {
     type Err = String;
 
     /// Inverts the `Display` form (`"centralized"`, `"local-oracle"`,
-    /// `"local-message-passing"`, `"local-sharded-oracle"`).
+    /// `"local-message-passing"`, `"local-sharded-oracle"`,
+    /// `"local-faulty"`).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "centralized" => Ok(ExecutionMode::Centralized),
             "local-oracle" => Ok(ExecutionMode::Local(RuntimeKind::Oracle)),
             "local-message-passing" => Ok(ExecutionMode::Local(RuntimeKind::MessagePassing)),
             "local-sharded-oracle" => Ok(ExecutionMode::Local(RuntimeKind::ShardedOracle)),
+            "local-faulty" => Ok(ExecutionMode::Local(RuntimeKind::Faulty)),
             other => Err(format!(
                 "unknown execution mode {other:?} (expected one of: {})",
                 ExecutionMode::ALL.map(|m| m.to_string()).join(", ")
@@ -122,6 +124,11 @@ pub struct SolveConfigView {
     pub opt_budget: Option<u64>,
     /// Whether to measure the approximation ratio.
     pub measure_ratio: bool,
+    /// Fault plan for `"local-faulty"` runs, in the
+    /// [`FaultConfig`](lmds_localsim::FaultConfig) `Display` grammar
+    /// (e.g. `"seed=7;drop=bernoulli:150;skew=1"`). `None` ⟹ no
+    /// faults; inert plans canonicalize to `None` on echo.
+    pub fault: Option<String>,
 }
 
 impl SolveConfigView {
@@ -146,6 +153,7 @@ impl SolveConfigView {
             exact_backend: Some(cfg.exact_backend.to_string()),
             opt_budget: Some(cfg.opt_budget),
             measure_ratio: cfg.measure_ratio,
+            fault: cfg.scenario.fault.is_active().then(|| cfg.scenario.fault.to_string()),
         }
     }
 
@@ -210,6 +218,11 @@ impl SolveConfigView {
             cfg.opt_budget = budget;
         }
         cfg.measure_ratio = self.measure_ratio;
+        if let Some(fault) = &self.fault {
+            cfg.scenario.fault = fault
+                .parse::<lmds_localsim::FaultConfig>()
+                .map_err(|e| ViewError::new("fault", e.to_string()))?;
+        }
         Ok(cfg)
     }
 }
@@ -242,6 +255,15 @@ pub struct SolutionView {
     pub ratio: Option<f64>,
     /// The optimum it was measured against: `(value, exact)`.
     pub optimum: Option<(usize, bool)>,
+    /// Messages dropped by the fault plan (faulty runs only).
+    pub fault_messages_dropped: Option<u64>,
+    /// Vertices the fault plan crashed (faulty runs only).
+    pub fault_crashed: Option<Vec<usize>>,
+    /// Crashed vertices that never decided (faulty runs only).
+    pub fault_silent: Option<Vec<usize>>,
+    /// Maximum delivery staleness observed, in rounds (faulty runs
+    /// only).
+    pub fault_max_staleness: Option<u32>,
 }
 
 impl From<&Solution> for SolutionView {
@@ -259,6 +281,10 @@ impl From<&Solution> for SolutionView {
             wall_micros: sol.wall.as_micros().min(u64::MAX as u128) as u64,
             ratio: sol.ratio(),
             optimum: sol.optimum.map(|o| (o.value, o.exact)),
+            fault_messages_dropped: sol.fault.as_ref().map(|r| r.messages_dropped),
+            fault_crashed: sol.fault.as_ref().map(|r| r.crashed.clone()),
+            fault_silent: sol.fault.as_ref().map(|r| r.silent.clone()),
+            fault_max_staleness: sol.fault.as_ref().map(|r| r.max_staleness),
         }
     }
 }
@@ -302,6 +328,7 @@ mod tests {
             exact_backend: Some("treewidth".into()),
             opt_budget: Some(1234),
             measure_ratio: true,
+            fault: Some("seed=9;drop=bernoulli:150;skew=1".into()),
         };
         let cfg = view.try_into_config(Problem::MinVertexCover).unwrap();
         assert_eq!(cfg.problem, Problem::MinDominatingSet, "explicit problem beats the default");
@@ -309,7 +336,18 @@ mod tests {
         assert_eq!(cfg.scenario.id_policy, Some(IdPolicy::Adversarial { seed: 9 }));
         assert_eq!(cfg.radii, Radii::practical(3, 4));
         assert_eq!(cfg.exact_backend, ExactBackend::Treewidth);
+        assert!(cfg.scenario.fault.is_active());
         assert_eq!(SolveConfigView::from_config(&cfg), view, "from_config inverts the view");
+    }
+
+    #[test]
+    fn inert_fault_plans_canonicalize_to_absent_on_echo() {
+        // A seed alone injects nothing, so it must not perturb the wire
+        // form (or any fingerprint derived from it).
+        let view = SolveConfigView { fault: Some("seed=42".into()), ..SolveConfigView::default() };
+        let cfg = view.try_into_config(Problem::MinDominatingSet).unwrap();
+        assert!(!cfg.scenario.fault.is_active());
+        assert_eq!(SolveConfigView::from_config(&cfg).fault, None);
     }
 
     #[test]
@@ -342,6 +380,10 @@ mod tests {
             bad(SolveConfigView { exact_backend: Some("oracle".into()), ..Default::default() })
                 .field,
             "exact_backend"
+        );
+        assert_eq!(
+            bad(SolveConfigView { fault: Some("drop=always".into()), ..Default::default() }).field,
+            "fault"
         );
     }
 

@@ -439,9 +439,14 @@ fn dynamic_benches(iters: u32) -> Vec<BenchRow> {
 /// every runtime backend on representative explicit-round and adaptive
 /// solvers, with rounds and message bits alongside the timings so
 /// round/message regressions surface next to latency ones (the
-/// committed numbers live in `results/local_microbench.md`).
-fn local_benches(iters: u32) -> Table {
+/// committed numbers live in `results/local_microbench.md`). Also
+/// returns the rows in [`BenchRow`] form, so `--local` emits
+/// `results/BENCH_local.json` in the same schema as the kernel and
+/// dynamic sections (bench = `solver@runtime`, checksum mixes the
+/// solution set and round count — bit-identical across backends).
+fn local_benches(iters: u32) -> (Table, Vec<BenchRow>) {
     use lmds_api::RuntimeKind;
+    let mut rows: Vec<BenchRow> = Vec::new();
     let mut t = Table::new(
         &format!("microbench --local — LOCAL runtime backends, {iters} iterations (µs)"),
         &[
@@ -485,20 +490,18 @@ fn local_benches(iters: u32) -> Table {
                 .mode(ExecutionMode::Local(kind))
                 .radii(Radii::practical(2, 3))
                 .threads(4);
-            let mut best = f64::INFINITY;
-            let mut total = 0f64;
             let mut last = None;
-            for _ in 0..iters {
-                let start = Instant::now();
+            let (stats_us, checksum) = sample(iters, || {
                 let sol = registry.solve(key, inst, &cfg).unwrap_or_else(|e| panic!("{key}: {e}"));
-                let us = start.elapsed().as_secs_f64() * 1e6;
                 assert!(sol.is_valid(), "{key} on {}", inst.name);
-                best = best.min(us);
-                total += us;
+                let checksum = sol.vertices.iter().sum::<usize>()
+                    + sol.size() * 31
+                    + sol.rounds.unwrap_or(0) as usize * 1009;
                 last = Some(sol);
-            }
+                checksum
+            });
             let sol = last.expect("iters ≥ 1");
-            let stats = sol.messages.as_ref().expect("distributed run");
+            let msg = sol.messages.as_ref().expect("distributed run");
             let fmt_bits = |b: Option<u64>| b.map_or_else(|| "n/a".into(), |v| v.to_string());
             t.push_row(vec![
                 key.into(),
@@ -506,14 +509,21 @@ fn local_benches(iters: u32) -> Table {
                 inst.name.clone(),
                 inst.n().to_string(),
                 sol.rounds.expect("distributed").to_string(),
-                fmt_bits(stats.max_message_bits()),
-                fmt_bits(stats.total_message_bits()),
-                format!("{best:.1}"),
-                format!("{:.1}", total / iters as f64),
+                fmt_bits(msg.max_message_bits()),
+                fmt_bits(msg.total_message_bits()),
+                format!("{:.1}", stats_us.best),
+                format!("{:.1}", stats_us.mean),
             ]);
+            rows.push(BenchRow {
+                bench: format!("{key}@{kind}"),
+                workload: inst.name.clone(),
+                n: inst.n(),
+                checksum,
+                stats: stats_us,
+            });
         }
     }
-    t
+    (t, rows)
 }
 
 /// The `CutEngine` benches (`--cuts`): the Definition-2.1 predicate
@@ -739,7 +749,9 @@ fn main() {
             write_bench_json("kernel", iters, &rows);
         }
         if local {
-            print!("{}", render_markdown(&local_benches(iters)));
+            let (table, rows) = local_benches(iters);
+            print!("{}", render_markdown(&table));
+            write_bench_json("local", iters, &rows);
         }
         if cuts {
             print!("{}", render_markdown(&cuts_benches(iters)));

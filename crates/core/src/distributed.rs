@@ -291,35 +291,64 @@ fn degree_project(
     state
 }
 
-fn degree_receive(state: &mut DegreeState, round: u32, incoming: &[DegreeMsg]) {
-    match round {
-        1 => {
-            state.nbrs = incoming
-                .iter()
-                .map(|m| match m {
-                    DegreeMsg::Id(id) | DegreeMsg::Degree(id, _) => *id,
-                })
-                .collect();
-            state.nbrs.sort_unstable();
+impl DegreeState {
+    fn degree_of(&self, u: u64) -> Option<u64> {
+        self.nbr_degree.binary_search_by_key(&u, |e| e.0).ok().map(|i| self.nbr_degree[i].1)
+    }
+
+    /// Whether every known neighbor's degree has arrived — holds at
+    /// round 2 on a healthy network.
+    fn degrees_complete(&self) -> bool {
+        self.nbrs.iter().all(|&u| self.degree_of(u).is_some())
+    }
+}
+
+/// Whether a `grace` budget permits a best-effort decision at `round`,
+/// given the algorithm's nominal decision round `base`. `None` never
+/// does — the strict algorithms wait for complete evidence.
+fn past_grace(grace: Option<u32>, base: u32, round: u32) -> bool {
+    grace.is_some_and(|g| round >= base + g)
+}
+
+/// Variant-driven evidence folding: any message proves its sender is a
+/// neighbor, and degree announcements are upserted whenever (and
+/// however stale) they arrive. On a healthy network this reproduces
+/// the strict round-1-ids / round-2-degrees schedule bit-for-bit;
+/// under faults it lets retransmissions repair earlier losses.
+fn degree_receive(state: &mut DegreeState, _round: u32, incoming: &[DegreeMsg]) {
+    for m in incoming {
+        let id = match m {
+            DegreeMsg::Id(id) | DegreeMsg::Degree(id, _) => *id,
+        };
+        if let Err(pos) = state.nbrs.binary_search(&id) {
+            state.nbrs.insert(pos, id);
         }
-        2 => {
-            state.nbr_degree = incoming
-                .iter()
-                .map(|m| match m {
-                    DegreeMsg::Degree(id, d) => (*id, *d),
-                    DegreeMsg::Id(id) => (*id, 0),
-                })
-                .collect();
-            state.nbr_degree.sort_unstable();
+        if let DegreeMsg::Degree(id, d) = m {
+            match state.nbr_degree.binary_search_by_key(id, |e| e.0) {
+                Ok(pos) => state.nbr_degree[pos] = (*id, *d),
+                Err(pos) => state.nbr_degree.insert(pos, (*id, *d)),
+            }
         }
-        _ => {}
     }
 }
 
 /// Table 1 trees row as a native state machine (2 rounds): degree ≥ 2
 /// joins; an isolated-edge endpoint joins iff it has the smaller
 /// identifier; isolated vertices join.
-pub struct TreesFolkloreLocal;
+///
+/// With `grace: None` (the default) the decision waits until every
+/// neighbor's degree is known — indistinguishable from the original on
+/// a healthy network, where completeness holds at round 2. With
+/// `grace: Some(g)` a vertex whose evidence is still incomplete at
+/// round `2 + g` decides anyway, defaulting unknown neighbor degrees to
+/// the safe side (join), so crash-stop and message-drop runs terminate
+/// with feasible-but-degraded output instead of stalling.
+#[derive(Default)]
+pub struct TreesFolkloreLocal {
+    /// Extra rounds to wait for missing degree evidence before a
+    /// best-effort decision. `None` waits indefinitely.
+    pub grace: Option<u32>,
+}
 
 impl LocalAlgorithm for TreesFolkloreLocal {
     type State = DegreeState;
@@ -336,9 +365,16 @@ impl LocalAlgorithm for TreesFolkloreLocal {
         degree_receive(state, round, incoming);
     }
     fn decide(&self, state: &DegreeState, round: u32) -> Option<bool> {
-        (round >= 2).then(|| match state.nbrs.len() {
+        if round < 2 || (!state.degrees_complete() && !past_grace(self.grace, 2, round)) {
+            return None;
+        }
+        Some(match state.nbrs.len() {
             0 => true,
-            1 => state.nbr_degree.first().is_some_and(|&(u, d)| d == 1 && state.me < u),
+            1 => match state.degree_of(state.nbrs[0]) {
+                Some(d) => d == 1 && state.me < state.nbrs[0],
+                // Missing evidence at the grace deadline: join (safe side).
+                None => true,
+            },
             _ => true,
         })
     }
@@ -358,7 +394,16 @@ impl LocalAlgorithm for TreesFolkloreLocal {
 
 /// Theorem 4.4's MVC variant as a native state machine (2 rounds):
 /// degree ≥ 2, or smaller-id endpoint of an isolated edge.
-pub struct Theorem44MvcLocal;
+///
+/// `grace` has the same semantics as on [`TreesFolkloreLocal`]:
+/// `None` waits for complete degree evidence, `Some(g)` permits a
+/// safe-side (join) decision at round `2 + g`.
+#[derive(Default)]
+pub struct Theorem44MvcLocal {
+    /// Extra rounds to wait for missing degree evidence before a
+    /// best-effort decision. `None` waits indefinitely.
+    pub grace: Option<u32>,
+}
 
 impl LocalAlgorithm for Theorem44MvcLocal {
     type State = DegreeState;
@@ -375,9 +420,16 @@ impl LocalAlgorithm for Theorem44MvcLocal {
         degree_receive(state, round, incoming);
     }
     fn decide(&self, state: &DegreeState, round: u32) -> Option<bool> {
-        (round >= 2).then(|| match state.nbrs.len() {
+        if round < 2 || (!state.degrees_complete() && !past_grace(self.grace, 2, round)) {
+            return None;
+        }
+        Some(match state.nbrs.len() {
             0 => false,
-            1 => state.nbr_degree.first().is_some_and(|&(u, d)| d == 1 && state.me < u),
+            1 => match state.degree_of(state.nbrs[0]) {
+                Some(d) => d == 1 && state.me < state.nbrs[0],
+                // Missing evidence at the grace deadline: join (safe side).
+                None => true,
+            },
             _ => true,
         })
     }
@@ -418,16 +470,76 @@ pub struct Thm44State {
 }
 
 impl Thm44State {
-    fn closed_of(&self, w: u64) -> &[u64] {
-        self.closed.get(&w).expect("closed neighborhood within trusted radius")
+    fn try_closed_of(&self, w: u64) -> Option<&[u64]> {
+        self.closed.get(&w).map(Vec::as_slice)
     }
 
-    /// Whether `w` survives the minimum-identifier twin reduction:
-    /// dropped iff some true twin has a smaller id. Valid for
-    /// `w ∈ N[me]` once the closed neighborhoods of `N[w]` are known.
-    fn kept(&self, w: u64) -> bool {
-        let nw = self.closed_of(w);
-        !nw.iter().any(|&z| z != w && z < w && self.closed_of(z) == nw)
+    /// Whether `w` survives the minimum-identifier twin reduction,
+    /// judged on the evidence collected so far: `None` when `closed(w)`
+    /// itself is unknown. A twin `z` only disqualifies `w` when
+    /// `closed(z)` is known to equal `closed(w)` — closed neighborhoods
+    /// are ground truth wherever they come from, so a positive twin
+    /// proof is exact even on partial evidence; `Some(true)` may be
+    /// conservative (kept) when evidence is missing, and is exact once
+    /// [`Thm44State::complete`] holds.
+    fn kept_on_evidence(&self, w: u64) -> Option<bool> {
+        let nw = self.try_closed_of(w)?;
+        Some(!nw.iter().any(|&z| z != w && z < w && self.try_closed_of(z) == Some(nw)))
+    }
+
+    /// Records `u` as a physical neighbor (every received message
+    /// proves its sender is adjacent) and keeps the own closed set in
+    /// sync — under faults, neighbors can surface after round 1.
+    fn note_neighbor(&mut self, u: u64) {
+        if let Err(pos) = self.nbrs.binary_search(&u) {
+            self.nbrs.insert(pos, u);
+            let mut own = self.nbrs.clone();
+            own.push(self.me);
+            own.sort_unstable();
+            self.closed.insert(self.me, own);
+        }
+    }
+
+    /// Whether every closed set the decision rule touches is present:
+    /// the own set, the sets of everything in `N[me]`, and the sets of
+    /// everything *in* those (the 2-hop closure the twin tests walk).
+    /// On a healthy network this holds exactly at round 3.
+    fn complete(&self) -> bool {
+        let Some(mine) = self.try_closed_of(self.me) else { return false };
+        mine.iter().all(|&w| {
+            self.try_closed_of(w).is_some_and(|cw| cw.iter().all(|z| self.closed.contains_key(z)))
+        })
+    }
+
+    /// The Theorem 4.4 membership rule on current evidence — exact when
+    /// [`Thm44State::complete`] holds, safe-side (join) where evidence
+    /// is missing.
+    fn decide_on_evidence(&self) -> bool {
+        if self.kept_on_evidence(self.me) == Some(false) {
+            return false;
+        }
+        let Some(mine) = self.try_closed_of(self.me) else {
+            return true; // no evidence at all: joining is always safe
+        };
+        // N_R[me]: kept members of N[me]; unknown status counts as kept
+        // (a larger N_R[me] only makes absorption harder).
+        let nr_me: Vec<u64> = mine
+            .iter()
+            .copied()
+            .filter(|&w| w == self.me || self.kept_on_evidence(w).unwrap_or(true))
+            .collect();
+        // Absorbed iff some provably-kept neighbor u has
+        // N_R[me] ⊆ N_R[u] ⟺ every w ∈ N_R[me] is u or adjacent to u.
+        for &u in &self.nbrs {
+            if self.kept_on_evidence(u) != Some(true) {
+                continue;
+            }
+            let Some(nu) = self.try_closed_of(u) else { continue };
+            if nr_me.iter().all(|w| nu.binary_search(w).is_ok()) {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -436,7 +548,24 @@ impl Thm44State {
 /// closed neighborhoods of `N(v)` (twin status of `v`), round 3 the
 /// closed neighborhoods of `N²(v)` (twin status of the neighbors, i.e.
 /// membership of `D₂` of the twin-free quotient).
-pub struct Theorem44Local;
+///
+/// **Fault annotation.** The state machine accumulates evidence
+/// variant-by-variant (any round's message is folded in), retransmits
+/// cumulatively from round 4 on, and only decides once its evidence is
+/// complete (`Thm44State::complete`) — so under bounded asynchrony
+/// (stale deliveries, nothing lost) it produces the *exact* fault-free
+/// output, merely some rounds later. With `grace: Some(g)` it abandons
+/// completeness `g` rounds past the nominal round 3 and decides
+/// safe-side on partial evidence (join unless disproven) — the
+/// graceful-degradation mode fault runs use; `None` (the default)
+/// waits indefinitely, which on a healthy network is indistinguishable
+/// from the original strict 3-rounder.
+#[derive(Default)]
+pub struct Theorem44Local {
+    /// Rounds past the nominal decision round to keep waiting for
+    /// complete evidence before deciding best-effort; `None` = strict.
+    pub grace: Option<u32>,
+}
 
 impl LocalAlgorithm for Theorem44Local {
     type State = Thm44State;
@@ -444,55 +573,61 @@ impl LocalAlgorithm for Theorem44Local {
     type Output = bool;
 
     fn init(&self, ctx: &NodeCtx) -> Thm44State {
-        Thm44State { me: ctx.id, nbrs: Vec::new(), closed: BTreeMap::new() }
+        // Seed the own closed set immediately (degree-0 vertices never
+        // receive anything, yet must still reach a complete state).
+        let mut closed = BTreeMap::new();
+        closed.insert(ctx.id, vec![ctx.id]);
+        Thm44State { me: ctx.id, nbrs: Vec::new(), closed }
     }
 
     fn send(&self, state: &Thm44State, round: u32) -> Thm44Msg {
         match round {
             0 | 1 => Thm44Msg::Id(state.me),
             2 => Thm44Msg::Nbhd(state.me, state.nbrs.clone()),
+            3 => Thm44Msg::TwoHop(
+                state.me,
+                // Healthy networks have every neighbor's set by now;
+                // under faults, send what is known.
+                state
+                    .nbrs
+                    .iter()
+                    .filter_map(|&u| state.try_closed_of(u).map(|cn| (u, cn.to_vec())))
+                    .collect(),
+            ),
+            // Rounds ≥ 4 only happen when someone is still undecided
+            // (never on a healthy network): retransmit *all* collected
+            // evidence, own closed set included, so any single delivery
+            // repairs any number of earlier losses.
             _ => Thm44Msg::TwoHop(
                 state.me,
-                state.nbrs.iter().map(|&u| (u, state.closed_of(u).to_vec())).collect(),
+                state.closed.iter().map(|(&w, cn)| (w, cn.clone())).collect(),
             ),
         }
     }
 
-    fn receive(&self, state: &mut Thm44State, round: u32, incoming: &[Thm44Msg]) {
-        match round {
-            1 => {
-                state.nbrs = incoming
-                    .iter()
-                    .map(|m| match m {
-                        Thm44Msg::Id(id) | Thm44Msg::Nbhd(id, _) | Thm44Msg::TwoHop(id, _) => *id,
-                    })
-                    .collect();
-                state.nbrs.sort_unstable();
-                let mut own = state.nbrs.clone();
-                own.push(state.me);
-                own.sort_unstable();
-                state.closed.insert(state.me, own);
-            }
-            2 => {
-                for m in incoming {
-                    if let Thm44Msg::Nbhd(u, nb) = m {
-                        let mut cn = nb.clone();
-                        cn.push(*u);
-                        cn.sort_unstable();
-                        state.closed.insert(*u, cn);
+    fn receive(&self, state: &mut Thm44State, _round: u32, incoming: &[Thm44Msg]) {
+        // Folding is variant-driven, not round-driven: under skew a
+        // round-2 slot may carry a round-1 identifier, and evidence
+        // arriving late is still evidence. On a healthy network the
+        // rounds and variants coincide, reproducing the strict
+        // schedule bit-for-bit.
+        for m in incoming {
+            match m {
+                Thm44Msg::Id(u) => state.note_neighbor(*u),
+                Thm44Msg::Nbhd(u, nb) => {
+                    state.note_neighbor(*u);
+                    let mut cn = nb.clone();
+                    cn.push(*u);
+                    cn.sort_unstable();
+                    state.closed.insert(*u, cn);
+                }
+                Thm44Msg::TwoHop(u, entries) => {
+                    state.note_neighbor(*u);
+                    for (w, cn) in entries {
+                        state.closed.entry(*w).or_insert_with(|| cn.clone());
                     }
                 }
             }
-            3 => {
-                for m in incoming {
-                    if let Thm44Msg::TwoHop(_, entries) = m {
-                        for (w, cn) in entries {
-                            state.closed.entry(*w).or_insert_with(|| cn.clone());
-                        }
-                    }
-                }
-            }
-            _ => {}
         }
     }
 
@@ -500,28 +635,12 @@ impl LocalAlgorithm for Theorem44Local {
         if round < 3 {
             return None;
         }
-        if !state.kept(state.me) {
-            return Some(false);
+        // Evidence still missing at the grace deadline: decide
+        // best-effort (safe-side join where unproven).
+        if !state.complete() && !past_grace(self.grace, 3, round) {
+            return None;
         }
-        // N_R[me]: kept members of N[me].
-        let nr_me: Vec<u64> = state
-            .closed_of(state.me)
-            .iter()
-            .copied()
-            .filter(|&w| w == state.me || state.kept(w))
-            .collect();
-        // Absorbed iff some kept neighbor u has N_R[me] ⊆ N_R[u] ⟺
-        // every w ∈ N_R[me] is u itself or adjacent to u.
-        for &u in &state.nbrs {
-            if !state.kept(u) {
-                continue;
-            }
-            let nu = state.closed_of(u);
-            if nr_me.iter().all(|w| nu.binary_search(w).is_ok()) {
-                return Some(false);
-            }
-        }
-        Some(true)
+        Some(state.decide_on_evidence())
     }
 
     fn message_bits(&self, msg: &Thm44Msg, id_bits: u32) -> u64 {
@@ -791,17 +910,17 @@ mod tests {
 
     #[test]
     fn native_theorem44_matches_decider_on_all_runtimes() {
-        assert_native_matches_decider(&Theorem44Local, &Theorem44Decider, 10);
+        assert_native_matches_decider(&Theorem44Local::default(), &Theorem44Decider, 10);
     }
 
     #[test]
     fn native_trees_folklore_matches_decider_on_all_runtimes() {
-        assert_native_matches_decider(&TreesFolkloreLocal, &TreesFolkloreDecider, 10);
+        assert_native_matches_decider(&TreesFolkloreLocal::default(), &TreesFolkloreDecider, 10);
     }
 
     #[test]
     fn native_theorem44_mvc_matches_decider_on_all_runtimes() {
-        assert_native_matches_decider(&Theorem44MvcLocal, &Theorem44MvcDecider, 10);
+        assert_native_matches_decider(&Theorem44MvcLocal::default(), &Theorem44MvcDecider, 10);
     }
 
     #[test]
@@ -820,7 +939,7 @@ mod tests {
         // must undercut the full-information protocol on the same run.
         let g = lmds_gen::outerplanar::random_maximal_outerplanar(24, 2);
         let ids = IdAssignment::shuffled(g.n(), 2);
-        let native = MessagePassingRuntime.run(&g, &ids, &Theorem44Local, 10).unwrap();
+        let native = MessagePassingRuntime.run(&g, &ids, &Theorem44Local::default(), 10).unwrap();
         let flood = MessagePassingRuntime.run(&g, &ids, &Theorem44Decider, 10).unwrap();
         assert_eq!(native.outputs, flood.outputs);
         assert_eq!(native.rounds, 3);
@@ -834,11 +953,101 @@ mod tests {
         use crate::theorem44::theorem44_mds;
         for g in &test_graphs() {
             let ids = IdAssignment::adversarial(g, 3);
-            let res = OracleRuntime.run(g, &ids, &Theorem44Local, 10).unwrap();
+            let res = OracleRuntime.run(g, &ids, &Theorem44Local::default(), 10).unwrap();
             let mut central = theorem44_mds(g, &ids);
             central.sort_unstable();
             assert_eq!(outputs_to_set(&res.outputs), central, "{g:?}");
         }
+    }
+
+    /// The pinned monotone claim for pure asynchrony: Theorem 4.4's
+    /// state machine with the standard grace budget (`FaultConfig::
+    /// grace() = 6 + 2·skew`) produces outputs *bit-identical* to the
+    /// fault-free run under any bounded skew ≤ 3 — the cumulative
+    /// round-≥4 repair messages deliver complete evidence by round
+    /// `5 + 2·skew`, before the grace deadline, so the exact decision
+    /// rule always wins and only the round count grows.
+    #[test]
+    fn theorem44_is_exact_under_pure_bounded_asynchrony() {
+        use lmds_localsim::{FaultConfig, FaultyRuntime};
+        let mut stale_deliveries = 0u64;
+        for g in &test_graphs() {
+            for seed in [0u64, 7] {
+                let ids = IdAssignment::shuffled(g.n(), seed);
+                let reference =
+                    MessagePassingRuntime.run(g, &ids, &Theorem44Local::default(), 10).unwrap();
+                for skew in [1u32, 2, 3] {
+                    let cfg = FaultConfig { seed: 0xA5 + seed, skew, ..FaultConfig::default() };
+                    let algo = Theorem44Local { grace: Some(cfg.grace()) };
+                    let run = FaultyRuntime::new(cfg).run_with_report(g, &ids, &algo, 64).unwrap();
+                    let outputs: Vec<bool> = run.outputs.iter().map(|o| o.unwrap()).collect();
+                    assert_eq!(outputs, reference.outputs, "{g:?} seed={seed} skew={skew}");
+                    assert!(run.rounds >= reference.rounds, "{g:?} seed={seed} skew={skew}");
+                    assert_eq!(run.report.messages_dropped, 0);
+                    assert!(run.report.crashed.is_empty() && run.report.silent.is_empty());
+                    assert!(run.report.max_staleness <= skew, "{g:?} skew={skew}");
+                    stale_deliveries += u64::from(run.report.max_staleness);
+                }
+            }
+        }
+        // The sweep genuinely exercised stale deliveries somewhere.
+        assert!(stale_deliveries > 0);
+    }
+
+    /// The complementary claim: Algorithm 1's adaptive decider runs
+    /// through the blanket adapter, which certifies view radii by
+    /// *counting rounds*, not by checking evidence — so under message
+    /// drops it never stalls, it decides confidently on an impoverished
+    /// view and goes wrong, while the grace-hardened Theorem 4.4
+    /// machine on the very same fault plan degrades safe-side (extra
+    /// joins) and stays dominating.
+    #[test]
+    fn adaptive_deciders_degrade_under_drops_while_grace_absorbs_them() {
+        use lmds_localsim::{DropPolicy, FaultConfig, FaultyRuntime};
+        let graphs = [
+            lmds_gen::basic::path(10),
+            lmds_gen::ding::strip(5),
+            lmds_gen::trees::random_tree(14, 3),
+        ];
+        let (mut adaptive_bad, mut graced_bad, mut cells) = (0u32, 0u32, 0u32);
+        for g in &graphs {
+            for fault_seed in [1u64, 2, 3, 17] {
+                for per_mille in [200u16, 600, 800] {
+                    cells += 1;
+                    let ids = IdAssignment::shuffled(g.n(), 4);
+                    let cfg = FaultConfig {
+                        seed: fault_seed,
+                        drop: DropPolicy::Bernoulli { per_mille },
+                        ..FaultConfig::default()
+                    };
+                    let rt = FaultyRuntime::new(cfg);
+
+                    let decider = Algorithm1Decider { radii: Radii::practical(2, 2) };
+                    let adaptive =
+                        rt.run_with_report(g, &ids, &decider, 100).expect("adapter never stalls");
+                    assert!(adaptive.report.messages_dropped > 0);
+                    let adaptive_set = outputs_to_set(
+                        &adaptive.outputs.iter().map(|o| o.unwrap()).collect::<Vec<_>>(),
+                    );
+                    adaptive_bad += u32::from(!is_dominating_set(g, &adaptive_set));
+
+                    let algo = Theorem44Local { grace: Some(cfg.grace()) };
+                    let graced = rt.run_with_report(g, &ids, &algo, 100).unwrap();
+                    let graced_set = outputs_to_set(
+                        &graced.outputs.iter().map(|o| o.unwrap()).collect::<Vec<_>>(),
+                    );
+                    graced_bad += u32::from(!is_dominating_set(g, &graced_set));
+                }
+            }
+        }
+        assert!(
+            adaptive_bad > 0,
+            "some cell in the {cells}-cell grid must break the round-counting adapter"
+        );
+        assert!(
+            graced_bad < adaptive_bad,
+            "grace must degrade strictly less often ({graced_bad} vs {adaptive_bad} of {cells})"
+        );
     }
 }
 

@@ -20,12 +20,15 @@
 //!   decision. A blanket adapter makes every `Decider` a
 //!   `LocalAlgorithm` running the full-information protocol, so
 //!   adaptive algorithms stay one `fn` long.
-//! * [`Runtime`] — the pluggable execution engine, with three
-//!   interchangeable backends selected by [`RuntimeKind`]:
+//! * [`Runtime`] — the pluggable execution engine, with interchangeable
+//!   backends selected by [`RuntimeKind`]:
 //!   [`MessagePassingRuntime`] (faithful message passing, bits
 //!   accounted), [`OracleRuntime`] (states computed directly via
-//!   projection or ball replay), and [`ShardedOracleRuntime`] (oracle
-//!   semantics on scoped worker threads with pooled scratch).
+//!   projection or ball replay), [`ShardedOracleRuntime`] (oracle
+//!   semantics on scoped worker threads with pooled scratch), and
+//!   [`FaultyRuntime`] (message passing under a seeded [`FaultConfig`]:
+//!   drops, crash-stop vertices, bounded skew — bit-identical to
+//!   message passing when the plan is empty).
 //! * [`IdPolicy`] / [`IdAssignment`] — the identifier-assignment axis:
 //!   sequential, seeded-shuffled, or degree-adversarial permutations.
 //!
@@ -72,11 +75,16 @@
 //! ```
 
 pub mod algorithm;
+pub mod fault;
 pub mod ids;
 pub mod runtime;
 pub mod view;
 
 pub use algorithm::{LocalAlgorithm, NodeCtx};
+pub use fault::{
+    CrashPolicy, DropPolicy, FaultConfig, FaultPlan, FaultReport, FaultyRun, FaultyRuntime,
+    ParseFaultError,
+};
 pub use ids::{IdAssignment, IdPolicy};
 pub use runtime::{
     fits_congest, oracle_view, MessageAccounting, MessagePassingRuntime, OracleRuntime, RunResult,

@@ -140,8 +140,8 @@ impl fmt::Display for RuntimeError {
 
 impl Error for RuntimeError {}
 
-/// The three execution backends, as a configuration value. Higher
-/// layers (solver configs, sweeps) select a backend by kind;
+/// The execution backends, as a configuration value. Higher layers
+/// (solver configs, sweeps) select a backend by kind;
 /// [`RuntimeKind::run`] dispatches to the corresponding runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RuntimeKind {
@@ -151,16 +151,26 @@ pub enum RuntimeKind {
     Oracle,
     /// Oracle semantics sharded across worker threads.
     ShardedOracle,
+    /// Message passing behind a seeded fault plan
+    /// ([`crate::FaultyRuntime`]); bit-identical to
+    /// [`RuntimeKind::MessagePassing`] when the plan is empty.
+    Faulty,
 }
 
 impl RuntimeKind {
-    /// All backends, in the order sweeps iterate them.
-    pub const ALL: [RuntimeKind; 3] =
-        [RuntimeKind::MessagePassing, RuntimeKind::Oracle, RuntimeKind::ShardedOracle];
+    /// All backends, in the order sweeps iterate them. `Faulty` is
+    /// included with its zero plan — sweeping it re-proves the
+    /// bit-identity contract on every run.
+    pub const ALL: [RuntimeKind; 4] = [
+        RuntimeKind::MessagePassing,
+        RuntimeKind::Oracle,
+        RuntimeKind::ShardedOracle,
+        RuntimeKind::Faulty,
+    ];
 
     /// Whether this backend exchanges (and accounts) real messages.
     pub fn measures_messages(self) -> bool {
-        matches!(self, RuntimeKind::MessagePassing)
+        matches!(self, RuntimeKind::MessagePassing | RuntimeKind::Faulty)
     }
 
     /// Executes `algo` on the backend this kind names. `threads` is
@@ -183,6 +193,12 @@ impl RuntimeKind {
             RuntimeKind::ShardedOracle => {
                 ShardedOracleRuntime { threads }.run(g, ids, algo, max_rounds)
             }
+            // The kind carries no fault parameters: this is the zero
+            // (bit-identical) plan. Fault scenarios construct a
+            // `FaultyRuntime` with an explicit `FaultConfig`.
+            RuntimeKind::Faulty => {
+                crate::fault::FaultyRuntime::default().run(g, ids, algo, max_rounds)
+            }
         }
     }
 }
@@ -193,8 +209,27 @@ impl fmt::Display for RuntimeKind {
             RuntimeKind::MessagePassing => "message-passing",
             RuntimeKind::Oracle => "oracle",
             RuntimeKind::ShardedOracle => "sharded-oracle",
+            RuntimeKind::Faulty => "faulty",
         };
         write!(f, "{s}")
+    }
+}
+
+impl std::str::FromStr for RuntimeKind {
+    type Err = String;
+
+    /// Parses the [`fmt::Display`] form of each backend.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "message-passing" => Ok(RuntimeKind::MessagePassing),
+            "oracle" => Ok(RuntimeKind::Oracle),
+            "sharded-oracle" => Ok(RuntimeKind::ShardedOracle),
+            "faulty" => Ok(RuntimeKind::Faulty),
+            other => Err(format!(
+                "unknown runtime kind {other:?} (expected one of: {})",
+                RuntimeKind::ALL.map(|k| k.to_string()).join(", ")
+            )),
+        }
     }
 }
 

@@ -403,6 +403,110 @@ pub fn request(
     Ok(resp)
 }
 
+/// Retry schedule for [`request_with_retry`]: how many attempts, how
+/// the backoff between them grows, and the seed for the jitter draws.
+///
+/// The jitter is *seeded*, not wall-clock random: two clients built
+/// with the same policy replay the same backoff schedule, so a flaky
+/// test cannot hide behind retry timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_delay: Duration,
+    /// Cap on any single sleep — exponential growth and advertised
+    /// `Retry-After` values alike are clamped to this.
+    pub max_delay: Duration,
+    /// Seed for the jitter draws.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 6,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `retry` (0-based): capped
+    /// exponential backoff plus up to +50% deterministic jitter, so
+    /// simultaneous clients with different seeds fan out instead of
+    /// stampeding in lockstep.
+    fn backoff(&self, retry: u32) -> Duration {
+        let exp = self.base_delay.saturating_mul(1u32 << retry.min(16)).min(self.max_delay);
+        let draw = splitmix64(self.seed.wrapping_add(u64::from(retry)));
+        exp.mul_f64(1.0 + (draw % 1024) as f64 / 2048.0).min(self.max_delay)
+    }
+}
+
+/// SplitMix64 finalizer — the same mixer the fault plans use, copied
+/// here so the serve crate keeps its dependency surface (std only).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Whether an I/O failure is worth retrying: the connection-level
+/// failures a daemon that is still binding its socket (or shedding a
+/// burst) produces. Anything else — timeouts included — is a real
+/// error the caller should see.
+fn retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+    )
+}
+
+/// [`request`] with a retry loop around it: connection refused/reset/
+/// aborted errors back off (capped exponential + seeded jitter) and
+/// try again; a 503 response that advertises `Retry-After` sleeps the
+/// advertised delay (clamped to [`RetryPolicy::max_delay`]) and tries
+/// again; everything else — including a 503 *without* the header —
+/// returns immediately. The daemon tests use this to deflake startup
+/// races: the first probe can land before the listener is accepting.
+///
+/// # Errors
+///
+/// The last I/O error once the attempt budget is exhausted, or any
+/// non-retryable error as soon as it occurs.
+pub fn request_with_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+    policy: RetryPolicy,
+) -> std::io::Result<ClientResponse> {
+    let attempts = policy.attempts.max(1);
+    for attempt in 0..attempts {
+        let exhausted = attempt + 1 >= attempts;
+        match request(addr, method, path, body, timeout) {
+            Ok(resp) if resp.status == 503 && !exhausted => {
+                match resp.header("retry-after").and_then(|v| v.parse::<u64>().ok()) {
+                    Some(secs) => {
+                        std::thread::sleep(Duration::from_secs(secs).min(policy.max_delay));
+                    }
+                    None => return Ok(resp),
+                }
+            }
+            Ok(resp) => return Ok(resp),
+            Err(e) if retryable(&e) && !exhausted => std::thread::sleep(policy.backoff(attempt)),
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("the loop returns on its final attempt")
+}
+
 /// A persistent HTTP/1.1 client: many requests on one socket. The
 /// counterpart of the server's keep-alive loop, used by the reuse
 /// tests, the smoke runner, and the soak loops.
@@ -639,6 +743,107 @@ mod tests {
         assert!(!client.is_open(), "server announced close on the last response");
         assert_eq!(client.requests_sent(), 2);
         assert!(client.send("GET", "/z", b"").is_err(), "reuse after close is refused");
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_deterministic_capped_and_monotone() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+            seed: 42,
+        };
+        let schedule: Vec<Duration> = (0..6).map(|r| policy.backoff(r)).collect();
+        // Same seed replays the same schedule (no wall-clock entropy).
+        assert_eq!(schedule, (0..6).map(|r| policy.backoff(r)).collect::<Vec<_>>());
+        for (r, d) in schedule.iter().enumerate() {
+            assert!(*d >= Duration::from_millis(10), "retry {r}: {d:?}");
+            assert!(*d <= Duration::from_millis(200), "retry {r} exceeds the cap: {d:?}");
+        }
+        // Exponential growth is visible before the cap bites.
+        assert!(schedule[1] > schedule[0], "{schedule:?}");
+        // A different seed jitters differently somewhere in the window.
+        let other = RetryPolicy { seed: 43, ..policy };
+        assert!((0..6).any(|r| other.backoff(r) != policy.backoff(r)));
+    }
+
+    #[test]
+    fn retry_recovers_from_a_connection_refused_startup_race() {
+        // Reserve a port, then *close* the listener: connects now fail
+        // with ConnectionRefused, exactly like probing a daemon that
+        // has not bound its socket yet.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let server = std::thread::spawn(move || {
+            // The "daemon" comes up late.
+            std::thread::sleep(Duration::from_millis(40));
+            let listener = TcpListener::bind(addr).unwrap();
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream);
+            let _ = read_request(&mut reader).unwrap();
+            let mut stream = reader.get_ref().try_clone().unwrap();
+            write_response(&mut stream, 200, "application/json", b"{\"up\":true}", false).unwrap();
+        });
+        let policy = RetryPolicy {
+            attempts: 10,
+            base_delay: Duration::from_millis(15),
+            max_delay: Duration::from_millis(100),
+            seed: 7,
+        };
+        let resp = request_with_retry(addr, "GET", "/health", b"", Duration::from_secs(5), policy)
+            .expect("retries outlast the startup race");
+        assert_eq!(resp.status, 200);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn retry_honors_retry_after_on_503_and_passes_other_statuses_through() {
+        // First connection: a shedding 503 with Retry-After. Second:
+        // the 200 the backoff earns.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for i in 0..2u8 {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream);
+                let _ = read_request(&mut reader).unwrap();
+                let mut stream = reader.get_ref().try_clone().unwrap();
+                if i == 0 {
+                    write_response_ext(
+                        &mut stream,
+                        503,
+                        "application/json",
+                        b"{}",
+                        false,
+                        &[("Retry-After", "1")],
+                    )
+                    .unwrap();
+                } else {
+                    write_response(&mut stream, 200, "application/json", b"{}", false).unwrap();
+                }
+            }
+        });
+        let policy = RetryPolicy {
+            // Clamp the advertised 1 s to keep the test fast — the
+            // clamp is part of the documented contract.
+            max_delay: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        };
+        let resp = request_with_retry(addr, "GET", "/solve", b"", Duration::from_secs(5), policy)
+            .expect("503 with Retry-After is retried");
+        assert_eq!(resp.status, 200);
+
+        // A 404 (or any non-503 status) is never retried: the
+        // one-connection server below would hang a second attempt.
+        let addr = one_shot(|reader| {
+            let _ = read_request(reader).unwrap();
+            let mut stream = reader.get_ref().try_clone().unwrap();
+            write_response(&mut stream, 404, "application/json", b"{}", false).unwrap();
+        });
+        let resp =
+            request_with_retry(addr, "GET", "/nope", b"", Duration::from_secs(5), policy).unwrap();
+        assert_eq!(resp.status, 404);
     }
 
     #[test]

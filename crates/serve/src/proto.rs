@@ -83,7 +83,7 @@ pub fn solve_error_to_wire(err: &SolveError) -> WireError {
         SolveError::BudgetExhausted { .. } => {
             WireError::new(422, "budget-exhausted", err.to_string())
         }
-        SolveError::Runtime(_) => WireError::new(422, "solve-error", err.to_string()),
+        SolveError::Runtime(..) => WireError::new(422, "solve-error", err.to_string()),
     }
 }
 
@@ -150,6 +150,7 @@ pub fn parse_config_view(cfg: &Value) -> Result<SolveConfigView, WireError> {
         "exact_backend",
         "opt_budget",
         "measure_ratio",
+        "fault",
     ];
     if let Some(unknown) = map.keys().find(|k| !KNOWN.contains(&k.as_str())) {
         return Err(WireError::bad_request(format!(
@@ -211,6 +212,7 @@ pub fn parse_config_view(cfg: &Value) -> Result<SolveConfigView, WireError> {
         exact_backend: opt_str("exact_backend")?,
         opt_budget: opt_u64("opt_budget")?,
         measure_ratio,
+        fault: opt_str("fault")?,
     })
 }
 
@@ -235,6 +237,7 @@ pub fn render_config_view(view: &SolveConfigView) -> Value {
         ("exact_backend", opt_str(&view.exact_backend)),
         ("opt_budget", view.opt_budget.map_or(Value::Null, Value::from)),
         ("measure_ratio", Value::from(view.measure_ratio)),
+        ("fault", opt_str(&view.fault)),
     ])
 }
 
@@ -267,6 +270,27 @@ pub fn render_solution(view: &SolutionView) -> Value {
             view.optimum.map_or(Value::Null, |(value, exact)| {
                 Value::obj([("value", Value::from(value)), ("exact", Value::from(exact))])
             }),
+        ),
+        (
+            "fault",
+            match (&view.fault_messages_dropped, &view.fault_crashed, &view.fault_silent) {
+                (None, None, None) => Value::Null,
+                (dropped, crashed, silent) => Value::obj([
+                    ("messages_dropped", dropped.map_or(Value::Null, Value::from)),
+                    (
+                        "crashed",
+                        Value::Arr(crashed.iter().flatten().map(|&v| Value::from(v)).collect()),
+                    ),
+                    (
+                        "silent",
+                        Value::Arr(silent.iter().flatten().map(|&v| Value::from(v)).collect()),
+                    ),
+                    (
+                        "max_staleness",
+                        view.fault_max_staleness.map_or(Value::Null, |x| Value::from(u64::from(x))),
+                    ),
+                ]),
+            },
         ),
     ])
 }
@@ -329,6 +353,27 @@ pub fn parse_solution(doc: &Value) -> Result<SolutionView, String> {
             Some((value, exact))
         }
     };
+    let vertex_list = |v: &Value, what: &str| -> Result<Vec<usize>, String> {
+        v.as_arr()
+            .ok_or_else(|| format!("fault field {what:?} must be an array"))?
+            .iter()
+            .map(|x| {
+                x.as_u64()
+                    .map(|x| x as usize)
+                    .ok_or_else(|| format!("fault {what} entries must be integers"))
+            })
+            .collect()
+    };
+    let (fault_messages_dropped, fault_crashed, fault_silent, fault_max_staleness) =
+        match doc.get("fault") {
+            None | Some(Value::Null) => (None, None, None, None),
+            Some(fr) => (
+                fr.get("messages_dropped").and_then(Value::as_u64),
+                Some(vertex_list(fr.get("crashed").unwrap_or(&Value::Null), "crashed")?),
+                Some(vertex_list(fr.get("silent").unwrap_or(&Value::Null), "silent")?),
+                fr.get("max_staleness").and_then(Value::as_u64).map(|x| x as u32),
+            ),
+        };
     Ok(SolutionView {
         solver: str_field("solver")?,
         problem: str_field("problem")?,
@@ -344,6 +389,10 @@ pub fn parse_solution(doc: &Value) -> Result<SolutionView, String> {
         wall_micros: u64_field("wall_micros")?,
         ratio,
         optimum,
+        fault_messages_dropped,
+        fault_crashed,
+        fault_silent,
+        fault_max_staleness,
     })
 }
 

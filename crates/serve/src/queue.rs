@@ -54,8 +54,9 @@ pub enum JobState {
     Queued,
     /// A worker is running it.
     Running,
-    /// Finished successfully.
-    Done(SolutionView),
+    /// Finished successfully. Boxed: a `SolutionView` is a few hundred
+    /// bytes and would otherwise dominate the size of every state.
+    Done(Box<SolutionView>),
     /// The solver failed; `code` is the wire error code, `message` the
     /// human-readable reason.
     Failed {
@@ -445,7 +446,7 @@ mod tests {
         let (got, _) = q.next_job().unwrap();
         assert_eq!(got, id);
         assert!(q.has_active_jobs_for("g"), "running counts as active");
-        q.complete(id, JobState::Done(dummy_solution()));
+        q.complete(id, JobState::Done(Box::new(dummy_solution())));
         assert!(!q.has_active_jobs_for("g"), "terminal jobs do not block a patch");
     }
 
@@ -468,7 +469,7 @@ mod tests {
         let queued = q.submit(spec(None)).unwrap();
         let (id, _) = q.next_job().unwrap();
         assert_eq!(id, done);
-        q.complete(done, JobState::Done(dummy_solution()));
+        q.complete(done, JobState::Done(Box::new(dummy_solution())));
         // Inside the retention window nothing is reaped.
         assert_eq!(q.sweep_expired(), 0);
         assert_eq!(q.jobs_tracked(), 2);
@@ -519,6 +520,10 @@ mod tests {
             wall_micros: 7,
             ratio: None,
             optimum: None,
+            fault_messages_dropped: None,
+            fault_crashed: None,
+            fault_silent: None,
+            fault_max_staleness: None,
         }
     }
 }

@@ -464,7 +464,7 @@ fn worker_loop(shared: &Shared) {
             // measures solver wall time, and no solver ran.
             Metrics::bump(&shared.metrics.cache_hits);
             Metrics::bump(&shared.metrics.jobs_completed);
-            shared.queue.complete(id, JobState::Done(view));
+            shared.queue.complete(id, JobState::Done(Box::new(view)));
             continue;
         }
         Metrics::bump(&shared.metrics.cache_misses);
@@ -495,7 +495,7 @@ fn worker_loop(shared: &Shared) {
                     shared.metrics.cache_evictions.fetch_add(evicted as u64, Ordering::Relaxed);
                 }
                 Metrics::bump(&shared.metrics.jobs_completed);
-                shared.queue.complete(id, JobState::Done(view));
+                shared.queue.complete(id, JobState::Done(Box::new(view)));
             }
             Err(err) => {
                 Metrics::bump(&solver_metrics.errors);

@@ -12,7 +12,9 @@ use lmds_api::{
 };
 use lmds_graph::io::{to_edge_list, to_snapshot};
 use lmds_graph::Graph;
-use lmds_serve::http::{request, ClientResponse, KeepAliveClient, MAX_BODY_BYTES};
+use lmds_serve::http::{
+    request, request_with_retry, ClientResponse, KeepAliveClient, RetryPolicy, MAX_BODY_BYTES,
+};
 use lmds_serve::json::Value;
 use lmds_serve::proto::render_solution;
 use lmds_serve::server::{ServeConfig, Server, ServerHandle};
@@ -23,7 +25,12 @@ use std::time::Duration;
 const T: Duration = Duration::from_secs(30);
 
 fn send(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> ClientResponse {
-    request(addr, method, path, body, T).unwrap_or_else(|e| panic!("{method} {path}: {e}"))
+    // The retrying client deflakes the startup race: the first probe
+    // can land before the daemon's listener is accepting, and a
+    // connection-cap 503 (with its Retry-After) is backed off rather
+    // than failed.
+    request_with_retry(addr, method, path, body, T, RetryPolicy::default())
+        .unwrap_or_else(|e| panic!("{method} {path}: {e}"))
 }
 
 fn spawn_default() -> ServerHandle {
@@ -113,6 +120,61 @@ fn sync_solves_match_direct_registry_runs() {
         assert!(latency.get("p50_micros").unwrap().as_u64().is_some(), "{solver}");
         assert!(latency.get("p99_micros").unwrap().as_u64().is_some(), "{solver}");
     }
+    handle.shutdown();
+}
+
+/// Fault scenarios ride `POST /solve`: a `local-faulty` config with a
+/// fault-plan string runs the seeded fault injection server-side, the
+/// response carries the replayed fault report, and identical requests
+/// replay identical reports (the seed contract, observed end-to-end
+/// over HTTP).
+#[test]
+fn fault_scenarios_ride_solve_and_replay_their_reports() {
+    let handle = spawn_default();
+    let addr = handle.addr();
+    let put = send(addr, "PUT", "/graphs/outer40", to_edge_list(&corpus_graph()).as_bytes());
+    assert_eq!(put.status, 201, "{}", String::from_utf8_lossy(&put.body));
+
+    let solve = br#"{"graph": "outer40", "solver": "mds/theorem44",
+        "config": {"mode": "local-faulty", "fault": "seed=7;drop=bernoulli:100"}}"#;
+    let resp = send(addr, "POST", "/solve", solve);
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    let doc = resp.json();
+    let solution = doc.get("solution").expect("response has a solution");
+    // The solution carries the fault report object.
+    let fault = solution.get("fault").expect("fault runs report what the plan did");
+    let dropped = fault.get("messages_dropped").unwrap().as_u64().expect("dropped count");
+    assert!(dropped > 0, "a 10% drop plan on 40 vertices loses something");
+    assert_eq!(fault.get("max_staleness").unwrap().as_u64(), Some(0), "no skew in this plan");
+
+    // Identical request ⟹ identical replayed report and vertex set.
+    let again = send(addr, "POST", "/solve", solve);
+    assert_eq!(again.status, 200);
+    assert_eq!(solution_from_response(&again.json()), solution_from_response(&doc));
+
+    // A fault-free run omits the report entirely (null, not zeroes).
+    let clean = send(
+        addr,
+        "POST",
+        "/solve",
+        br#"{"graph": "outer40", "solver": "mds/theorem44", "config": {"mode": "local-oracle"}}"#,
+    );
+    assert_eq!(clean.status, 200);
+    let clean_solution = clean.json().get("solution").unwrap().clone();
+    assert!(
+        matches!(clean_solution.get("fault"), None | Some(Value::Null)),
+        "fault report leaked into a fault-free run"
+    );
+
+    // An active plan on a non-faulty runtime is a 4xx, not a no-op.
+    let mismatch = send(
+        addr,
+        "POST",
+        "/solve",
+        br#"{"graph": "outer40", "solver": "mds/theorem44",
+            "config": {"mode": "local-oracle", "fault": "skew=2"}}"#,
+    );
+    assert_eq!(mismatch.status, 422, "{}", String::from_utf8_lossy(&mismatch.body));
     handle.shutdown();
 }
 
@@ -617,8 +679,10 @@ fn connection_cap_turns_extra_connections_away_with_retry_after() {
     let mut b = KeepAliveClient::connect(addr, T).unwrap();
     assert_eq!(b.send("GET", "/healthz", b"").unwrap().status, 200);
 
-    // The third connection is turned away at the door.
-    let refused = send(addr, "GET", "/healthz", b"");
+    // The third connection is turned away at the door. The one-shot
+    // (non-retrying) client is deliberate: `send` would back off on the
+    // Retry-After and spin until the budget ran out.
+    let refused = request(addr, "GET", "/healthz", b"", T).expect("503 is a real response");
     assert_eq!(refused.status, 503, "{}", String::from_utf8_lossy(&refused.body));
     assert_eq!(refused.json().get("code").unwrap().as_str(), Some("over-capacity"));
     assert_eq!(refused.header("retry-after"), Some("1"), "503 carries Retry-After");

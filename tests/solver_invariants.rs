@@ -9,8 +9,8 @@
 //! drift.
 
 use lmds_api::{
-    BatchJob, BatchRunner, ExecutionMode, IdPolicy, Instance, RuntimeKind, SolveConfig,
-    SolverRegistry,
+    BatchJob, BatchRunner, CrashPolicy, ExecutionMode, FaultConfig, IdPolicy, Instance,
+    RuntimeKind, SolveConfig, SolveError, SolverRegistry,
 };
 use lmds_asdim::ControlFunction;
 use lmds_core::Radii;
@@ -170,11 +170,11 @@ fn paper_ratio_bounds_hold_against_the_exact_solvers() {
 }
 
 /// The runtime-equivalence contract: for every distributed registry
-/// solver, the message-passing, oracle, and sharded-oracle backends
-/// must produce bit-identical outputs, identical round counts, and
-/// identical decided-at histograms — under the instance's own ids and
-/// under every scenario id policy — and only message passing may claim
-/// measured bits.
+/// solver, the message-passing, oracle, sharded-oracle, and (zero-
+/// fault) faulty backends must produce bit-identical outputs, identical
+/// round counts, and identical decided-at histograms — under the
+/// instance's own ids and under every scenario id policy — and only the
+/// backends that really pass messages may claim measured bits.
 #[test]
 fn distributed_backends_are_bit_identical_across_id_policies() {
     let registry = SolverRegistry::with_defaults();
@@ -193,8 +193,16 @@ fn distributed_backends_are_bit_identical_across_id_policies() {
             for policy in policies {
                 let mut reference = None;
                 for kind in RuntimeKind::ALL {
-                    let mut cfg =
-                        config_for(&registry, key).mode(ExecutionMode::Local(kind)).threads(3);
+                    // An explicitly present but *inert* fault plan (the
+                    // seed alone injects nothing) must be accepted by
+                    // every runtime kind and leave the bit-identity
+                    // contract untouched — including the faulty
+                    // runtime, whose zero-fault path is the
+                    // message-passing loop verbatim.
+                    let mut cfg = config_for(&registry, key)
+                        .mode(ExecutionMode::Local(kind))
+                        .fault(FaultConfig { seed: 5, ..FaultConfig::default() })
+                        .threads(3);
                     if let Some(p) = policy {
                         cfg = cfg.id_policy(p);
                     }
@@ -360,4 +368,69 @@ fn batch_runner_matches_direct_solves() {
             .expect("direct solve");
         assert_eq!(sol.vertices, direct.vertices, "{}/{}", rec.solver, rec.instance);
     }
+}
+
+/// Every runtime kind — including the new faulty one — survives the
+/// Display → FromStr round trip, and the parser rejects junk with a
+/// message listing the valid names.
+#[test]
+fn runtime_kind_strings_round_trip() {
+    let shown: Vec<String> = RuntimeKind::ALL.iter().map(|k| k.to_string()).collect();
+    assert!(shown.contains(&"faulty".to_string()), "{shown:?}");
+    for kind in RuntimeKind::ALL {
+        let back: RuntimeKind = kind.to_string().parse().unwrap_or_else(|e| {
+            panic!("{kind} did not round-trip: {e}");
+        });
+        assert_eq!(back, kind);
+    }
+    let err = "flaky".parse::<RuntimeKind>().unwrap_err().to_string();
+    assert!(err.contains("faulty"), "the parse error lists valid kinds: {err}");
+}
+
+/// Satellite regression: a crash-stalled fault run that trips an
+/// explicit round cap must surface the accumulated [`lmds_api::FaultReport`]
+/// on the error, naming exactly the nodes that fell silent.
+#[test]
+fn crash_stalled_run_reports_which_nodes_were_silent() {
+    use lmds_localsim::RuntimeError;
+    let registry = SolverRegistry::with_defaults();
+    let inst = Instance::sequential("p12", lmds_gen::basic::path(12));
+    // Two vertices crash before anyone can gather two-hop evidence, and
+    // the explicit cap of 2 is below Theorem 4.4's round-3 decision
+    // point: the run must stall, not silently degrade.
+    let fault = FaultConfig {
+        seed: 3,
+        crash: CrashPolicy::Random { count: 2, round: 1 },
+        ..FaultConfig::default()
+    };
+    let cfg = SolveConfig::mds().mode(ExecutionMode::LOCAL_FAULTY).fault(fault).round_cap(2);
+    let err = registry.solve("mds/theorem44", &inst, &cfg).unwrap_err();
+    assert!(
+        matches!(err, SolveError::Runtime(RuntimeError::RoundLimitExceeded { limit: 2, .. }, _)),
+        "{err:?}"
+    );
+    let report = err.fault_report().expect("fault runs attach their report to the error");
+    assert_eq!(report.crashed.len(), 2, "{report:?}");
+    assert_eq!(report.silent, report.crashed, "crashed-at-1 vertices never decide: {report:?}");
+    // The rendered message names the fault context for log readers.
+    let msg = err.to_string();
+    assert!(msg.contains("2 crashed"), "{msg}");
+    // Identical seeds replay identical reports (the determinism
+    // contract at the API level, not just inside the simulator).
+    let err2 = registry.solve("mds/theorem44", &inst, &cfg).unwrap_err();
+    assert_eq!(Some(report), err2.fault_report(), "replay diverged");
+}
+
+/// An *active* fault plan on a runtime that cannot inject it is a
+/// configuration error, not a silent no-op.
+#[test]
+fn active_fault_plans_require_the_faulty_runtime() {
+    let registry = SolverRegistry::with_defaults();
+    let inst = Instance::sequential("p6", lmds_gen::basic::path(6));
+    let cfg = SolveConfig::mds()
+        .mode(ExecutionMode::LOCAL_ORACLE)
+        .fault(FaultConfig { skew: 1, ..FaultConfig::default() });
+    let err = registry.solve("mds/theorem44", &inst, &cfg).unwrap_err();
+    assert!(matches!(err, SolveError::UnsupportedOptions { .. }), "{err:?}");
+    assert!(err.to_string().contains("local-faulty"), "{err}");
 }
