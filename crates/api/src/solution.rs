@@ -326,12 +326,12 @@ fn infeasibility_witness(
         }
     }
     match problem {
-        Problem::MinDominatingSet => {
-            g.vertices().find(|&v| !in_set[v] && g.neighbors(v).iter().all(|&u| !in_set[u]))
-        }
-        Problem::MinVertexCover => g
+        Problem::MinDominatingSet => g
             .vertices()
-            .find(|&v| !in_set[v] && g.neighbors(v).iter().any(|&u| u > v && !in_set[u])),
+            .find(|&v| !in_set[v] && g.neighbors(v).iter().all(|&u| !in_set[u as usize])),
+        Problem::MinVertexCover => g.vertices().find(|&v| {
+            !in_set[v] && g.neighbors(v).iter().any(|&u| u as usize > v && !in_set[u as usize])
+        }),
     }
 }
 

@@ -112,7 +112,10 @@ mod tests {
         g.vertices()
             .filter(|&v| match g.degree(v) {
                 0 => true,
-                1 => g.degree(g.neighbors(v)[0]) == 1 && v < g.neighbors(v)[0],
+                1 => {
+                    let u = g.neighbors(v)[0] as usize;
+                    g.degree(u) == 1 && v < u
+                }
                 _ => true,
             })
             .collect()

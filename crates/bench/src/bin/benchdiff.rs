@@ -1,0 +1,227 @@
+//! `benchdiff` — the timing-regression gate over `BENCH_<section>.json`
+//! artifacts (schema `lmds-microbench/v1`, written by `microbench` and
+//! the `scale` experiment).
+//!
+//! Compares a current results directory against a committed baseline
+//! directory and fails (exit 1) when any matched row's median regresses
+//! by more than the threshold **after machine-speed normalization**:
+//! the global speed factor is the median of the per-row
+//! `current / baseline` median ratios, so a uniformly slower CI box
+//! does not fail every row — only rows that regressed *relative to the
+//! rest of the suite* do.
+//!
+//! Checksum drift (same bench key, different workload checksum) is also
+//! a hard failure: the timings are not comparable, and the fix is to
+//! regenerate the baseline deliberately, not to let the gate rot.
+//!
+//! ```text
+//! benchdiff [--threshold 1.25] [--min-us 150] <baseline-dir> <current-dir> [section...]
+//! ```
+//!
+//! With no explicit sections, every `BENCH_*.json` present in the
+//! baseline directory is diffed; a section missing on the current side
+//! is a failure (the artifact stopped being produced).
+
+use lmds_serve::json::{parse, Value};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One parsed bench row, keyed for matching against the other side.
+struct Row {
+    bench: String,
+    workload: String,
+    checksum: u64,
+    median_us: f64,
+}
+
+fn load_section(path: &Path) -> Result<Vec<Row>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+    let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("");
+    if schema != "lmds-microbench/v1" {
+        return Err(format!("{}: unsupported schema {schema:?}", path.display()));
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{}: missing rows array", path.display()))?;
+    rows.iter()
+        .map(|r| {
+            let field = |k: &str| {
+                r.get(k)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("{}: row missing {k:?}", path.display()))
+            };
+            Ok(Row {
+                bench: field("bench")?,
+                workload: field("workload")?,
+                checksum: r.get("checksum").and_then(Value::as_u64).unwrap_or(0),
+                median_us: r
+                    .get("median_us")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("{}: row missing median_us", path.display()))?,
+            })
+        })
+        .collect()
+}
+
+/// Sections to diff: explicit names, or everything the baseline holds.
+fn sections(baseline_dir: &Path, explicit: &[String]) -> Result<Vec<String>, String> {
+    if !explicit.is_empty() {
+        return Ok(explicit.to_vec());
+    }
+    let mut out = Vec::new();
+    let entries =
+        std::fs::read_dir(baseline_dir).map_err(|e| format!("{}: {e}", baseline_dir.display()))?;
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(section) = name.strip_prefix("BENCH_").and_then(|s| s.strip_suffix(".json")) {
+            out.push(section.to_string());
+        }
+    }
+    out.sort();
+    if out.is_empty() {
+        return Err(format!("{}: no BENCH_*.json artifacts", baseline_dir.display()));
+    }
+    Ok(out)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+struct Gate {
+    threshold: f64,
+    min_us: f64,
+}
+
+/// Diffs one section; returns the failure messages (empty = pass).
+fn diff_section(section: &str, base: &[Row], cur: &[Row], gate: &Gate) -> Vec<String> {
+    let mut failures = Vec::new();
+    // Match rows by (bench, workload); collect the comparable ratios.
+    let mut pairs: Vec<(&Row, &Row)> = Vec::new();
+    for b in base {
+        match cur.iter().find(|c| c.bench == b.bench && c.workload == b.workload) {
+            Some(c) => pairs.push((b, c)),
+            None => failures.push(format!(
+                "{section}: row [{} / {}] vanished from current results",
+                b.bench, b.workload
+            )),
+        }
+    }
+    for (b, c) in &pairs {
+        if b.checksum != c.checksum {
+            failures.push(format!(
+                "{section}: [{} / {}] checksum drift {} -> {} (workload changed; \
+                 regenerate the baseline)",
+                b.bench, b.workload, b.checksum, c.checksum
+            ));
+        }
+    }
+    let ratios: Vec<f64> = pairs
+        .iter()
+        .filter(|(b, c)| b.checksum == c.checksum && b.median_us > 0.0 && c.median_us > 0.0)
+        .map(|(b, c)| c.median_us / b.median_us)
+        .collect();
+    if ratios.is_empty() {
+        return failures;
+    }
+    let speed = median(ratios);
+    println!("section {section}: {} comparable rows, machine-speed factor {speed:.2}", pairs.len());
+    for (b, c) in &pairs {
+        if b.checksum != c.checksum {
+            continue;
+        }
+        let budget = b.median_us * speed * gate.threshold;
+        let status = if c.median_us > budget && c.median_us >= gate.min_us {
+            failures.push(format!(
+                "{section}: [{} / {}] median {:.1}µs exceeds normalized budget {:.1}µs \
+                 (baseline {:.1}µs × speed {speed:.2} × threshold {:.2})",
+                b.bench, b.workload, c.median_us, budget, b.median_us, gate.threshold
+            ));
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {status:>4}  {:-48} {:-24} {:>10.1}µs -> {:>10.1}µs",
+            b.bench, b.workload, b.median_us, c.median_us
+        );
+    }
+    failures
+}
+
+fn run() -> Result<bool, String> {
+    let mut threshold = 1.25f64;
+    let mut min_us = 150f64;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threshold needs a float argument")?;
+            }
+            "--min-us" => {
+                min_us = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--min-us needs a float argument")?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: benchdiff [--threshold F] [--min-us N] \
+                     <baseline-dir> <current-dir> [section...]"
+                );
+                return Ok(true);
+            }
+            _ => positional.push(arg),
+        }
+    }
+    if positional.len() < 2 {
+        return Err("usage: benchdiff [--threshold F] [--min-us N] \
+                    <baseline-dir> <current-dir> [section...]"
+            .into());
+    }
+    let baseline_dir = PathBuf::from(&positional[0]);
+    let current_dir = PathBuf::from(&positional[1]);
+    let gate = Gate { threshold, min_us };
+
+    let mut failures = Vec::new();
+    for section in sections(&baseline_dir, &positional[2..])? {
+        let file = format!("BENCH_{section}.json");
+        let base = load_section(&baseline_dir.join(&file))?;
+        let cur = match load_section(&current_dir.join(&file)) {
+            Ok(rows) => rows,
+            Err(e) => {
+                failures.push(format!("{section}: current artifact unreadable: {e}"));
+                continue;
+            }
+        };
+        failures.extend(diff_section(&section, &base, &cur, &gate));
+    }
+    if failures.is_empty() {
+        println!("benchdiff: all sections within {:.0}% of baseline", (threshold - 1.0) * 100.0);
+        return Ok(true);
+    }
+    eprintln!("benchdiff: {} failure(s):", failures.len());
+    for f in &failures {
+        eprintln!("  {f}");
+    }
+    Ok(false)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("benchdiff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

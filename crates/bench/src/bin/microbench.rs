@@ -39,7 +39,7 @@
 //! ```
 
 use lmds_api::{BatchJob, BatchRunner, ExecutionMode, Instance, SolveConfig, SolverRegistry};
-use lmds_bench::{render_markdown, Table};
+use lmds_bench::{render_markdown, sample, section_table, write_bench_json, BenchRow, Table};
 use lmds_core::Radii;
 use std::time::Instant;
 
@@ -63,148 +63,6 @@ fn time_case(
         size = sol.size();
     }
     (best, total / iters as f64, size)
-}
-
-/// Times `f` for `iters` repetitions; returns (best µs, mean µs).
-fn time_fn(iters: u32, mut f: impl FnMut() -> usize) -> (f64, f64, usize) {
-    let mut best = f64::INFINITY;
-    let mut total = 0f64;
-    let mut checksum = 0;
-    for _ in 0..iters {
-        let start = Instant::now();
-        checksum = f();
-        let us = start.elapsed().as_secs_f64() * 1e6;
-        best = best.min(us);
-        total += us;
-    }
-    (best, total / iters as f64, checksum)
-}
-
-/// Order statistics over one bench's iteration samples (µs).
-struct Stats {
-    best: f64,
-    mean: f64,
-    median: f64,
-    p95: f64,
-}
-
-/// One measured row, destined for both the markdown table and the
-/// machine-readable `BENCH_<section>.json` artifact.
-struct BenchRow {
-    bench: String,
-    workload: String,
-    n: usize,
-    checksum: usize,
-    stats: Stats,
-}
-
-/// Times `f` for `iters` repetitions, keeping every sample so the JSON
-/// artifact can report median/p95 (not just best/mean).
-fn sample(iters: u32, mut f: impl FnMut() -> usize) -> (Stats, usize) {
-    let mut us: Vec<f64> = Vec::with_capacity(iters as usize);
-    let mut checksum = 0;
-    for _ in 0..iters {
-        let start = Instant::now();
-        checksum = f();
-        us.push(start.elapsed().as_secs_f64() * 1e6);
-    }
-    us.sort_by(|a, b| a.total_cmp(b));
-    let len = us.len();
-    let stats = Stats {
-        best: us[0],
-        mean: us.iter().sum::<f64>() / len as f64,
-        median: us[len / 2],
-        p95: us[(len * 95 / 100).min(len - 1)],
-    };
-    (stats, checksum)
-}
-
-/// Renders one section's rows as the printed markdown table.
-fn section_table(title: &str, rows: &[BenchRow]) -> Table {
-    let mut t = Table::new(
-        title,
-        &[
-            "bench",
-            "workload",
-            "n",
-            "checksum",
-            "best (µs)",
-            "median (µs)",
-            "p95 (µs)",
-            "mean (µs)",
-        ],
-    );
-    for r in rows {
-        t.push_row(vec![
-            r.bench.clone(),
-            r.workload.clone(),
-            r.n.to_string(),
-            r.checksum.to_string(),
-            format!("{:.1}", r.stats.best),
-            format!("{:.1}", r.stats.median),
-            format!("{:.1}", r.stats.p95),
-            format!("{:.1}", r.stats.mean),
-        ]);
-    }
-    t
-}
-
-/// `git describe --always --dirty` of the generating tree, or
-/// "unknown" outside a git checkout (mirrors the `reproduce` CSV
-/// provenance headers).
-fn git_describe() -> String {
-    std::process::Command::new("git")
-        .args(["describe", "--always", "--dirty"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".into())
-}
-
-/// Writes `results/BENCH_<section>.json`: every row with
-/// best/median/p95/mean, a combined corpus checksum (order-sensitive
-/// mix of the per-row checksums, so a workload drift is visible even
-/// when timings are not comparable), and git provenance.
-fn write_bench_json(section: &str, iters: u32, rows: &[BenchRow]) {
-    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
-    let corpus_checksum = rows.iter().fold(0u64, |acc, r| {
-        (acc ^ r.checksum as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
-    });
-    let body: Vec<String> = rows
-        .iter()
-        .map(|r| {
-            format!(
-                "{{\"bench\":\"{}\",\"workload\":\"{}\",\"n\":{},\"checksum\":{},\
-                 \"best_us\":{:.1},\"median_us\":{:.1},\"p95_us\":{:.1},\"mean_us\":{:.1}}}",
-                escape(&r.bench),
-                escape(&r.workload),
-                r.n,
-                r.checksum,
-                r.stats.best,
-                r.stats.median,
-                r.stats.p95,
-                r.stats.mean,
-            )
-        })
-        .collect();
-    let doc = format!(
-        "{{\"schema\":\"lmds-microbench/v1\",\"section\":\"{}\",\"git\":\"{}\",\"iters\":{},\
-         \"corpus_checksum\":{},\"rows\":[{}]}}\n",
-        escape(section),
-        escape(&git_describe()),
-        iters,
-        corpus_checksum,
-        body.join(",")
-    );
-    let _ = std::fs::create_dir_all("results");
-    let path = format!("results/BENCH_{section}.json");
-    match std::fs::write(&path, doc) {
-        Ok(()) => eprintln!("wrote {path}"),
-        Err(e) => eprintln!("warning: could not write {path}: {e}"),
-    }
 }
 
 /// A graph of `k` disjoint triangles (3k vertices): every triangle is a
@@ -535,12 +393,9 @@ fn local_benches(iters: u32) -> (Table, Vec<BenchRow>) {
 /// harness; on the large instances the naive path is far too slow to
 /// rerun per invocation — the committed before numbers live in
 /// `results/cut_engine_speedup.md`.
-fn cuts_benches(iters: u32) -> Table {
+fn cuts_benches(iters: u32) -> Vec<BenchRow> {
     use lmds_core::local_cuts::{self, CutEngine};
-    let mut t = Table::new(
-        &format!("microbench --cuts — CutEngine predicate sweeps, {iters} iterations (µs)"),
-        &["bench", "instance", "n", "checksum", "best (µs)", "mean (µs)"],
-    );
+    let mut rows: Vec<BenchRow> = Vec::new();
     let radii = Radii::practical(2, 3);
     let small = Instance::shuffled(
         "augmentation",
@@ -557,75 +412,40 @@ fn cuts_benches(iters: u32) -> Table {
         ),
     ];
     let registry = SolverRegistry::with_defaults();
+    let mut push = |bench: &str, workload: &str, n: usize, stats, checksum| {
+        rows.push(BenchRow { bench: bench.into(), workload: workload.into(), n, checksum, stats });
+    };
     for inst in &instances {
         let g = &inst.graph;
         let mut engine = CutEngine::new();
-        let (best, mean, sum) =
-            time_fn(iters, || engine.one_cut_mask(g, radii.one_cut).iter().filter(|&&m| m).count());
-        t.push_row(vec![
-            "X sweep (one_cut_mask)".into(),
-            inst.name.clone(),
-            g.n().to_string(),
-            sum.to_string(),
-            format!("{best:.1}"),
-            format!("{mean:.1}"),
-        ]);
-        let (best, mean, sum) = time_fn(iters, || {
+        let (stats, sum) =
+            sample(iters, || engine.one_cut_mask(g, radii.one_cut).iter().filter(|&&m| m).count());
+        push("X sweep (one_cut_mask)", &inst.name, g.n(), stats, sum);
+        let (stats, sum) = sample(iters, || {
             engine.interesting_mask(g, radii.two_cut).iter().filter(|&&m| m).count()
         });
-        t.push_row(vec![
-            "I sweep (interesting_mask)".into(),
-            inst.name.clone(),
-            g.n().to_string(),
-            sum.to_string(),
-            format!("{best:.1}"),
-            format!("{mean:.1}"),
-        ]);
-        let (best, mean, sum) = time_fn(iters, || engine.two_cuts(g, radii.two_cut).len());
-        t.push_row(vec![
-            "all local 2-cuts (two_cuts)".into(),
-            inst.name.clone(),
-            g.n().to_string(),
-            sum.to_string(),
-            format!("{best:.1}"),
-            format!("{mean:.1}"),
-        ]);
+        push("I sweep (interesting_mask)", &inst.name, g.n(), stats, sum);
+        let (stats, sum) = sample(iters, || engine.two_cuts(g, radii.two_cut).len());
+        push("all local 2-cuts (two_cuts)", &inst.name, g.n(), stats, sum);
         let cfg = SolveConfig::mds().radii(radii);
-        let (best, mean, size) = time_case(&registry, "mds/algorithm1", inst, &cfg, iters);
-        t.push_row(vec![
-            "pipeline (mds/algorithm1, centralized)".into(),
-            inst.name.clone(),
-            inst.n().to_string(),
-            size.to_string(),
-            format!("{best:.1}"),
-            format!("{mean:.1}"),
-        ]);
+        let (stats, size) = sample(iters, || {
+            let sol = registry.solve("mds/algorithm1", inst, &cfg).expect("algorithm1");
+            assert!(sol.is_valid(), "algorithm1 on {}", inst.name);
+            sol.size()
+        });
+        push("pipeline (mds/algorithm1, centralized)", &inst.name, inst.n(), stats, size);
     }
     // Naive reference rows on the small instance only.
     let g = &small.graph;
-    let (best, mean, sum) = time_fn(iters, || {
+    let (stats, sum) = sample(iters, || {
         g.vertices().filter(|&v| local_cuts::is_local_one_cut(g, v, radii.one_cut)).count()
     });
-    t.push_row(vec![
-        "X sweep (naive reference)".into(),
-        small.name.clone(),
-        g.n().to_string(),
-        sum.to_string(),
-        format!("{best:.1}"),
-        format!("{mean:.1}"),
-    ]);
-    let (best, mean, sum) = time_fn(iters, || {
+    push("X sweep (naive reference)", &small.name, g.n(), stats, sum);
+    let (stats, sum) = sample(iters, || {
         g.vertices().filter(|&v| local_cuts::is_interesting(g, v, radii.two_cut)).count()
     });
-    t.push_row(vec![
-        "I sweep (naive reference)".into(),
-        small.name.clone(),
-        g.n().to_string(),
-        sum.to_string(),
-        format!("{best:.1}"),
-        format!("{mean:.1}"),
-    ]);
-    t
+    push("I sweep (naive reference)", &small.name, g.n(), stats, sum);
+    rows
 }
 
 /// The exact-engine benches (`--exact`): `mds/exact` and `mvc/exact`
@@ -633,12 +453,9 @@ fn cuts_benches(iters: u32) -> Table {
 /// naive-solvable instances (the backend shoot-out), plus engine-scale
 /// rows — auto backend only — on instances the naive oracle cannot
 /// finish at all (committed numbers: `results/exact_scale.md`).
-fn exact_benches(iters: u32) -> Table {
+fn exact_benches(iters: u32) -> Vec<BenchRow> {
     use lmds_api::ExactBackend;
-    let mut t = Table::new(
-        &format!("microbench --exact — exact-engine backends, {iters} iterations (µs)"),
-        &["solver", "backend", "instance", "n", "opt", "best (µs)", "mean (µs)"],
-    );
+    let mut rows: Vec<BenchRow> = Vec::new();
     let registry = SolverRegistry::with_defaults();
     // Backend shoot-out tier: small enough for the naive oracle.
     let small = vec![
@@ -659,16 +476,19 @@ fn exact_benches(iters: u32) -> Table {
             for backend in ExactBackend::ALL {
                 let base = if key == "mds/exact" { SolveConfig::mds() } else { SolveConfig::mvc() };
                 let cfg = base.exact_backend(backend);
-                let (best, mean, size) = time_case(&registry, key, inst, &cfg, iters);
-                t.push_row(vec![
-                    key.into(),
-                    backend.to_string(),
-                    inst.name.clone(),
-                    inst.n().to_string(),
-                    size.to_string(),
-                    format!("{best:.1}"),
-                    format!("{mean:.1}"),
-                ]);
+                let (stats, size) = sample(iters, || {
+                    let sol =
+                        registry.solve(key, inst, &cfg).unwrap_or_else(|e| panic!("{key}: {e}"));
+                    assert!(sol.is_valid(), "{key} on {}", inst.name);
+                    sol.size()
+                });
+                rows.push(BenchRow {
+                    bench: format!("{key}@{backend}"),
+                    workload: inst.name.clone(),
+                    n: inst.n(),
+                    checksum: size,
+                    stats,
+                });
             }
         }
     }
@@ -688,19 +508,21 @@ fn exact_benches(iters: u32) -> Table {
         for key in ["mds/exact", "mvc/exact"] {
             let base = if key == "mds/exact" { SolveConfig::mds() } else { SolveConfig::mvc() };
             let cfg = base.opt_budget(u64::MAX);
-            let (best, mean, size) = time_case(&registry, key, inst, &cfg, iters);
-            t.push_row(vec![
-                key.into(),
-                "auto".into(),
-                inst.name.clone(),
-                inst.n().to_string(),
-                size.to_string(),
-                format!("{best:.1}"),
-                format!("{mean:.1}"),
-            ]);
+            let (stats, size) = sample(iters, || {
+                let sol = registry.solve(key, inst, &cfg).unwrap_or_else(|e| panic!("{key}: {e}"));
+                assert!(sol.is_valid(), "{key} on {}", inst.name);
+                sol.size()
+            });
+            rows.push(BenchRow {
+                bench: format!("{key}@auto"),
+                workload: inst.name.clone(),
+                n: inst.n(),
+                checksum: size,
+                stats,
+            });
         }
     }
-    t
+    rows
 }
 
 fn main() {
@@ -754,10 +576,18 @@ fn main() {
             write_bench_json("local", iters, &rows);
         }
         if cuts {
-            print!("{}", render_markdown(&cuts_benches(iters)));
+            let rows = cuts_benches(iters);
+            let title =
+                format!("microbench --cuts — CutEngine predicate sweeps, {iters} iterations (µs)");
+            print!("{}", render_markdown(&section_table(&title, &rows)));
+            write_bench_json("cuts", iters, &rows);
         }
         if exact {
-            print!("{}", render_markdown(&exact_benches(iters)));
+            let rows = exact_benches(iters);
+            let title =
+                format!("microbench --exact — exact-engine backends, {iters} iterations (µs)");
+            print!("{}", render_markdown(&section_table(&title, &rows)));
+            write_bench_json("exact", iters, &rows);
         }
         if dynamic {
             let rows = dynamic_benches(iters);

@@ -1830,6 +1830,83 @@ pub fn exp_fault_sweep() -> Table {
     t
 }
 
+/// Shared body of [`exp_scale`] and [`exp_scale_smoke`]: generate the
+/// chain-composed K_{2,t}-minor-free family at each size, run the full
+/// centralized Algorithm-1 pipeline through the registry, and record
+/// wall-clock for both phases.
+fn scale_rows(title: &str, sizes: &[usize], emit_json: bool) -> Table {
+    use crate::timing::{write_bench_json, BenchRow, Stats};
+    use std::time::Instant;
+    let mut t =
+        Table::new(title, &["instance", "n", "m", "gen (ms)", "solve (ms)", "|S|", "dominating"]);
+    let stat = |us: f64| Stats { best: us, mean: us, median: us, p95: us };
+    let mut rows: Vec<BenchRow> = Vec::new();
+    let cfg = SolveConfig::mds().radii(Radii::practical(1, 2));
+    for &target in sizes {
+        let name = format!("scale_instance({target})");
+        let start = Instant::now();
+        let g = lmds_gen::ding::scale_instance(target, 42);
+        let gen_us = start.elapsed().as_secs_f64() * 1e6;
+        let (n, m) = (g.n(), g.m());
+        let inst = Instance::sequential(name.clone(), g);
+        let start = Instant::now();
+        let sol = solve("mds/algorithm1", &inst, &cfg);
+        let solve_us = start.elapsed().as_secs_f64() * 1e6;
+        let valid = sol.verify(&inst).is_ok();
+        t.push_row(vec![
+            name.clone(),
+            n.to_string(),
+            m.to_string(),
+            format!("{:.1}", gen_us / 1e3),
+            format!("{:.1}", solve_us / 1e3),
+            sol.size().to_string(),
+            valid.to_string(),
+        ]);
+        rows.push(BenchRow {
+            bench: "generate (scale_instance)".into(),
+            workload: name.clone(),
+            n,
+            checksum: m,
+            stats: stat(gen_us),
+        });
+        rows.push(BenchRow {
+            bench: "solve (mds/algorithm1, radii 1/2)".into(),
+            workload: name,
+            n,
+            checksum: sol.size(),
+            stats: stat(solve_us),
+        });
+    }
+    if emit_json {
+        write_bench_json("scale", 1, &rows);
+    }
+    t
+}
+
+/// E15 — scale: the million-node frontier. The u32-compact CSR, bulk
+/// edge-stream generator, and sharded Algorithm-1 phases together are
+/// expected to solve the 10⁶-vertex chain-composed instance in
+/// single-digit seconds on one core. Writes `results/BENCH_scale.json`
+/// alongside the table so `benchdiff` can gate the scale path.
+pub fn exp_scale() -> Table {
+    scale_rows(
+        "E15 / scale — centralized Algorithm 1 on the million-node chain-composed family",
+        &[10_000, 100_000, 1_000_000],
+        true,
+    )
+}
+
+/// E15b — scale-smoke: the CI tier of [`exp_scale`]. Small enough for a
+/// debug-profile CI run; writes no JSON artifact so a smoke run never
+/// clobbers the committed full-tier `BENCH_scale.json`.
+pub fn exp_scale_smoke() -> Table {
+    scale_rows(
+        "E15b / scale-smoke — CI tier of the scale experiment (no JSON artifact)",
+        &[2_000, 10_000],
+        false,
+    )
+}
+
 /// A table-building experiment entry point.
 pub type ExperimentFn = fn() -> Table;
 
@@ -1858,6 +1935,8 @@ pub const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("serve-bench", exp_serve_bench),
     ("serve-cache-bench", exp_serve_cache_bench),
     ("dynamic-bench", exp_dynamic_bench),
+    ("scale", exp_scale),
+    ("scale-smoke", exp_scale_smoke),
 ];
 
 /// Runs every experiment (the `reproduce --experiment all` path).

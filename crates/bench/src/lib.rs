@@ -14,6 +14,8 @@
 
 pub mod experiments;
 pub mod report;
+pub mod timing;
 
 pub use experiments::*;
 pub use report::{render_csv, render_json, render_markdown, Table};
+pub use timing::{sample, section_table, write_bench_json, BenchRow, Stats};

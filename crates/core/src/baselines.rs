@@ -19,7 +19,7 @@ pub fn trees_folklore(g: &Graph, ids: &IdAssignment) -> Vec<Vertex> {
         match g.degree(v) {
             0 => out.push(v),
             1 => {
-                let u = g.neighbors(v)[0];
+                let u = g.neighbors(v)[0] as Vertex;
                 if g.degree(u) == 1 && ids.id_of(v) < ids.id_of(u) {
                     out.push(v);
                 }

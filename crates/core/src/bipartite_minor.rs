@@ -34,7 +34,7 @@ impl BipartiteInstance {
             m
         };
         self.a_side.iter().all(|&a| {
-            self.graph.degree(a) >= 2 && self.graph.neighbors(a).iter().all(|&u| !in_a[u])
+            self.graph.degree(a) >= 2 && self.graph.neighbors(a).iter().all(|&u| !in_a[u as usize])
         })
     }
 
@@ -100,8 +100,8 @@ pub fn contract_detached(inst: &BipartiteInstance) -> (BipartiteInstance, usize)
             let nb = g.neighbors(a);
             for (i, &x) in nb.iter().enumerate() {
                 for &y in &nb[i + 1..] {
-                    if comp_of[x] != comp_of[y] {
-                        found = Some((ai, a, x, y));
+                    if comp_of[x as usize] != comp_of[y as usize] {
+                        found = Some((ai, a, x as Vertex, y as Vertex));
                         break 'outer;
                     }
                 }
@@ -112,7 +112,7 @@ pub fn contract_detached(inst: &BipartiteInstance) -> (BipartiteInstance, usize)
         };
         // Contract a into x: a's other neighbors become x's neighbors
         // ("red" edges).
-        let nb: Vec<Vertex> = g.neighbors(a).to_vec();
+        let nb: Vec<Vertex> = g.neighbors(a).iter().map(|&u| u as Vertex).collect();
         for u in nb {
             g.remove_edge(a, u);
             if u != x && !g.has_edge(x, u) {

@@ -280,12 +280,15 @@ fn degree_project(
 ) -> DegreeState {
     let mut state = DegreeState { me: ids.id_of(v), nbrs: Vec::new(), nbr_degree: Vec::new() };
     if round >= 1 {
-        state.nbrs = g.neighbors(v).iter().map(|&u| ids.id_of(u)).collect();
+        state.nbrs = g.neighbors(v).iter().map(|&u| ids.id_of(u as usize)).collect();
         state.nbrs.sort_unstable();
     }
     if round >= 2 {
-        state.nbr_degree =
-            g.neighbors(v).iter().map(|&u| (ids.id_of(u), g.degree(u) as u64)).collect();
+        state.nbr_degree = g
+            .neighbors(v)
+            .iter()
+            .map(|&u| (ids.id_of(u as usize), g.degree(u as usize) as u64))
+            .collect();
         state.nbr_degree.sort_unstable();
     }
     state
@@ -662,25 +665,26 @@ impl LocalAlgorithm for Theorem44Local {
         round: u32,
     ) -> Option<Thm44State> {
         let closed_of = |w: usize| {
-            let mut cn: Vec<u64> = g.neighbors(w).iter().map(|&x| ids.id_of(x)).collect();
+            let mut cn: Vec<u64> = g.neighbors(w).iter().map(|&x| ids.id_of(x as usize)).collect();
             cn.push(ids.id_of(w));
             cn.sort_unstable();
             cn
         };
         let mut state = Thm44State { me: ids.id_of(v), nbrs: Vec::new(), closed: BTreeMap::new() };
         if round >= 1 {
-            state.nbrs = g.neighbors(v).iter().map(|&u| ids.id_of(u)).collect();
+            state.nbrs = g.neighbors(v).iter().map(|&u| ids.id_of(u as usize)).collect();
             state.nbrs.sort_unstable();
             state.closed.insert(state.me, closed_of(v));
         }
         if round >= 2 {
             for &u in g.neighbors(v) {
-                state.closed.insert(ids.id_of(u), closed_of(u));
+                state.closed.insert(ids.id_of(u as usize), closed_of(u as usize));
             }
         }
         if round >= 3 {
             for &u in g.neighbors(v) {
-                for &w in g.neighbors(u) {
+                for &w in g.neighbors(u as usize) {
+                    let w = w as usize;
                     state.closed.entry(ids.id_of(w)).or_insert_with(|| closed_of(w));
                 }
             }
@@ -1086,7 +1090,7 @@ impl Decider for MvcAlgorithm1Decider {
             return Some(true);
         }
         // Uncovered incident edge?
-        let has_uncovered = vg.neighbors(center).iter().any(|&u| !in_s[u]);
+        let has_uncovered = vg.neighbors(center).iter().any(|&u| !in_s[u as usize]);
         if !has_uncovered {
             return Some(false);
         }
@@ -1101,6 +1105,7 @@ impl Decider for MvcAlgorithm1Decider {
         let mut stack = vec![center];
         while let Some(u) = stack.pop() {
             for &w in vg.neighbors(u) {
+                let w = w as usize;
                 if !in_s[w] && !in_s[u] && !seen[w] {
                     seen[w] = true;
                     match dist[w] {
@@ -1123,6 +1128,7 @@ impl Decider for MvcAlgorithm1Decider {
         let mut local_edges = Vec::new();
         for (li, &v) in comp.iter().enumerate() {
             for &w in vg.neighbors(v) {
+                let w = w as usize;
                 if in_s[v] || in_s[w] {
                     continue;
                 }

@@ -172,7 +172,7 @@ impl DynamicSolver {
                 // direction keeps the loop branch-free.
                 lo = fnv_u64(lo, w as u64);
                 hi = fnv_u64(hi, w as u64);
-                if v < w {
+                if v < w as usize {
                     m += 1;
                 }
             }
@@ -202,6 +202,7 @@ impl DynamicSolver {
         let mut edges = Vec::new();
         for (li, &v) in comp.iter().enumerate() {
             for &w in g.neighbors(v) {
+                let w = w as Vertex;
                 if v < w {
                     edges.push((li, index_of(w)));
                 }

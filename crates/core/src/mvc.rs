@@ -92,7 +92,7 @@ pub fn algorithm1_mvc(g: &Graph, ids: &IdAssignment, radii: Radii) -> MvcOutput 
             let mut local_edges = Vec::new();
             for (li, &v) in order.iter().enumerate() {
                 for &w in h.neighbors(v) {
-                    let lj = local_index[w];
+                    let lj = local_index[w as usize];
                     if lj != usize::MAX && li < lj {
                         local_edges.push((li, lj));
                     }

@@ -30,7 +30,7 @@ use lmds_localsim::IdAssignment;
 /// itself), so this is a walk over `v`'s CSR neighbor slice with the
 /// allocation-free subset test per candidate.
 pub fn neighborhood_absorbed(rg: &Graph, v: Vertex) -> bool {
-    rg.neighbors(v).iter().any(|&u| rg.closed_neighborhood_subset(v, u))
+    rg.neighbors(v).iter().any(|&u| rg.closed_neighborhood_subset(v, u as Vertex))
 }
 
 /// `D₂` of a (twin-free) graph: vertices not absorbed by any neighbor.
@@ -62,7 +62,7 @@ pub fn theorem44_mvc(g: &Graph, ids: &IdAssignment) -> Vec<Vertex> {
         match g.degree(v) {
             0 => {}
             1 => {
-                let u = g.neighbors(v)[0];
+                let u = g.neighbors(v)[0] as Vertex;
                 // Isolated edge: take the smaller-id endpoint.
                 if g.degree(u) == 1 && ids.id_of(v) < ids.id_of(u) {
                     out.push(v);

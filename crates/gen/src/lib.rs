@@ -29,6 +29,6 @@ pub mod trees;
 
 pub use basic::{caterpillar, complete, cycle, grid, path, spider, star};
 pub use composite::{fan_caterpillar, necklace, theta_chain, theta_ring};
-pub use ding::{augmentation, fan, strip, AugmentationSpec};
+pub use ding::{augmentation, augmentation_edges, fan, scale_instance, strip, AugmentationSpec};
 pub use outerplanar::random_outerplanar;
 pub use trees::random_tree;

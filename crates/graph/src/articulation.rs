@@ -37,7 +37,7 @@ pub fn cut_structure(g: &Graph) -> CutStructure {
         stack.push((root, 0));
         while let Some(&mut (u, ref mut i)) = stack.last_mut() {
             if *i < g.degree(u) {
-                let v = g.neighbors(u)[*i];
+                let v = g.neighbors(u)[*i] as Vertex;
                 *i += 1;
                 if disc[v] == u32::MAX {
                     parent[v] = u;
@@ -110,9 +110,10 @@ pub fn is_biconnected(g: &Graph) -> bool {
 pub fn is_cut_vertex_within(g: &Graph, ws: &mut SubsetScratch, set: &[Vertex], v: Vertex) -> bool {
     debug_assert!(set.contains(&v), "set must contain the candidate cut vertex");
     ws.begin(g.n(), set);
-    let Some(&start) = g.neighbors(v).iter().find(|&&u| ws.contains(u)) else {
+    let Some(&start) = g.neighbors(v).iter().find(|&&u| ws.contains(u as Vertex)) else {
         return false; // isolated within the subset: removal deletes its own component
     };
+    let start = start as Vertex;
     // Flood G[set] − {v} from `start`; pre-visiting v walls it off.
     ws.visit(v);
     ws.visit(start);
@@ -122,12 +123,13 @@ pub fn is_cut_vertex_within(g: &Graph, ws: &mut SubsetScratch, set: &[Vertex], v
         let u = ws.queue[head];
         head += 1;
         for &w in g.neighbors(u) {
+            let w = w as Vertex;
             if ws.contains(w) && ws.visit(w) {
                 ws.queue.push(w);
             }
         }
     }
-    g.neighbors(v).iter().any(|&u| ws.contains(u) && !ws.visited(u))
+    g.neighbors(v).iter().any(|&u| ws.contains(u as Vertex) && !ws.visited(u as Vertex))
 }
 
 /// Reference implementation of [`is_cut_vertex`] by explicit removal;

@@ -30,6 +30,7 @@ pub fn bfs_distances(g: &Graph, src: Vertex) -> Vec<Option<u32>> {
     while let Some(u) = q.pop_front() {
         let du = dist[u].unwrap();
         for &v in g.neighbors(u) {
+            let v = v as Vertex;
             if dist[v].is_none() {
                 dist[v] = Some(du + 1);
                 q.push_back(v);
@@ -52,6 +53,7 @@ pub fn multi_source_distances(g: &Graph, sources: &[Vertex]) -> Vec<Option<u32>>
     while let Some(u) = q.pop_front() {
         let du = dist[u].unwrap();
         for &v in g.neighbors(u) {
+            let v = v as Vertex;
             if dist[v].is_none() {
                 dist[v] = Some(du + 1);
                 q.push_back(v);
@@ -82,6 +84,7 @@ pub fn distance_with(g: &Graph, scratch: &mut Scratch, u: Vertex, v: Vertex) -> 
         head += 1;
         let dx = scratch.dist[x];
         for &y in g.neighbors(x) {
+            let y = y as Vertex;
             if scratch.visit(y) {
                 if y == v {
                     return Some(dx + 1);
@@ -130,6 +133,7 @@ pub fn distance_capped_with(
             break; // queue is in distance order; nothing closer remains
         }
         for &y in g.neighbors(x) {
+            let y = y as Vertex;
             if scratch.visit(y) {
                 if y == v {
                     return Some(dx + 1);
@@ -200,6 +204,7 @@ pub fn ball_of_set_into(
             continue;
         }
         for &v in g.neighbors(u) {
+            let v = v as Vertex;
             if scratch.visit(v) {
                 scratch.dist[v] = du + 1;
                 out.push(v);

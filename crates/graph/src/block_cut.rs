@@ -52,7 +52,7 @@ impl BlockCutTree {
             stack.push((root, 0));
             while let Some(&mut (u, ref mut i)) = stack.last_mut() {
                 if *i < g.degree(u) {
-                    let v = g.neighbors(u)[*i];
+                    let v = g.neighbors(u)[*i] as Vertex;
                     *i += 1;
                     if disc[v] == u32::MAX {
                         parent[v] = u;

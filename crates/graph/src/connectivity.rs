@@ -23,6 +23,7 @@ pub fn component_ids(g: &Graph) -> (Vec<usize>, usize) {
         q.push_back(s);
         while let Some(u) = q.pop_front() {
             for &v in g.neighbors(u) {
+                let v = v as Vertex;
                 if ids[v] == usize::MAX {
                     ids[v] = k;
                     q.push_back(v);
@@ -86,6 +87,7 @@ pub fn components_avoiding_with(
             let u = scratch.queue[head];
             head += 1;
             for &v in g.neighbors(u) {
+                let v = v as Vertex;
                 if !removed[v] && scratch.visit(v) {
                     comp.push(v);
                     scratch.queue.push(v);

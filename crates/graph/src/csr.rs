@@ -8,10 +8,16 @@
 //!   occupy `neighbors[offsets[v] .. offsets[v + 1]]`.
 //! * `neighbors` — all adjacency rows back to back, each row sorted
 //!   ascending with no duplicates; every undirected edge `{u, v}`
-//!   appears twice (as an arc in `u`'s row and in `v`'s row).
+//!   appears twice (as an arc in `u`'s row and in `v`'s row). Rows
+//!   store vertex indices as `u32`: the neighbor array is the 2m-sized
+//!   hot array, and halving it doubles the edges that fit per cache
+//!   line (and per gigabyte) on the million-node scale path. The
+//!   public [`Vertex`] index type stays `usize`; the `u32` capacity
+//!   cap (`n ≤ u32::MAX`, [`crate::MAX_VERTICES`]) is enforced by the
+//!   [`Graph`] constructors before anything is allocated.
 //!
 //! Degree is `offsets[v + 1] - offsets[v]` (O(1)); neighbor iteration
-//! is a contiguous slice walk (one cache line per ~8 neighbors instead
+//! is a contiguous slice walk (one cache line per ~16 neighbors instead
 //! of a pointer chase per vertex); membership is a binary search on the
 //! row.
 //!
@@ -36,8 +42,8 @@ pub struct Csr {
     /// `n + 1` cumulative row offsets into `neighbors`.
     offsets: Vec<usize>,
     /// Concatenated sorted adjacency rows (each edge appears as two
-    /// arcs).
-    neighbors: Vec<Vertex>,
+    /// arcs), compacted to `u32` per the scale plan.
+    neighbors: Vec<u32>,
 }
 
 impl Csr {
@@ -49,9 +55,11 @@ impl Csr {
     /// Bulk-builds from an arc list in O(n + m): counting sort into
     /// rows, per-row sort, then in-place dedup/compaction. `arcs` holds
     /// each undirected edge once (as either orientation); endpoints must
-    /// be `< n` and non-equal (validated by the caller). Returns the
-    /// store and the number of distinct edges.
+    /// be `< n` and non-equal, and `n` must be within the `u32` row
+    /// capacity (both validated by the caller). Returns the store and
+    /// the number of distinct edges.
     pub fn from_arcs(n: usize, arcs: &[(Vertex, Vertex)]) -> (Self, usize) {
+        debug_assert!(n <= crate::MAX_VERTICES, "caller enforces the u32 vertex cap");
         let mut offsets = vec![0usize; n + 1];
         for &(u, v) in arcs {
             offsets[u + 1] += 1;
@@ -60,12 +68,12 @@ impl Csr {
         for i in 0..n {
             offsets[i + 1] += offsets[i];
         }
-        let mut neighbors = vec![0 as Vertex; 2 * arcs.len()];
+        let mut neighbors = vec![0u32; 2 * arcs.len()];
         let mut cursor = offsets.clone();
         for &(u, v) in arcs {
-            neighbors[cursor[u]] = v;
+            neighbors[cursor[u]] = v as u32;
             cursor[u] += 1;
-            neighbors[cursor[v]] = u;
+            neighbors[cursor[v]] = u as u32;
             cursor[v] += 1;
         }
         // Sort each row, then compact duplicates in place. The write
@@ -76,7 +84,7 @@ impl Csr {
             let row_end = offsets[v + 1];
             neighbors[row_start..row_end].sort_unstable();
             let new_start = write;
-            let mut prev: Option<Vertex> = None;
+            let mut prev: Option<u32> = None;
             for read in row_start..row_end {
                 let x = neighbors[read];
                 if prev != Some(x) {
@@ -94,6 +102,17 @@ impl Csr {
         neighbors.truncate(write);
         debug_assert!(write.is_multiple_of(2), "every edge contributes two arcs");
         (Csr { offsets, neighbors }, write / 2)
+    }
+
+    /// Wraps pre-validated flat arrays (the zero-copy snapshot ingest
+    /// path). The caller guarantees the full CSR contract: `offsets` is
+    /// monotone with `offsets[0] == 0` and `offsets.last() ==
+    /// neighbors.len()`, every row is strictly ascending, in range, and
+    /// self-loop-free, and the arc set is symmetric.
+    pub(crate) fn from_parts_unchecked(offsets: Vec<usize>, neighbors: Vec<u32>) -> Self {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(*offsets.last().expect("nonempty"), neighbors.len());
+        Csr { offsets, neighbors }
     }
 
     /// Number of vertices.
@@ -114,19 +133,22 @@ impl Csr {
         self.offsets[v + 1] - self.offsets[v]
     }
 
-    /// The sorted neighbor row of `v` as a contiguous slice.
+    /// The sorted neighbor row of `v` as a contiguous `u32` slice.
     #[inline]
-    pub fn row(&self, v: Vertex) -> &[Vertex] {
+    pub fn row(&self, v: Vertex) -> &[u32] {
         &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
     }
 
     /// Whether the arc `u → v` is present (row binary search).
     #[inline]
     pub fn has_arc(&self, u: Vertex, v: Vertex) -> bool {
-        self.row(u).binary_search(&v).is_ok()
+        let Ok(v32) = u32::try_from(v) else { return false };
+        self.row(u).binary_search(&v32).is_ok()
     }
 
-    /// Appends an isolated vertex, returning its index.
+    /// Appends an isolated vertex, returning its index. The caller
+    /// ([`Graph::add_vertex`](crate::Graph::add_vertex)) enforces the
+    /// `u32` vertex cap.
     pub fn push_vertex(&mut self) -> Vertex {
         let last = *self.offsets.last().expect("offsets nonempty");
         self.offsets.push(last);
@@ -136,10 +158,11 @@ impl Csr {
     /// Splices the arc `u → v` into `u`'s row. Returns `false` if
     /// already present. O(n + m); see the module docs.
     pub fn insert_arc(&mut self, u: Vertex, v: Vertex) -> bool {
-        match self.row(u).binary_search(&v) {
+        let v32 = u32::try_from(v).expect("caller validates v < n <= u32 capacity");
+        match self.row(u).binary_search(&v32) {
             Ok(_) => false,
             Err(pos) => {
-                self.neighbors.insert(self.offsets[u] + pos, v);
+                self.neighbors.insert(self.offsets[u] + pos, v32);
                 for o in &mut self.offsets[u + 1..] {
                     *o += 1;
                 }
@@ -151,7 +174,8 @@ impl Csr {
     /// Splices the arc `u → v` out of `u`'s row. Returns `false` if
     /// absent. O(n + m).
     pub fn remove_arc(&mut self, u: Vertex, v: Vertex) -> bool {
-        match self.row(u).binary_search(&v) {
+        let Ok(v32) = u32::try_from(v) else { return false };
+        match self.row(u).binary_search(&v32) {
             Err(_) => false,
             Ok(pos) => {
                 self.neighbors.remove(self.offsets[u] + pos);
@@ -164,11 +188,16 @@ impl Csr {
     }
 
     /// Appends `other`'s rows with every vertex shifted by `offset`
-    /// (the disjoint-union primitive). `offset` must equal `self.n()`.
+    /// (the disjoint-union primitive). `offset` must equal `self.n()`,
+    /// and the combined vertex count must stay within the `u32` row
+    /// capacity (enforced by
+    /// [`Graph::disjoint_union`](crate::Graph::disjoint_union)).
     pub fn append_shifted(&mut self, other: &Csr, offset: usize) {
         debug_assert_eq!(offset, self.n());
+        debug_assert!(self.n() + other.n() <= crate::MAX_VERTICES);
         let base = self.neighbors.len();
-        self.neighbors.extend(other.neighbors.iter().map(|&u| u + offset));
+        let shift = offset as u32;
+        self.neighbors.extend(other.neighbors.iter().map(|&u| u + shift));
         self.offsets.extend(other.offsets[1..].iter().map(|&o| o + base));
     }
 }
@@ -230,5 +259,12 @@ mod tests {
         assert_eq!(a.n(), 5);
         assert_eq!(a.row(3), &[4]);
         assert_eq!(a.row(4), &[3]);
+    }
+
+    #[test]
+    fn from_parts_matches_bulk_build() {
+        let (bulk, _) = Csr::from_arcs(4, &[(0, 1), (1, 2), (2, 3)]);
+        let parts = Csr::from_parts_unchecked(vec![0, 1, 3, 5, 6], vec![1, 0, 2, 1, 3, 2]);
+        assert_eq!(bulk, parts);
     }
 }

@@ -41,7 +41,7 @@ fn mark_dominated(g: &Graph, scratch: &mut Scratch, set: &[Vertex]) {
     for &s in set {
         scratch.visit(s);
         for &u in g.neighbors(s) {
-            scratch.visit(u);
+            scratch.visit(u as Vertex);
         }
     }
 }
@@ -159,7 +159,7 @@ impl CoverInstance {
                 let mut c: Vec<Vertex> = Vec::new();
                 for &t in &targets {
                     c.push(t);
-                    c.extend_from_slice(g.neighbors(t));
+                    c.extend(g.neighbors(t).iter().map(|&u| u as Vertex));
                 }
                 crate::canonical_set(c)
             }
@@ -172,8 +172,8 @@ impl CoverInstance {
                 cov.push(target_idx[c]);
             }
             for &u in g.neighbors(c) {
-                if target_idx[u] != NONE {
-                    cov.push(target_idx[u]);
+                if target_idx[u as usize] != NONE {
+                    cov.push(target_idx[u as usize]);
                 }
             }
             cov.sort_unstable();
@@ -334,6 +334,7 @@ pub fn tree_mds(g: &Graph) -> Option<Vec<Vertex>> {
         while let Some(u) = stack.pop() {
             order.push(u);
             for &v in g.neighbors(u) {
+                let v = v as Vertex;
                 if !seen[v] {
                     seen[v] = true;
                     parent[v] = u;
@@ -353,7 +354,7 @@ pub fn tree_mds(g: &Graph) -> Option<Vec<Vertex>> {
             in_set[take] = true;
             dominated[take] = true;
             for &u in g.neighbors(take) {
-                dominated[u] = true;
+                dominated[u as usize] = true;
             }
         }
     }

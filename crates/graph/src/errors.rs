@@ -37,6 +37,13 @@ pub enum GraphError {
         /// What was wrong with the snapshot bytes.
         detail: String,
     },
+    /// The requested vertex count exceeds the compact-CSR capacity:
+    /// adjacency rows store vertex indices as `u32`, so at most
+    /// [`crate::MAX_VERTICES`] vertices are representable.
+    TooManyVertices {
+        /// The requested vertex count.
+        n: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -56,6 +63,13 @@ impl fmt::Display for GraphError {
             }
             GraphError::Snapshot { detail } => {
                 write!(f, "invalid graph snapshot: {detail}")
+            }
+            GraphError::TooManyVertices { n } => {
+                write!(
+                    f,
+                    "vertex count {n} exceeds the u32-compact adjacency capacity ({})",
+                    u32::MAX
+                )
             }
         }
     }

@@ -333,9 +333,9 @@ impl ExactEngine {
                 for &c in cands {
                     self.mark(c);
                 }
-                let ok = targets
-                    .iter()
-                    .all(|&t| self.marked(t) || g.neighbors(t).iter().any(|&u| self.marked(u)));
+                let ok = targets.iter().all(|&t| {
+                    self.marked(t) || g.neighbors(t).iter().any(|&u| self.marked(u as Vertex))
+                });
                 if ok {
                     Ok(())
                 } else {
@@ -378,7 +378,7 @@ impl ExactEngine {
                     if needs[v] {
                         allowed[v] = true;
                         for &u in g.neighbors(v) {
-                            allowed[u] = true;
+                            allowed[u as usize] = true;
                         }
                     }
                 }
@@ -387,7 +387,7 @@ impl ExactEngine {
         // Feasibility before reductions (reductions never remove the
         // last coverer of a live target).
         for v in g.vertices() {
-            if needs[v] && !allowed[v] && !g.neighbors(v).iter().any(|&u| allowed[u]) {
+            if needs[v] && !allowed[v] && !g.neighbors(v).iter().any(|&u| allowed[u as usize]) {
                 return Err(ExactError::Infeasible);
             }
         }
@@ -514,7 +514,7 @@ impl ExactEngine {
                     self.begin_marks(n);
                     self.mark(v);
                     for &w in g.neighbors(v) {
-                        self.mark(w);
+                        self.mark(w as Vertex);
                     }
                     if cov_u.iter().all(|&w| self.marked(w)) {
                         let cov_v_len = closed(g, v).filter(|&w| needs[w]).count();
@@ -586,7 +586,7 @@ impl ExactEngine {
         allowed[u] = false;
         needs[u] = false;
         for &w in g.neighbors(u) {
-            needs[w] = false;
+            needs[w as usize] = false;
         }
     }
 
@@ -599,6 +599,7 @@ impl ExactEngine {
         self.ball_buf.push(v);
         let deg1_end = {
             for &u in g.neighbors(v) {
+                let u = u as Vertex;
                 if !self.marked(u) {
                     self.mark(u);
                     self.ball_buf.push(u);
@@ -609,6 +610,7 @@ impl ExactEngine {
         for i in 1..deg1_end {
             let u = self.ball_buf[i];
             for &w in g.neighbors(u) {
+                let w = w as Vertex;
                 if !self.marked(w) {
                     self.mark(w);
                     self.ball_buf.push(w);
@@ -681,7 +683,7 @@ impl ExactEngine {
     fn reduce_vc(&mut self, g: &Graph, alive: &mut [bool], chosen: &mut Vec<Vertex>) {
         let n = g.n();
         let live_deg = |alive: &[bool], v: Vertex| -> usize {
-            g.neighbors(v).iter().filter(|&&u| alive[u]).count()
+            g.neighbors(v).iter().filter(|&&u| alive[u as usize]).count()
         };
         let mut changed = true;
         while changed {
@@ -699,8 +701,9 @@ impl ExactEngine {
                         let u = *g
                             .neighbors(v)
                             .iter()
-                            .find(|&&u| alive[u])
-                            .expect("degree-1 vertex has a live neighbor");
+                            .find(|&&u| alive[u as usize])
+                            .expect("degree-1 vertex has a live neighbor")
+                            as Vertex;
                         chosen.push(u);
                         alive[u] = false;
                         alive[v] = false;
@@ -718,16 +721,21 @@ impl ExactEngine {
                 self.begin_marks(n);
                 self.mark(v);
                 for &w in g.neighbors(v) {
-                    if alive[w] {
-                        self.mark(w);
+                    if alive[w as usize] {
+                        self.mark(w as Vertex);
                     }
                 }
                 let mut take_v = false;
                 for &u in g.neighbors(v) {
+                    let u = u as Vertex;
                     if !alive[u] {
                         continue;
                     }
-                    if g.neighbors(u).iter().all(|&w| !alive[w] || self.marked(w)) {
+                    let dominated = g
+                        .neighbors(u)
+                        .iter()
+                        .all(|&w| !alive[w as usize] || self.marked(w as Vertex));
+                    if dominated {
                         take_v = true;
                         break;
                     }
@@ -745,7 +753,7 @@ impl ExactEngine {
 /// Iterates the closed neighborhood `N[v]` (order: `v`, then sorted
 /// neighbors).
 fn closed(g: &Graph, v: Vertex) -> impl Iterator<Item = Vertex> + '_ {
-    std::iter::once(v).chain(g.neighbors(v).iter().copied())
+    std::iter::once(v).chain(g.neighbors(v).iter().map(|&u| u as Vertex))
 }
 
 // ---------------------------------------------------------------------
@@ -1057,8 +1065,8 @@ impl VcSearch<'_> {
         debug_assert!(self.alive[v]);
         self.alive[v] = false;
         for &w in self.g.neighbors(v) {
-            if self.alive[w] {
-                self.live_deg[w] -= 1;
+            if self.alive[w as usize] {
+                self.live_deg[w as usize] -= 1;
             }
         }
         self.removed.push(v);
@@ -1071,8 +1079,8 @@ impl VcSearch<'_> {
             self.alive[v] = true;
             let mut deg = 0;
             for &w in self.g.neighbors(v) {
-                if self.alive[w] {
-                    self.live_deg[w] += 1;
+                if self.alive[w as usize] {
+                    self.live_deg[w as usize] += 1;
                     deg += 1;
                 }
             }
@@ -1095,6 +1103,7 @@ impl VcSearch<'_> {
                 continue;
             }
             for &v in self.g.neighbors(u) {
+                let v = v as Vertex;
                 if u < v && self.alive[v] && self.matched[v] != epoch {
                     self.matched[u] = epoch;
                     self.matched[v] = epoch;
@@ -1131,8 +1140,9 @@ impl VcSearch<'_> {
                             .g
                             .neighbors(v)
                             .iter()
-                            .find(|&&u| self.alive[u])
-                            .expect("degree-1 vertex has a live neighbor");
+                            .find(|&&u| self.alive[u as usize])
+                            .expect("degree-1 vertex has a live neighbor")
+                            as Vertex;
                         self.current.push(u);
                         self.remove(u);
                         self.remove(v);
@@ -1185,8 +1195,13 @@ impl VcSearch<'_> {
             let cp = self.removed.len();
             let cur_cp = self.current.len();
             self.remove(pick);
-            let nb: Vec<Vertex> =
-                self.g.neighbors(pick).iter().copied().filter(|&u| self.alive[u]).collect();
+            let nb: Vec<Vertex> = self
+                .g
+                .neighbors(pick)
+                .iter()
+                .map(|&u| u as Vertex)
+                .filter(|&u| self.alive[u])
+                .collect();
             for &u in &nb {
                 self.current.push(u);
                 self.remove(u);

@@ -10,6 +10,16 @@ use crate::errors::GraphError;
 /// `lmds-localsim` crate.
 pub type Vertex = usize;
 
+/// Maximum number of vertices a [`Graph`] can hold.
+///
+/// Adjacency rows are stored as `u32` (the compact-CSR scale layout),
+/// so vertex indices must fit in 32 bits. Constructors validate the cap
+/// *before* allocating anything proportional to `n`, so an absurd
+/// requested size fails fast with
+/// [`GraphError::TooManyVertices`] instead of attempting a huge
+/// allocation.
+pub const MAX_VERTICES: usize = u32::MAX as usize;
+
 /// An undirected simple graph with sorted adjacency, stored as
 /// compressed sparse rows ([`Csr`]).
 ///
@@ -45,7 +55,13 @@ pub struct Graph {
 
 impl Graph {
     /// Creates a graph with `n` vertices and no edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`MAX_VERTICES`] (adjacency rows are
+    /// `u32`-compact).
     pub fn new(n: usize) -> Self {
+        assert!(n <= MAX_VERTICES, "vertex count {n} exceeds the u32-compact capacity");
         Graph { csr: Csr::new(n), m: 0 }
     }
 
@@ -67,12 +83,17 @@ impl Graph {
     ///
     /// # Errors
     ///
-    /// Returns [`GraphError::VertexOutOfRange`] or [`GraphError::SelfLoop`]
-    /// on the first offending edge.
+    /// Returns [`GraphError::TooManyVertices`] when `n` exceeds
+    /// [`MAX_VERTICES`] (checked before any allocation), and
+    /// [`GraphError::VertexOutOfRange`] or [`GraphError::SelfLoop`] on
+    /// the first offending edge.
     pub fn try_from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
     where
         I: IntoIterator<Item = (Vertex, Vertex)>,
     {
+        if n > MAX_VERTICES {
+            return Err(GraphError::TooManyVertices { n });
+        }
         let iter = edges.into_iter();
         let mut arcs = Vec::with_capacity(iter.size_hint().0);
         for (u, v) in iter {
@@ -95,9 +116,23 @@ impl Graph {
     /// self-loops) — the internal fast path for derived graphs whose
     /// edges come from an existing `Graph`.
     pub(crate) fn from_arcs_unchecked(n: usize, arcs: &[(Vertex, Vertex)]) -> Self {
+        debug_assert!(n <= MAX_VERTICES);
         debug_assert!(arcs.iter().all(|&(u, v)| u != v && u < n && v < n));
         let (csr, m) = Csr::from_arcs(n, arcs);
         Graph { csr, m }
+    }
+
+    /// Wraps pre-validated CSR parts — the zero-copy snapshot ingest
+    /// path ([`crate::io::from_snapshot`]). The caller guarantees the
+    /// full CSR contract (see [`Csr::from_parts_unchecked`]) and that
+    /// `neighbors.len() == 2 * m`.
+    pub(crate) fn from_csr_parts_unchecked(
+        offsets: Vec<usize>,
+        neighbors: Vec<u32>,
+        m: usize,
+    ) -> Self {
+        debug_assert_eq!(neighbors.len(), 2 * m);
+        Graph { csr: Csr::from_parts_unchecked(offsets, neighbors), m }
     }
 
     /// Number of vertices.
@@ -121,7 +156,12 @@ impl Graph {
     }
 
     /// Adds a new isolated vertex and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph already holds [`MAX_VERTICES`] vertices.
     pub fn add_vertex(&mut self) -> Vertex {
+        assert!(self.n() < MAX_VERTICES, "vertex count would exceed the u32-compact capacity");
         self.csr.push_vertex()
     }
 
@@ -189,12 +229,13 @@ impl Graph {
     }
 
     /// The (sorted) open neighborhood of `v`, as a contiguous slice of
-    /// the CSR neighbor array.
+    /// the `u32`-compact CSR neighbor array. Widening an element back
+    /// to a [`Vertex`] index is a lossless `as usize`.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
-    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+    pub fn neighbors(&self, v: Vertex) -> &[u32] {
         self.csr.row(v)
     }
 
@@ -202,10 +243,10 @@ impl Graph {
     pub fn closed_neighborhood(&self, v: Vertex) -> Vec<Vertex> {
         let row = self.csr.row(v);
         let mut out = Vec::with_capacity(row.len() + 1);
-        let split = row.partition_point(|&u| u < v);
-        out.extend_from_slice(&row[..split]);
+        let split = row.partition_point(|&u| (u as usize) < v);
+        out.extend(row[..split].iter().map(|&u| u as Vertex));
         out.push(v);
-        out.extend_from_slice(&row[split..]);
+        out.extend(row[split..].iter().map(|&u| u as Vertex));
         out
     }
 
@@ -218,11 +259,13 @@ impl Graph {
     ///
     /// Panics if `u` or `v` is out of range.
     pub fn closed_neighborhood_subset(&self, v: Vertex, u: Vertex) -> bool {
-        // Every x ∈ N[v] must satisfy x == u or x ∈ N(u).
+        // Every x ∈ N[v] must satisfy x == u or x ∈ N(u). All values
+        // compared are in-range row entries, so the u32 casts are exact.
+        let (u32_, v32) = (u as u32, v as u32);
         let row_u = self.csr.row(u);
         let mut iu = 0usize;
-        let mut check = |x: Vertex| -> bool {
-            if x == u {
+        let mut check = |x: u32| -> bool {
+            if x == u32_ {
                 return true;
             }
             while iu < row_u.len() && row_u[iu] < x {
@@ -231,9 +274,9 @@ impl Graph {
             iu < row_u.len() && row_u[iu] == x
         };
         let row_v = self.csr.row(v);
-        let split = row_v.partition_point(|&x| x < v);
+        let split = row_v.partition_point(|&x| x < v32);
         row_v[..split].iter().all(|&x| check(x))
-            && check(v)
+            && check(v32)
             && row_v[split..].iter().all(|&x| check(x))
     }
 
@@ -252,7 +295,12 @@ impl Graph {
     /// order.
     pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
         self.vertices().flat_map(move |u| {
-            self.csr.row(u).iter().filter(move |&&v| u < v).map(move |&v| (u, v))
+            self.csr
+                .row(u)
+                .iter()
+                .map(|&v| v as Vertex)
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
@@ -266,8 +314,8 @@ impl Graph {
         if self.degree(u) != self.degree(v) {
             return false;
         }
-        let mut iu = self.csr.row(u).iter().filter(|&&x| x != v);
-        let mut iv = self.csr.row(v).iter().filter(|&&x| x != u);
+        let mut iu = self.csr.row(u).iter().filter(|&&x| x as Vertex != v);
+        let mut iv = self.csr.row(v).iter().filter(|&&x| x as Vertex != u);
         loop {
             match (iu.next(), iv.next()) {
                 (None, None) => return true,
@@ -279,7 +327,15 @@ impl Graph {
 
     /// Builds the disjoint union of `self` and `other`; vertices of
     /// `other` are shifted by `self.n()`. Returns the shift offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined vertex count exceeds [`MAX_VERTICES`].
     pub fn disjoint_union(&mut self, other: &Graph) -> usize {
+        assert!(
+            other.n() <= MAX_VERTICES - self.n(),
+            "union vertex count would exceed the u32-compact capacity"
+        );
         let offset = self.n();
         self.csr.append_shifted(&other.csr, offset);
         self.m += other.m;

@@ -135,8 +135,10 @@ fn snapshot_payload(g: &Graph) -> Vec<u8> {
         out.extend_from_slice(&offset.to_le_bytes());
     }
     for v in g.vertices() {
+        // Rows are already u32-compact; no narrowing happens here. The
+        // n ≤ u32::MAX invariant is enforced at graph construction.
         for &w in g.neighbors(v) {
-            out.extend_from_slice(&(w as u32).to_le_bytes());
+            out.extend_from_slice(&w.to_le_bytes());
         }
     }
     out
@@ -182,6 +184,17 @@ fn read_u64(bytes: &[u8], at: usize) -> u64 {
 /// Parses the format produced by [`to_snapshot`], validating the
 /// header, length, checksum, and all structural invariants.
 ///
+/// This is the zero-copy scale path: the CSR offset and neighbor arrays
+/// are decoded straight out of the validated payload (one linear pass
+/// plus a binary search per arc for symmetry), with no intermediate
+/// `Vec<(Vertex, Vertex)>` edge list, no counting-sort rebuild, and no
+/// re-serialization round-trip.
+///
+/// All arithmetic on the header-declared `n`/`m` is checked: a hostile
+/// header (e.g. `m` near `u64::MAX`) is rejected by the length equation
+/// *before* any allocation, so untrusted ingest (the `lmds-serve`
+/// `PUT /graphs` body) cannot be made to overflow or over-allocate.
+///
 /// # Errors
 ///
 /// [`GraphError::Snapshot`] describing the first problem found.
@@ -198,20 +211,33 @@ pub fn from_snapshot(bytes: &[u8]) -> Result<Graph, GraphError> {
             "unsupported schema version {version} (reader supports {SNAPSHOT_VERSION})"
         )));
     }
-    let n = read_u64(bytes, 12);
-    let m = read_u64(bytes, 20);
+    let n64 = read_u64(bytes, 12);
+    let m64 = read_u64(bytes, 20);
     let checksum = read_u64(bytes, 28);
-    if n > u32::MAX as u64 {
-        return Err(snapshot_err(format!("vertex count {n} exceeds the u32 row format")));
+    if n64 > u32::MAX as u64 {
+        return Err(snapshot_err(format!("vertex count {n64} exceeds the u32 row format")));
     }
-    let (n, arcs) = (n as usize, 2 * m as usize);
-    let expected = SNAPSHOT_HEADER_LEN + 8 * (n + 1) + 4 * arcs;
-    if bytes.len() != expected {
+    // Length equation in checked u64 arithmetic: header + 8·(n+1) + 4·2m.
+    // The header fields are attacker-controlled until this comparison
+    // succeeds, so nothing may wrap and nothing may allocate before it.
+    let arcs64 = m64
+        .checked_mul(2)
+        .ok_or_else(|| snapshot_err(format!("edge count {m64} overflows the arc count")))?;
+    let expected = 8u64
+        .checked_mul(n64 + 1) // n ≤ u32::MAX, so n + 1 and 8·(n+1) cannot wrap u64
+        .and_then(|o| arcs64.checked_mul(4).and_then(|r| o.checked_add(r)))
+        .and_then(|p| p.checked_add(SNAPSHOT_HEADER_LEN as u64))
+        .ok_or_else(|| snapshot_err(format!("declared sizes n={n64}, m={m64} overflow")))?;
+    if bytes.len() as u64 != expected {
         return Err(snapshot_err(format!(
-            "length {} does not match header (expected {expected} for n={n}, m={m})",
+            "length {} does not match header (expected {expected} for n={n64}, m={m64})",
             bytes.len()
         )));
     }
+    // The length equation held, so n/m/arcs are bounded by the actual
+    // input size and fit comfortably in usize from here on.
+    let n = n64 as usize;
+    let arcs = arcs64 as usize;
     let payload = &bytes[SNAPSHOT_HEADER_LEN..];
     let actual = fnv1a(payload);
     if actual != checksum {
@@ -219,46 +245,61 @@ pub fn from_snapshot(bytes: &[u8]) -> Result<Graph, GraphError> {
             "checksum mismatch (header {checksum:#018x}, payload {actual:#018x})"
         )));
     }
-    let offsets_end = 8 * (n + 1);
+    // Decode the offset array, checking monotonicity as we go.
+    let mut offsets: Vec<usize> = Vec::with_capacity(n + 1);
     let mut prev = read_u64(payload, 0);
     if prev != 0 {
         return Err(snapshot_err("first offset is not zero"));
     }
-    let mut edges: Vec<(Vertex, Vertex)> = Vec::with_capacity(m as usize);
+    offsets.push(0);
     for v in 0..n {
         let next = read_u64(payload, 8 * (v + 1));
-        if next < prev || next > arcs as u64 {
+        if next < prev || next > arcs64 {
             return Err(snapshot_err(format!("offset for vertex {v} is not monotone/in range")));
         }
+        offsets.push(next as usize);
+        prev = next;
+    }
+    if prev != arcs64 {
+        return Err(snapshot_err("final offset does not cover every stored arc"));
+    }
+    // Decode the neighbor array directly (strictly ascending rows imply
+    // no duplicate arcs; w ≠ v rules out self-loops).
+    let rows_at = 8 * (n + 1);
+    let mut neighbors: Vec<u32> = Vec::with_capacity(arcs);
+    for v in 0..n {
         let mut last: Option<u32> = None;
-        for i in prev..next {
-            let at = offsets_end + 4 * i as usize;
+        for i in offsets[v]..offsets[v + 1] {
+            let at = rows_at + 4 * i;
             let w = u32::from_le_bytes(payload[at..at + 4].try_into().expect("length checked"));
-            if w as u64 >= n as u64 {
+            if w as usize >= n {
                 return Err(snapshot_err(format!("neighbor {w} of vertex {v} out of range")));
+            }
+            if w as usize == v {
+                return Err(snapshot_err(format!("self-loop stored on vertex {v}")));
             }
             if last.is_some_and(|p| p >= w) {
                 return Err(snapshot_err(format!("row of vertex {v} is not strictly ascending")));
             }
             last = Some(w);
-            // Each undirected edge appears as two arcs; keep one.
-            if (v as u64) < w as u64 {
-                edges.push((v, w as Vertex));
+            neighbors.push(w);
+        }
+    }
+    // Symmetry: every stored arc v → w must have its mirror w → v
+    // (binary search on w's decoded row). This replaces the old
+    // rebuild-and-reserialize round-trip with one O(log deg) probe per
+    // arc.
+    for v in 0..n {
+        for i in offsets[v]..offsets[v + 1] {
+            let w = neighbors[i] as usize;
+            if neighbors[offsets[w]..offsets[w + 1]].binary_search(&(v as u32)).is_err() {
+                return Err(snapshot_err(format!(
+                    "arc {v} → {w} has no mirror arc (adjacency is not symmetric)"
+                )));
             }
         }
-        prev = next;
     }
-    if prev != arcs as u64 {
-        return Err(snapshot_err("final offset does not cover every stored arc"));
-    }
-    let g = Graph::try_from_edges(n, edges).map_err(|e| snapshot_err(e.to_string()))?;
-    // The rebuilt graph must re-serialize to the exact stored payload;
-    // this closes the remaining gap (asymmetric arc lists whose kept
-    // half happens to build a plausible graph).
-    if g.m() as u64 != m || snapshot_payload(&g) != payload {
-        return Err(snapshot_err("stored arcs are not a symmetric adjacency".to_string()));
-    }
-    Ok(g)
+    Ok(Graph::from_csr_parts_unchecked(offsets, neighbors, m64 as usize))
 }
 
 #[cfg(test)]
@@ -385,6 +426,87 @@ mod tests {
         let sum = fnv1a(&forged[SNAPSHOT_HEADER_LEN..]);
         forged[28..36].copy_from_slice(&sum.to_le_bytes());
         assert!(from_snapshot(&forged).unwrap_err().to_string().contains("out of range"));
+    }
+
+    /// Builds a syntactically valid header (magic + version + n + m +
+    /// checksum) followed by `payload`, re-stamping the checksum so only
+    /// the declared sizes are forged.
+    fn forged_snapshot(n: u64, m: u64, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&n.to_le_bytes());
+        out.extend_from_slice(&m.to_le_bytes());
+        out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn forged_huge_m_yields_typed_error_not_panic() {
+        // A hostile header declaring m near u64::MAX must fail the
+        // checked length equation with a typed error — previously
+        // `2 * m as usize` and the expected-length sum could wrap, and
+        // `Vec::with_capacity(m)` could abort on a huge allocation.
+        for m in [u64::MAX, u64::MAX / 2, u64::MAX / 4, u64::MAX / 8 - 4, 1 << 61] {
+            let err = from_snapshot(&forged_snapshot(3, m, &[0u8; 32])).unwrap_err();
+            assert!(matches!(err, GraphError::Snapshot { .. }), "m={m:#x}: {err}");
+        }
+        // Same for a huge n (beyond the u32 row format).
+        let err = from_snapshot(&forged_snapshot(1 << 33, 0, &[0u8; 8])).unwrap_err();
+        assert!(err.to_string().contains("u32"), "{err}");
+    }
+
+    /// Encodes an explicit CSR payload (u64 offsets + u32 rows).
+    fn raw_payload(offsets: &[u64], rows: &[u32]) -> Vec<u8> {
+        let mut payload = Vec::new();
+        for off in offsets {
+            payload.extend_from_slice(&off.to_le_bytes());
+        }
+        for w in rows {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        payload
+    }
+
+    #[test]
+    fn forged_asymmetric_arcs_rejected() {
+        // An odd arc count can never satisfy the length equation
+        // (payload stores 5 arcs, header says 2m = 4).
+        let payload = raw_payload(&[0, 2, 3, 5], &[1, 2, 0, 0, 1]);
+        let err = from_snapshot(&forged_snapshot(3, 2, &payload)).unwrap_err();
+        assert!(err.to_string().contains("length"), "{err}");
+
+        // A length-consistent forgery: row 0 = [1], row 1 = [2] — arc
+        // 0→1 has no mirror (row 1 holds only 2).
+        let payload = raw_payload(&[0, 1, 2, 2], &[1, 2]);
+        let err = from_snapshot(&forged_snapshot(3, 1, &payload)).unwrap_err();
+        assert!(err.to_string().contains("mirror"), "{err}");
+    }
+
+    #[test]
+    fn forged_self_loop_rejected() {
+        // n=2: row 0 = [0] (self-loop), row 1 = [1] (self-loop); 2 arcs
+        // so m=1 keeps the length equation satisfied.
+        let payload = raw_payload(&[0, 1, 2], &[0, 1]);
+        let err = from_snapshot(&forged_snapshot(2, 1, &payload)).unwrap_err();
+        assert!(err.to_string().contains("self-loop"), "{err}");
+    }
+
+    #[test]
+    fn zero_copy_loader_matches_bulk_build_exactly() {
+        // The zero-copy CSR ingest must be indistinguishable from the
+        // bulk counting-sort build: equal graphs, equal checksums,
+        // byte-identical re-serialization.
+        for seed in 0..6u64 {
+            let g = random_graph(11 + seed as usize * 9, 10 + seed * 13 % 50, seed + 1);
+            let bytes = to_snapshot(&g).unwrap();
+            let h = from_snapshot(&bytes).unwrap();
+            let rebuilt = Graph::try_from_edges(g.n(), h.edges()).unwrap();
+            assert_eq!(h, rebuilt);
+            assert_eq!(graph_checksum(&h), graph_checksum(&rebuilt));
+            assert_eq!(to_snapshot(&h).unwrap(), bytes);
+        }
     }
 
     #[test]

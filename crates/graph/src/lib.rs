@@ -46,6 +46,7 @@
 
 pub mod articulation;
 pub mod bfs;
+pub mod bitset;
 pub mod block_cut;
 pub mod connectivity;
 pub mod csr;
@@ -65,11 +66,12 @@ pub mod twins;
 pub mod two_cuts;
 pub mod vertex_cover;
 
+pub use bitset::FixedBitSet;
 pub use csr::Csr;
 pub use dynamic::{DynamicGraph, GraphUpdate, UpdateStats};
 pub use errors::GraphError;
 pub use exact::{ExactBackend, ExactEngine};
-pub use graph::{Graph, GraphBuilder, Vertex};
+pub use graph::{Graph, GraphBuilder, Vertex, MAX_VERTICES};
 pub use scratch::{Scratch, SubsetScratch};
 pub use subgraph::InducedSubgraph;
 

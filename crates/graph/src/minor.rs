@@ -122,8 +122,13 @@ impl<'g> Search<'g> {
             let mut excluded = vec![false; n];
             excluded[..a].fill(true); // min(A) = a
             in_a[a] = true;
-            let frontier: Vec<Vertex> =
-                self.g.neighbors(a).iter().copied().filter(|&v| !excluded[v]).collect();
+            let frontier: Vec<Vertex> = self
+                .g
+                .neighbors(a)
+                .iter()
+                .map(|&v| v as Vertex)
+                .filter(|&v| !excluded[v])
+                .collect();
             let done = self.extend_a(a, &mut in_a, frontier, &mut excluded);
             in_a[a] = false;
             if !done {
@@ -161,7 +166,13 @@ impl<'g> Search<'g> {
             in_a[v] = true;
             let mut nf: Vec<Vertex> =
                 frontier[i + 1..].iter().copied().filter(|&u| !excluded[u] && !in_a[u]).collect();
-            nf.extend(self.g.neighbors(v).iter().copied().filter(|&u| !excluded[u] && !in_a[u]));
+            nf.extend(
+                self.g
+                    .neighbors(v)
+                    .iter()
+                    .map(|&u| u as Vertex)
+                    .filter(|&u| !excluded[u] && !in_a[u]),
+            );
             ok = self.extend_a(min_a, in_a, nf, excluded);
             in_a[v] = false;
             if !ok || self.best >= self.target {
@@ -186,8 +197,13 @@ impl<'g> Search<'g> {
             let mut excluded: Vec<bool> = in_a.to_vec();
             excluded[..b].fill(true); // min(B) = b, and B avoids A
             in_b[b] = true;
-            let frontier: Vec<Vertex> =
-                self.g.neighbors(b).iter().copied().filter(|&v| !excluded[v]).collect();
+            let frontier: Vec<Vertex> = self
+                .g
+                .neighbors(b)
+                .iter()
+                .map(|&v| v as Vertex)
+                .filter(|&v| !excluded[v])
+                .collect();
             let done = self.extend_b(in_a, &mut in_b, frontier, &mut excluded);
             in_b[b] = false;
             if !done {
@@ -233,7 +249,13 @@ impl<'g> Search<'g> {
             in_b[v] = true;
             let mut nf: Vec<Vertex> =
                 frontier[i + 1..].iter().copied().filter(|&u| !excluded[u] && !in_b[u]).collect();
-            nf.extend(self.g.neighbors(v).iter().copied().filter(|&u| !excluded[u] && !in_b[u]));
+            nf.extend(
+                self.g
+                    .neighbors(v)
+                    .iter()
+                    .map(|&u| u as Vertex)
+                    .filter(|&u| !excluded[u] && !in_b[u]),
+            );
             ok = self.extend_b(in_a, in_b, nf, excluded);
             in_b[v] = false;
             if !ok || self.best >= self.target {
@@ -258,15 +280,15 @@ fn count_petals(g: &Graph, a_set: &[Vertex], b_set: &[Vertex], blocked: &[bool])
     let mut in_y = vec![false; n];
     for &a in a_set {
         for &u in g.neighbors(a) {
-            if !blocked[u] {
-                in_x[u] = true;
+            if !blocked[u as usize] {
+                in_x[u as usize] = true;
             }
         }
     }
     for &b in b_set {
         for &u in g.neighbors(b) {
-            if !blocked[u] {
-                in_y[u] = true;
+            if !blocked[u as usize] {
+                in_y[u as usize] = true;
             }
         }
     }

@@ -53,6 +53,7 @@ pub fn degeneracy(g: &Graph) -> (usize, Vec<Vertex>) {
         removed[v] = true;
         order.push(v);
         for &u in g.neighbors(v) {
+            let u = u as Vertex;
             if !removed[u] {
                 deg[u] -= 1;
             }

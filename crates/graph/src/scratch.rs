@@ -206,19 +206,21 @@ impl SubsetScratch {
         self.in_set[v] == self.epoch
     }
 
-    /// Marks every vertex of `vs` as adjacent to anchor `a`.
+    /// Marks every vertex of `vs` (a `u32`-compact CSR row) as
+    /// adjacent to anchor `a`.
     #[inline]
-    pub(crate) fn mark_adj_a(&mut self, vs: &[Vertex]) {
+    pub(crate) fn mark_adj_a(&mut self, vs: &[u32]) {
         for &v in vs {
-            self.adj_a[v] = self.epoch;
+            self.adj_a[v as usize] = self.epoch;
         }
     }
 
-    /// Marks every vertex of `vs` as adjacent to anchor `b`.
+    /// Marks every vertex of `vs` (a `u32`-compact CSR row) as
+    /// adjacent to anchor `b`.
     #[inline]
-    pub(crate) fn mark_adj_b(&mut self, vs: &[Vertex]) {
+    pub(crate) fn mark_adj_b(&mut self, vs: &[u32]) {
         for &v in vs {
-            self.adj_b[v] = self.epoch;
+            self.adj_b[v as usize] = self.epoch;
         }
     }
 

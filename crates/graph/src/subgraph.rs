@@ -52,7 +52,7 @@ impl InducedSubgraph {
         let mut arcs = Vec::new();
         for (i, &v) in verts.iter().enumerate() {
             for &u in g.neighbors(v) {
-                let j = from_host[u];
+                let j = from_host[u as usize];
                 if j != ABSENT && i < j {
                     arcs.push((i, j));
                 }

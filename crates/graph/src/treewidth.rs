@@ -121,7 +121,7 @@ pub fn min_fill_decomposition(g: &Graph) -> TreeDecomposition {
     }
     // Working fill graph as adjacency sets.
     let mut adj: Vec<HashSet<Vertex>> =
-        (0..n).map(|v| g.neighbors(v).iter().copied().collect()).collect();
+        (0..n).map(|v| g.neighbors(v).iter().map(|&u| u as Vertex).collect()).collect();
     let mut eliminated = vec![false; n];
     let mut order: Vec<Vertex> = Vec::with_capacity(n);
     let mut position = vec![usize::MAX; n];

@@ -14,6 +14,14 @@ use crate::graph::{Graph, Vertex};
 use crate::scratch::{with_thread_scratch, Scratch};
 use crate::subgraph::InducedSubgraph;
 
+/// Below this vertex count the neighborhood-hash fill stays
+/// single-threaded: spawning scoped workers costs more than hashing the
+/// whole (small) graph. Above it the fill shards into disjoint key
+/// ranges — each worker hashes the CSR rows of its own vertex range, so
+/// the computed keys (and everything downstream) are identical for
+/// every worker count.
+const HASH_PARALLEL_THRESHOLD: usize = 1 << 15;
+
 /// SplitMix64 finalizer: the per-element mixer of the commutative
 /// neighborhood hash.
 #[inline]
@@ -79,13 +87,12 @@ pub fn twin_representatives_with(g: &Graph, scratch: &mut Scratch) -> Vec<Vertex
     if scratch.key.len() < n {
         scratch.key.resize(n, 0);
     }
-    for v in g.vertices() {
-        let mut h = mix(v as u64);
-        for &u in g.neighbors(v) {
-            h = h.wrapping_add(mix(u as u64));
-        }
-        scratch.key[v] = h;
-    }
+    let workers = if n >= HASH_PARALLEL_THRESHOLD {
+        std::thread::available_parallelism().map_or(1, |c| c.get()).min(8)
+    } else {
+        1
+    };
+    fill_neighborhood_keys(g, &mut scratch.key[..n], workers);
     // The scratch queue doubles as the hash-sorted vertex order.
     scratch.queue.clear();
     scratch.queue.extend(0..n);
@@ -114,6 +121,39 @@ pub fn twin_representatives_with(g: &Graph, scratch: &mut Scratch) -> Vec<Vertex
         i = j;
     }
     rep
+}
+
+/// Fills `keys[v]` with the commutative closed-neighborhood hash of `v`
+/// for every `v < keys.len()`, sharded across `workers` scoped threads
+/// (each worker hashes the CSR rows of its own disjoint vertex range,
+/// so the output is identical for every worker count).
+fn fill_neighborhood_keys(g: &Graph, keys: &mut [u64], workers: usize) {
+    let n = keys.len();
+    let hash_of = |v: Vertex| {
+        let mut h = mix(v as u64);
+        for &u in g.neighbors(v) {
+            h = h.wrapping_add(mix(u as u64));
+        }
+        h
+    };
+    if workers > 1 && n > 1 {
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (ci, out) in keys.chunks_mut(chunk).enumerate() {
+                let start = ci * chunk;
+                let hash_of = &hash_of;
+                scope.spawn(move || {
+                    for (j, slot) in out.iter_mut().enumerate() {
+                        *slot = hash_of(start + j);
+                    }
+                });
+            }
+        });
+    } else {
+        for (v, slot) in keys.iter_mut().enumerate() {
+            *slot = hash_of(v);
+        }
+    }
 }
 
 /// The canonical twin-free reduction of a graph.
@@ -155,6 +195,24 @@ pub fn is_twin_free(g: &Graph) -> bool {
 mod tests {
     use super::*;
     use crate::dominating::{exact_mds, is_dominating_set};
+
+    #[test]
+    fn sharded_key_fill_matches_sequential() {
+        // The parallel fill must be observation-free: identical keys for
+        // every worker count (forced here, since the production gate may
+        // resolve to one worker on small machines).
+        let g = crate::Graph::from_edges(
+            101,
+            &(0..100).map(|i| (i, i + 1)).chain([(0, 50), (3, 97)]).collect::<Vec<_>>(),
+        );
+        let mut seq = vec![0u64; g.n()];
+        fill_neighborhood_keys(&g, &mut seq, 1);
+        for workers in [2, 4, 7] {
+            let mut par = vec![0u64; g.n()];
+            fill_neighborhood_keys(&g, &mut par, workers);
+            assert_eq!(seq, par, "workers={workers}");
+        }
+    }
 
     #[test]
     fn triangle_collapses_to_single_vertex() {

@@ -35,6 +35,7 @@ pub fn separates(g: &Graph, s: &[Vertex]) -> bool {
     let mut boundary: Vec<Vertex> = Vec::new();
     for &c in s {
         for &x in g.neighbors(c) {
+            let x = x as Vertex;
             if !removed[x] {
                 boundary.push(x);
             }
@@ -187,6 +188,7 @@ pub fn pair_profile_within(
                 nonadj_b = true;
             }
             for &w in g.neighbors(u) {
+                let w = w as Vertex;
                 if ws.contains(w) && ws.visit(w) {
                     ws.queue.push(w);
                 }

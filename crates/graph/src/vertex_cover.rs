@@ -84,7 +84,7 @@ pub fn exact_vertex_cover_capped(g: &Graph, budget: u64) -> Option<Vec<Vertex>> 
 }
 
 fn live_degree(g: &Graph, alive: &[bool], v: Vertex) -> usize {
-    g.neighbors(v).iter().filter(|&&u| alive[u]).count()
+    g.neighbors(v).iter().filter(|&&u| alive[u as usize]).count()
 }
 
 fn branch_vc(
@@ -134,8 +134,9 @@ fn branch_vc_inner(
                 let u = *g
                     .neighbors(v)
                     .iter()
-                    .find(|&&u| alive[u])
-                    .expect("degree-1 vertex has a live neighbor");
+                    .find(|&&u| alive[u as usize])
+                    .expect("degree-1 vertex has a live neighbor")
+                    as Vertex;
                 current.push(u);
                 alive[u] = false;
                 alive[v] = false;
@@ -162,6 +163,7 @@ fn branch_vc_inner(
             continue;
         }
         for &v in g.neighbors(u) {
+            let v = v as Vertex;
             if alive[v] && !matched[v] && u < v {
                 matched[u] = true;
                 matched[v] = true;
@@ -190,7 +192,8 @@ fn branch_vc_inner(
     {
         let mut a2 = alive.clone();
         a2[v] = false;
-        let nb: Vec<Vertex> = g.neighbors(v).iter().copied().filter(|&u| a2[u]).collect();
+        let nb: Vec<Vertex> =
+            g.neighbors(v).iter().map(|&u| u as Vertex).filter(|&u| a2[u]).collect();
         for &u in &nb {
             a2[u] = false;
             current.push(u);

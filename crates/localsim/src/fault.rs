@@ -521,6 +521,7 @@ impl FaultyRuntime {
                 }
                 inbox.clear();
                 for &u in g.neighbors(v) {
+                    let u = u as usize;
                     let stale = plan.staleness(u, v, round);
                     let src = round - stale; // ≥ 1 by the staleness bound
                     let slot = &history[(src as usize - 1) % depth][u];

@@ -356,7 +356,7 @@ impl Runtime for MessagePassingRuntime {
             // can be folded in place).
             for (v, state) in states.iter_mut().enumerate() {
                 inbox.clear();
-                inbox.extend(g.neighbors(v).iter().map(|&u| msgs[u].clone()));
+                inbox.extend(g.neighbors(v).iter().map(|&u| msgs[u as usize].clone()));
                 algo.receive(state, round, &inbox);
             }
             // Decide phase.
@@ -395,7 +395,7 @@ pub fn oracle_view(g: &Graph, ids: &IdAssignment, v: lmds_graph::Vertex, k: u32)
     for &(u, d) in &ball {
         if d < k {
             for &w in g.neighbors(u) {
-                edges.push((ids.id_of(u), ids.id_of(w)));
+                edges.push((ids.id_of(u), ids.id_of(w as usize)));
             }
         }
     }
@@ -430,7 +430,7 @@ fn replay_state<A: LocalAlgorithm>(
         for (i, &u) in ball.iter().enumerate() {
             inbox.clear();
             for &w in g.neighbors(u) {
-                if let Ok(j) = ball.binary_search(&w) {
+                if let Ok(j) = ball.binary_search(&(w as usize)) {
                     inbox.push(msgs[j].clone());
                 }
             }
@@ -749,6 +749,7 @@ mod tests {
             let snapshot = views.clone();
             for (v, view) in views.iter_mut().enumerate() {
                 for &u in g.neighbors(v) {
+                    let u = u as usize;
                     view.learn_edge(ids.id_of(v), ids.id_of(u));
                     let s = snapshot[u].clone();
                     view.merge(&s);

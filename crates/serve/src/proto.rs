@@ -371,7 +371,11 @@ pub fn parse_solution(doc: &Value) -> Result<SolutionView, String> {
                 fr.get("messages_dropped").and_then(Value::as_u64),
                 Some(vertex_list(fr.get("crashed").unwrap_or(&Value::Null), "crashed")?),
                 Some(vertex_list(fr.get("silent").unwrap_or(&Value::Null), "silent")?),
-                fr.get("max_staleness").and_then(Value::as_u64).map(|x| x as u32),
+                // Saturate rather than truncate: a forged 2³²+5 must not
+                // silently parse as staleness 5.
+                fr.get("max_staleness")
+                    .and_then(Value::as_u64)
+                    .map(|x| u32::try_from(x).unwrap_or(u32::MAX)),
             ),
         };
     Ok(SolutionView {

@@ -240,6 +240,52 @@ fn both_upload_formats_agree() {
     handle.shutdown();
 }
 
+/// Regression test for the scale-path overflow fix: a snapshot whose
+/// header declares an absurd edge count must be rejected by the typed
+/// snapshot validator *before* any allocation, and that rejection must
+/// surface through PUT /graphs as a 422 — not as a panic, a wrapped
+/// length equation that accidentally matches, or an OOM attempt.
+#[test]
+fn forged_snapshot_header_is_rejected_through_put() {
+    let handle = spawn_default();
+    let addr = handle.addr();
+    let mut snap = to_snapshot(&corpus_graph()).unwrap();
+
+    // Forge m := u64::MAX at header offset 20. With unchecked u64
+    // arithmetic the arc count 2m wraps, so the length equation could
+    // be made to pass; the checked path reports the overflow instead.
+    snap[20..28].copy_from_slice(&u64::MAX.to_le_bytes());
+    let resp = send(addr, "PUT", "/graphs/forged-m", &snap);
+    assert_eq!(resp.status, 422, "{}", String::from_utf8_lossy(&resp.body));
+    let err = resp.json();
+    assert_eq!(err.get("code").unwrap().as_str(), Some("invalid-graph"));
+    let message = err.get("message").unwrap().as_str().unwrap().to_string();
+    assert!(
+        message.contains("invalid graph snapshot"),
+        "typed GraphError::Snapshot must reach the wire: {message}"
+    );
+
+    // Forge m := 2^61 - 1: the arc count still fits u64, but the byte
+    // length 8·(n+1) + 8m + header overflows — also a checked reject.
+    let mut snap = to_snapshot(&corpus_graph()).unwrap();
+    snap[20..28].copy_from_slice(&((1u64 << 61) - 1).to_le_bytes());
+    let resp = send(addr, "PUT", "/graphs/forged-m2", &snap);
+    assert_eq!(resp.status, 422, "{}", String::from_utf8_lossy(&resp.body));
+    let err = resp.json();
+    assert!(err.get("message").unwrap().as_str().unwrap().contains("invalid graph snapshot"));
+
+    // Forge n := u32::MAX + 1: over the u32-compact row capacity.
+    let mut snap = to_snapshot(&corpus_graph()).unwrap();
+    snap[12..20].copy_from_slice(&(u32::MAX as u64 + 1).to_le_bytes());
+    let resp = send(addr, "PUT", "/graphs/forged-n", &snap);
+    assert_eq!(resp.status, 422, "{}", String::from_utf8_lossy(&resp.body));
+
+    // Nothing forged was admitted to the corpus.
+    let listing = send(addr, "GET", "/graphs", b"").json();
+    assert_eq!(listing.get("graphs").unwrap().as_arr().unwrap().len(), 0);
+    handle.shutdown();
+}
+
 #[test]
 fn solver_catalog_comes_from_the_registry() {
     let handle = spawn_default();

@@ -60,7 +60,7 @@ fn main() {
     // Every sleeping sensor can verify locally that a neighbor is awake.
     for v in instance.graph.vertices() {
         let ok = coordinators.contains(&v)
-            || instance.graph.neighbors(v).iter().any(|u| coordinators.contains(u));
+            || instance.graph.neighbors(v).iter().any(|&u| coordinators.contains(&(u as usize)));
         assert!(ok, "sensor {v} has no awake neighbor");
     }
     println!("coverage verified: every sleeping sensor has an awake neighbor");

@@ -141,6 +141,7 @@ fn oracle_views_match_message_passing() {
             let snapshot = views.clone();
             for (v, view) in views.iter_mut().enumerate() {
                 for &u in g.neighbors(v) {
+                    let u = u as usize;
                     view.learn_edge(ids.id_of(v), ids.id_of(u));
                     let s = snapshot[u].clone();
                     view.merge(&s);
@@ -255,4 +256,83 @@ fn mvc_distributed_matches_centralized() {
         let central = lmds_core::mvc::algorithm1_mvc(&g, &ids, radii);
         assert_eq!(dist, central.solution, "seed={seed}");
     }
+}
+
+/// The three build paths of the scale PR must agree graph-for-graph:
+/// the bulk CSR constructor ([`Graph::from_edges`]), the incremental
+/// [`DynamicGraph`] path (both the per-op splice tier and the bulk
+/// rebuild tier), and the zero-copy snapshot round trip. Adjacency is
+/// canonically sorted, so `==` is structural equality.
+#[test]
+fn bulk_splice_and_snapshot_builds_agree() {
+    use lmds_graph::dynamic::SPLICE_LIMIT;
+    use lmds_graph::io::{from_snapshot, to_snapshot};
+    use lmds_graph::{DynamicGraph, GraphUpdate};
+
+    let mut cases: Vec<(String, Graph)> = corpus()
+        .into_iter()
+        .map(|(seed, g)| (format!("sparse#{seed}"), g))
+        .chain(outerplanar_corpus().into_iter().map(|(seed, g)| (format!("outerplanar#{seed}"), g)))
+        .collect();
+    cases.push(("scale_instance(600)".into(), lmds_gen::ding::scale_instance(600, 9)));
+    cases.push(("augmentation(8,4,3)".into(), {
+        use lmds_gen::ding::AugmentationSpec;
+        AugmentationSpec::standard(8, 4, 3, 21).generate()
+    }));
+
+    for (name, bulk) in &cases {
+        // Edge stream of the reference graph (u < v once per edge).
+        let edges: Vec<(usize, usize)> = bulk
+            .vertices()
+            .flat_map(|u| {
+                bulk.neighbors(u)
+                    .iter()
+                    .map(move |&w| (u, w as usize))
+                    .filter(|&(u, w)| u < w)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        // Dynamic rebuild tier: one batch holding every op.
+        let mut batch: Vec<GraphUpdate> = vec![GraphUpdate::AddVertex; bulk.n()];
+        batch.extend(edges.iter().map(|&(u, v)| GraphUpdate::InsertEdge(u, v)));
+        let mut dg = DynamicGraph::new(Graph::from_edges(0, &[]));
+        dg.apply(&batch).unwrap_or_else(|e| panic!("{name}: bulk batch: {e}"));
+        assert_eq!(dg.graph(), bulk, "{name}: dynamic bulk rebuild differs from from_edges");
+
+        // Dynamic splice tier: batches small enough to stay under
+        // SPLICE_LIMIT so each op goes through the per-op CSR splice.
+        let mut dg = DynamicGraph::new(Graph::from_edges(0, &[]));
+        dg.apply(&vec![GraphUpdate::AddVertex; bulk.n()])
+            .unwrap_or_else(|e| panic!("{name}: add vertices: {e}"));
+        for chunk in edges.chunks(SPLICE_LIMIT.saturating_sub(1).max(1)) {
+            let ops: Vec<GraphUpdate> =
+                chunk.iter().map(|&(u, v)| GraphUpdate::InsertEdge(u, v)).collect();
+            dg.apply(&ops).unwrap_or_else(|e| panic!("{name}: splice batch: {e}"));
+        }
+        assert_eq!(dg.graph(), bulk, "{name}: dynamic splice path differs from from_edges");
+
+        // Zero-copy snapshot round trip.
+        let snap = to_snapshot(bulk).unwrap_or_else(|e| panic!("{name}: to_snapshot: {e}"));
+        let back = from_snapshot(&snap).unwrap_or_else(|e| panic!("{name}: from_snapshot: {e}"));
+        assert_eq!(&back, bulk, "{name}: snapshot round trip differs");
+    }
+}
+
+/// The u32-compact row format caps vertex counts at `u32::MAX`; a
+/// larger `n` must be a typed error from the fallible constructor, not
+/// an attempted 34 GB offsets allocation (or a silent wrap on the
+/// infallible path).
+#[test]
+fn vertex_counts_beyond_u32_are_rejected() {
+    use lmds_graph::{GraphError, MAX_VERTICES};
+    let too_many = MAX_VERTICES + 1;
+    match Graph::try_from_edges(too_many, std::iter::empty()) {
+        Err(GraphError::TooManyVertices { n }) => assert_eq!(n, too_many),
+        other => panic!("expected TooManyVertices, got {other:?}"),
+    }
+    // The boundary itself is representable (but far too large to build
+    // here); just below the cap the constructor must not reject for
+    // size reasons — probe with a tiny n to pin the accept path.
+    assert!(Graph::try_from_edges(3, [(0usize, 1usize)].into_iter()).is_ok());
 }
